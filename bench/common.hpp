@@ -1,0 +1,89 @@
+#pragma once
+// Shared helpers for the figure/table reproduction binaries.
+//
+// Every binary prints (1) the paper-style table, (2) a set of explicit
+// shape checks — the qualitative claims of the paper that the reproduction
+// is expected to preserve — and (3) optional CSV via --csv.
+
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "armbar/barriers/factory.hpp"
+#include "armbar/simbar/runner.hpp"
+#include "armbar/simbar/sim_barriers.hpp"
+#include "armbar/topo/platforms.hpp"
+#include "armbar/util/args.hpp"
+#include "armbar/util/table.hpp"
+
+namespace armbar::bench {
+
+/// Measurement configuration used across all figure binaries (EPCC-like:
+/// 20 episodes, warm-up discarded).
+inline simbar::SimRunConfig sim_cfg(int threads) {
+  simbar::SimRunConfig cfg;
+  cfg.threads = threads;
+  cfg.iterations = 20;
+  cfg.warmup = 5;
+  return cfg;
+}
+
+/// Simulated barrier overhead in microseconds (the paper's reporting unit).
+inline double sim_overhead_us(const topo::Machine& machine, Algo algo,
+                              int threads, const MakeOptions& opt = {}) {
+  return simbar::measure_barrier(machine, simbar::sim_factory(algo, opt),
+                                 sim_cfg(threads))
+             .mean_overhead_ns /
+         1000.0;
+}
+
+/// The thread counts the paper sweeps (1..64).
+inline std::vector<int> thread_sweep() {
+  return {1, 2, 4, 8, 12, 16, 24, 32, 40, 48, 56, 64};
+}
+
+/// One qualitative claim from the paper, evaluated on our measurements.
+struct ShapeCheck {
+  std::string label;
+  bool pass;
+};
+
+/// Print the shape-check block; returns the number of failures.
+inline int report_checks(const std::vector<ShapeCheck>& checks) {
+  int failures = 0;
+  std::cout << "\nShape checks (paper claims vs this reproduction):\n";
+  for (const auto& c : checks) {
+    std::cout << "  [" << (c.pass ? "PASS" : "FAIL") << "] " << c.label
+              << "\n";
+    if (!c.pass) ++failures;
+  }
+  if (failures == 0)
+    std::cout << "All " << checks.size() << " shape checks passed.\n";
+  else
+    std::cout << failures << " of " << checks.size()
+              << " shape checks FAILED.\n";
+  return failures;
+}
+
+/// Emit table text, plus CSV when --csv was passed, plus a .csv file
+/// under --out DIR (one file per table, named from the table title or a
+/// running counter) for plotting pipelines.
+inline void emit(const util::Table& table, const util::Args& args) {
+  std::cout << table.to_text() << "\n";
+  if (args.has("csv")) std::cout << "CSV:\n" << table.to_csv() << "\n";
+  if (const auto dir = args.get("out")) {
+    static int counter = 0;
+    std::string name = "table_" + std::to_string(counter++);
+    std::ofstream out(*dir + "/" + name + ".csv");
+    if (out) {
+      out << table.to_csv();
+      std::cout << "(wrote " << *dir << "/" << name << ".csv)\n";
+    } else {
+      std::cerr << "warning: cannot write to --out dir '" << *dir << "'\n";
+    }
+  }
+}
+
+}  // namespace armbar::bench

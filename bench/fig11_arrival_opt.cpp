@@ -1,0 +1,54 @@
+// Figure 11: arrival-phase optimizations.  Compares the original static
+// f-way tournament (packed 32-bit flags, balanced fan-in) against "padding
+// static f-way" (one flag per cacheline) and "padding static 4-way"
+// (padded + fixed fan-in 4) over 1..64 threads on the three machines.
+
+#include "common.hpp"
+
+int main(int argc, char** argv) {
+  using namespace armbar;
+  const util::Args args(argc, argv);
+
+  std::cout << "== Figure 11: arrival-phase optimizations (us) ==\n\n";
+
+  std::vector<bench::ShapeCheck> checks;
+  for (const auto& m : topo::armv8_machines()) {
+    util::Table t("Figure 11 (" + m.name() + ")");
+    t.set_header({"threads", "static f-way", "padding f-way",
+                  "padding 4-way"});
+    for (int p : bench::thread_sweep()) {
+      t.add_row({std::to_string(p),
+                 util::Table::num(
+                     bench::sim_overhead_us(m, Algo::kStaticFway, p), 3),
+                 util::Table::num(
+                     bench::sim_overhead_us(m, Algo::kStaticFwayPadded, p), 3),
+                 util::Table::num(
+                     bench::sim_overhead_us(m, Algo::kStatic4WayPadded, p),
+                     3)});
+    }
+    bench::emit(t, args);
+
+    const double packed = bench::sim_overhead_us(m, Algo::kStaticFway, 64);
+    const double padded =
+        bench::sim_overhead_us(m, Algo::kStaticFwayPadded, 64);
+    const double padded4 =
+        bench::sim_overhead_us(m, Algo::kStatic4WayPadded, 64);
+    checks.push_back(
+        {m.name() + ": padding the arrival flags does not hurt at 64",
+         padded <= packed * 1.02});
+    checks.push_back(
+        {m.name() + ": padded 4-way no worse than padded f-way at 64",
+         padded4 <= padded * 1.05});
+  }
+  // Kunpeng920 has the widest effective line (32 packed flags): padding
+  // must pay off most there (paper: up to 1.35x).
+  const auto kp = topo::kunpeng920();
+  const double kp_speedup =
+      bench::sim_overhead_us(kp, Algo::kStaticFway, 64) /
+      bench::sim_overhead_us(kp, Algo::kStaticFwayPadded, 64);
+  checks.push_back(
+      {"Kunpeng920 padding speedup exceeds 1.1x (paper: up to 1.35x)",
+       kp_speedup > 1.1});
+  bench::report_checks(checks);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Native EPCC-style overhead table for THIS host.
+//
+// Replicates the measurement methodology the paper uses (EPCC barrier
+// micro-benchmark: delay loop reference, inner iterations, outer reps) on
+// the machine the binary actually runs on, with threads pinned to cores
+// when possible.  On hosts with fewer cores than threads the absolute
+// numbers reflect the OS scheduler — the simulated figures are the
+// performance oracle for the paper's machines (DESIGN.md §2) — but the
+// harness itself is the real thing and runs anywhere.
+
+#include <iostream>
+#include <thread>
+
+#include "armbar/barriers/factory.hpp"
+#include "armbar/barriers/team.hpp"
+#include "armbar/epcc/epcc.hpp"
+#include "armbar/util/affinity.hpp"
+#include "armbar/util/args.hpp"
+#include "armbar/util/table.hpp"
+
+int main(int argc, char** argv) {
+  using namespace armbar;
+  const util::Args args(argc, argv);
+
+  const int cpus = util::online_cpus();
+  // Keep the suite quick: modest thread counts, scaled-down iterations on
+  // oversubscribed hosts.
+  const bool oversubscribed = cpus < 4;
+  const int max_threads =
+      static_cast<int>(args.get_int_or("threads", oversubscribed ? 4 : cpus));
+
+  epcc::EpccConfig cfg;
+  cfg.inner_iterations =
+      static_cast<int>(args.get_int_or("inner", oversubscribed ? 30 : 500));
+  cfg.outer_reps =
+      static_cast<int>(args.get_int_or("reps", oversubscribed ? 3 : 10));
+  cfg.delay_cycles = 20;
+
+  std::cout << "== Native EPCC-style barrier overhead on this host ("
+            << cpus << " cpu(s) online) ==\n";
+  if (oversubscribed)
+    std::cout << "note: oversubscribed host — numbers measure the OS "
+                 "scheduler, not the barrier; see DESIGN.md §2.\n";
+  std::cout << "\n";
+
+  util::Table t;
+  std::vector<std::string> header{"algorithm"};
+  std::vector<int> counts;
+  for (int p = 2; p <= max_threads; p *= 2) counts.push_back(p);
+  for (int p : counts) header.push_back(std::to_string(p) + "t (us)");
+  t.set_header(std::move(header));
+
+  for (Algo algo : all_algos()) {
+    std::vector<std::string> row{to_string(algo)};
+    for (int p : counts) {
+      Barrier barrier = make_barrier(algo, p);
+      ThreadTeam team(p);
+      const epcc::EpccResult r = epcc::measure_overhead(barrier, team, cfg);
+      row.push_back(util::Table::num(r.overhead_us, 2));
+    }
+    t.add_row(std::move(row));
+  }
+  std::cout << t.to_text() << "\n";
+  if (args.has("csv")) std::cout << "CSV:\n" << t.to_csv() << "\n";
+  std::cout << "All native barriers completed " << cfg.outer_reps
+            << " reps x " << cfg.inner_iterations
+            << " episodes without deadlock.\n";
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Bulk-synchronous pipeline: a multi-stage packet-processing pipeline in
+// which every stage works on its own generation of a ring buffer and all
+// stages advance in lock-step through a barrier — the "frequent small
+// barriers" pattern whose overhead the paper quantifies.
+//
+// Stage s at tick t processes the batch that stage s-1 produced at tick
+// t-1.  One barrier per tick is the only synchronization.  The example
+// checks that every packet leaves the pipeline with every stage applied
+// exactly once, then reports barrier throughput.
+//
+//   $ ./pipeline_sync [--stages N] [--batches M] [--batch-size B]
+
+#include <chrono>
+#include <iostream>
+#include <numeric>
+#include <vector>
+
+#include "armbar/barriers/factory.hpp"
+#include "armbar/barriers/team.hpp"
+#include "armbar/util/args.hpp"
+
+namespace {
+
+struct Packet {
+  std::uint64_t value = 0;
+  int stages_applied = 0;
+};
+
+/// Each stage applies a reversible transformation tagged by stage index.
+void apply_stage(Packet& p, int stage) {
+  p.value = p.value * 1099511628211ull + static_cast<std::uint64_t>(stage);
+  p.stages_applied += 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace armbar;
+  const util::Args args(argc, argv);
+  const int stages = static_cast<int>(args.get_int_or("stages", 4));
+  const int batches = static_cast<int>(args.get_int_or("batches", 200));
+  const int batch_size = static_cast<int>(args.get_int_or("batch-size", 64));
+
+  Barrier barrier = make_barrier(Algo::kOptimized, stages);
+
+  // slots[b] holds batch b; batch b is processed by stage s at tick b + s.
+  std::vector<std::vector<Packet>> slots(
+      static_cast<std::size_t>(batches),
+      std::vector<Packet>(static_cast<std::size_t>(batch_size)));
+  for (int b = 0; b < batches; ++b)
+    for (int i = 0; i < batch_size; ++i)
+      slots[static_cast<std::size_t>(b)][static_cast<std::size_t>(i)].value =
+          static_cast<std::uint64_t>(b * batch_size + i);
+
+  const int ticks = batches + stages - 1;
+  const auto t0 = std::chrono::steady_clock::now();
+  parallel_run(stages, [&](int stage) {
+    for (int tick = 0; tick < ticks; ++tick) {
+      const int batch = tick - stage;
+      if (batch >= 0 && batch < batches) {
+        for (Packet& p : slots[static_cast<std::size_t>(batch)])
+          apply_stage(p, stage);
+      }
+      barrier.wait(stage);
+    }
+  });
+  const double secs =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+
+  // Verification: every packet passed through every stage exactly once,
+  // and the value matches a sequential application of all stages.
+  std::uint64_t mismatches = 0;
+  for (int b = 0; b < batches; ++b) {
+    for (int i = 0; i < batch_size; ++i) {
+      Packet expect;
+      expect.value = static_cast<std::uint64_t>(b * batch_size + i);
+      for (int s = 0; s < stages; ++s) apply_stage(expect, s);
+      const Packet& got =
+          slots[static_cast<std::size_t>(b)][static_cast<std::size_t>(i)];
+      if (got.value != expect.value || got.stages_applied != stages)
+        ++mismatches;
+    }
+  }
+
+  std::cout << "Pipeline: " << stages << " stages, " << batches
+            << " batches of " << batch_size << " packets, " << ticks
+            << " barrier episodes in " << secs * 1e3 << " ms\n";
+  if (mismatches != 0) {
+    std::cerr << "FAILED: " << mismatches << " corrupted packets\n";
+    return 1;
+  }
+  std::cout << "OK: all " << batches * batch_size
+            << " packets correctly processed by every stage\n";
+  return 0;
+}

@@ -1,0 +1,151 @@
+// sweep_cli: general-purpose simulation driver.
+//
+// Run any barrier on any modeled machine across a thread sweep, export
+// CSV, dump an operation trace for chrome://tracing, or auto-tune:
+//
+//   $ ./sweep_cli --machine kunpeng920 --algo opt --threads 1,2,4,8,16,64
+//   $ ./sweep_cli --machine tx2 --algo gcc-sense --threads 64 --trace t.json
+//   $ ./sweep_cli --machine phytium --autotune
+//   $ ./sweep_cli --machine kp920 --algo all --threads 64 --csv
+
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "armbar/simbar/autotune.hpp"
+#include "armbar/simbar/sim_barriers.hpp"
+#include "armbar/topo/machine_file.hpp"
+#include "armbar/topo/placement.hpp"
+#include "armbar/topo/platforms.hpp"
+#include "armbar/util/args.hpp"
+#include "armbar/util/table.hpp"
+
+namespace {
+
+std::vector<int> parse_thread_list(const std::string& spec, int max_cores) {
+  std::vector<int> out;
+  std::stringstream ss(spec);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    const int p = std::stoi(item);
+    if (p < 1 || p > max_cores)
+      throw std::invalid_argument("thread count " + item + " out of range");
+    out.push_back(p);
+  }
+  if (out.empty()) throw std::invalid_argument("--threads list is empty");
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace armbar;
+  try {
+    const util::Args args(argc, argv);
+    if (args.has("help")) {
+      std::cout
+          << "usage: " << args.program() << " [options]\n"
+          << "  --machine M    phytium2000+ | thunderx2 | kunpeng920 | "
+             "xeongold (default kunpeng920)\n"
+          << "  --machine-file F  load a custom topology (key=value "
+             "format; see docs)\n"
+          << "  --algo A       algorithm id (sense, gcc-sense, dis, cmb, "
+             "mcs,\n"
+          << "                 tour, stour, stour-pad, stour-pad4, dtour,\n"
+          << "                 hyper, opt, hybrid, nway-dis, ring) or 'all'\n"
+          << "  --threads L    comma list, e.g. 1,2,4,8,16,32,64\n"
+          << "  --placement P  compact | scatter | random (default compact)\n"
+          << "  --iterations N episodes per run (default 20)\n"
+          << "  --trace FILE   write a chrome://tracing JSON of the run\n"
+          << "  --hot-lines    print the busiest cachelines per run\n"
+          << "  --autotune     rank all candidates at --threads (single "
+             "value)\n"
+          << "  --csv          machine-readable output\n";
+      return 0;
+    }
+
+    const auto machine =
+        args.has("machine-file")
+            ? topo::load_machine_file(args.get_or("machine-file", ""))
+            : topo::machine_by_name(args.get_or("machine", "kunpeng920"));
+    const auto thread_list = parse_thread_list(
+        args.get_or("threads", "64"), machine.num_cores());
+
+    if (args.has("autotune")) {
+      const auto tuned = simbar::autotune(machine, thread_list.front());
+      util::Table t("Auto-tune on " + machine.name() + " at " +
+                    std::to_string(thread_list.front()) + " threads");
+      t.set_header({"rank", "barrier", "overhead (us)"});
+      int rank = 1;
+      for (const auto& c : tuned.ranking)
+        t.add_row({std::to_string(rank++), c.name,
+                   util::Table::num(c.overhead_us, 3)});
+      std::cout << (args.has("csv") ? t.to_csv() : t.to_text());
+      return 0;
+    }
+
+    const std::string algo_spec = args.get_or("algo", "opt");
+    std::vector<Algo> algos;
+    if (algo_spec == "all") {
+      for (Algo a : all_algos())
+        if (a != Algo::kStdBarrier && a != Algo::kPthread) algos.push_back(a);
+    } else {
+      algos.push_back(algo_from_string(algo_spec));
+    }
+
+    const std::string placement = args.get_or("placement", "compact");
+
+    util::Table t("Simulated overhead (us) on " + machine.name() +
+                  ", placement=" + placement);
+    std::vector<std::string> header{"threads"};
+    for (Algo a : algos) header.push_back(to_string(a));
+    t.set_header(std::move(header));
+
+    sim::Tracer tracer;
+    const bool tracing = args.has("trace");
+
+    for (int p : thread_list) {
+      std::vector<std::string> row{std::to_string(p)};
+      for (Algo a : algos) {
+        simbar::SimRunConfig cfg;
+        cfg.threads = p;
+        cfg.iterations = static_cast<int>(args.get_int_or("iterations", 20));
+        cfg.warmup = std::min(5, cfg.iterations - 1);
+        if (placement == "scatter")
+          cfg.core_of_thread = topo::scatter_placement(machine, p);
+        else if (placement == "random")
+          cfg.core_of_thread = topo::random_placement(machine, p);
+        else if (placement != "compact")
+          throw std::invalid_argument("unknown placement " + placement);
+        const auto r = simbar::measure_barrier(
+            machine, simbar::sim_factory(a, {.cluster_size = machine.cluster_size()}),
+            cfg, tracing ? &tracer : nullptr);
+        row.push_back(util::Table::num(r.mean_overhead_ns / 1000.0, 3));
+        if (args.has("hot-lines")) {
+          std::cout << to_string(a) << " @" << p
+                    << " threads, busiest cachelines:\n";
+          for (const auto& h : r.hot_lines)
+            std::cout << "  line " << h.line << ": " << h.reads
+                      << " reads, " << h.writes << " writes\n";
+        }
+      }
+      t.add_row(std::move(row));
+    }
+    std::cout << (args.has("csv") ? t.to_csv() : t.to_text());
+
+    if (tracing) {
+      const std::string path = args.get_or("trace", "trace.json");
+      std::ofstream out(path);
+      out << tracer.to_chrome_json();
+      std::cout << "\nwrote " << tracer.events().size()
+                << " trace events to " << path;
+      if (tracer.dropped() > 0)
+        std::cout << " (" << tracer.dropped() << " dropped)";
+      std::cout << "\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,88 @@
+// Topology explorer: model your own many-core topology and let the
+// simulator pick the best barrier algorithm and wake-up policy for it —
+// the workflow the paper's methodology enables for machines it never
+// measured.
+//
+//   $ ./topology_explorer                          # built-in machines
+//   $ ./topology_explorer --groups 8x4 --l0 12 --l1 60 \
+//         --epsilon 1.5 --alpha 0.2 --contention 1.0
+//
+// --groups AxB builds a two-level hierarchy: B clusters of A cores.
+
+#include <iostream>
+#include <sstream>
+
+#include "armbar/core/optimized.hpp"
+#include "armbar/simbar/runner.hpp"
+#include "armbar/simbar/sim_barriers.hpp"
+#include "armbar/topo/platforms.hpp"
+#include "armbar/util/args.hpp"
+#include "armbar/util/table.hpp"
+
+namespace {
+
+armbar::topo::Machine machine_from_args(const armbar::util::Args& args) {
+  using namespace armbar;
+  if (!args.has("groups"))
+    return topo::machine_by_name(args.get_or("machine", "kunpeng920"));
+  const std::string spec = args.get_or("groups", "8x4");
+  const auto x = spec.find('x');
+  if (x == std::string::npos)
+    throw std::invalid_argument("--groups expects AxB, e.g. 8x4");
+  const int inner = std::stoi(spec.substr(0, x));
+  const int outer = std::stoi(spec.substr(x + 1));
+  return topo::make_hierarchical(
+      "custom(" + spec + ")", {inner, outer},
+      {args.get_double_or("l0", 12.0), args.get_double_or("l1", 60.0)},
+      args.get_double_or("epsilon", 1.5), inner,
+      static_cast<int>(args.get_int_or("cacheline", 64)),
+      args.get_double_or("alpha", 0.2), args.get_double_or("contention", 1.0));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace armbar;
+  const util::Args args(argc, argv);
+  const auto machine = machine_from_args(args);
+  const int threads = static_cast<int>(
+      args.get_int_or("threads", machine.num_cores()));
+
+  std::cout << "Exploring " << machine.name() << ": " << machine.num_cores()
+            << " cores, N_c = " << machine.cluster_size() << ", epsilon = "
+            << machine.epsilon_ns() << " ns, alpha = " << machine.alpha()
+            << ", c = " << machine.contention_ns() << " ns\n\n";
+
+  simbar::SimRunConfig cfg;
+  cfg.threads = threads;
+  cfg.iterations = 20;
+  cfg.warmup = 5;
+
+  util::Table t("Simulated barrier overhead, " + std::to_string(threads) +
+                " threads");
+  t.set_header({"algorithm", "overhead (us)"});
+  double best = -1.0;
+  std::string best_name;
+  for (Algo algo :
+       {Algo::kGccSense, Algo::kSense, Algo::kDissemination,
+        Algo::kCombiningTree, Algo::kMcsTree, Algo::kTournament,
+        Algo::kStaticFway, Algo::kDynamicFway, Algo::kHypercube,
+        Algo::kOptimized}) {
+    const auto r =
+        simbar::measure_barrier(machine, simbar::sim_factory(algo), cfg);
+    const double us = r.mean_overhead_ns / 1000.0;
+    t.add_row({r.barrier_name, util::Table::num(us, 3)});
+    if (best < 0 || us < best) {
+      best = us;
+      best_name = r.barrier_name;
+    }
+  }
+  std::cout << t.to_text() << "\n";
+
+  const auto tuned = OptimizedConfig::for_machine(machine);
+  std::cout << "Best measured: " << best_name << " at "
+            << util::Table::num(best, 3) << " us\n";
+  std::cout << "Model-tuned optimized config: fan-in " << tuned.fanin
+            << ", wake-up " << to_string(tuned.notify) << "\n";
+  return 0;
+}

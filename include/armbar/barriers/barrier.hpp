@@ -1,0 +1,78 @@
+#pragma once
+// Type-erased barrier facade and the BarrierImpl concept.
+//
+// Every concrete barrier in this library models BarrierImpl: construction
+// fixes the number of participating threads, and wait(tid) blocks thread
+// `tid` (0-based, one distinct tid per participant) until all threads have
+// called wait for the same episode.  Barriers are reusable: wait may be
+// called any number of times, and episodes are implicitly numbered by call
+// order.
+
+#include <concepts>
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <utility>
+
+namespace armbar {
+
+template <typename B>
+concept BarrierImpl = requires(B b, const B cb, int tid) {
+  { b.wait(tid) } -> std::same_as<void>;
+  { cb.num_threads() } -> std::convertible_to<int>;
+  { cb.name() } -> std::convertible_to<std::string>;
+};
+
+/// Owning type-erased wrapper.  Concrete barriers contain atomics and are
+/// immovable, so construct through Barrier::make<B>(args...).
+class Barrier {
+ public:
+  Barrier() = default;
+  Barrier(Barrier&&) = default;
+  Barrier& operator=(Barrier&&) = default;
+
+  template <BarrierImpl B, typename... Args>
+  static Barrier make(Args&&... args) {
+    Barrier out;
+    out.impl_ = std::make_unique<Model<B>>(std::forward<Args>(args)...);
+    return out;
+  }
+
+  /// Block until all threads have reached this episode of the barrier.
+  /// The facade validates @p tid (the concrete classes, used on hot paths,
+  /// do not): passing a tid outside [0, num_threads) throws
+  /// std::out_of_range instead of corrupting flag arrays.
+  void wait(int tid) {
+    if (tid < 0 || tid >= impl_->num_threads())
+      throw std::out_of_range("Barrier::wait: tid " + std::to_string(tid) +
+                              " outside [0, " +
+                              std::to_string(impl_->num_threads()) + ")");
+    impl_->wait(tid);
+  }
+
+  int num_threads() const { return impl_->num_threads(); }
+  std::string name() const { return impl_->name(); }
+  explicit operator bool() const noexcept { return impl_ != nullptr; }
+
+ private:
+  struct Concept {
+    virtual ~Concept() = default;
+    virtual void wait(int tid) = 0;
+    virtual int num_threads() const = 0;
+    virtual std::string name() const = 0;
+  };
+
+  template <typename B>
+  struct Model final : Concept {
+    template <typename... Args>
+    explicit Model(Args&&... args) : impl(std::forward<Args>(args)...) {}
+    void wait(int tid) override { impl.wait(tid); }
+    int num_threads() const override { return impl.num_threads(); }
+    std::string name() const override { return impl.name(); }
+    B impl;
+  };
+
+  std::unique_ptr<Concept> impl_;
+};
+
+}  // namespace armbar

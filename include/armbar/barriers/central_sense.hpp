@@ -1,0 +1,84 @@
+#pragma once
+// Sense-reversing centralized barrier (SENSE).
+//
+// The algorithm GCC's libgomp uses for `#pragma omp barrier` (paper
+// Section II-B1): arriving threads atomically decrement a shared counter;
+// the last arrival resets the counter and flips a global generation word
+// that everyone else spins on.  We use a monotonically increasing
+// generation instead of a 1-bit sense, which is the standard reusable
+// formulation (wrap-around after 2^32 episodes is harmless because only
+// inequality is tested).
+//
+// Two layouts are provided:
+//  - kPackedGcc: counter and generation share one cacheline, exactly like
+//    libgomp's gomp_barrier_t.  Every arrival RMW then invalidates the
+//    line all waiters are spinning on — the hot-spot behaviour the paper
+//    measures in Figures 6(a)/7(a).
+//  - kSeparated: counter and generation on distinct cachelines, the
+//    textbook improvement.
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "armbar/util/backoff.hpp"
+#include "armbar/util/cacheline.hpp"
+
+namespace armbar {
+
+enum class SenseLayout {
+  kPackedGcc,  ///< counter + generation on one cacheline (libgomp layout)
+  kSeparated,  ///< counter and generation on distinct cachelines
+};
+
+class CentralSenseBarrier {
+ public:
+  explicit CentralSenseBarrier(int num_threads,
+                               SenseLayout layout = SenseLayout::kSeparated)
+      : num_threads_(num_threads), layout_(layout) {
+    if (num_threads < 1)
+      throw std::invalid_argument("CentralSenseBarrier: num_threads >= 1");
+    packed_.count.store(num_threads, std::memory_order_relaxed);
+    separated_count_->store(num_threads, std::memory_order_relaxed);
+  }
+
+  void wait(int /*tid*/) {
+    if (layout_ == SenseLayout::kPackedGcc)
+      do_wait(packed_.count, packed_.gen);
+    else
+      do_wait(*separated_count_, *separated_gen_);
+  }
+
+  int num_threads() const noexcept { return num_threads_; }
+  std::string name() const {
+    return layout_ == SenseLayout::kPackedGcc ? "SENSE(gcc-packed)" : "SENSE";
+  }
+
+ private:
+  void do_wait(std::atomic<int>& count, std::atomic<std::uint32_t>& gen) {
+    const std::uint32_t g = gen.load(std::memory_order_acquire);
+    if (count.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Last arrival: re-arm the counter before releasing the waiters; no
+      // thread can re-enter until it observes the new generation.
+      count.store(num_threads_, std::memory_order_relaxed);
+      gen.store(g + 1, std::memory_order_release);
+    } else {
+      util::spin_until(
+          [&] { return gen.load(std::memory_order_acquire) != g; });
+    }
+  }
+
+  struct alignas(util::kCachelineBytes) PackedState {
+    std::atomic<int> count{0};
+    std::atomic<std::uint32_t> gen{0};
+  };
+
+  int num_threads_;
+  SenseLayout layout_;
+  PackedState packed_;
+  util::Padded<std::atomic<int>> separated_count_;
+  util::Padded<std::atomic<std::uint32_t>> separated_gen_;
+};
+
+}  // namespace armbar

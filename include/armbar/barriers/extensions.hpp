@@ -1,0 +1,234 @@
+#pragma once
+// Extension barriers from the paper's related-work section, implemented to
+// the same standard as the seven core algorithms so they can be compared
+// on the simulated platforms (bench/ext_algorithms):
+//
+//  - HybridBarrier (Rodchenko et al., Euro-Par'15): a sense-reversing
+//    centralized barrier within each core cluster plus a dissemination
+//    barrier across cluster representatives.
+//  - NWayDisseminationBarrier (Hoefler et al., IPDPS'06): dissemination
+//    with n partners per round, shortening the round count to
+//    ceil(log_{n+1} P).
+//  - RingBarrier (after Aravind, IPDPSW'18): neighbour-only signalling —
+//    an arrival token travels the ring (each hop touches only the next
+//    core, which is intra-cluster for all but one hop per cluster) and
+//    the last thread performs a global release.  Minimal remote
+//    references, O(P) critical path.
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "armbar/barriers/notify.hpp"
+#include "armbar/barriers/shape.hpp"
+#include "armbar/util/backoff.hpp"
+#include "armbar/util/cacheline.hpp"
+
+namespace armbar {
+
+/// Hybrid barrier: centralized within a cluster, dissemination across
+/// clusters.  The LAST thread to arrive in a cluster becomes the cluster's
+/// representative and runs the inter-cluster dissemination on its behalf
+/// (the dissemination flags are indexed by cluster, so any member can act
+/// for it); it then releases its cluster mates through a per-cluster
+/// generation word.
+class HybridBarrier {
+ public:
+  HybridBarrier(int num_threads, int cluster_size)
+      : num_threads_(checked(num_threads)),
+        cluster_size_(checked_cluster(cluster_size)),
+        num_clusters_((num_threads + cluster_size - 1) / cluster_size),
+        rounds_(shape::DisseminationShape::num_rounds(num_clusters_)),
+        counters_(static_cast<std::size_t>(num_clusters_)),
+        gens_(static_cast<std::size_t>(num_clusters_)),
+        flags_(static_cast<std::size_t>(num_clusters_) *
+               static_cast<std::size_t>(std::max(rounds_, 1))),
+        epoch_(static_cast<std::size_t>(num_threads)) {
+    for (int cl = 0; cl < num_clusters_; ++cl)
+      counters_[static_cast<std::size_t>(cl)]->store(
+          members_of(cl), std::memory_order_relaxed);
+  }
+
+  void wait(int tid) {
+    const std::uint64_t e = ++epoch_[static_cast<std::size_t>(tid)].value;
+    const int cl = tid / cluster_size_;
+    auto& counter = counters_[static_cast<std::size_t>(cl)].value;
+    auto& gen = gens_[static_cast<std::size_t>(cl)].value;
+    if (counter.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+      // Cluster representative: re-arm, synchronize across clusters,
+      // release the cluster.
+      counter.store(members_of(cl), std::memory_order_relaxed);
+      for (int r = 0; r < rounds_; ++r) {
+        const int out =
+            shape::DisseminationShape::signal_partner(cl, r, num_clusters_);
+        flag(out, r).store(e, std::memory_order_release);
+        auto& mine = flag(cl, r);
+        util::spin_until(
+            [&] { return mine.load(std::memory_order_acquire) >= e; });
+      }
+      gen.store(e, std::memory_order_release);
+    } else {
+      util::spin_until(
+          [&] { return gen.load(std::memory_order_acquire) >= e; });
+    }
+  }
+
+  int num_threads() const noexcept { return num_threads_; }
+  std::string name() const {
+    return "HYBRID(Nc=" + std::to_string(cluster_size_) + ")";
+  }
+
+ private:
+  static int checked(int n) {
+    if (n < 1) throw std::invalid_argument("HybridBarrier: num_threads >= 1");
+    return n;
+  }
+  static int checked_cluster(int n) {
+    if (n < 1)
+      throw std::invalid_argument("HybridBarrier: cluster_size >= 1");
+    return n;
+  }
+  int members_of(int cluster) const {
+    return std::min(cluster_size_,
+                    num_threads_ - cluster * cluster_size_);
+  }
+  std::atomic<std::uint64_t>& flag(int cluster, int round) {
+    return flags_[static_cast<std::size_t>(cluster) *
+                      static_cast<std::size_t>(std::max(rounds_, 1)) +
+                  static_cast<std::size_t>(round)]
+        .value;
+  }
+
+  int num_threads_;
+  int cluster_size_;
+  int num_clusters_;
+  int rounds_;
+  std::vector<util::Padded<std::atomic<int>>> counters_;
+  std::vector<util::Padded<std::atomic<std::uint64_t>>> gens_;
+  std::vector<util::Padded<std::atomic<std::uint64_t>>> flags_;
+  std::vector<util::Padded<std::uint64_t>> epoch_;
+};
+
+/// n-way dissemination: in round j (step s = (n+1)^j) thread i signals
+/// partners (i + k*s) mod P and awaits n incoming flags, finishing in
+/// ceil(log_{n+1} P) rounds.
+class NWayDisseminationBarrier {
+ public:
+  explicit NWayDisseminationBarrier(int num_threads, int ways = 3)
+      : num_threads_(checked(num_threads)), ways_(ways) {
+    if (ways < 1) throw std::invalid_argument("NWayDissemination: ways >= 1");
+    // rounds = ceil(log_{ways+1} P)
+    rounds_ = 0;
+    std::uint64_t reach = 1;
+    while (reach < static_cast<std::uint64_t>(num_threads)) {
+      reach *= static_cast<std::uint64_t>(ways_) + 1;
+      ++rounds_;
+    }
+    flags_ = std::vector<util::Padded<std::atomic<std::uint64_t>>>(
+        static_cast<std::size_t>(num_threads) *
+        static_cast<std::size_t>(std::max(rounds_, 1)) *
+        static_cast<std::size_t>(ways_));
+    epoch_.resize(static_cast<std::size_t>(num_threads));
+  }
+
+  void wait(int tid) {
+    const std::uint64_t e = ++epoch_[static_cast<std::size_t>(tid)].value;
+    const auto p = static_cast<std::uint64_t>(num_threads_);
+    std::uint64_t step = 1;
+    for (int r = 0; r < rounds_; ++r) {
+      for (int k = 1; k <= ways_; ++k) {
+        const auto out = (static_cast<std::uint64_t>(tid) +
+                          static_cast<std::uint64_t>(k) * step) %
+                         p;
+        flag(static_cast<int>(out), r, k - 1)
+            .store(e, std::memory_order_release);
+      }
+      // Await all n incoming flags in one polling loop.
+      util::SpinWait w;
+      for (;;) {
+        bool all = true;
+        for (int k = 0; k < ways_; ++k)
+          all = (flag(tid, r, k).load(std::memory_order_acquire) >= e) && all;
+        if (all) break;
+        w.step();
+      }
+      step *= static_cast<std::uint64_t>(ways_) + 1;
+    }
+  }
+
+  int num_threads() const noexcept { return num_threads_; }
+  int ways() const noexcept { return ways_; }
+  int rounds() const noexcept { return rounds_; }
+  std::string name() const {
+    return "NWAY-DIS(n=" + std::to_string(ways_) + ")";
+  }
+
+ private:
+  static int checked(int n) {
+    if (n < 1)
+      throw std::invalid_argument("NWayDissemination: num_threads >= 1");
+    return n;
+  }
+  std::atomic<std::uint64_t>& flag(int tid, int round, int slot) {
+    const std::size_t idx =
+        (static_cast<std::size_t>(tid) *
+             static_cast<std::size_t>(std::max(rounds_, 1)) +
+         static_cast<std::size_t>(round)) *
+            static_cast<std::size_t>(ways_) +
+        static_cast<std::size_t>(slot);
+    return flags_[idx].value;
+  }
+
+  int num_threads_;
+  int ways_;
+  int rounds_;
+  std::vector<util::Padded<std::atomic<std::uint64_t>>> flags_;
+  std::vector<util::Padded<std::uint64_t>> epoch_;
+};
+
+/// Ring barrier: an arrival token travels thread 0 -> 1 -> ... -> P-1;
+/// thread P-1 then flips the global generation.  Every signal touches
+/// only the next core on the ring.
+class RingBarrier {
+ public:
+  explicit RingBarrier(int num_threads)
+      : num_threads_(checked(num_threads)),
+        token_(static_cast<std::size_t>(num_threads)),
+        epoch_(static_cast<std::size_t>(num_threads)) {}
+
+  void wait(int tid) {
+    const std::uint64_t e = ++epoch_[static_cast<std::size_t>(tid)].value;
+    if (tid != 0) {
+      // Wait for the token: all threads 0..tid-1 have arrived.
+      auto& mine = token_[static_cast<std::size_t>(tid)].value;
+      util::spin_until(
+          [&] { return mine.load(std::memory_order_acquire) >= e; });
+    }
+    if (tid + 1 < num_threads_) {
+      token_[static_cast<std::size_t>(tid) + 1].value.store(
+          e, std::memory_order_release);
+      util::spin_until(
+          [&] { return gen_->load(std::memory_order_acquire) >= e; });
+    } else {
+      gen_->store(e, std::memory_order_release);
+    }
+  }
+
+  int num_threads() const noexcept { return num_threads_; }
+  std::string name() const { return "RING"; }
+
+ private:
+  static int checked(int n) {
+    if (n < 1) throw std::invalid_argument("RingBarrier: num_threads >= 1");
+    return n;
+  }
+
+  int num_threads_;
+  std::vector<util::Padded<std::atomic<std::uint64_t>>> token_;
+  util::Padded<std::atomic<std::uint64_t>> gen_;
+  std::vector<util::Padded<std::uint64_t>> epoch_;
+};
+
+}  // namespace armbar

@@ -1,0 +1,62 @@
+#pragma once
+// Enumerated construction of every barrier in the library — the seven
+// algorithms of the paper's Section IV, the GCC/LLVM reference
+// implementations, the optimized variants of Section V, and the standard
+// baselines.
+
+#include <string>
+#include <vector>
+
+#include "armbar/barriers/barrier.hpp"
+#include "armbar/barriers/notify.hpp"
+
+namespace armbar {
+
+enum class Algo {
+  kSense,            ///< sense-reversing centralized, separated layout
+  kGccSense,         ///< SENSE with libgomp's packed counter+generation line
+  kDissemination,    ///< DIS
+  kCombiningTree,    ///< CMB (fan-in from options, default 2)
+  kMcsTree,          ///< MCS
+  kTournament,       ///< TOUR (pairwise)
+  kStaticFway,       ///< STOUR, original: balanced fan-in, packed 32-bit flags
+  kStaticFwayPadded, ///< STOUR + one-flag-per-cacheline (Fig. 11 "padding f-way")
+  kStatic4WayPadded, ///< padded + fixed fan-in 4 (Fig. 11 "padding 4-way")
+  kDynamicFway,      ///< DTOUR
+  kHypercube,        ///< LLVM-style hyper barrier (branch factor 4)
+  kOptimized,        ///< the paper's final barrier (core/optimized.hpp)
+  kStdBarrier,       ///< std::barrier baseline
+  kPthread,          ///< pthread_barrier_t baseline
+  // Extensions from the related-work section (barriers/extensions.hpp):
+  kHybrid,           ///< centralized-in-cluster + dissemination-across
+  kNWayDissemination,///< n-way dissemination (default 3-way)
+  kRing,             ///< neighbour-only ring barrier
+};
+
+struct MakeOptions {
+  int fanin = 0;          ///< 0 = algorithm default
+  NotifyPolicy notify = NotifyPolicy::kGlobalSense;
+  /// N_c for NUMA-aware wake-up; 0 = auto (4 natively; the machine's
+  /// cluster size in the simulator factory).
+  int cluster_size = 0;
+};
+
+/// Construct a type-erased barrier for @p algo with @p num_threads
+/// participants.  kOptimized respects options.notify / cluster_size; the
+/// classic algorithms use the notification scheme of their original
+/// publication regardless of options.notify.
+Barrier make_barrier(Algo algo, int num_threads,
+                     const MakeOptions& options = {});
+
+/// Stable identifier used on the command line ("sense", "dis", "cmb",
+/// "mcs", "tour", "stour", "dtour", ...).
+std::string to_string(Algo algo);
+Algo algo_from_string(const std::string& name);
+
+/// The seven algorithms of the paper's Section IV, in its order.
+std::vector<Algo> paper_seven();
+
+/// All algorithms constructible by the factory.
+std::vector<Algo> all_algos();
+
+}  // namespace armbar

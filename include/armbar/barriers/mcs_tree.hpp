@@ -1,0 +1,109 @@
+#pragma once
+// MCS tree barrier (Mellor-Crummey & Scott 1991, Algorithm 3).
+//
+// Every thread owns a tree node.  Arrival uses a 4-ary tree: a thread
+// waits until its (up to) four arrival children have cleared their slots
+// in its `child_not_ready` array, re-arms the array for the next episode,
+// and then clears its own slot in its parent.  Wake-up uses a separate
+// binary tree of per-thread generation flags.
+//
+// Faithful detail: the four child_not_ready slots of a node share one
+// cacheline, exactly as in the original algorithm (each is one word of a
+// packed array).  The paper's Figure 7 analysis — MCS losing to CMB beyond
+// 8 threads on clustered ARMv8 parts — depends on this layout and on the
+// 4-ary parent links crossing cluster boundaries.
+
+#include <atomic>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "armbar/barriers/shape.hpp"
+#include "armbar/util/backoff.hpp"
+#include "armbar/util/cacheline.hpp"
+
+namespace armbar {
+
+class McsTreeBarrier {
+ public:
+  explicit McsTreeBarrier(int num_threads)
+      : num_threads_(checked(num_threads)),
+        nodes_(static_cast<std::size_t>(num_threads_)),
+        wake_(static_cast<std::size_t>(num_threads_)),
+        epoch_(static_cast<std::size_t>(num_threads_)) {
+    for (int t = 0; t < num_threads; ++t) {
+      Node& n = nodes_[static_cast<std::size_t>(t)].value;
+      const auto kids = shape::McsShape::arrival_children(t, num_threads);
+      for (int s = 0; s < shape::McsShape::kArrivalFanin; ++s) {
+        n.have_child[s] = s < static_cast<int>(kids.size());
+        n.child_not_ready[static_cast<std::size_t>(s)].store(
+            n.have_child[s] ? 1 : 0, std::memory_order_relaxed);
+      }
+    }
+  }
+
+  void wait(int tid) {
+    Node& n = nodes_[static_cast<std::size_t>(tid)].value;
+    const std::uint64_t e = ++epoch_[static_cast<std::size_t>(tid)].value;
+
+    // Arrival: wait for all children in one polling loop, re-arm, then
+    // notify the parent.
+    util::SpinWait w;
+    for (;;) {
+      bool all = true;
+      for (int s = 0; s < shape::McsShape::kArrivalFanin; ++s) {
+        if (!n.have_child[s]) continue;
+        all = (n.child_not_ready[static_cast<std::size_t>(s)].load(
+                   std::memory_order_acquire) == 0) &&
+              all;
+      }
+      if (all) break;
+      w.step();
+    }
+    for (int s = 0; s < shape::McsShape::kArrivalFanin; ++s) {
+      if (n.have_child[s])
+        n.child_not_ready[static_cast<std::size_t>(s)].store(
+            1, std::memory_order_relaxed);
+    }
+    if (tid != 0) {
+      Node& parent =
+          nodes_[static_cast<std::size_t>(shape::McsShape::arrival_parent(tid))]
+              .value;
+      parent
+          .child_not_ready[static_cast<std::size_t>(
+              shape::McsShape::arrival_slot(tid))]
+          .store(0, std::memory_order_release);
+      // Wake-up: wait on our own flag in the binary tree.
+      auto& my_wake = wake_[static_cast<std::size_t>(tid)].value;
+      util::spin_until(
+          [&] { return my_wake.load(std::memory_order_acquire) >= e; });
+    }
+    for (int c : shape::McsShape::wakeup_children(tid, num_threads_))
+      wake_[static_cast<std::size_t>(c)].value.store(
+          e, std::memory_order_release);
+  }
+
+  int num_threads() const noexcept { return num_threads_; }
+  std::string name() const { return "MCS"; }
+
+ private:
+  static int checked(int num_threads) {
+    if (num_threads < 1)
+      throw std::invalid_argument("McsTreeBarrier: num_threads >= 1");
+    return num_threads;
+  }
+
+  struct Node {
+    // Packed on one line, as in the original algorithm.
+    std::atomic<std::uint32_t> child_not_ready[shape::McsShape::kArrivalFanin];
+    bool have_child[shape::McsShape::kArrivalFanin] = {};
+  };
+
+  int num_threads_;
+  std::vector<util::Padded<Node>> nodes_;
+  std::vector<util::Padded<std::atomic<std::uint64_t>>> wake_;
+  std::vector<util::Padded<std::uint64_t>> epoch_;
+};
+
+}  // namespace armbar

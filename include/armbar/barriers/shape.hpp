@@ -1,0 +1,208 @@
+#pragma once
+// Synchronization-tree shapes.
+//
+// Every tree-style barrier in this library is split into (a) a pure shape
+// computation — who signals whom, in which round — and (b) an execution
+// over real atomics (src/barriers, src/core) or over the simulator's
+// virtual memory (src/simbar).  Keeping the shapes here, used verbatim by
+// both executions, guarantees that the structures whose latencies the
+// simulator predicts are exactly the structures the native library runs.
+//
+// Thread ids are 0-based and threads are assumed pinned to cores in
+// identity order (thread i on core i), as in the paper's evaluation setup.
+
+#include <vector>
+
+namespace armbar::shape {
+
+// ---------------------------------------------------------------------------
+// f-way tournament (STOUR / DTOUR / optimized arrival phase)
+// ---------------------------------------------------------------------------
+
+/// One round of an f-way tournament.
+///
+/// `participants` lists the thread ids still in play (ascending).  They are
+/// grouped into consecutive runs of `fanin` (the final group may be
+/// smaller).  In a *static* tournament the first member of each group is
+/// the winner and advances to the next round; in a *dynamic* tournament the
+/// winner is whoever arrives last at run time, but the grouping is
+/// identical.
+struct TournamentRound {
+  std::vector<int> participants;
+  int fanin = 2;
+
+  int num_groups() const;
+  /// Participant indices [begin, end) of group @p g within `participants`.
+  std::pair<int, int> group_range(int g) const;
+  /// Group index of the participant at position @p idx.
+  int group_of_position(int idx) const { return idx / fanin; }
+};
+
+/// The full round schedule of an f-way tournament over P threads.
+struct TournamentSchedule {
+  int num_threads = 1;
+  std::vector<TournamentRound> rounds;
+
+  /// Original STOUR (Grunwald & Vajracharya): per-level fan-in chosen to
+  /// keep the tree balanced.  The number of levels is ceil(log_maxf(P));
+  /// each level's fan-in is the smallest f whose power covers the
+  /// remaining participants (e.g. P=9, maxf=8 gives two rounds of fan-in
+  /// 3, the paper's Figure 9(a)).
+  static TournamentSchedule balanced(int num_threads, int max_fanin = 8);
+
+  /// Fixed fan-in every round (the paper's optimized arrival tree;
+  /// Figure 9(b) with fanin=4).
+  static TournamentSchedule fixed(int num_threads, int fanin);
+
+  int num_rounds() const { return static_cast<int>(rounds.size()); }
+
+  /// Champion thread id (winner of the last round); 0 for valid schedules.
+  int champion() const;
+
+  /// Number of cross-cluster child->winner signal edges, given cores
+  /// grouped into clusters of @p cluster_size (thread i on core i).  Used
+  /// by tests and by the model to compare shapes (paper Figure 9).
+  int cross_cluster_edges(int cluster_size) const;
+};
+
+// ---------------------------------------------------------------------------
+// Pairwise tournament (TOUR, Hensgen/Finkel/Manber) — fan-in 2
+// ---------------------------------------------------------------------------
+
+/// Role of a thread in one round of the pairwise tournament.
+enum class TourRole {
+  kWinner,  ///< waits for its paired loser, then advances
+  kLoser,   ///< signals its paired winner, then waits for the wake-up
+  kBye,     ///< no partner this round (P not a power of two); advances
+  kIdle,    ///< already eliminated in an earlier round
+};
+
+struct TourStep {
+  TourRole role = TourRole::kIdle;
+  int partner = -1;  ///< the paired thread (valid for kWinner / kLoser)
+};
+
+/// Pairwise-tournament schedule: steps[round][thread].
+struct PairTournamentSchedule {
+  int num_threads = 1;
+  std::vector<std::vector<TourStep>> steps;
+
+  static PairTournamentSchedule build(int num_threads);
+  int num_rounds() const { return static_cast<int>(steps.size()); }
+};
+
+// ---------------------------------------------------------------------------
+// Software combining tree (CMB, Yew/Tzeng/Lawrie)
+// ---------------------------------------------------------------------------
+
+/// Tree of shared counters.  Threads decrement their leaf's counter; the
+/// last decrementer of a node proceeds to the node's parent; the thread
+/// that exhausts the root has completed the arrival phase.
+struct CombiningTree {
+  struct Node {
+    int parent = -1;  ///< parent node index; -1 for the root
+    int fanin = 0;    ///< initial counter value (children or leaf threads)
+  };
+
+  std::vector<Node> nodes;          ///< leaves first, root last
+  std::vector<int> leaf_of_thread;  ///< node index for each thread
+
+  static CombiningTree build(int num_threads, int fanin);
+  int root() const { return static_cast<int>(nodes.size()) - 1; }
+};
+
+// ---------------------------------------------------------------------------
+// MCS tree (Mellor-Crummey & Scott 1991)
+// ---------------------------------------------------------------------------
+
+/// Static MCS barrier shape: every thread is an interior node of a 4-ary
+/// arrival tree (children of n are 4n+1..4n+4) and of a binary wake-up
+/// tree (children of n are 2n+1, 2n+2).
+struct McsShape {
+  static constexpr int kArrivalFanin = 4;
+
+  static int arrival_parent(int thread);
+  /// Slot of @p thread in its arrival parent's child array (0..3).
+  static int arrival_slot(int thread);
+  static std::vector<int> arrival_children(int thread, int num_threads);
+  static int wakeup_parent(int thread);
+  static std::vector<int> wakeup_children(int thread, int num_threads);
+};
+
+// ---------------------------------------------------------------------------
+// Hypercube-embedded tree (LLVM libomp "hyper" barrier, branch factor 4)
+// ---------------------------------------------------------------------------
+
+struct HypercubeShape {
+  explicit HypercubeShape(int num_threads, int branch_factor = 4);
+
+  int num_threads() const { return num_threads_; }
+  int branch_factor() const { return branch_; }
+  int num_levels() const { return levels_; }
+
+  /// True if @p thread collects children at @p level (i.e. its id is a
+  /// multiple of branch^(level+1)).
+  bool is_parent_at(int thread, int level) const;
+
+  /// Children of @p thread at @p level: thread + k*branch^level for
+  /// k = 1..branch-1, bounded by P and restricted to ids that are
+  /// multiples of branch^level.
+  std::vector<int> children_at(int thread, int level) const;
+
+  /// Level at which @p thread reports to its parent (the first level where
+  /// it is not a parent); equals num_levels() for thread 0.
+  int report_level(int thread) const;
+
+  /// Parent that @p thread reports to.  -1 for thread 0.
+  int parent_of(int thread) const;
+
+ private:
+  int num_threads_;
+  int branch_;
+  int levels_;
+};
+
+// ---------------------------------------------------------------------------
+// Dissemination rounds
+// ---------------------------------------------------------------------------
+
+struct DisseminationShape {
+  /// ceil(log2(P)); 0 when P == 1.
+  static int num_rounds(int num_threads);
+  /// Thread @p thread signals this partner in round @p round.
+  static int signal_partner(int thread, int round, int num_threads);
+  /// Thread @p thread awaits this partner in round @p round.
+  static int wait_partner(int thread, int round, int num_threads);
+};
+
+// ---------------------------------------------------------------------------
+// Wake-up (notification) trees
+// ---------------------------------------------------------------------------
+
+/// Children of @p node in the plain binary wake-up tree (2n+1, 2n+2 < P).
+std::vector<int> binary_wakeup_children(int node, int num_threads);
+
+/// Children of @p node in the paper's NUMA-aware wake-up tree (eq. 5).
+///
+/// Nodes are split into per-cluster *masters* (local index 0, i.e. ids
+/// divisible by @p cluster_size) and *slaves*.  Masters form a binary tree
+/// over cluster indices: master k (id k*N_c) has master children at ids
+/// (2k+1)*N_c and (2k+2)*N_c — the paper writes these as 2n+N_c and
+/// 2n+2N_c.  Within a cluster the master roots a local binary tree over
+/// local indices (local j has children 2j+1 and 2j+2 < N_c).  A master
+/// therefore has up to four children (two remote masters, two local
+/// slaves, listed remote-first so the long-latency wake-ups start
+/// earliest); a slave has at most two local children.
+std::vector<int> numa_wakeup_children(int node, int num_threads,
+                                      int cluster_size);
+
+/// Number of wake-up edges that cross a cluster boundary, for a given
+/// children function.  Used to verify the paper's claim that the
+/// NUMA-aware tree cuts cross-cluster edges (Figure 10).
+int cross_cluster_wakeup_edges(int num_threads, int cluster_size,
+                               bool numa_aware);
+
+/// Depth (number of levels below the root) of a wake-up tree.
+int wakeup_tree_depth(int num_threads, int cluster_size, bool numa_aware);
+
+}  // namespace armbar::shape

@@ -1,0 +1,54 @@
+#pragma once
+// Wrappers adapting std::barrier and pthread_barrier_t to the BarrierImpl
+// concept, used as sanity baselines in tests and native benchmarks.
+
+#include <barrier>
+#include <pthread.h>
+
+#include <stdexcept>
+#include <string>
+
+namespace armbar {
+
+class StdBarrier {
+ public:
+  explicit StdBarrier(int num_threads)
+      : num_threads_(num_threads), barrier_(num_threads) {
+    if (num_threads < 1)
+      throw std::invalid_argument("StdBarrier: num_threads >= 1");
+  }
+
+  void wait(int /*tid*/) { barrier_.arrive_and_wait(); }
+  int num_threads() const noexcept { return num_threads_; }
+  std::string name() const { return "std::barrier"; }
+
+ private:
+  int num_threads_;
+  std::barrier<> barrier_;
+};
+
+class PthreadBarrier {
+ public:
+  explicit PthreadBarrier(int num_threads) : num_threads_(num_threads) {
+    if (num_threads < 1)
+      throw std::invalid_argument("PthreadBarrier: num_threads >= 1");
+    if (pthread_barrier_init(&barrier_, nullptr,
+                             static_cast<unsigned>(num_threads)) != 0)
+      throw std::runtime_error("pthread_barrier_init failed");
+  }
+
+  ~PthreadBarrier() { pthread_barrier_destroy(&barrier_); }
+
+  PthreadBarrier(const PthreadBarrier&) = delete;
+  PthreadBarrier& operator=(const PthreadBarrier&) = delete;
+
+  void wait(int /*tid*/) { pthread_barrier_wait(&barrier_); }
+  int num_threads() const noexcept { return num_threads_; }
+  std::string name() const { return "pthread_barrier"; }
+
+ private:
+  int num_threads_;
+  pthread_barrier_t barrier_;
+};
+
+}  // namespace armbar

@@ -1,0 +1,77 @@
+#pragma once
+// Pairwise tournament barrier (TOUR; Hensgen, Finkel & Manber 1988).
+//
+// log2(P) rounds of statically-paired matches: the loser of each pair
+// signals the winner and drops out; winners advance.  The champion
+// (thread 0) performs a global-sense wake-up, as in the paper
+// (Section II-B2: "The algorithm adopts global wake-up").
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "armbar/barriers/notify.hpp"
+#include "armbar/barriers/shape.hpp"
+#include "armbar/util/backoff.hpp"
+#include "armbar/util/cacheline.hpp"
+
+namespace armbar {
+
+class TournamentBarrier {
+ public:
+  explicit TournamentBarrier(int num_threads)
+      : num_threads_(num_threads),
+        schedule_(shape::PairTournamentSchedule::build(num_threads)),
+        flags_(static_cast<std::size_t>(num_threads) *
+               static_cast<std::size_t>(
+                   schedule_.num_rounds() == 0 ? 1 : schedule_.num_rounds())),
+        epoch_(static_cast<std::size_t>(num_threads)),
+        notifier_(NotifyPolicy::kGlobalSense, num_threads,
+                  /*cluster_size=*/1) {}
+
+  void wait(int tid) {
+    const std::uint64_t e = ++epoch_[static_cast<std::size_t>(tid)].value;
+    bool lost = false;
+    for (int r = 0; r < schedule_.num_rounds() && !lost; ++r) {
+      const shape::TourStep& step =
+          schedule_.steps[static_cast<std::size_t>(r)][static_cast<std::size_t>(tid)];
+      switch (step.role) {
+        case shape::TourRole::kWinner: {
+          auto& f = flag(tid, r);
+          util::spin_until(
+              [&] { return f.load(std::memory_order_acquire) >= e; });
+          break;
+        }
+        case shape::TourRole::kLoser:
+          flag(step.partner, r).store(e, std::memory_order_release);
+          lost = true;
+          break;
+        case shape::TourRole::kBye:
+        case shape::TourRole::kIdle:
+          break;
+      }
+    }
+    if (!lost) notifier_.release(tid, e);  // champion (thread 0)
+    notifier_.wait_release(tid, e);
+  }
+
+  int num_threads() const noexcept { return num_threads_; }
+  std::string name() const { return "TOUR"; }
+
+ private:
+  std::atomic<std::uint64_t>& flag(int tid, int round) {
+    return flags_[static_cast<std::size_t>(tid) *
+                      static_cast<std::size_t>(schedule_.num_rounds()) +
+                  static_cast<std::size_t>(round)]
+        .value;
+  }
+
+  int num_threads_;
+  shape::PairTournamentSchedule schedule_;
+  std::vector<util::Padded<std::atomic<std::uint64_t>>> flags_;
+  std::vector<util::Padded<std::uint64_t>> epoch_;
+  Notifier notifier_;
+};
+
+}  // namespace armbar

@@ -1,0 +1,131 @@
+#pragma once
+// Barrier-based collectives: reduce / allreduce / broadcast.
+//
+// The paper's motivation is OpenMP-style bulk-synchronous programs, whose
+// reductions and broadcasts are built on exactly the synchronization this
+// library optimizes.  Collective<T> provides those operations for a fixed
+// team of threads, combining contributions over a cluster-friendly
+// fan-in-4 tree (the same shape module the barriers use) with
+// cacheline-padded per-thread slots.
+//
+// All operations are *collective*: every thread of the team must call the
+// same operation in the same order (as in MPI/OpenMP).  Operations are
+// reusable and may be freely interleaved with direct barrier.wait calls
+// on the same barrier.
+
+#include <functional>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "armbar/barriers/barrier.hpp"
+#include "armbar/barriers/shape.hpp"
+#include "armbar/util/cacheline.hpp"
+
+namespace armbar::coll {
+
+template <typename T>
+class Collective {
+ public:
+  /// @param barrier any barrier for the same team size; not owned.
+  Collective(int num_threads, Barrier& barrier)
+      : num_threads_(num_threads),
+        barrier_(barrier),
+        schedule_(shape::TournamentSchedule::fixed(num_threads, 4)),
+        slots_(static_cast<std::size_t>(num_threads)),
+        result_() {
+    if (num_threads < 1)
+      throw std::invalid_argument("Collective: num_threads >= 1");
+    if (barrier.num_threads() != num_threads)
+      throw std::invalid_argument(
+          "Collective: barrier team size mismatch");
+  }
+
+  int num_threads() const noexcept { return num_threads_; }
+
+  /// Tree reduction; the combined value is returned to EVERY thread (the
+  /// second barrier doubles as the broadcast).  @p op must be associative.
+  T allreduce(int tid, const T& value, const std::function<T(T, T)>& op) {
+    slots_[static_cast<std::size_t>(tid)].value = value;
+    barrier_.wait(tid);  // all contributions visible
+    // Combine over the fixed fan-in-4 tournament: at each round the group
+    // winner folds its group's slots into its own slot.  Each round is
+    // separated by a barrier so the next level reads settled values.
+    for (const shape::TournamentRound& round : schedule_.rounds) {
+      const int my_pos = position_in(round, tid);
+      if (my_pos >= 0 && my_pos % round.fanin == 0) {
+        const auto [begin, end] = round.group_range(my_pos / round.fanin);
+        T acc = slots_[static_cast<std::size_t>(
+                           round.participants[static_cast<std::size_t>(begin)])]
+                    .value;
+        for (int j = begin + 1; j < end; ++j)
+          acc = op(acc,
+                   slots_[static_cast<std::size_t>(
+                              round.participants[static_cast<std::size_t>(j)])]
+                       .value);
+        slots_[static_cast<std::size_t>(
+                   round.participants[static_cast<std::size_t>(begin)])]
+            .value = acc;
+      }
+      barrier_.wait(tid);
+    }
+    if (tid == schedule_.champion()) result_.value = slots_[0].value;
+    barrier_.wait(tid);  // result published
+    return result_.value;
+  }
+
+  /// Reduction to the champion (thread 0); other threads get
+  /// default-constructed T.  Cheaper than allreduce by one barrier.
+  T reduce(int tid, const T& value, const std::function<T(T, T)>& op) {
+    slots_[static_cast<std::size_t>(tid)].value = value;
+    barrier_.wait(tid);
+    for (const shape::TournamentRound& round : schedule_.rounds) {
+      const int my_pos = position_in(round, tid);
+      if (my_pos >= 0 && my_pos % round.fanin == 0) {
+        const auto [begin, end] = round.group_range(my_pos / round.fanin);
+        T acc = slots_[static_cast<std::size_t>(
+                           round.participants[static_cast<std::size_t>(begin)])]
+                    .value;
+        for (int j = begin + 1; j < end; ++j)
+          acc = op(acc,
+                   slots_[static_cast<std::size_t>(
+                              round.participants[static_cast<std::size_t>(j)])]
+                       .value);
+        slots_[static_cast<std::size_t>(
+                   round.participants[static_cast<std::size_t>(begin)])]
+            .value = acc;
+      }
+      barrier_.wait(tid);
+    }
+    return tid == 0 ? slots_[0].value : T{};
+  }
+
+  /// Broadcast @p value from @p root to every thread.
+  T broadcast(int tid, const T& value, int root = 0) {
+    if (root < 0 || root >= num_threads_)
+      throw std::invalid_argument("Collective::broadcast: bad root");
+    if (tid == root) result_.value = value;
+    barrier_.wait(tid);
+    const T out = result_.value;
+    barrier_.wait(tid);  // everyone has read before result_ can be reused
+    return out;
+  }
+
+ private:
+  /// Position of @p tid in @p round's participant list, or -1.
+  static int position_in(const shape::TournamentRound& round, int tid) {
+    for (int pos = 0; pos < static_cast<int>(round.participants.size());
+         ++pos) {
+      if (round.participants[static_cast<std::size_t>(pos)] == tid) return pos;
+    }
+    return -1;
+  }
+
+  int num_threads_;
+  Barrier& barrier_;
+  shape::TournamentSchedule schedule_;
+  std::vector<util::Padded<T>> slots_;
+  util::Padded<T> result_;
+};
+
+}  // namespace armbar::coll

@@ -1,0 +1,46 @@
+#pragma once
+// EPCC-style barrier overhead measurement for the native library.
+//
+// Reimplements the methodology of the EPCC OpenMP micro-benchmark suite
+// (Bull & O'Neill 2001), which the paper uses for all native numbers:
+// measure a reference loop of `delay(d)` work per iteration, then the same
+// loop with a barrier after each delay; the per-iteration difference is
+// the barrier overhead.  Outer repetitions give a distribution.
+//
+// Note on this repository: native timings are only meaningful when every
+// thread has its own core.  On oversubscribed hosts (like the single-core
+// container this reproduction was developed in) the harness still runs
+// correctly — the adaptive spin in every barrier yields — but the numbers
+// measure the OS scheduler, not the barrier; the simulator is the
+// performance oracle here (see DESIGN.md §2).
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "armbar/barriers/barrier.hpp"
+#include "armbar/barriers/team.hpp"
+#include "armbar/util/stats.hpp"
+
+namespace armbar::epcc {
+
+struct EpccConfig {
+  int inner_iterations = 200;  ///< barrier episodes per timed sample
+  int outer_reps = 10;         ///< timed samples (EPCC uses 20)
+  int delay_cycles = 100;      ///< units of dummy work between episodes
+};
+
+struct EpccResult {
+  double reference_us_per_iter = 0.0;  ///< delay-only loop cost
+  double overhead_us = 0.0;            ///< mean barrier overhead per episode
+  util::Summary per_rep_overhead_us;   ///< distribution over outer reps
+};
+
+/// The EPCC delay loop: opaque work of roughly @p cycles dependent adds.
+void delay_work(int cycles);
+
+/// Measure @p barrier with @p team (team.size() == barrier.num_threads()).
+EpccResult measure_overhead(Barrier& barrier, ThreadTeam& team,
+                            const EpccConfig& config = {});
+
+}  // namespace armbar::epcc

@@ -1,0 +1,107 @@
+#pragma once
+// Analytical cost model of barrier memory operations (paper Section III
+// and Section V).
+//
+// The model expresses the four memory-operation classes of a barrier in
+// terms of a machine's communication layers:
+//
+//   O_RL = ε                      local read
+//   O_RR = L_i                    remote read from layer i
+//   O_WL = n·α_i·L_i              local write (RFO invalidating n copies)
+//   O_WR = (1 + n·α_i)·L_i        remote write (fetch + RFO)
+//
+// On top of these, Section V derives:
+//   (1) arrival-phase cost      T(f)     = ceil(log_f P)·(f + 1)·L_i
+//   (2) optimal fan-in window   (ln f - 1)·f = α  ->  2.718 <= f <= 3.591
+//   (3) global wake-up cost     T_global = ((P-1)·α + 1)·L + c·(P-1)
+//   (4) tree wake-up cost       T_tree   = ceil(log2(P+1))·(α + 1)·L
+//   (5) NUMA-aware wake-up tree children (see numa_tree.hpp)
+
+#include "armbar/topo/machine.hpp"
+
+namespace armbar::model {
+
+/// Operation costs parameterized by a machine and a communication layer.
+class OpCosts {
+ public:
+  /// @param layer which remote layer L_i the communication crosses; must be
+  ///        a valid layer index of @p m.
+  OpCosts(const topo::Machine& m, int layer);
+
+  double local_read_ns() const noexcept { return epsilon_; }
+  double remote_read_ns() const noexcept { return l_; }
+
+  /// Local write invalidating @p n_copies remote copies.
+  double local_write_ns(int n_copies) const noexcept {
+    return static_cast<double>(n_copies) * alpha_ * l_;
+  }
+
+  /// Remote write: fetch the line plus invalidate @p n_copies copies.
+  double remote_write_ns(int n_copies) const noexcept {
+    return (1.0 + static_cast<double>(n_copies) * alpha_) * l_;
+  }
+
+  double layer_latency_ns() const noexcept { return l_; }
+  double alpha() const noexcept { return alpha_; }
+
+ private:
+  double epsilon_;
+  double l_;
+  double alpha_;
+};
+
+/// Eq. (1): total arrival-phase cost for P threads with fan-in f, assuming
+/// the best case (one remote write + f-1 remote reads per barrier point)
+/// and one flag copy per parent: T(f) = ceil(log_f P)·(f + 1)·L.
+double arrival_cost_ns(int num_threads, int fanin, double layer_ns);
+
+/// Continuous relaxation of eq. (1) used for the derivative analysis:
+/// T(f) = log_f(P)·(f + 1 + α)·L (no ceilings).
+double arrival_cost_continuous_ns(double num_threads, double fanin,
+                                  double layer_ns, double alpha);
+
+/// Eq. (2): the stationary point of the continuous arrival cost satisfies
+/// (ln f - 1)·f = α.  Solves for f given α in [0, 1] (bisection; the
+/// left-hand side is monotonically increasing for f >= 1).
+double optimal_fanin_continuous(double alpha);
+
+/// The paper's recommendation: round the continuous optimum to a power of
+/// two (footnote: fan-ins that are powers of two respect the cluster size
+/// N_c and avoid cross-cluster cacheline movement).  For every α in [0,1]
+/// the continuous optimum lies in [e, 3.591], so this returns 4.
+int recommended_fanin(double alpha);
+
+/// Eq. (3): global (sense-reversing) wake-up cost for P threads.
+/// T_global = ((P-1)·α + 1)·L + c·(P-1).
+double global_wakeup_cost_ns(int num_threads, double layer_ns, double alpha,
+                             double contention_ns);
+
+/// Eq. (4): binary-tree wake-up cost for P threads.
+/// T_tree = ceil(log2(P+1))·(α + 1)·L.
+double tree_wakeup_cost_ns(int num_threads, double layer_ns, double alpha);
+
+/// Smallest P at which the binary-tree wake-up becomes cheaper than the
+/// global wake-up on the given parameters; returns -1 if the tree never
+/// wins up to @p max_threads.
+int wakeup_crossover_threads(double layer_ns, double alpha,
+                             double contention_ns, int max_threads = 1024);
+
+/// Convenience: evaluate eqs. (3) and (4) with a machine's calibrated
+/// parameters and its most expensive layer (the layer that dominates a
+/// machine-wide broadcast).
+double global_wakeup_cost_ns(const topo::Machine& m, int num_threads);
+double tree_wakeup_cost_ns(const topo::Machine& m, int num_threads);
+
+/// Topology-aware refinements of eqs. (3) and (4): instead of charging the
+/// machine's worst layer everywhere, use the actual latencies of the
+/// wake-up structure under identity thread pinning.
+///
+/// Global: the root's flip pays alpha*L(0, t) per spinner copy, the last
+/// re-read costs max_t L(0, t), and contention adds c*(P-1).
+double global_wakeup_cost_topo_ns(const topo::Machine& m, int num_threads);
+
+/// Tree: the cost of the critical (deepest-latency) root-to-leaf path of
+/// the binary wake-up tree, (alpha + 1)*L(parent, child) per level.
+double tree_wakeup_cost_topo_ns(const topo::Machine& m, int num_threads);
+
+}  // namespace armbar::model

@@ -1,0 +1,129 @@
+#pragma once
+// Mini fork-join runtime: the OpenMP-shaped integration layer.
+//
+// The paper's subject is the barrier inside OpenMP runtimes; this module
+// is the corresponding consumer in this library — a small, explicit
+// fork-join runtime whose synchronization points all go through the
+// armbar barrier of your choice:
+//
+//   armbar::rt::Runtime rt({.threads = 8});
+//   rt.parallel([&](armbar::rt::Team& t) {
+//     t.for_static(0, n, [&](long i) { out[i] = f(in[i]); });  // + barrier
+//     const double total = t.reduce(partial, rt::ReduceOp::kSum);
+//     t.single([&] { publish(total); });                        // + barrier
+//   });
+//
+// It is deliberately small (static scheduling only, no nesting) but real:
+// every construct is tested, and the runtime is reused across parallel
+// regions without respawning threads.
+
+#include <algorithm>
+#include <functional>
+#include <mutex>
+#include <stdexcept>
+
+#include "armbar/barriers/factory.hpp"
+#include "armbar/barriers/team.hpp"
+#include "armbar/coll/collectives.hpp"
+#include "armbar/util/affinity.hpp"
+
+namespace armbar::rt {
+
+enum class ReduceOp { kSum, kMin, kMax };
+
+class Runtime;
+
+/// Per-thread handle passed to the parallel body.  Valid only inside the
+/// enclosing Runtime::parallel call.
+class Team {
+ public:
+  int tid() const noexcept { return tid_; }
+  int size() const noexcept;
+
+  /// Explicit barrier across the team.
+  void barrier();
+
+  /// Statically partitioned loop over [begin, end): thread t executes the
+  /// t-th contiguous chunk, then all threads synchronize (like an OpenMP
+  /// `for` without nowait).
+  template <typename F>
+  void for_static(long begin, long end, F&& body) {
+    if (end > begin) {
+      const long n = end - begin;
+      const long chunk = (n + size() - 1) / size();
+      const long lo = begin + static_cast<long>(tid_) * chunk;
+      const long hi = std::min(end, lo + chunk);
+      for (long i = lo; i < hi; ++i) body(i);
+    }
+    barrier();
+  }
+
+  /// Allreduce across the team (every thread gets the result).
+  double reduce(double value, ReduceOp op = ReduceOp::kSum);
+  long long reduce(long long value, ReduceOp op = ReduceOp::kSum);
+
+  /// Executed by thread 0 only, followed by a barrier (OpenMP `single`).
+  template <typename F>
+  void single(F&& body) {
+    if (tid_ == 0) body();
+    barrier();
+  }
+
+  /// Mutual exclusion across the team (OpenMP `critical`).
+  template <typename F>
+  void critical(F&& body);
+
+ private:
+  friend class Runtime;
+  Team(Runtime& rt, int tid) : rt_(rt), tid_(tid) {}
+  Runtime& rt_;
+  int tid_;
+};
+
+class Runtime {
+ public:
+  struct Options {
+    int threads = 1;
+    Algo barrier_algo = Algo::kOptimized;
+    MakeOptions barrier_options{};
+    /// Pin worker i to cpu i (best effort; ignored where unsupported).
+    bool pin_threads = false;
+  };
+
+  explicit Runtime(Options options);
+  explicit Runtime(int threads) : Runtime(Options{.threads = threads}) {}
+
+  int num_threads() const noexcept { return options_.threads; }
+  const std::string& barrier_name() const noexcept { return barrier_name_; }
+
+  /// Run one parallel region: body(team_handle) on every worker; returns
+  /// when all workers finished.  Reusable; exceptions from the body
+  /// propagate (first one wins).
+  void parallel(const std::function<void(Team&)>& body);
+
+ private:
+  friend class Team;
+
+  Options options_;
+  ThreadTeam workers_;
+  Barrier barrier_;
+  std::string barrier_name_;
+  coll::Collective<double> coll_f64_;
+  coll::Collective<long long> coll_i64_;
+  std::mutex critical_mu_;
+  bool pinned_ = false;
+};
+
+// ---- inline/template member definitions -----------------------------------
+
+inline int Team::size() const noexcept { return rt_.options_.threads; }
+
+inline void Team::barrier() { rt_.barrier_.wait(tid_); }
+
+template <typename F>
+void Team::critical(F&& body) {
+  std::lock_guard<std::mutex> lock(rt_.critical_mu_);
+  body();
+}
+
+}  // namespace armbar::rt

@@ -1,0 +1,84 @@
+#pragma once
+// Deterministic discrete-event engine.
+//
+// Events are (time, sequence) pairs resuming coroutine handles; ties on
+// time break by insertion sequence, so a simulation is a pure function of
+// its inputs.  Time is integer picoseconds (armbar/util/vtime.hpp).
+
+#include <coroutine>
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "armbar/sim/task.hpp"
+#include "armbar/util/vtime.hpp"
+
+namespace armbar::sim {
+
+using util::Picos;
+
+class Engine {
+ public:
+  Engine() = default;
+  ~Engine();
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Current simulated time.
+  Picos now() const noexcept { return now_; }
+
+  /// Enqueue @p h to resume at absolute time @p t (>= now).
+  void schedule(Picos t, std::coroutine_handle<> h);
+
+  /// Take ownership of a simulated thread and schedule its first resume
+  /// at the current time.  Returns an id usable with finished().
+  std::size_t spawn(SimThread&& thread);
+
+  /// Run until the event queue drains.  Throws the first unhandled
+  /// exception of any simulated thread.  Returns true if every spawned
+  /// thread ran to completion; false indicates a deadlock (some thread is
+  /// still suspended with no pending event — e.g. a spin that can never be
+  /// satisfied).
+  bool run(std::uint64_t max_events = kDefaultMaxEvents);
+
+  /// True once the thread returned (valid after run()).
+  bool finished(std::size_t thread_id) const;
+
+  std::size_t num_threads() const noexcept { return threads_.size(); }
+  std::uint64_t events_processed() const noexcept { return events_; }
+
+  static constexpr std::uint64_t kDefaultMaxEvents = 200'000'000;
+
+ private:
+  struct Event {
+    Picos t;
+    std::uint64_t seq;
+    std::coroutine_handle<> h;
+    bool operator>(const Event& o) const noexcept {
+      return t != o.t ? t > o.t : seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  std::vector<SimThread::handle_type> threads_;
+  Picos now_ = 0;
+  std::uint64_t next_seq_ = 0;
+  std::uint64_t events_ = 0;
+};
+
+/// Awaitable: suspend the current simulated thread until absolute time t.
+struct WakeAt {
+  Engine& engine;
+  Picos t;
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h) const { engine.schedule(t, h); }
+  void await_resume() const noexcept {}
+};
+
+/// Awaitable: advance the current thread by @p d picoseconds.
+inline WakeAt delay(Engine& engine, Picos d) {
+  return WakeAt{engine, engine.now() + d};
+}
+
+}  // namespace armbar::sim

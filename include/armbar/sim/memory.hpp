@@ -1,0 +1,271 @@
+#pragma once
+// Simulated cache-coherent memory (paper Section III, executable form).
+//
+// The model tracks, for every cacheline, which cores hold a valid copy and
+// which core wrote last.  Operation costs implement the paper's
+// write-invalidate accounting:
+//
+//   read  hit   : ε
+//   read  miss  : L(reader, source)            [O_RR]
+//   write       : base + Σ_{s≠writer} α·L(writer, s)
+//                 base = ε if the writer holds a copy, else L(writer, src)
+//                                               [O_WL / O_WR with RFO]
+//   rmw         : like a write (counts the read as part of the exclusive
+//                 transaction)
+//
+// plus the two dynamic effects the paper argues from but cannot fold into
+// closed forms:
+//
+//   * same-line serialization: write/rmw transactions on one line execute
+//     one at a time (the "sequential writes" that packed arrival flags
+//     suffer from, Section V-B1);
+//   * polling-reader contention: each read pays c per other read of the
+//     same line still in flight (the c·(P-1) term of eq. 3).
+//
+// Spinning is event-driven: a spin_until registers the thread as a waiter
+// on the line; every completed write re-triggers a (costed) poll read for
+// each waiter, so waiters re-join the sharer set even when their predicate
+// fails — the re-fetch storm that makes the centralized barrier quadratic
+// on a packed counter+generation line.
+
+#include <coroutine>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "armbar/sim/engine.hpp"
+#include "armbar/sim/trace.hpp"
+#include "armbar/topo/machine.hpp"
+#include "armbar/util/vtime.hpp"
+
+namespace armbar::sim {
+
+using VarId = std::int32_t;
+using LineId = std::int32_t;
+
+/// Aggregate operation counters (whole memory system).
+struct MemStats {
+  std::uint64_t local_reads = 0;
+  std::uint64_t remote_reads = 0;
+  std::uint64_t local_writes = 0;   ///< writer already held the line
+  std::uint64_t remote_writes = 0;  ///< writer had to fetch the line
+  std::uint64_t rmws = 0;
+  std::uint64_t invalidations = 0;  ///< copies invalidated by writes/rmws
+  std::uint64_t poll_reads = 0;     ///< waiter re-reads triggered by writes
+  /// Remote transfers whose source/destination crossed each layer; indexed
+  /// by machine layer.
+  std::vector<std::uint64_t> layer_transfers;
+};
+
+class MemSystem {
+ public:
+  /// The machine description is copied: a MemSystem never dangles even if
+  /// the caller passes a temporary.
+  MemSystem(Engine& engine, topo::Machine machine);
+
+  const topo::Machine& machine() const noexcept { return machine_; }
+
+  // -- allocation ----------------------------------------------------------
+
+  /// A fresh cacheline with no variables yet.
+  LineId new_line();
+
+  /// A variable alone on its own cacheline ("padded").
+  VarId new_var(std::uint64_t init = 0);
+
+  /// A variable placed on an existing line ("packed").
+  VarId new_var_on(LineId line, std::uint64_t init = 0);
+
+  /// n variables, each on its own line.
+  std::vector<VarId> new_padded_array(int n, std::uint64_t init = 0);
+
+  /// n variables packed @p bytes_per_var apart on consecutive lines of the
+  /// machine's cacheline size — e.g. 16 four-byte flags per 64-byte line.
+  std::vector<VarId> new_packed_array(int n, int bytes_per_var,
+                                      std::uint64_t init = 0);
+
+  LineId line_of(VarId v) const;
+
+  /// Value as of the current instant (test/debug accessor; simulated
+  /// threads must use the costed operations below).
+  std::uint64_t peek(VarId v) const;
+  void poke(VarId v, std::uint64_t value);
+
+  // -- costed operations (awaitables) --------------------------------------
+
+  class [[nodiscard]] OpAwaiter {
+   public:
+    OpAwaiter(Engine& engine, Picos finish, std::uint64_t result)
+        : engine_(engine), finish_(finish), result_(result) {}
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<> h) const {
+      engine_.schedule(finish_, h);
+    }
+    std::uint64_t await_resume() const noexcept { return result_; }
+
+   private:
+    Engine& engine_;
+    Picos finish_;
+    std::uint64_t result_;
+  };
+
+  class [[nodiscard]] SpinAwaiter;
+  class [[nodiscard]] SpinAllAwaiter;
+
+  /// Read @p v from @p core.  co_await yields the value.
+  OpAwaiter read(int core, VarId v);
+
+  /// Write @p value to @p v from @p core.  co_await yields @p value.
+  OpAwaiter write(int core, VarId v, std::uint64_t value);
+
+  /// Atomic read-modify-write; @p f maps old value to new value.
+  /// co_await yields the OLD value.
+  OpAwaiter rmw(int core, VarId v,
+                const std::function<std::uint64_t(std::uint64_t)>& f);
+
+  OpAwaiter fetch_add(int core, VarId v, std::uint64_t delta);
+  OpAwaiter fetch_sub(int core, VarId v, std::uint64_t delta);
+
+  /// Spin until pred(value of v) holds, re-polling after every write to
+  /// the line.  co_await yields the satisfying value.
+  SpinAwaiter spin_until(int core, VarId v,
+                         std::function<bool(std::uint64_t)> pred);
+
+  /// Spin until pred holds for EVERY variable in @p vars (one shared
+  /// predicate — e.g. "flag >= epoch").  The initial polls are issued
+  /// together, so misses to distinct lines overlap, bounded by the
+  /// machine's mlp_delay; this is how a real core's poll loop over
+  /// several padded flags behaves, and it is what makes wide fan-ins
+  /// profitable (Section V-B2).  co_await yields nothing.
+  SpinAllAwaiter spin_until_all(int core, std::vector<VarId> vars,
+                                std::function<bool(std::uint64_t)> pred);
+
+  const MemStats& stats() const noexcept { return stats_; }
+  void reset_stats();
+
+  /// Attach an operation tracer (nullptr detaches).  Not owned; must
+  /// outlive the simulation run.
+  void set_tracer(Tracer* tracer) noexcept { tracer_ = tracer; }
+
+  /// Contention report: the @p top_n busiest cachelines by transaction
+  /// count (reads + writes + polls), busiest first.  The hot line of a
+  /// centralized barrier is its counter line; a well-padded tree barrier
+  /// has no line much hotter than the rest.
+  struct HotLine {
+    LineId line = -1;
+    std::uint64_t reads = 0;   ///< costed reads incl. polls
+    std::uint64_t writes = 0;  ///< write/rmw transactions
+    std::uint64_t total() const noexcept { return reads + writes; }
+  };
+  std::vector<HotLine> hot_lines(int top_n = 10) const;
+
+  Engine& engine() noexcept { return engine_; }
+
+ private:
+  /// A parked poller.  Frames are suspended while parked, so addresses
+  /// are stable.
+  struct WaiterBase {
+    explicit WaiterBase(int core) : core_(core) {}
+    virtual ~WaiterBase() = default;
+    /// Called after a write to @p line; a costed poll read by core_ has
+    /// already been issued, finishing at @p read_finish.  Return true to
+    /// stay parked on this line.
+    virtual bool on_line_write(MemSystem& mem, LineId line,
+                               Picos read_finish) = 0;
+    int core_;
+  };
+
+  struct Line {
+    std::vector<bool> sharer;     ///< per-core valid copy
+    int owner = -1;               ///< last writer / first reader
+    Picos busy_until = 0;         ///< end of the last exclusive transaction
+    std::vector<Picos> read_finish;  ///< in-flight read completion times
+    std::vector<WaiterBase*> waiters;
+    std::uint64_t read_count = 0;    ///< lifetime costed reads (incl. polls)
+    std::uint64_t write_count = 0;   ///< lifetime write/rmw transactions
+  };
+
+  struct Var {
+    LineId line;
+    std::uint64_t value;
+  };
+
+  /// Costed read issued at @p issue; returns its finish time.
+  Picos read_at(int core, LineId line, Picos issue, bool is_poll);
+  /// Costed write/rmw issued at @p issue; returns its finish time and
+  /// wakes parked pollers at that time.
+  Picos write_at(int core, LineId line, Picos issue, bool is_rmw);
+  void wake_waiters(LineId line, Picos when);
+  int pick_source(const Line& l, int core) const;
+  static int count_inflight(std::vector<Picos>& finishes, Picos at);
+  void check_core(int core) const;
+
+  Engine& engine_;
+  topo::Machine machine_;
+  std::vector<Line> lines_;
+  std::vector<Var> vars_;
+  /// Per-core in-flight miss completion times (MLP accounting).
+  std::vector<std::vector<Picos>> core_miss_finish_;
+  /// Machine-wide in-flight remote transfers (network contention).
+  std::vector<Picos> net_inflight_;
+  Tracer* tracer_ = nullptr;
+  MemStats stats_;
+};
+
+/// Spin awaitable: performs an initial costed poll; if the predicate fails
+/// it parks the thread on the line's waiter list, and MemSystem re-polls
+/// it (with read costs) after every write until the predicate holds.
+class [[nodiscard]] MemSystem::SpinAwaiter final : public MemSystem::WaiterBase {
+ public:
+  SpinAwaiter(MemSystem& mem, int core, VarId var,
+              std::function<bool(std::uint64_t)> pred)
+      : WaiterBase(core), mem_(mem), var_(var), pred_(std::move(pred)) {}
+
+  bool await_ready() const noexcept { return false; }
+  void await_suspend(std::coroutine_handle<> h);
+  std::uint64_t await_resume() const noexcept { return result_; }
+
+ private:
+  friend class MemSystem;
+  bool on_line_write(MemSystem& mem, LineId line, Picos read_finish) override;
+
+  MemSystem& mem_;
+  VarId var_;
+  std::function<bool(std::uint64_t)> pred_;
+  std::coroutine_handle<> handle_;
+  std::uint64_t result_ = 0;
+};
+
+/// Batched spin awaitable: waits until the shared predicate holds for all
+/// variables.  Initial polls are issued together (overlapping misses,
+/// bounded by mlp_delay); afterwards each line re-polls independently on
+/// writes, one read per line regardless of how many watched variables
+/// share it.
+class [[nodiscard]] MemSystem::SpinAllAwaiter final
+    : public MemSystem::WaiterBase {
+ public:
+  SpinAllAwaiter(MemSystem& mem, int core, std::vector<VarId> vars,
+                 std::function<bool(std::uint64_t)> pred);
+
+  bool await_ready() const noexcept { return remaining_ == 0; }
+  void await_suspend(std::coroutine_handle<> h);
+  void await_resume() const noexcept {}
+
+ private:
+  friend class MemSystem;
+  bool on_line_write(MemSystem& mem, LineId line, Picos read_finish) override;
+  /// Drop satisfied vars of @p line's pending list; erases the entry when
+  /// it empties.  Returns true if vars remain pending on the line.
+  bool settle_line(LineId line);
+
+  MemSystem& mem_;
+  std::function<bool(std::uint64_t)> pred_;
+  std::map<LineId, std::vector<VarId>> pending_;
+  int remaining_ = 0;
+  Picos latest_read_ = 0;  ///< resume no earlier than the slowest poll
+  std::coroutine_handle<> handle_;
+};
+
+}  // namespace armbar::sim

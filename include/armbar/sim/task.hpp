@@ -1,0 +1,73 @@
+#pragma once
+// Coroutine task type for simulated threads.
+//
+// A simulated thread is a C++20 coroutine of type SimThread.  It starts
+// suspended; the Engine owns the frame, resumes it as events fire, and
+// destroys it when the simulation ends.  Unhandled exceptions are captured
+// in the promise and rethrown by Engine::run().
+
+#include <coroutine>
+#include <exception>
+#include <utility>
+
+namespace armbar::sim {
+
+class [[nodiscard]] SimThread {
+ public:
+  struct promise_type {
+    bool done = false;
+    std::exception_ptr error;
+
+    SimThread get_return_object() {
+      return SimThread(
+          std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() const noexcept { return false; }
+      void await_suspend(std::coroutine_handle<promise_type> h) noexcept {
+        h.promise().done = true;
+      }
+      void await_resume() const noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() noexcept {}
+    void unhandled_exception() {
+      error = std::current_exception();
+      done = true;
+    }
+  };
+
+  using handle_type = std::coroutine_handle<promise_type>;
+
+  SimThread() = default;
+  explicit SimThread(handle_type h) : handle_(h) {}
+  SimThread(SimThread&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  SimThread& operator=(SimThread&& other) noexcept {
+    if (this != &other) {
+      destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  ~SimThread() { destroy(); }
+
+  SimThread(const SimThread&) = delete;
+  SimThread& operator=(const SimThread&) = delete;
+
+  handle_type handle() const noexcept { return handle_; }
+  /// Transfer frame ownership to the caller (used by Engine::spawn).
+  handle_type release() noexcept { return std::exchange(handle_, nullptr); }
+
+ private:
+  void destroy() {
+    if (handle_) handle_.destroy();
+    handle_ = nullptr;
+  }
+  handle_type handle_ = nullptr;
+};
+
+}  // namespace armbar::sim

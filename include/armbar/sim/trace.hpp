@@ -1,0 +1,77 @@
+#pragma once
+// Operation-level tracing for the simulator.
+//
+// When attached to a MemSystem, a Tracer records every costed memory
+// operation (reads, writes/RMWs, waiter polls) with its issue/finish
+// instants, core, and cacheline.  Traces can be summarized per core or
+// exported as CSV / Chrome trace-event JSON (load chrome://tracing or
+// https://ui.perfetto.dev to see each core's cacheline traffic on a
+// timeline — invaluable for understanding why a barrier schedule stalls).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "armbar/util/vtime.hpp"
+
+namespace armbar::sim {
+
+struct TraceEvent {
+  enum class Kind : std::uint8_t {
+    kRead,   ///< costed read (hit or miss)
+    kWrite,  ///< plain store transaction
+    kRmw,    ///< atomic read-modify-write transaction
+    kPoll,   ///< waiter re-poll triggered by a write
+  };
+
+  util::Picos start = 0;
+  util::Picos finish = 0;
+  std::int32_t core = -1;
+  std::int32_t line = -1;
+  Kind kind = Kind::kRead;
+};
+
+/// Human-readable kind name ("read", "write", "rmw", "poll").
+std::string to_string(TraceEvent::Kind kind);
+
+/// Bounded in-memory event recorder.  Disabled by default; recording
+/// silently stops when the capacity is reached (`dropped()` reports how
+/// many events did not fit).
+class Tracer {
+ public:
+  explicit Tracer(std::size_t capacity = kDefaultCapacity);
+
+  void record(const TraceEvent& ev);
+
+  const std::vector<TraceEvent>& events() const noexcept { return events_; }
+  std::size_t dropped() const noexcept { return dropped_; }
+  std::size_t capacity() const noexcept { return capacity_; }
+  void clear();
+
+  /// Per-core aggregate over the recorded events.
+  struct CoreSummary {
+    int core = -1;
+    std::uint64_t reads = 0;
+    std::uint64_t writes = 0;
+    std::uint64_t rmws = 0;
+    std::uint64_t polls = 0;
+    util::Picos busy_ps = 0;  ///< sum of event durations
+  };
+  std::vector<CoreSummary> summarize(int num_cores) const;
+
+  /// CSV: start_ps,finish_ps,core,line,kind
+  std::string to_csv() const;
+
+  /// Chrome trace-event JSON ("X" complete events; one row per core).
+  /// Timestamps are emitted in microseconds as the format requires.
+  std::string to_chrome_json() const;
+
+  static constexpr std::size_t kDefaultCapacity = 1 << 20;
+
+ private:
+  std::vector<TraceEvent> events_;
+  std::size_t capacity_;
+  std::size_t dropped_ = 0;
+};
+
+}  // namespace armbar::sim

@@ -1,0 +1,42 @@
+#pragma once
+// Simulation-driven barrier auto-tuning.
+//
+// OptimizedConfig::for_machine() applies the paper's *analytical* tuning
+// (fan-in from eq. 2, wake-up policy from eqs. 3-4).  This module goes one
+// step further, the way a deployment would: run the candidate barriers on
+// the simulated machine and pick the empirical winner.  Used by the
+// topology-explorer / sweep examples and validated against the analytical
+// choice in tests.
+
+#include <string>
+#include <vector>
+
+#include "armbar/barriers/factory.hpp"
+#include "armbar/simbar/runner.hpp"
+#include "armbar/topo/machine.hpp"
+
+namespace armbar::simbar {
+
+struct TuneCandidate {
+  Algo algo = Algo::kOptimized;
+  MakeOptions options;
+  std::string name;          ///< resolved barrier name
+  double overhead_us = 0.0;  ///< simulated overhead at the tuned thread count
+};
+
+struct TuneResult {
+  TuneCandidate best;
+  std::vector<TuneCandidate> ranking;  ///< all candidates, best first
+};
+
+/// The candidate set tried by default: every simulatable algorithm plus
+/// the optimized barrier under each wake-up policy and fan-ins {2,4,8}.
+std::vector<std::pair<Algo, MakeOptions>> default_tune_candidates(
+    const topo::Machine& machine);
+
+/// Measure every candidate with @p cfg-like settings at @p threads and
+/// rank them.  Deterministic (same machine/threads -> same ranking).
+TuneResult autotune(const topo::Machine& machine, int threads,
+                    int iterations = 16);
+
+}  // namespace armbar::simbar

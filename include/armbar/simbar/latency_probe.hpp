@@ -1,0 +1,35 @@
+#pragma once
+// Core-to-core latency micro-benchmark, simulated (paper Section III-A,
+// Tables I-III).
+//
+// The paper's probe runs two pinned threads: one places data in its cache,
+// the other reads it; varying the pinning sweeps the communication layers.
+// We run the identical experiment against the simulated memory system and
+// group the measurements by layer, regenerating the tables.  This doubles
+// as an end-to-end validation that the simulator's cost model reproduces
+// its own calibration inputs.
+
+#include <string>
+#include <vector>
+
+#include "armbar/topo/machine.hpp"
+
+namespace armbar::simbar {
+
+/// Latency for one (placer, accessor) pinning.
+double measure_pair_latency_ns(const topo::Machine& machine, int placer_core,
+                               int accessor_core);
+
+struct LatencyRow {
+  int layer;               ///< -1 for the local (ε) row
+  std::string layer_name;  ///< e.g. "within a core group"
+  double measured_ns;      ///< simulated probe measurement
+  double table_ns;         ///< the machine's configured (paper) value
+  int pairs_sampled;       ///< how many core pairs fell into this layer
+};
+
+/// Probe every (0..)-pair of cores, group by layer, and report one row per
+/// layer (plus the ε row), mirroring the layout of Tables I-III.
+std::vector<LatencyRow> probe_latency_table(const topo::Machine& machine);
+
+}  // namespace armbar::simbar

@@ -1,0 +1,231 @@
+#pragma once
+// The barrier algorithm set, expressed as simulator programs.
+//
+// Each class mirrors its native counterpart in src/barriers exactly — the
+// same shape computations (armbar/barriers/shape.hpp), the same flag
+// layouts, the same episode/epoch discipline — but issues costed
+// operations against the simulated cache hierarchy instead of real
+// atomics.  Episode numbers double as epochs (episode i uses epoch i+1).
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "armbar/barriers/factory.hpp"
+#include "armbar/barriers/ftournament.hpp"
+#include "armbar/barriers/notify.hpp"
+#include "armbar/barriers/shape.hpp"
+#include "armbar/simbar/runner.hpp"
+
+namespace armbar::simbar {
+
+/// Sense-reversing centralized barrier.  `packed` puts the counter and the
+/// generation word on one cacheline (libgomp's gomp_barrier_t layout).
+class SimSense final : public SimBarrier {
+ public:
+  SimSense(sim::Engine& engine, sim::MemSystem& mem, int threads,
+           bool packed);
+  sim::SimThread run_thread(int tid, const SimRunConfig& cfg,
+                            Recorder& rec) override;
+  std::string name() const override {
+    return packed_ ? "SENSE(gcc-packed)" : "SENSE";
+  }
+
+ private:
+  bool packed_;
+  sim::VarId count_;
+  sim::VarId gen_;
+};
+
+/// Dissemination barrier; per-thread, per-round padded flags.
+class SimDissemination final : public SimBarrier {
+ public:
+  SimDissemination(sim::Engine& engine, sim::MemSystem& mem, int threads);
+  sim::SimThread run_thread(int tid, const SimRunConfig& cfg,
+                            Recorder& rec) override;
+  std::string name() const override { return "DIS"; }
+
+ private:
+  sim::VarId flag(int tid, int round) const;
+  int rounds_;
+  std::vector<sim::VarId> flags_;  // [tid][round], epoch-valued
+};
+
+/// Software combining tree with global-sense wake-up.
+class SimCombining final : public SimBarrier {
+ public:
+  SimCombining(sim::Engine& engine, sim::MemSystem& mem, int threads,
+               int fanin = 2);
+  sim::SimThread run_thread(int tid, const SimRunConfig& cfg,
+                            Recorder& rec) override;
+  std::string name() const override {
+    return "CMB(f=" + std::to_string(fanin_) + ")";
+  }
+
+ private:
+  int fanin_;
+  shape::CombiningTree tree_;
+  std::vector<sim::VarId> counters_;  // padded, one per node
+  sim::VarId gen_;
+};
+
+/// MCS tree barrier: packed 4-slot child_not_ready lines, binary wake-up.
+class SimMcs final : public SimBarrier {
+ public:
+  SimMcs(sim::Engine& engine, sim::MemSystem& mem, int threads);
+  sim::SimThread run_thread(int tid, const SimRunConfig& cfg,
+                            Recorder& rec) override;
+  std::string name() const override { return "MCS"; }
+
+ private:
+  // child_not_ready[t][slot]: 4 vars sharing thread t's node line.
+  sim::VarId slot_var(int t, int slot) const;
+  std::vector<sim::VarId> slots_;
+  std::vector<sim::VarId> wake_;  // padded per-thread wake generation
+};
+
+/// Pairwise tournament with global-sense wake-up.
+class SimTournament final : public SimBarrier {
+ public:
+  SimTournament(sim::Engine& engine, sim::MemSystem& mem, int threads);
+  sim::SimThread run_thread(int tid, const SimRunConfig& cfg,
+                            Recorder& rec) override;
+  std::string name() const override { return "TOUR"; }
+
+ private:
+  shape::PairTournamentSchedule schedule_;
+  std::vector<sim::VarId> flags_;  // padded, [tid * rounds + round]
+  sim::VarId gen_;
+};
+
+/// Static f-way tournament with every paper variant: balanced or fixed
+/// fan-in, packed or padded flags, and any notification policy.
+class SimStaticFway final : public SimBarrier {
+ public:
+  SimStaticFway(sim::Engine& engine, sim::MemSystem& mem, int threads,
+                FwayOptions options);
+  sim::SimThread run_thread(int tid, const SimRunConfig& cfg,
+                            Recorder& rec) override;
+  std::string name() const override;
+
+  const shape::TournamentSchedule& schedule() const { return schedule_; }
+
+ private:
+  struct RoundPlan {
+    int round;
+    int my_pos;
+    int group_begin;
+    int group_end;
+  };
+  sim::VarId flag(int round, int pos) const;
+
+  FwayOptions options_;
+  shape::TournamentSchedule schedule_;
+  std::vector<std::vector<RoundPlan>> plans_;
+  std::vector<std::size_t> round_offset_;
+  std::vector<sim::VarId> flags_;
+  // Notification state.
+  sim::VarId gen_;                       // global sense
+  std::vector<sim::VarId> wake_;         // per-thread, tree policies
+  std::vector<std::vector<int>> wake_children_;
+};
+
+/// Dynamic f-way tournament: per-group counters, global-sense wake-up.
+class SimDynamicFway final : public SimBarrier {
+ public:
+  SimDynamicFway(sim::Engine& engine, sim::MemSystem& mem, int threads,
+                 int fanin = 0, int max_fanin = 8);
+  sim::SimThread run_thread(int tid, const SimRunConfig& cfg,
+                            Recorder& rec) override;
+  std::string name() const override { return "DTOUR"; }
+
+ private:
+  shape::TournamentSchedule schedule_;
+  std::vector<std::size_t> group_offset_;
+  std::vector<sim::VarId> counters_;
+  sim::VarId gen_;
+};
+
+/// Hypercube-embedded tree (LLVM libomp "hyper", branch factor 4).
+class SimHypercube final : public SimBarrier {
+ public:
+  SimHypercube(sim::Engine& engine, sim::MemSystem& mem, int threads,
+               int branch_factor = 4);
+  sim::SimThread run_thread(int tid, const SimRunConfig& cfg,
+                            Recorder& rec) override;
+  std::string name() const override {
+    return "HYPER(b=" + std::to_string(shape_.branch_factor()) + ")";
+  }
+
+ private:
+  shape::HypercubeShape shape_;
+  std::vector<sim::VarId> arrive_;
+  std::vector<sim::VarId> release_;
+  std::vector<std::vector<std::vector<int>>> children_;
+  std::vector<int> report_level_;
+};
+
+/// Hybrid barrier (Rodchenko et al.): per-cluster centralized arrival,
+/// dissemination across cluster representatives, per-cluster release.
+class SimHybrid final : public SimBarrier {
+ public:
+  SimHybrid(sim::Engine& engine, sim::MemSystem& mem, int threads,
+            int cluster_size);
+  sim::SimThread run_thread(int tid, const SimRunConfig& cfg,
+                            Recorder& rec) override;
+  std::string name() const override {
+    return "HYBRID(Nc=" + std::to_string(cluster_size_) + ")";
+  }
+
+ private:
+  int members_of(int cluster) const;
+  int cluster_size_;
+  int num_clusters_;
+  int rounds_;
+  std::vector<sim::VarId> counters_;  // per cluster
+  std::vector<sim::VarId> gens_;      // per cluster
+  std::vector<sim::VarId> flags_;     // [cluster][round]
+};
+
+/// n-way dissemination (Hoefler et al.): n partners per round,
+/// ceil(log_{n+1} P) rounds.
+class SimNWayDissemination final : public SimBarrier {
+ public:
+  SimNWayDissemination(sim::Engine& engine, sim::MemSystem& mem, int threads,
+                       int ways = 3);
+  sim::SimThread run_thread(int tid, const SimRunConfig& cfg,
+                            Recorder& rec) override;
+  std::string name() const override {
+    return "NWAY-DIS(n=" + std::to_string(ways_) + ")";
+  }
+
+ private:
+  sim::VarId flag(int tid, int round, int slot) const;
+  int ways_;
+  int rounds_;
+  std::vector<sim::VarId> flags_;
+};
+
+/// Ring barrier: neighbour-only arrival token plus a global release.
+class SimRing final : public SimBarrier {
+ public:
+  SimRing(sim::Engine& engine, sim::MemSystem& mem, int threads);
+  sim::SimThread run_thread(int tid, const SimRunConfig& cfg,
+                            Recorder& rec) override;
+  std::string name() const override { return "RING"; }
+
+ private:
+  std::vector<sim::VarId> token_;
+  sim::VarId gen_;
+};
+
+/// Factory mirroring armbar::make_barrier for the simulator.  The machine
+/// determines packed-flag geometry (cacheline size) and N_c defaults.
+std::unique_ptr<SimBarrier> make_sim_barrier(Algo algo, sim::Engine& engine,
+                                             sim::MemSystem& mem, int threads,
+                                             const MakeOptions& options = {});
+
+/// Convenience: a SimBarrierFactory for measure_barrier().
+SimBarrierFactory sim_factory(Algo algo, const MakeOptions& options = {});
+
+}  // namespace armbar::simbar

@@ -1,0 +1,124 @@
+#pragma once
+// Machine topology models.
+//
+// The paper's whole analysis is driven by a small set of per-machine
+// parameters: the local cache hit latency ε, the layered core-to-core
+// communication latencies L_0..L_k (Tables I-III), the logical cluster
+// size N_c, the coherence granule size, the RFO weight α_i and the reader
+// contention coefficient c (Section III).  A Machine value carries exactly
+// those parameters plus a pairwise latency lookup derived from the
+// machine's cluster/panel/socket geometry.
+//
+// Latencies are stored both in ns (for reporting, as in the paper) and as
+// integer picoseconds (for the exact discrete-event simulator).
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "armbar/util/vtime.hpp"
+
+namespace armbar::topo {
+
+/// One communication-latency layer (a row of the paper's Tables I-III).
+struct Layer {
+  std::string name;  ///< e.g. "within a core group", "panel 0-2"
+  double ns = 0.0;   ///< measured latency in nanoseconds
+};
+
+/// Immutable description of one evaluation platform.
+class Machine {
+ public:
+  /// Build from explicit parameters.  @p layer_of_pair must hold
+  /// num_cores*num_cores entries (row-major); diagonal entries are ignored
+  /// (same-core accesses cost epsilon).  Validates shape and ranges.
+  /// @param mlp_delay_ns response-delivery serialization: each additional
+  ///        cache miss a core has in flight delays the next response by
+  ///        this much (bounds the memory-level parallelism of a core
+  ///        polling several remote flags at once).
+  /// @param net_contention_ns machine-wide network queuing: each other
+  ///        remote transfer in flight adds this much to a transfer (models
+  ///        on-chip interconnect saturation under all-pairs traffic).
+  Machine(std::string name, int num_cores, double epsilon_ns, int cluster_size,
+          int cacheline_bytes, double alpha, double contention_ns,
+          std::vector<Layer> layers, std::vector<std::int8_t> layer_of_pair,
+          double mlp_delay_ns = 5.0, double net_contention_ns = 0.0);
+
+  const std::string& name() const noexcept { return name_; }
+  int num_cores() const noexcept { return num_cores_; }
+
+  /// ε — local cache access latency in ns.
+  double epsilon_ns() const noexcept { return epsilon_ns_; }
+
+  /// N_c — number of cores in a logical core cluster (4 on Phytium 2000+
+  /// and Kunpeng920, 32 on ThunderX2 per Section III-A).
+  int cluster_size() const noexcept { return cluster_size_; }
+
+  /// Coherence granule in bytes (effective destructive-interference size).
+  int cacheline_bytes() const noexcept { return cacheline_bytes_; }
+
+  /// α — RFO (read-for-ownership) cost weight, 0 <= α <= 1 (Section III-B).
+  double alpha() const noexcept { return alpha_; }
+
+  /// c — per-extra-concurrent-reader contention cost in ns (eq. 3).
+  double contention_ns() const noexcept { return contention_ns_; }
+
+  /// Per-extra-in-flight-miss delivery delay of one core, in ns.
+  double mlp_delay_ns() const noexcept { return mlp_delay_ns_; }
+  util::Picos mlp_delay_ps() const noexcept {
+    return util::ns_to_ps(mlp_delay_ns_);
+  }
+
+  /// Machine-wide per-extra-in-flight-transfer queuing delay, in ns.
+  double net_contention_ns() const noexcept { return net_contention_ns_; }
+  util::Picos net_contention_ps() const noexcept {
+    return util::ns_to_ps(net_contention_ns_);
+  }
+
+  int num_layers() const noexcept { return static_cast<int>(layers_.size()); }
+  const Layer& layer_info(int i) const { return layers_.at(static_cast<std::size_t>(i)); }
+
+  /// Layer index of the communication between two distinct cores
+  /// (0 = cheapest remote layer).  Returns -1 when a == b (local access).
+  int layer(int core_a, int core_b) const;
+
+  /// Communication latency between two cores in ns (ε when a == b).
+  double comm_ns(int core_a, int core_b) const;
+
+  /// Same, in integer picoseconds.
+  util::Picos comm_ps(int core_a, int core_b) const;
+
+  /// Latency of layer @p i in integer picoseconds.
+  util::Picos layer_ps(int i) const;
+  util::Picos epsilon_ps() const noexcept { return util::ns_to_ps(epsilon_ns_); }
+  util::Picos contention_ps() const noexcept {
+    return util::ns_to_ps(contention_ns_);
+  }
+
+  /// Index of the logical cluster containing @p core.
+  int cluster_of(int core) const { return core / cluster_size_; }
+
+  /// Number of logical clusters.
+  int num_clusters() const {
+    return (num_cores_ + cluster_size_ - 1) / cluster_size_;
+  }
+
+  /// Mean latency of the remote layers, weighted uniformly; a convenient
+  /// scalar "L" for back-of-envelope model evaluation.
+  double mean_remote_ns() const;
+
+ private:
+  std::string name_;
+  int num_cores_;
+  double epsilon_ns_;
+  int cluster_size_;
+  int cacheline_bytes_;
+  double alpha_;
+  double contention_ns_;
+  double mlp_delay_ns_;
+  double net_contention_ns_;
+  std::vector<Layer> layers_;
+  std::vector<std::int8_t> layer_of_pair_;  // row-major [a*num_cores + b]
+};
+
+}  // namespace armbar::topo

@@ -1,0 +1,44 @@
+#pragma once
+// Textual machine descriptions.
+//
+// Lets users describe their own many-core topology in a small key=value
+// format and run the whole tool chain (simulator, auto-tuner, figure
+// benches) against it:
+//
+//   # my-soc.machine
+//   name = MySoC
+//   groups = 4, 8          # 8 clusters of 4 cores (innermost first)
+//   layer_ns = 12.0, 55.0  # latency per hierarchy level
+//   epsilon_ns = 1.4
+//   cluster_size = 4
+//   cacheline_bytes = 64
+//   alpha = 0.05
+//   contention_ns = 1.0
+//
+// Lines starting with '#' (or after a '#') are comments.  Keys may appear
+// in any order; unknown keys are an error (typo protection).  Required:
+// groups, layer_ns.  Everything else has the defaults shown by
+// machine_file_template().
+
+#include <iosfwd>
+#include <string>
+
+#include "armbar/topo/machine.hpp"
+
+namespace armbar::topo {
+
+/// Parse a machine description from text.  Throws std::invalid_argument
+/// with a line-numbered message on any syntax or semantic error.
+Machine parse_machine(const std::string& text);
+
+/// Load from a file (wraps parse_machine).  Throws std::runtime_error if
+/// the file cannot be read.
+Machine load_machine_file(const std::string& path);
+
+/// Serialize a hierarchical description back to the text format.  Only
+/// machines with a regular hierarchy round-trip exactly; the built-in
+/// Phytium (distance-based panel latencies) does not, so this takes the
+/// raw fields rather than a Machine.
+std::string machine_file_template();
+
+}  // namespace armbar::topo

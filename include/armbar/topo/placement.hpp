@@ -1,0 +1,36 @@
+#pragma once
+// Thread-to-core placement strategies.
+//
+// The paper pins thread i to core i ("compact"): consecutive threads fill
+// a cluster before spilling to the next, which is what makes the
+// tournament grouping and NUMA-aware wake-up tree line up with the
+// hardware clusters.  "Scatter" round-robins threads across clusters —
+// the adversarial layout used by the placement ablation
+// (bench/abl_placement) to quantify how much of the optimized barrier's
+// win comes from cluster alignment.
+
+#include <vector>
+
+#include "armbar/topo/machine.hpp"
+
+namespace armbar::topo {
+
+/// Identity placement: thread i on core i (the paper's pinning).
+std::vector<int> compact_placement(const Machine& machine, int threads);
+
+/// Round-robin across clusters: thread i on cluster (i mod #clusters),
+/// local slot (i / #clusters).  Adjacent threads land in different
+/// clusters.
+std::vector<int> scatter_placement(const Machine& machine, int threads);
+
+/// Deterministic pseudo-random permutation of cores (Fisher-Yates seeded
+/// by @p seed): destroys all cluster alignment.
+std::vector<int> random_placement(const Machine& machine, int threads,
+                                  std::uint64_t seed = 1);
+
+/// Count how many of the given placement's adjacent thread pairs
+/// (i, i+1) share a cluster — a quick alignment metric used in tests.
+int adjacent_same_cluster_pairs(const Machine& machine,
+                                const std::vector<int>& placement);
+
+}  // namespace armbar::topo

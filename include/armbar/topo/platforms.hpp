@@ -1,0 +1,60 @@
+#pragma once
+// Builders for the paper's evaluation platforms.
+//
+// The latency numbers are the paper's measured Tables I-III verbatim.  The
+// α and c coefficients are not published in the paper (it only states
+// 0 <= α <= 1 and c >= 0, "depends on the processor"); the values here are
+// calibrated so the simulator reproduces the paper's qualitative outcomes
+// (see DESIGN.md §5 "α calibration") and are documented per machine.
+
+#include <string>
+#include <vector>
+
+#include "armbar/topo/machine.hpp"
+
+namespace armbar::topo {
+
+/// Phytium 2000+: 64 cores, 8 panels of 8 cores, core groups of 4 sharing
+/// an L2.  Table I: ε=1.8, L0=9.1 (core group), L1=42.3 (panel), and
+/// panel-distance layers L2..L8.  N_c = 4.
+Machine phytium2000();
+
+/// ThunderX2: 2 sockets x 32 cores.  Table II: ε=1.2, L0=24 (socket),
+/// L1=140.7 (cross-socket).  N_c = 32.
+Machine thunderx2();
+
+/// Kunpeng 920: 2 SCCLs x 8 CCLs x 4 cores.  Table III: ε=1.15, L0=14.2
+/// (CCL), L1=44.2 (SCCL), L2=75 (cross-SCCL).  N_c = 4.
+Machine kunpeng920();
+
+/// Intel Xeon Gold reference (32 cores, one socket, uniform on-chip
+/// latency).  The paper does not publish its latency table; we model a
+/// typical Skylake-SP mesh (ε=1.0, ~20 ns core-to-core) to reproduce the
+/// "~2 us barrier at 32 threads" baseline of Figure 5.
+Machine xeon_gold();
+
+/// All four machines, ARMv8 platforms first (evaluation order of the paper).
+std::vector<Machine> all_machines();
+
+/// The three ARMv8 machines only (most figures sweep these).
+std::vector<Machine> armv8_machines();
+
+/// Lookup by case-insensitive name ("phytium2000+", "thunderx2",
+/// "kunpeng920", "xeongold"; hyphens/plus signs ignored).  Throws
+/// std::invalid_argument for unknown names.
+Machine machine_by_name(const std::string& name);
+
+/// Build a custom machine with a regular hierarchy, for the topology
+/// explorer example and for property tests.
+///
+/// @param group_sizes cores per group at each hierarchy level, innermost
+///        first; the total core count is their product.
+/// @param layer_ns    latency of communication crossing each level
+///        boundary; layer_ns[i] applies when the innermost differing level
+///        is i.  Must be the same length as group_sizes.
+Machine make_hierarchical(std::string name, std::vector<int> group_sizes,
+                          std::vector<double> layer_ns, double epsilon_ns,
+                          int cluster_size, int cacheline_bytes, double alpha,
+                          double contention_ns);
+
+}  // namespace armbar::topo

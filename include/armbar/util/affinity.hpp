@@ -1,0 +1,29 @@
+#pragma once
+// CPU affinity helpers for the native library.
+//
+// The paper pins every thread to a distinct physical core; these wrappers
+// expose that capability portably-enough for Linux hosts.  On machines
+// with fewer cores than threads the calls degrade gracefully (pinning to
+// an absent core fails and is reported, never fatal).
+
+#include <optional>
+#include <vector>
+
+namespace armbar::util {
+
+/// Number of online CPUs (>= 1; falls back to 1 if undetectable).
+int online_cpus();
+
+/// Pin the calling thread to @p cpu.  Returns false if the cpu does not
+/// exist or the affinity call is rejected.
+bool pin_current_thread(int cpu);
+
+/// Current affinity mask of the calling thread as a sorted cpu list, or
+/// std::nullopt if it cannot be read.
+std::optional<std::vector<int>> current_affinity();
+
+/// Set the calling thread's affinity to exactly @p cpus.  Returns false
+/// on an empty/invalid list or if the affinity call is rejected.
+bool set_current_affinity(const std::vector<int>& cpus);
+
+}  // namespace armbar::util

@@ -1,0 +1,41 @@
+#pragma once
+// Minimal command-line option parser for the bench/example binaries.
+//
+// Supports "--key=value", "--key value", and bare "--flag" options.  The
+// figure-reproduction binaries share a small set of switches (--csv,
+// --machine, --threads, ...), so a dependency-free parser is enough.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace armbar::util {
+
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+
+  /// True if "--name" was present (with or without a value).
+  bool has(const std::string& name) const;
+
+  /// Value of "--name"; std::nullopt if absent or valueless.
+  std::optional<std::string> get(const std::string& name) const;
+
+  std::string get_or(const std::string& name, std::string fallback) const;
+  long get_int_or(const std::string& name, long fallback) const;
+  double get_double_or(const std::string& name, double fallback) const;
+
+  /// Positional (non-option) arguments in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// argv[0].
+  const std::string& program() const { return program_; }
+
+ private:
+  std::string program_;
+  std::map<std::string, std::string> options_;  // empty string => bare flag
+  std::vector<std::string> positional_;
+};
+
+}  // namespace armbar::util

@@ -1,0 +1,70 @@
+#pragma once
+// Small integer helpers used by tree-shape computations.
+
+#include <bit>
+#include <cassert>
+#include <cstdint>
+
+namespace armbar::util {
+
+/// True if @p x is a power of two (0 is not).
+constexpr bool is_pow2(std::uint64_t x) noexcept {
+  return x != 0 && (x & (x - 1)) == 0;
+}
+
+/// ceil(log2(x)) for x >= 1;  log2_ceil(1) == 0.
+constexpr unsigned log2_ceil(std::uint64_t x) noexcept {
+  assert(x >= 1);
+  return x <= 1 ? 0u
+               : static_cast<unsigned>(64 - std::countl_zero(x - 1));
+}
+
+/// floor(log2(x)) for x >= 1.
+constexpr unsigned log2_floor(std::uint64_t x) noexcept {
+  assert(x >= 1);
+  return static_cast<unsigned>(63 - std::countl_zero(x));
+}
+
+/// ceil(log_base(x)) for x >= 1, base >= 2.  Computed with exact integer
+/// arithmetic (no floating point), so the result is reliable at boundaries
+/// such as x == base^k.
+constexpr unsigned log_ceil(std::uint64_t x, std::uint64_t base) noexcept {
+  assert(x >= 1 && base >= 2);
+  unsigned levels = 0;
+  std::uint64_t reach = 1;
+  while (reach < x) {
+    // reach*base could overflow only for absurd inputs; guard anyway.
+    if (reach > x / base + 1) {
+      ++levels;
+      break;
+    }
+    reach *= base;
+    ++levels;
+  }
+  return levels;
+}
+
+/// ceil(a / b) for b > 0.
+constexpr std::uint64_t div_ceil(std::uint64_t a, std::uint64_t b) noexcept {
+  assert(b > 0);
+  return (a + b - 1) / b;
+}
+
+/// Integer power base^exp (no overflow checking; callers use small values).
+constexpr std::uint64_t ipow(std::uint64_t base, unsigned exp) noexcept {
+  std::uint64_t r = 1;
+  while (exp--) r *= base;
+  return r;
+}
+
+/// ceil(x^(1/k)) for x >= 1, k >= 1: the smallest f with f^k >= x.
+/// Used to pick balanced per-level fan-ins for the static f-way tournament.
+constexpr std::uint64_t iroot_ceil(std::uint64_t x, unsigned k) noexcept {
+  assert(x >= 1 && k >= 1);
+  if (k == 1) return x;
+  std::uint64_t f = 1;
+  while (ipow(f, k) < x) ++f;
+  return f;
+}
+
+}  // namespace armbar::util

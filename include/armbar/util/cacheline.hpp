@@ -1,0 +1,50 @@
+#pragma once
+// Cacheline geometry and padding helpers.
+//
+// Barrier flag layout is the central theme of the paper's arrival-phase
+// optimization: a 4-byte flag packed next to its siblings causes false
+// sharing and serialized same-line writes, while a flag padded to a full
+// cacheline can be written in parallel with its siblings.  These helpers
+// make the padded layout explicit and self-documenting at use sites.
+
+#include <cstddef>
+#include <new>
+#include <type_traits>
+
+namespace armbar::util {
+
+/// Size in bytes used to keep concurrently-written data on distinct lines.
+/// We use the conservative x86-64/ARMv8 value of 64 bytes.  (Phytium 2000+
+/// and ThunderX2 use 64-byte lines; Kunpeng 920 prefetches line pairs, so
+/// its *effective* destructive-interference size is 128 bytes — the
+/// topology layer carries the per-machine value; this constant only governs
+/// the native library's padding.)
+/// (Fixed at 64 rather than std::hardware_destructive_interference_size so
+/// the layout is identical on every build of this reproduction.)
+inline constexpr std::size_t kCachelineBytes = 64;
+
+/// A value of type T alone on its own cacheline.
+///
+/// `Padded<std::atomic<int>> flags[n]` gives n flags that can be written by
+/// n different cores without any cacheline ping-pong between them.
+template <typename T>
+struct alignas(kCachelineBytes) Padded {
+  static_assert(sizeof(T) <= kCachelineBytes,
+                "Padded<T> expects T to fit a single cacheline");
+  T value{};
+
+  Padded() = default;
+  explicit Padded(const T& v) : value(v) {}
+
+  T& operator*() noexcept { return value; }
+  const T& operator*() const noexcept { return value; }
+  T* operator->() noexcept { return &value; }
+  const T* operator->() const noexcept { return &value; }
+  // No explicit tail padding needed: alignas() rounds sizeof(Padded) up to
+  // a full line.
+};
+
+static_assert(sizeof(Padded<int>) == kCachelineBytes);
+static_assert(alignof(Padded<int>) == kCachelineBytes);
+
+}  // namespace armbar::util

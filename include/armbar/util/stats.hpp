@@ -1,0 +1,65 @@
+#pragma once
+// Summary statistics for benchmark measurements.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace armbar::util {
+
+/// One-pass mean/variance accumulator (Welford's algorithm).
+class Welford {
+ public:
+  void add(double x) noexcept {
+    ++n_;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(n_);
+    m2_ += delta * (x - mean_);
+    if (n_ == 1 || x < min_) min_ = x;
+    if (n_ == 1 || x > max_) max_ = x;
+  }
+
+  std::size_t count() const noexcept { return n_; }
+  double mean() const noexcept { return mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const noexcept {
+    return n_ < 2 ? 0.0 : m2_ / static_cast<double>(n_ - 1);
+  }
+  double stddev() const noexcept;
+  double min() const noexcept { return min_; }
+  double max() const noexcept { return max_; }
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Summary of a sample set.
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0.0;
+  double median = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+};
+
+/// Compute a Summary of @p xs (copies and sorts internally for the median).
+Summary summarize(std::span<const double> xs);
+
+/// Median of @p xs; 0 for an empty span.
+double median(std::span<const double> xs);
+
+/// q-quantile of @p xs for q in [0, 1] (nearest-rank on the sorted data);
+/// 0 for an empty span.  quantile(xs, 0.5) agrees with median for odd
+/// sizes and uses the upper-of-the-two convention for even sizes.
+double quantile(std::span<const double> xs, double q);
+
+/// Geometric mean of @p xs; all elements must be > 0.  Returns 0 for an
+/// empty span.
+double geomean(std::span<const double> xs);
+
+}  // namespace armbar::util

@@ -1,0 +1,45 @@
+#pragma once
+// Plain-text and CSV table rendering for the benchmark harnesses.
+//
+// Every figure/table reproduction binary prints (1) a human-readable table
+// mirroring the paper's presentation and (2) optionally machine-readable
+// CSV for downstream plotting.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace armbar::util {
+
+/// Column-aligned text table with an optional title.
+class Table {
+ public:
+  explicit Table(std::string title = {}) : title_(std::move(title)) {}
+
+  /// Set the header row.  Must be called before adding rows.
+  void set_header(std::vector<std::string> header);
+
+  /// Append a row; its width must match the header (if one was set).
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format doubles with @p precision digits after the point.
+  static std::string num(double v, int precision = 2);
+
+  /// Render as an aligned text table.
+  std::string to_text() const;
+
+  /// Render as CSV (header first if present).
+  std::string to_csv() const;
+
+  /// Write the text rendering to @p os.
+  friend std::ostream& operator<<(std::ostream& os, const Table& t);
+
+  std::size_t rows() const noexcept { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace armbar::util

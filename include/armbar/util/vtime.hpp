@@ -1,0 +1,33 @@
+#pragma once
+// Virtual time for the discrete-event simulator.
+//
+// The simulator is integer-exact: all latencies are expressed in
+// picoseconds so that e.g. the paper's 1.15 ns local-cache latency is the
+// integer 1150 and event ordering never depends on floating-point rounding.
+
+#include <cstdint>
+
+namespace armbar::util {
+
+/// Picoseconds of simulated time.
+using Picos = std::uint64_t;
+
+inline constexpr Picos kPicosPerNano = 1000;
+
+/// Convert (fractional) nanoseconds to integer picoseconds, rounding to
+/// nearest.  Topology tables are written in ns for readability.
+constexpr Picos ns_to_ps(double ns) noexcept {
+  return static_cast<Picos>(ns * 1000.0 + 0.5);
+}
+
+/// Convert picoseconds back to nanoseconds for reporting.
+constexpr double ps_to_ns(Picos ps) noexcept {
+  return static_cast<double>(ps) / 1000.0;
+}
+
+/// Convert picoseconds to microseconds for reporting (the paper's unit).
+constexpr double ps_to_us(Picos ps) noexcept {
+  return static_cast<double>(ps) / 1e6;
+}
+
+}  // namespace armbar::util

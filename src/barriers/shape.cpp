@@ -1,0 +1,385 @@
+#include "armbar/barriers/shape.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <queue>
+#include <stdexcept>
+
+#include "armbar/util/bits.hpp"
+
+namespace armbar::shape {
+
+namespace {
+void check_threads(int num_threads) {
+  if (num_threads < 1)
+    throw std::invalid_argument("shape: num_threads must be >= 1");
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// f-way tournament
+// ---------------------------------------------------------------------------
+
+int TournamentRound::num_groups() const {
+  return static_cast<int>(
+      util::div_ceil(participants.size(), static_cast<std::uint64_t>(fanin)));
+}
+
+std::pair<int, int> TournamentRound::group_range(int g) const {
+  const int begin = g * fanin;
+  const int end =
+      std::min(begin + fanin, static_cast<int>(participants.size()));
+  if (begin < 0 || begin >= static_cast<int>(participants.size()))
+    throw std::out_of_range("TournamentRound::group_range");
+  return {begin, end};
+}
+
+TournamentSchedule TournamentSchedule::balanced(int num_threads,
+                                                int max_fanin) {
+  check_threads(num_threads);
+  if (max_fanin < 2)
+    throw std::invalid_argument("TournamentSchedule: max_fanin >= 2");
+  TournamentSchedule s;
+  s.num_threads = num_threads;
+
+  std::vector<int> current(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) current[static_cast<std::size_t>(i)] = i;
+
+  while (current.size() > 1) {
+    const auto remaining = static_cast<std::uint64_t>(current.size());
+    // Levels still needed if every remaining level used the maximum fan-in;
+    // pick the smallest per-level fan-in that finishes within that many
+    // levels, keeping the tree balanced (paper Section II-B / Figure 9a).
+    const unsigned levels_left =
+        util::log_ceil(remaining, static_cast<std::uint64_t>(max_fanin));
+    auto f = static_cast<int>(util::iroot_ceil(remaining, levels_left));
+    f = std::clamp(f, 2, max_fanin);
+
+    TournamentRound round;
+    round.fanin = f;
+    round.participants = current;
+    std::vector<int> winners;
+    for (std::size_t g = 0; g * static_cast<std::size_t>(f) < current.size(); ++g)
+      winners.push_back(current[g * static_cast<std::size_t>(f)]);
+    s.rounds.push_back(std::move(round));
+    current = std::move(winners);
+  }
+  return s;
+}
+
+TournamentSchedule TournamentSchedule::fixed(int num_threads, int fanin) {
+  check_threads(num_threads);
+  if (fanin < 2) throw std::invalid_argument("TournamentSchedule: fanin >= 2");
+  TournamentSchedule s;
+  s.num_threads = num_threads;
+
+  std::vector<int> current(static_cast<std::size_t>(num_threads));
+  for (int i = 0; i < num_threads; ++i) current[static_cast<std::size_t>(i)] = i;
+
+  while (current.size() > 1) {
+    TournamentRound round;
+    round.fanin = fanin;
+    round.participants = current;
+    std::vector<int> winners;
+    for (std::size_t g = 0; g * static_cast<std::size_t>(fanin) < current.size(); ++g)
+      winners.push_back(current[g * static_cast<std::size_t>(fanin)]);
+    s.rounds.push_back(std::move(round));
+    current = std::move(winners);
+  }
+  return s;
+}
+
+int TournamentSchedule::champion() const {
+  if (rounds.empty()) return 0;
+  return rounds.back().participants.front();
+}
+
+int TournamentSchedule::cross_cluster_edges(int cluster_size) const {
+  if (cluster_size < 1)
+    throw std::invalid_argument("cross_cluster_edges: cluster_size >= 1");
+  int edges = 0;
+  for (const TournamentRound& r : rounds) {
+    for (int g = 0; g < r.num_groups(); ++g) {
+      const auto [begin, end] = r.group_range(g);
+      const int winner = r.participants[static_cast<std::size_t>(begin)];
+      for (int idx = begin + 1; idx < end; ++idx) {
+        const int member = r.participants[static_cast<std::size_t>(idx)];
+        if (member / cluster_size != winner / cluster_size) ++edges;
+      }
+    }
+  }
+  return edges;
+}
+
+// ---------------------------------------------------------------------------
+// Pairwise tournament
+// ---------------------------------------------------------------------------
+
+PairTournamentSchedule PairTournamentSchedule::build(int num_threads) {
+  check_threads(num_threads);
+  PairTournamentSchedule s;
+  s.num_threads = num_threads;
+  const int rounds =
+      static_cast<int>(util::log2_ceil(static_cast<std::uint64_t>(num_threads)));
+  s.steps.assign(static_cast<std::size_t>(rounds),
+                 std::vector<TourStep>(static_cast<std::size_t>(num_threads)));
+  for (int k = 0; k < rounds; ++k) {
+    const std::uint64_t span = std::uint64_t{1} << k;
+    for (int i = 0; i < num_threads; ++i) {
+      TourStep& st = s.steps[static_cast<std::size_t>(k)][static_cast<std::size_t>(i)];
+      const auto ui = static_cast<std::uint64_t>(i);
+      if (ui % span != 0) {
+        st.role = TourRole::kIdle;
+        continue;
+      }
+      if (ui % (span * 2) == 0) {
+        const std::uint64_t partner = ui + span;
+        if (partner < static_cast<std::uint64_t>(num_threads)) {
+          st.role = TourRole::kWinner;
+          st.partner = static_cast<int>(partner);
+        } else {
+          st.role = TourRole::kBye;
+        }
+      } else {
+        st.role = TourRole::kLoser;
+        st.partner = static_cast<int>(ui - span);
+      }
+    }
+  }
+  return s;
+}
+
+// ---------------------------------------------------------------------------
+// Combining tree
+// ---------------------------------------------------------------------------
+
+CombiningTree CombiningTree::build(int num_threads, int fanin) {
+  check_threads(num_threads);
+  if (fanin < 2) throw std::invalid_argument("CombiningTree: fanin >= 2");
+  CombiningTree t;
+  t.leaf_of_thread.resize(static_cast<std::size_t>(num_threads));
+
+  // Leaf level: one counter per group of `fanin` consecutive threads.
+  const int num_leaves =
+      static_cast<int>(util::div_ceil(static_cast<std::uint64_t>(num_threads),
+                                      static_cast<std::uint64_t>(fanin)));
+  for (int leaf = 0; leaf < num_leaves; ++leaf) {
+    Node n;
+    n.fanin = std::min(fanin, num_threads - leaf * fanin);
+    t.nodes.push_back(n);
+  }
+  for (int i = 0; i < num_threads; ++i)
+    t.leaf_of_thread[static_cast<std::size_t>(i)] = i / fanin;
+
+  // Interior levels.
+  int level_begin = 0;
+  int level_size = num_leaves;
+  while (level_size > 1) {
+    const int next_begin = level_begin + level_size;
+    const int next_size =
+        static_cast<int>(util::div_ceil(static_cast<std::uint64_t>(level_size),
+                                        static_cast<std::uint64_t>(fanin)));
+    for (int p = 0; p < next_size; ++p) {
+      Node n;
+      n.fanin = std::min(fanin, level_size - p * fanin);
+      t.nodes.push_back(n);
+    }
+    for (int c = 0; c < level_size; ++c)
+      t.nodes[static_cast<std::size_t>(level_begin + c)].parent =
+          next_begin + c / fanin;
+    level_begin = next_begin;
+    level_size = next_size;
+  }
+  return t;
+}
+
+// ---------------------------------------------------------------------------
+// MCS tree
+// ---------------------------------------------------------------------------
+
+int McsShape::arrival_parent(int thread) {
+  return thread == 0 ? -1 : (thread - 1) / kArrivalFanin;
+}
+
+int McsShape::arrival_slot(int thread) {
+  assert(thread > 0);
+  return (thread - 1) % kArrivalFanin;
+}
+
+std::vector<int> McsShape::arrival_children(int thread, int num_threads) {
+  std::vector<int> kids;
+  for (int s = 1; s <= kArrivalFanin; ++s) {
+    const int c = kArrivalFanin * thread + s;
+    if (c < num_threads) kids.push_back(c);
+  }
+  return kids;
+}
+
+int McsShape::wakeup_parent(int thread) {
+  return thread == 0 ? -1 : (thread - 1) / 2;
+}
+
+std::vector<int> McsShape::wakeup_children(int thread, int num_threads) {
+  return binary_wakeup_children(thread, num_threads);
+}
+
+// ---------------------------------------------------------------------------
+// Hypercube-embedded tree
+// ---------------------------------------------------------------------------
+
+HypercubeShape::HypercubeShape(int num_threads, int branch_factor)
+    : num_threads_(num_threads), branch_(branch_factor) {
+  check_threads(num_threads);
+  if (branch_factor < 2)
+    throw std::invalid_argument("HypercubeShape: branch factor >= 2");
+  levels_ = static_cast<int>(
+      util::log_ceil(static_cast<std::uint64_t>(num_threads),
+                     static_cast<std::uint64_t>(branch_factor)));
+}
+
+bool HypercubeShape::is_parent_at(int thread, int level) const {
+  const auto span = util::ipow(static_cast<std::uint64_t>(branch_),
+                               static_cast<unsigned>(level) + 1);
+  return static_cast<std::uint64_t>(thread) % span == 0;
+}
+
+std::vector<int> HypercubeShape::children_at(int thread, int level) const {
+  std::vector<int> kids;
+  if (!is_parent_at(thread, level)) return kids;
+  const auto span = util::ipow(static_cast<std::uint64_t>(branch_),
+                               static_cast<unsigned>(level));
+  for (int k = 1; k < branch_; ++k) {
+    const auto c = static_cast<std::uint64_t>(thread) +
+                   static_cast<std::uint64_t>(k) * span;
+    if (c < static_cast<std::uint64_t>(num_threads_))
+      kids.push_back(static_cast<int>(c));
+  }
+  return kids;
+}
+
+int HypercubeShape::report_level(int thread) const {
+  if (thread == 0) return levels_;
+  for (int l = 0; l < levels_; ++l)
+    if (!is_parent_at(thread, l)) return l;
+  return levels_;
+}
+
+int HypercubeShape::parent_of(int thread) const {
+  if (thread == 0) return -1;
+  const int l = report_level(thread);
+  const auto span = util::ipow(static_cast<std::uint64_t>(branch_),
+                               static_cast<unsigned>(l) + 1);
+  return static_cast<int>(
+      (static_cast<std::uint64_t>(thread) / span) * span);
+}
+
+// ---------------------------------------------------------------------------
+// Dissemination
+// ---------------------------------------------------------------------------
+
+int DisseminationShape::num_rounds(int num_threads) {
+  check_threads(num_threads);
+  return static_cast<int>(
+      util::log2_ceil(static_cast<std::uint64_t>(num_threads)));
+}
+
+int DisseminationShape::signal_partner(int thread, int round,
+                                       int num_threads) {
+  const auto p = static_cast<std::uint64_t>(num_threads);
+  const auto step = (std::uint64_t{1} << round) % p;
+  return static_cast<int>((static_cast<std::uint64_t>(thread) + step) % p);
+}
+
+int DisseminationShape::wait_partner(int thread, int round, int num_threads) {
+  const auto p = static_cast<std::uint64_t>(num_threads);
+  const auto step = (std::uint64_t{1} << round) % p;
+  return static_cast<int>((static_cast<std::uint64_t>(thread) + p - step) % p);
+}
+
+// ---------------------------------------------------------------------------
+// Wake-up trees
+// ---------------------------------------------------------------------------
+
+std::vector<int> binary_wakeup_children(int node, int num_threads) {
+  std::vector<int> kids;
+  if (2 * node + 1 < num_threads) kids.push_back(2 * node + 1);
+  if (2 * node + 2 < num_threads) kids.push_back(2 * node + 2);
+  return kids;
+}
+
+std::vector<int> numa_wakeup_children(int node, int num_threads,
+                                      int cluster_size) {
+  check_threads(num_threads);
+  if (cluster_size < 1)
+    throw std::invalid_argument("numa_wakeup_children: cluster_size >= 1");
+  if (node < 0 || node >= num_threads)
+    throw std::out_of_range("numa_wakeup_children: node out of range");
+
+  std::vector<int> kids;
+  const int local = node % cluster_size;
+  if (local == 0) {
+    // Master: binary tree over cluster indices, remote children first so
+    // the expensive cross-cluster wake-ups are issued earliest.
+    const int k = node / cluster_size;
+    for (int mk : {2 * k + 1, 2 * k + 2}) {
+      const int id = mk * cluster_size;
+      if (id < num_threads) kids.push_back(id);
+    }
+  }
+  // Local binary tree over local indices, rooted at the master (local 0).
+  const int base = node - local;
+  for (int cj : {2 * local + 1, 2 * local + 2}) {
+    if (cj < cluster_size && base + cj < num_threads)
+      kids.push_back(base + cj);
+  }
+  return kids;
+}
+
+namespace {
+
+template <typename ChildrenFn>
+std::pair<int, int> bfs_edges_depth(int num_threads, int cluster_size,
+                                    ChildrenFn&& children) {
+  std::vector<int> depth(static_cast<std::size_t>(num_threads), -1);
+  std::queue<int> q;
+  q.push(0);
+  depth[0] = 0;
+  int cross = 0, max_depth = 0, visited = 0;
+  while (!q.empty()) {
+    const int n = q.front();
+    q.pop();
+    ++visited;
+    max_depth = std::max(max_depth, depth[static_cast<std::size_t>(n)]);
+    for (int c : children(n)) {
+      if (depth[static_cast<std::size_t>(c)] != -1)
+        throw std::logic_error("wake-up tree: node has two parents");
+      depth[static_cast<std::size_t>(c)] = depth[static_cast<std::size_t>(n)] + 1;
+      if (c / cluster_size != n / cluster_size) ++cross;
+      q.push(c);
+    }
+  }
+  if (visited != num_threads)
+    throw std::logic_error("wake-up tree: not spanning");
+  return {cross, max_depth};
+}
+
+}  // namespace
+
+int cross_cluster_wakeup_edges(int num_threads, int cluster_size,
+                               bool numa_aware) {
+  auto children = [&](int n) {
+    return numa_aware ? numa_wakeup_children(n, num_threads, cluster_size)
+                      : binary_wakeup_children(n, num_threads);
+  };
+  return bfs_edges_depth(num_threads, cluster_size, children).first;
+}
+
+int wakeup_tree_depth(int num_threads, int cluster_size, bool numa_aware) {
+  auto children = [&](int n) {
+    return numa_aware ? numa_wakeup_children(n, num_threads, cluster_size)
+                      : binary_wakeup_children(n, num_threads);
+  };
+  return bfs_edges_depth(num_threads, cluster_size, children).second;
+}
+
+}  // namespace armbar::shape

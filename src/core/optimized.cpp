@@ -1,0 +1,23 @@
+#include "armbar/core/optimized.hpp"
+
+#include "armbar/model/cost_model.hpp"
+
+namespace armbar {
+
+OptimizedConfig OptimizedConfig::for_machine(const topo::Machine& machine) {
+  OptimizedConfig cfg;
+  cfg.fanin = model::recommended_fanin(machine.alpha());
+  cfg.cluster_size = machine.cluster_size();
+  // Section V-C / VI-B: compare the model's wake-up costs at the machine's
+  // full thread count.  Where the global sense is predicted cheaper (low
+  // α and c, e.g. Kunpeng920) use it; otherwise use the NUMA-aware tree,
+  // which is never worse than the plain binary tree.
+  const int p = machine.num_cores();
+  const double global_cost = model::global_wakeup_cost_topo_ns(machine, p);
+  const double tree_cost = model::tree_wakeup_cost_topo_ns(machine, p);
+  cfg.notify = global_cost <= tree_cost ? NotifyPolicy::kGlobalSense
+                                        : NotifyPolicy::kNumaTree;
+  return cfg;
+}
+
+}  // namespace armbar

@@ -1,0 +1,69 @@
+#include "armbar/epcc/epcc.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <stdexcept>
+
+namespace armbar::epcc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+}  // namespace
+
+void delay_work(int cycles) {
+  // Dependent integer adds the optimizer cannot elide or reassociate away.
+  volatile std::uint64_t sink = 0;
+  std::uint64_t x = 1;
+  for (int i = 0; i < cycles; ++i)
+    x += (x >> 3) + static_cast<std::uint64_t>(i);
+  sink = x;
+  (void)sink;
+}
+
+EpccResult measure_overhead(Barrier& barrier, ThreadTeam& team,
+                            const EpccConfig& config) {
+  if (team.size() != barrier.num_threads())
+    throw std::invalid_argument(
+        "measure_overhead: team size must match barrier thread count");
+  if (config.inner_iterations < 1 || config.outer_reps < 1)
+    throw std::invalid_argument("measure_overhead: bad config");
+
+  EpccResult result;
+
+  // Reference: the delay loop alone, on one thread (EPCC measures the
+  // sequential reference).
+  {
+    const auto t0 = Clock::now();
+    for (int i = 0; i < config.inner_iterations; ++i)
+      delay_work(config.delay_cycles);
+    result.reference_us_per_iter =
+        seconds_since(t0) * 1e6 / config.inner_iterations;
+  }
+
+  std::vector<double> per_rep;
+  per_rep.reserve(static_cast<std::size_t>(config.outer_reps));
+  for (int rep = 0; rep < config.outer_reps; ++rep) {
+    const auto t0 = Clock::now();
+    team.run([&](int tid) {
+      for (int i = 0; i < config.inner_iterations; ++i) {
+        delay_work(config.delay_cycles);
+        barrier.wait(tid);
+      }
+    });
+    const double us_per_iter =
+        seconds_since(t0) * 1e6 / config.inner_iterations;
+    per_rep.push_back(us_per_iter - result.reference_us_per_iter);
+  }
+
+  result.per_rep_overhead_us = util::summarize(per_rep);
+  result.overhead_us = result.per_rep_overhead_us.mean;
+  return result;
+}
+
+}  // namespace armbar::epcc

@@ -1,0 +1,127 @@
+#include "armbar/model/cost_model.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "armbar/util/bits.hpp"
+
+namespace armbar::model {
+
+OpCosts::OpCosts(const topo::Machine& m, int layer)
+    : epsilon_(m.epsilon_ns()),
+      l_(m.layer_info(layer).ns),
+      alpha_(m.alpha()) {}
+
+double arrival_cost_ns(int num_threads, int fanin, double layer_ns) {
+  if (num_threads < 1) throw std::invalid_argument("arrival_cost: P >= 1");
+  if (fanin < 2) throw std::invalid_argument("arrival_cost: fanin >= 2");
+  if (num_threads == 1) return 0.0;
+  const auto levels = util::log_ceil(static_cast<std::uint64_t>(num_threads),
+                                     static_cast<std::uint64_t>(fanin));
+  return static_cast<double>(levels) * (static_cast<double>(fanin) + 1.0) *
+         layer_ns;
+}
+
+double arrival_cost_continuous_ns(double num_threads, double fanin,
+                                  double layer_ns, double alpha) {
+  if (num_threads <= 1.0) return 0.0;
+  const double levels = std::log(num_threads) / std::log(fanin);
+  return levels * (fanin + 1.0 + alpha) * layer_ns;
+}
+
+double optimal_fanin_continuous(double alpha) {
+  if (alpha < 0.0 || alpha > 1.0)
+    throw std::invalid_argument("optimal_fanin_continuous: alpha in [0,1]");
+  // Solve (ln f - 1) * f = alpha for f >= e.  lhs is 0 at f = e and grows
+  // monotonically, reaching 1 at f ~ 3.591.
+  double lo = std::exp(1.0), hi = 4.0;
+  for (int i = 0; i < 200; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    const double lhs = (std::log(mid) - 1.0) * mid;
+    (lhs < alpha ? lo : hi) = mid;
+  }
+  return 0.5 * (lo + hi);
+}
+
+int recommended_fanin(double alpha) {
+  const double f = optimal_fanin_continuous(alpha);
+  // Continuous optimum is in [2.718, 3.591]; the nearest powers of two are
+  // 2 and 4.  Section V-B: pick 4 (matches N_c and shortens the tree).
+  return f > 2.0 ? 4 : 2;
+}
+
+double global_wakeup_cost_ns(int num_threads, double layer_ns, double alpha,
+                             double contention_ns) {
+  if (num_threads < 1) throw std::invalid_argument("global_wakeup: P >= 1");
+  if (num_threads == 1) return 0.0;
+  const double p1 = static_cast<double>(num_threads - 1);
+  return (p1 * alpha + 1.0) * layer_ns + contention_ns * p1;
+}
+
+double tree_wakeup_cost_ns(int num_threads, double layer_ns, double alpha) {
+  if (num_threads < 1) throw std::invalid_argument("tree_wakeup: P >= 1");
+  if (num_threads == 1) return 0.0;
+  const auto levels =
+      util::log2_ceil(static_cast<std::uint64_t>(num_threads) + 1);
+  return static_cast<double>(levels) * (alpha + 1.0) * layer_ns;
+}
+
+int wakeup_crossover_threads(double layer_ns, double alpha,
+                             double contention_ns, int max_threads) {
+  for (int p = 2; p <= max_threads; ++p) {
+    if (tree_wakeup_cost_ns(p, layer_ns, alpha) <
+        global_wakeup_cost_ns(p, layer_ns, alpha, contention_ns))
+      return p;
+  }
+  return -1;
+}
+
+namespace {
+double worst_layer_ns(const topo::Machine& m) {
+  double worst = 0.0;
+  for (int i = 0; i < m.num_layers(); ++i)
+    worst = std::max(worst, m.layer_info(i).ns);
+  return worst;
+}
+}  // namespace
+
+double global_wakeup_cost_ns(const topo::Machine& m, int num_threads) {
+  return global_wakeup_cost_ns(num_threads, worst_layer_ns(m), m.alpha(),
+                               m.contention_ns());
+}
+
+double tree_wakeup_cost_ns(const topo::Machine& m, int num_threads) {
+  return tree_wakeup_cost_ns(num_threads, worst_layer_ns(m), m.alpha());
+}
+
+double global_wakeup_cost_topo_ns(const topo::Machine& m, int num_threads) {
+  if (num_threads < 2) return 0.0;
+  double rfo = 0.0, worst = 0.0;
+  for (int t = 1; t < num_threads; ++t) {
+    const double l = m.comm_ns(0, t);
+    rfo += m.alpha() * l;
+    worst = std::max(worst, l);
+  }
+  return rfo + worst +
+         m.contention_ns() * static_cast<double>(num_threads - 1);
+}
+
+double tree_wakeup_cost_topo_ns(const topo::Machine& m, int num_threads) {
+  if (num_threads < 2) return 0.0;
+  // Deepest-cost root-to-leaf path of the binary wake-up tree (children
+  // 2n+1, 2n+2), accumulated via dynamic programming from the root.
+  std::vector<double> cost(static_cast<std::size_t>(num_threads), 0.0);
+  double worst_path = 0.0;
+  for (int n = 0; n < num_threads; ++n) {
+    for (int c : {2 * n + 1, 2 * n + 2}) {
+      if (c >= num_threads) continue;
+      cost[static_cast<std::size_t>(c)] =
+          cost[static_cast<std::size_t>(n)] +
+          (m.alpha() + 1.0) * m.comm_ns(n, c);
+      worst_path = std::max(worst_path, cost[static_cast<std::size_t>(c)]);
+    }
+  }
+  return worst_path;
+}
+
+}  // namespace armbar::model

@@ -1,0 +1,54 @@
+#include "armbar/rt/runtime.hpp"
+
+#include <algorithm>
+
+namespace armbar::rt {
+
+namespace {
+
+template <typename T>
+std::function<T(T, T)> op_fn(ReduceOp op) {
+  switch (op) {
+    case ReduceOp::kSum:
+      return [](T a, T b) { return a + b; };
+    case ReduceOp::kMin:
+      return [](T a, T b) { return std::min(a, b); };
+    case ReduceOp::kMax:
+      return [](T a, T b) { return std::max(a, b); };
+  }
+  throw std::invalid_argument("unknown ReduceOp");
+}
+
+}  // namespace
+
+Runtime::Runtime(Options options)
+    : options_(options),
+      workers_(options.threads),
+      barrier_(make_barrier(options.barrier_algo, options.threads,
+                            options.barrier_options)),
+      barrier_name_(barrier_.name()),
+      coll_f64_(options.threads, barrier_),
+      coll_i64_(options.threads, barrier_) {
+  if (options.threads < 1)
+    throw std::invalid_argument("Runtime: threads >= 1");
+}
+
+void Runtime::parallel(const std::function<void(Team&)>& body) {
+  const bool pin = options_.pin_threads && !pinned_;
+  workers_.run([&](int tid) {
+    if (pin) util::pin_current_thread(tid % util::online_cpus());
+    Team team(*this, tid);
+    body(team);
+  });
+  if (pin) pinned_ = true;
+}
+
+double Team::reduce(double value, ReduceOp op) {
+  return rt_.coll_f64_.allreduce(tid_, value, op_fn<double>(op));
+}
+
+long long Team::reduce(long long value, ReduceOp op) {
+  return rt_.coll_i64_.allreduce(tid_, value, op_fn<long long>(op));
+}
+
+}  // namespace armbar::rt

@@ -1,0 +1,51 @@
+#include "armbar/sim/engine.hpp"
+
+#include <stdexcept>
+
+namespace armbar::sim {
+
+Engine::~Engine() {
+  // Destroy any still-suspended frames (finished frames are destroyed here
+  // too: final_suspend keeps them alive until the engine releases them).
+  for (auto h : threads_)
+    if (h) h.destroy();
+}
+
+void Engine::schedule(Picos t, std::coroutine_handle<> h) {
+  if (t < now_) throw std::logic_error("Engine::schedule: time in the past");
+  queue_.push(Event{t, next_seq_++, h});
+}
+
+std::size_t Engine::spawn(SimThread&& thread) {
+  auto h = thread.release();
+  if (!h) throw std::invalid_argument("Engine::spawn: empty thread");
+  threads_.push_back(h);
+  schedule(now_, h);
+  return threads_.size() - 1;
+}
+
+bool Engine::run(std::uint64_t max_events) {
+  while (!queue_.empty()) {
+    if (events_ >= max_events)
+      throw std::runtime_error("Engine::run: event budget exhausted");
+    const Event ev = queue_.top();
+    queue_.pop();
+    now_ = ev.t;
+    ++events_;
+    ev.h.resume();
+  }
+  // Rethrow the first simulated-thread exception, in spawn order.
+  for (auto h : threads_) {
+    if (h && h.promise().error) std::rethrow_exception(h.promise().error);
+  }
+  for (auto h : threads_)
+    if (h && !h.promise().done) return false;  // deadlock
+  return true;
+}
+
+bool Engine::finished(std::size_t thread_id) const {
+  const auto h = threads_.at(thread_id);
+  return h && h.promise().done;
+}
+
+}  // namespace armbar::sim

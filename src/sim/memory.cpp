@@ -1,0 +1,418 @@
+#include "armbar/sim/memory.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace armbar::sim {
+
+MemSystem::MemSystem(Engine& engine, topo::Machine machine)
+    : engine_(engine), machine_(std::move(machine)) {
+  stats_.layer_transfers.assign(
+      static_cast<std::size_t>(machine_.num_layers()), 0);
+  core_miss_finish_.resize(static_cast<std::size_t>(machine_.num_cores()));
+}
+
+// ---------------------------------------------------------------------------
+// Allocation
+// ---------------------------------------------------------------------------
+
+LineId MemSystem::new_line() {
+  Line l;
+  l.sharer.assign(static_cast<std::size_t>(machine_.num_cores()), false);
+  lines_.push_back(std::move(l));
+  return static_cast<LineId>(lines_.size() - 1);
+}
+
+VarId MemSystem::new_var(std::uint64_t init) {
+  return new_var_on(new_line(), init);
+}
+
+VarId MemSystem::new_var_on(LineId line, std::uint64_t init) {
+  if (line < 0 || static_cast<std::size_t>(line) >= lines_.size())
+    throw std::out_of_range("MemSystem::new_var_on: bad line");
+  vars_.push_back(Var{line, init});
+  return static_cast<VarId>(vars_.size() - 1);
+}
+
+std::vector<VarId> MemSystem::new_padded_array(int n, std::uint64_t init) {
+  std::vector<VarId> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) out.push_back(new_var(init));
+  return out;
+}
+
+std::vector<VarId> MemSystem::new_packed_array(int n, int bytes_per_var,
+                                               std::uint64_t init) {
+  if (bytes_per_var < 1)
+    throw std::invalid_argument("new_packed_array: bytes_per_var >= 1");
+  const int per_line =
+      std::max(1, machine_.cacheline_bytes() / bytes_per_var);
+  std::vector<VarId> out;
+  out.reserve(static_cast<std::size_t>(n));
+  LineId line = -1;
+  for (int i = 0; i < n; ++i) {
+    if (i % per_line == 0) line = new_line();
+    out.push_back(new_var_on(line, init));
+  }
+  return out;
+}
+
+LineId MemSystem::line_of(VarId v) const {
+  return vars_.at(static_cast<std::size_t>(v)).line;
+}
+
+std::uint64_t MemSystem::peek(VarId v) const {
+  return vars_.at(static_cast<std::size_t>(v)).value;
+}
+
+void MemSystem::poke(VarId v, std::uint64_t value) {
+  vars_.at(static_cast<std::size_t>(v)).value = value;
+}
+
+void MemSystem::reset_stats() {
+  stats_ = MemStats{};
+  stats_.layer_transfers.assign(
+      static_cast<std::size_t>(machine_.num_layers()), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Cost helpers
+// ---------------------------------------------------------------------------
+
+void MemSystem::check_core(int core) const {
+  if (core < 0 || core >= machine_.num_cores())
+    throw std::out_of_range("MemSystem: core index out of range");
+}
+
+int MemSystem::pick_source(const Line& l, int core) const {
+  // Prefer the owner (last writer); otherwise forward from the nearest
+  // valid copy (deterministic tie-break on core index).
+  if (l.owner >= 0 && l.owner != core &&
+      l.sharer[static_cast<std::size_t>(l.owner)])
+    return l.owner;
+  int best = -1;
+  util::Picos best_cost = 0;
+  for (int s = 0; s < machine_.num_cores(); ++s) {
+    if (s == core || !l.sharer[static_cast<std::size_t>(s)]) continue;
+    const util::Picos cost = machine_.comm_ps(core, s);
+    if (best == -1 || cost < best_cost) {
+      best = s;
+      best_cost = cost;
+    }
+  }
+  return best;
+}
+
+int MemSystem::count_inflight(std::vector<Picos>& finishes, Picos at) {
+  finishes.erase(std::remove_if(finishes.begin(), finishes.end(),
+                                [at](Picos f) { return f <= at; }),
+                 finishes.end());
+  return static_cast<int>(finishes.size());
+}
+
+Picos MemSystem::read_at(int core, LineId line, Picos issue, bool is_poll) {
+  Line& l = lines_[static_cast<std::size_t>(line)];
+  const Picos start = std::max(issue, l.busy_until);
+
+  if (is_poll) ++stats_.poll_reads;
+
+  ++l.read_count;
+  if (l.sharer[static_cast<std::size_t>(core)]) {
+    ++stats_.local_reads;
+    const Picos finish = start + machine_.epsilon_ps();
+    if (tracer_)
+      tracer_->record({start, finish, core, line,
+                       is_poll ? TraceEvent::Kind::kPoll
+                               : TraceEvent::Kind::kRead});
+    return finish;
+  }
+
+  const int src = pick_source(l, core);
+  Picos cost;
+  if (src == -1) {
+    // Cold line: no cached copy anywhere; abstracted as a local fill.
+    cost = machine_.epsilon_ps();
+  } else {
+    cost = machine_.comm_ps(core, src);
+    ++stats_.layer_transfers[static_cast<std::size_t>(
+        machine_.layer(core, src))];
+  }
+  // Reader contention (eq. 3's c term): pay c per other read of this line
+  // still in flight when ours starts.
+  cost += machine_.contention_ps() *
+          static_cast<Picos>(count_inflight(l.read_finish, start));
+  // Memory-level-parallelism bound: each additional miss this core has in
+  // flight delays the response delivery.
+  auto& mine = core_miss_finish_[static_cast<std::size_t>(core)];
+  cost += machine_.mlp_delay_ps() *
+          static_cast<Picos>(count_inflight(mine, start));
+  // Machine-wide network contention: every other remote transfer currently
+  // in flight adds a small queuing delay (the on-chip network saturation
+  // that hurts the dissemination barrier's all-pairs traffic).
+  const bool is_remote_transfer = src != -1;
+  if (is_remote_transfer)
+    cost += machine_.net_contention_ps() *
+            static_cast<Picos>(count_inflight(net_inflight_, start));
+
+  const Picos finish = start + cost;
+  l.read_finish.push_back(finish);
+  mine.push_back(finish);
+  if (is_remote_transfer) net_inflight_.push_back(finish);
+  l.sharer[static_cast<std::size_t>(core)] = true;
+  if (l.owner == -1) l.owner = core;
+  ++stats_.remote_reads;
+  if (tracer_)
+    tracer_->record({start, finish, core, line,
+                     is_poll ? TraceEvent::Kind::kPoll
+                             : TraceEvent::Kind::kRead});
+  return finish;
+}
+
+Picos MemSystem::write_at(int core, LineId line, Picos issue, bool is_rmw) {
+  Line& l = lines_[static_cast<std::size_t>(line)];
+  // Exclusive transactions on a line serialize (packed-flag effect).
+  const Picos start = std::max(issue, l.busy_until);
+
+  ++l.write_count;
+  Picos base;
+  bool fetched_remotely = false;
+  if (l.sharer[static_cast<std::size_t>(core)]) {
+    base = machine_.epsilon_ps();
+    ++(is_rmw ? stats_.rmws : stats_.local_writes);
+  } else {
+    const int src = pick_source(l, core);
+    if (src == -1) {
+      base = machine_.epsilon_ps();
+    } else {
+      base = machine_.comm_ps(core, src);
+      fetched_remotely = true;
+      ++stats_.layer_transfers[static_cast<std::size_t>(
+          machine_.layer(core, src))];
+    }
+    ++(is_rmw ? stats_.rmws : stats_.remote_writes);
+  }
+
+  // RFO: invalidate every other copy, α·L each (Section III-B).  Parked
+  // spinners count as copy holders even if an earlier queued write already
+  // cleared their sharer bit: their wake re-poll re-caches the line before
+  // this (serialized) transaction starts, so the invalidation must be paid
+  // again.  This is the cascade that makes the centralized barrier
+  // quadratic on the packed counter+generation line.
+  Picos rfo = 0;
+  const double alpha = machine_.alpha();
+  std::vector<bool> holder(l.sharer);
+  for (const WaiterBase* w : l.waiters) {
+    holder[static_cast<std::size_t>(w->core_)] = true;
+  }
+  for (int s = 0; s < machine_.num_cores(); ++s) {
+    if (s == core || !holder[static_cast<std::size_t>(s)]) continue;
+    rfo += static_cast<Picos>(alpha *
+                              static_cast<double>(machine_.comm_ps(core, s)));
+    ++stats_.invalidations;
+    l.sharer[static_cast<std::size_t>(s)] = false;
+  }
+
+  // Poll pressure: an invalidating transaction on a line that many cores
+  // are re-reading contends with those reads at the line's home — the
+  // network-controller contention of Section IV-B that makes the
+  // centralized barrier super-linear.  Each in-flight read of the line
+  // adds c.
+  Picos cost =
+      base + rfo +
+      machine_.contention_ps() *
+          static_cast<Picos>(count_inflight(l.read_finish, start));
+  // Machine-wide network contention for the fetch and the invalidations.
+  const bool is_remote_transfer = fetched_remotely || rfo > 0;
+  if (is_remote_transfer)
+    cost += machine_.net_contention_ps() *
+            static_cast<Picos>(count_inflight(net_inflight_, start));
+
+  const Picos finish = start + cost;
+  if (is_remote_transfer) net_inflight_.push_back(finish);
+  // A plain store occupies the line until ownership has migrated (base);
+  // the RFO / contention tail delays observers of THIS write (wake time
+  // below) but a subsequent store can begin acquiring ownership meanwhile.
+  // An atomic RMW holds the line exclusively for the whole transaction —
+  // that is what serializes the centralized barrier's arrival chain.
+  l.busy_until = is_rmw ? finish : start + base;
+  l.sharer[static_cast<std::size_t>(core)] = true;
+  l.owner = core;
+  if (tracer_)
+    tracer_->record({start, finish, core, line,
+                     is_rmw ? TraceEvent::Kind::kRmw
+                            : TraceEvent::Kind::kWrite});
+  wake_waiters(line, finish);
+  return finish;
+}
+
+void MemSystem::wake_waiters(LineId line, Picos when) {
+  Line& l = lines_[static_cast<std::size_t>(line)];
+  if (l.waiters.empty()) return;
+  std::vector<WaiterBase*> pending;
+  pending.swap(l.waiters);
+  for (WaiterBase* w : pending) {
+    // Each parked poller re-fetches the line (costed read at the write's
+    // completion); on predicate failure it parks again — but it has
+    // re-joined the sharer set, so the next write pays to invalidate it.
+    const Picos finish = read_at(w->core_, line, when, /*is_poll=*/true);
+    if (w->on_line_write(*this, line, finish)) l.waiters.push_back(w);
+  }
+}
+
+std::vector<MemSystem::HotLine> MemSystem::hot_lines(int top_n) const {
+  std::vector<HotLine> all;
+  all.reserve(lines_.size());
+  for (std::size_t i = 0; i < lines_.size(); ++i) {
+    HotLine h;
+    h.line = static_cast<LineId>(i);
+    h.reads = lines_[i].read_count;
+    h.writes = lines_[i].write_count;
+    if (h.total() > 0) all.push_back(h);
+  }
+  std::sort(all.begin(), all.end(), [](const HotLine& a, const HotLine& b) {
+    return a.total() != b.total() ? a.total() > b.total() : a.line < b.line;
+  });
+  if (top_n >= 0 && all.size() > static_cast<std::size_t>(top_n))
+    all.resize(static_cast<std::size_t>(top_n));
+  return all;
+}
+
+// ---------------------------------------------------------------------------
+// Public operations
+// ---------------------------------------------------------------------------
+
+MemSystem::OpAwaiter MemSystem::read(int core, VarId v) {
+  check_core(core);
+  const Var& var = vars_.at(static_cast<std::size_t>(v));
+  const Picos finish = read_at(core, var.line, engine_.now(), false);
+  return OpAwaiter(engine_, finish, var.value);
+}
+
+MemSystem::OpAwaiter MemSystem::write(int core, VarId v, std::uint64_t value) {
+  check_core(core);
+  Var& var = vars_.at(static_cast<std::size_t>(v));
+  var.value = value;
+  write_at(core, var.line, engine_.now(), false);
+  // Store-buffer semantics: a plain store retires immediately for the
+  // writer (epsilon); the cacheline transaction — serialization,
+  // invalidations, waiter wake-ups — proceeds asynchronously and is
+  // what observers pay for.
+  return OpAwaiter(engine_, engine_.now() + machine_.epsilon_ps(), value);
+}
+
+MemSystem::OpAwaiter MemSystem::rmw(
+    int core, VarId v, const std::function<std::uint64_t(std::uint64_t)>& f) {
+  check_core(core);
+  Var& var = vars_.at(static_cast<std::size_t>(v));
+  const std::uint64_t old = var.value;
+  var.value = f(old);
+  const Picos finish = write_at(core, var.line, engine_.now(), true);
+  return OpAwaiter(engine_, finish, old);
+}
+
+MemSystem::OpAwaiter MemSystem::fetch_add(int core, VarId v,
+                                          std::uint64_t delta) {
+  return rmw(core, v, [delta](std::uint64_t x) { return x + delta; });
+}
+
+MemSystem::OpAwaiter MemSystem::fetch_sub(int core, VarId v,
+                                          std::uint64_t delta) {
+  return rmw(core, v, [delta](std::uint64_t x) { return x - delta; });
+}
+
+MemSystem::SpinAwaiter MemSystem::spin_until(
+    int core, VarId v, std::function<bool(std::uint64_t)> pred) {
+  check_core(core);
+  return SpinAwaiter(*this, core, v, std::move(pred));
+}
+
+MemSystem::SpinAllAwaiter MemSystem::spin_until_all(
+    int core, std::vector<VarId> vars,
+    std::function<bool(std::uint64_t)> pred) {
+  check_core(core);
+  return SpinAllAwaiter(*this, core, std::move(vars), std::move(pred));
+}
+
+void MemSystem::SpinAwaiter::await_suspend(std::coroutine_handle<> h) {
+  handle_ = h;
+  const Var& var = mem_.vars_.at(static_cast<std::size_t>(var_));
+  // Initial poll: a normal costed read.
+  const Picos finish = mem_.read_at(core_, var.line, mem_.engine_.now(), false);
+  const std::uint64_t v = var.value;
+  if (pred_(v)) {
+    result_ = v;
+    mem_.engine_.schedule(finish, handle_);
+    return;
+  }
+  // Park: the next write to the line re-polls us.
+  mem_.lines_[static_cast<std::size_t>(var.line)].waiters.push_back(this);
+}
+
+bool MemSystem::SpinAwaiter::on_line_write(MemSystem& mem, LineId /*line*/,
+                                           Picos read_finish) {
+  const std::uint64_t v = mem.vars_[static_cast<std::size_t>(var_)].value;
+  if (pred_(v)) {
+    result_ = v;
+    mem.engine_.schedule(read_finish, handle_);
+    return false;
+  }
+  return true;
+}
+
+MemSystem::SpinAllAwaiter::SpinAllAwaiter(
+    MemSystem& mem, int core, std::vector<VarId> vars,
+    std::function<bool(std::uint64_t)> pred)
+    : WaiterBase(core), mem_(mem), pred_(std::move(pred)) {
+  for (VarId v : vars) {
+    const LineId line = mem_.line_of(v);
+    pending_[line].push_back(v);
+    ++remaining_;
+  }
+}
+
+bool MemSystem::SpinAllAwaiter::settle_line(LineId line) {
+  const auto it = pending_.find(line);
+  if (it == pending_.end()) return false;
+  auto& vars = it->second;
+  vars.erase(std::remove_if(vars.begin(), vars.end(),
+                            [&](VarId v) {
+                              if (!pred_(mem_.peek(v))) return false;
+                              --remaining_;
+                              return true;
+                            }),
+             vars.end());
+  if (vars.empty()) {
+    pending_.erase(it);
+    return false;
+  }
+  return true;
+}
+
+void MemSystem::SpinAllAwaiter::await_suspend(std::coroutine_handle<> h) {
+  handle_ = h;
+  // Initial polls: one read per watched line, all issued now; misses
+  // overlap subject to the per-core MLP bound.
+  const Picos now = mem_.engine_.now();
+  Picos max_finish = now;
+  std::vector<LineId> watched;
+  watched.reserve(pending_.size());
+  for (const auto& [line, vars] : pending_) watched.push_back(line);
+  for (const LineId line : watched)
+    max_finish = std::max(max_finish, mem_.read_at(core_, line, now, false));
+  latest_read_ = max_finish;
+  for (const LineId line : watched) {
+    if (settle_line(line))
+      mem_.lines_[static_cast<std::size_t>(line)].waiters.push_back(this);
+  }
+  if (remaining_ == 0) mem_.engine_.schedule(latest_read_, handle_);
+}
+
+bool MemSystem::SpinAllAwaiter::on_line_write(MemSystem& mem, LineId line,
+                                              Picos read_finish) {
+  latest_read_ = std::max(latest_read_, read_finish);
+  const bool stay = settle_line(line);
+  if (remaining_ == 0) mem.engine_.schedule(latest_read_, handle_);
+  return stay;
+}
+
+}  // namespace armbar::sim

@@ -1,0 +1,79 @@
+#include "armbar/sim/trace.hpp"
+
+#include <sstream>
+
+namespace armbar::sim {
+
+std::string to_string(TraceEvent::Kind kind) {
+  switch (kind) {
+    case TraceEvent::Kind::kRead: return "read";
+    case TraceEvent::Kind::kWrite: return "write";
+    case TraceEvent::Kind::kRmw: return "rmw";
+    case TraceEvent::Kind::kPoll: return "poll";
+  }
+  return "?";
+}
+
+Tracer::Tracer(std::size_t capacity) : capacity_(capacity) {
+  events_.reserve(std::min<std::size_t>(capacity, 4096));
+}
+
+void Tracer::record(const TraceEvent& ev) {
+  if (events_.size() >= capacity_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(ev);
+}
+
+void Tracer::clear() {
+  events_.clear();
+  dropped_ = 0;
+}
+
+std::vector<Tracer::CoreSummary> Tracer::summarize(int num_cores) const {
+  std::vector<CoreSummary> out(static_cast<std::size_t>(num_cores));
+  for (int c = 0; c < num_cores; ++c) out[static_cast<std::size_t>(c)].core = c;
+  for (const TraceEvent& ev : events_) {
+    if (ev.core < 0 || ev.core >= num_cores) continue;
+    CoreSummary& s = out[static_cast<std::size_t>(ev.core)];
+    switch (ev.kind) {
+      case TraceEvent::Kind::kRead: ++s.reads; break;
+      case TraceEvent::Kind::kWrite: ++s.writes; break;
+      case TraceEvent::Kind::kRmw: ++s.rmws; break;
+      case TraceEvent::Kind::kPoll: ++s.polls; break;
+    }
+    s.busy_ps += ev.finish - ev.start;
+  }
+  return out;
+}
+
+std::string Tracer::to_csv() const {
+  std::ostringstream os;
+  os << "start_ps,finish_ps,core,line,kind\n";
+  for (const TraceEvent& ev : events_) {
+    os << ev.start << ',' << ev.finish << ',' << ev.core << ',' << ev.line
+       << ',' << to_string(ev.kind) << '\n';
+  }
+  return os.str();
+}
+
+std::string Tracer::to_chrome_json() const {
+  std::ostringstream os;
+  os << "[";
+  bool first = true;
+  for (const TraceEvent& ev : events_) {
+    if (!first) os << ",";
+    first = false;
+    // Complete ("X") events: ts/dur in microseconds (fractional allowed).
+    os << "\n  {\"name\":\"" << to_string(ev.kind) << " L" << ev.line
+       << "\",\"cat\":\"mem\",\"ph\":\"X\",\"ts\":"
+       << static_cast<double>(ev.start) / 1e6
+       << ",\"dur\":" << static_cast<double>(ev.finish - ev.start) / 1e6
+       << ",\"pid\":0,\"tid\":" << ev.core << "}";
+  }
+  os << "\n]\n";
+  return os.str();
+}
+
+}  // namespace armbar::sim

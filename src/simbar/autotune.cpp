@@ -1,0 +1,57 @@
+#include "armbar/simbar/autotune.hpp"
+
+#include <algorithm>
+
+#include "armbar/simbar/sim_barriers.hpp"
+
+namespace armbar::simbar {
+
+std::vector<std::pair<Algo, MakeOptions>> default_tune_candidates(
+    const topo::Machine& machine) {
+  const int nc = machine.cluster_size();
+  std::vector<std::pair<Algo, MakeOptions>> out;
+  for (Algo a : {Algo::kSense, Algo::kDissemination, Algo::kCombiningTree,
+                 Algo::kMcsTree, Algo::kTournament, Algo::kStaticFway,
+                 Algo::kStaticFwayPadded, Algo::kDynamicFway, Algo::kHybrid,
+                 Algo::kNWayDissemination, Algo::kRing}) {
+    out.emplace_back(a, MakeOptions{.cluster_size = nc});
+  }
+  for (int fanin : {2, 4, 8}) {
+    for (NotifyPolicy notify :
+         {NotifyPolicy::kGlobalSense, NotifyPolicy::kBinaryTree,
+          NotifyPolicy::kNumaTree}) {
+      out.emplace_back(Algo::kOptimized,
+                       MakeOptions{.fanin = fanin, .notify = notify,
+                                   .cluster_size = nc});
+    }
+  }
+  return out;
+}
+
+TuneResult autotune(const topo::Machine& machine, int threads,
+                    int iterations) {
+  SimRunConfig cfg;
+  cfg.threads = threads;
+  cfg.iterations = iterations;
+  cfg.warmup = std::min(4, iterations - 1);
+
+  TuneResult result;
+  for (const auto& [algo, options] : default_tune_candidates(machine)) {
+    const SimResult r =
+        measure_barrier(machine, sim_factory(algo, options), cfg);
+    TuneCandidate c;
+    c.algo = algo;
+    c.options = options;
+    c.name = r.barrier_name;
+    c.overhead_us = r.mean_overhead_ns / 1000.0;
+    result.ranking.push_back(std::move(c));
+  }
+  std::stable_sort(result.ranking.begin(), result.ranking.end(),
+                   [](const TuneCandidate& a, const TuneCandidate& b) {
+                     return a.overhead_us < b.overhead_us;
+                   });
+  result.best = result.ranking.front();
+  return result;
+}
+
+}  // namespace armbar::simbar

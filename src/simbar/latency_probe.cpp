@@ -1,0 +1,79 @@
+#include "armbar/simbar/latency_probe.hpp"
+
+#include <map>
+#include <stdexcept>
+
+#include "armbar/sim/engine.hpp"
+#include "armbar/sim/memory.hpp"
+
+namespace armbar::simbar {
+
+namespace {
+
+sim::SimThread probe_program(sim::Engine& engine, sim::MemSystem& mem,
+                             int placer, int accessor, double& out_ns) {
+  const sim::VarId v = mem.new_var(0);
+  // Warm the placer's cache: write once (establishes ownership), read once.
+  co_await mem.write(placer, v, 42);
+  co_await mem.read(placer, v);
+  const util::Picos t0 = engine.now();
+  co_await mem.read(accessor, v);
+  out_ns = util::ps_to_ns(engine.now() - t0);
+}
+
+}  // namespace
+
+double measure_pair_latency_ns(const topo::Machine& machine, int placer_core,
+                               int accessor_core) {
+  sim::Engine engine;
+  sim::MemSystem mem(engine, machine);
+  double out = 0.0;
+  engine.spawn(probe_program(engine, mem, placer_core, accessor_core, out));
+  if (!engine.run())
+    throw std::runtime_error("latency probe deadlocked");
+  return out;
+}
+
+std::vector<LatencyRow> probe_latency_table(const topo::Machine& machine) {
+  struct Acc {
+    double sum = 0.0;
+    int n = 0;
+  };
+  std::map<int, Acc> by_layer;
+
+  // ε: same-core access.
+  by_layer[-1].sum += measure_pair_latency_ns(machine, 0, 0);
+  by_layer[-1].n += 1;
+
+  // All distinct pairs involving core 0 plus a diagonal sample of other
+  // pairs, enough to cover every layer of every machine we model.
+  for (int b = 1; b < machine.num_cores(); ++b) {
+    const int layer = machine.layer(0, b);
+    auto& acc = by_layer[layer];
+    acc.sum += measure_pair_latency_ns(machine, 0, b);
+    acc.n += 1;
+  }
+  for (int a = 1; a < machine.num_cores(); ++a) {
+    const int b = (a * 7 + 3) % machine.num_cores();
+    if (a == b) continue;
+    auto& acc = by_layer[machine.layer(a, b)];
+    acc.sum += measure_pair_latency_ns(machine, a, b);
+    acc.n += 1;
+  }
+
+  std::vector<LatencyRow> rows;
+  for (const auto& [layer, acc] : by_layer) {
+    LatencyRow row;
+    row.layer = layer;
+    row.layer_name =
+        layer < 0 ? "local" : machine.layer_info(layer).name;
+    row.measured_ns = acc.sum / acc.n;
+    row.table_ns =
+        layer < 0 ? machine.epsilon_ns() : machine.layer_info(layer).ns;
+    row.pairs_sampled = acc.n;
+    rows.push_back(std::move(row));
+  }
+  return rows;
+}
+
+}  // namespace armbar::simbar

@@ -1,0 +1,129 @@
+#include "armbar/simbar/runner.hpp"
+
+#include <stdexcept>
+
+namespace armbar::simbar {
+
+Recorder::Recorder(int threads, int iterations)
+    : threads_(threads), iterations_(iterations) {
+  if (threads < 1 || iterations < 1)
+    throw std::invalid_argument("Recorder: threads/iterations >= 1");
+  enter_.assign(static_cast<std::size_t>(threads) *
+                    static_cast<std::size_t>(iterations),
+                0);
+  exit_.assign(enter_.size(), 0);
+}
+
+std::size_t Recorder::idx(int tid, int iter) const {
+  if (tid < 0 || tid >= threads_ || iter < 0 || iter >= iterations_)
+    throw std::out_of_range("Recorder: index out of range");
+  return static_cast<std::size_t>(tid) * static_cast<std::size_t>(iterations_) +
+         static_cast<std::size_t>(iter);
+}
+
+void Recorder::enter(int tid, int iter, Picos t) { enter_[idx(tid, iter)] = t; }
+void Recorder::exit(int tid, int iter, Picos t) { exit_[idx(tid, iter)] = t; }
+
+Picos Recorder::enter_time(int tid, int iter) const {
+  return enter_[idx(tid, iter)];
+}
+Picos Recorder::exit_time(int tid, int iter) const {
+  return exit_[idx(tid, iter)];
+}
+
+Picos Recorder::episode_end(int iter) const {
+  Picos end = 0;
+  for (int t = 0; t < threads_; ++t)
+    end = std::max(end, exit_[idx(t, iter)]);
+  return end;
+}
+
+Picos Recorder::episode_begin(int iter) const {
+  Picos begin = exit_[idx(0, iter)];
+  for (int t = 0; t < threads_; ++t)
+    begin = std::min(begin, enter_[idx(t, iter)]);
+  return begin;
+}
+
+double Recorder::episode_overhead_ns(int iter, Picos think_ps) const {
+  const Picos prev = iter == 0 ? 0 : episode_end(iter - 1);
+  const Picos end = episode_end(iter);
+  const Picos span = end > prev ? end - prev : 0;
+  const Picos net = span > think_ps ? span - think_ps : 0;
+  return util::ps_to_ns(net);
+}
+
+double Recorder::mean_overhead_ns(int warmup, Picos think_ps) const {
+  if (warmup >= iterations_)
+    throw std::invalid_argument("Recorder: warmup must be < iterations");
+  double sum = 0.0;
+  int n = 0;
+  for (int i = warmup; i < iterations_; ++i) {
+    sum += episode_overhead_ns(i, think_ps);
+    ++n;
+  }
+  return sum / n;
+}
+
+namespace {
+std::uint64_t mix_tid(int tid) {
+  std::uint64_t x = static_cast<std::uint64_t>(static_cast<unsigned>(tid)) +
+                    0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+sim::WakeAt SimBarrier::episode_delay(int tid, const SimRunConfig& cfg) const {
+  Picos d = cfg.think_ps + runtime_overhead_ps_;
+  if (cfg.skew_ps > 0) d += mix_tid(tid) % cfg.skew_ps;
+  return sim::WakeAt{eng_, eng_.now() + d};
+}
+
+SimResult measure_barrier(const topo::Machine& machine,
+                          const SimBarrierFactory& factory,
+                          const SimRunConfig& cfg, sim::Tracer* tracer) {
+  if (cfg.threads < 1 || cfg.threads > machine.num_cores())
+    throw std::invalid_argument(
+        "measure_barrier: threads must be in [1, machine cores]");
+  if (!cfg.core_of_thread.empty()) {
+    if (static_cast<int>(cfg.core_of_thread.size()) != cfg.threads)
+      throw std::invalid_argument(
+          "measure_barrier: placement size must equal thread count");
+    std::vector<bool> used(static_cast<std::size_t>(machine.num_cores()),
+                           false);
+    for (const int core : cfg.core_of_thread) {
+      if (core < 0 || core >= machine.num_cores())
+        throw std::invalid_argument(
+            "measure_barrier: placement core out of range");
+      if (used[static_cast<std::size_t>(core)])
+        throw std::invalid_argument(
+            "measure_barrier: placement cores must be distinct");
+      used[static_cast<std::size_t>(core)] = true;
+    }
+  }
+  sim::Engine engine;
+  sim::MemSystem mem(engine, machine);
+  mem.set_tracer(tracer);
+  const auto barrier = factory(engine, mem, cfg.threads);
+  Recorder rec(cfg.threads, cfg.iterations);
+  for (int t = 0; t < cfg.threads; ++t)
+    engine.spawn(barrier->run_thread(t, cfg, rec));
+  if (!engine.run())
+    throw std::runtime_error("simulated deadlock in barrier '" +
+                             barrier->name() + "' with " +
+                             std::to_string(cfg.threads) + " threads on " +
+                             machine.name());
+  SimResult result;
+  result.barrier_name = barrier->name();
+  result.mean_overhead_ns = rec.mean_overhead_ns(cfg.warmup, cfg.think_ps);
+  result.per_episode_ns.reserve(static_cast<std::size_t>(cfg.iterations));
+  for (int i = 0; i < cfg.iterations; ++i)
+    result.per_episode_ns.push_back(rec.episode_overhead_ns(i, cfg.think_ps));
+  result.stats = mem.stats();
+  result.hot_lines = mem.hot_lines(5);
+  return result;
+}
+
+}  // namespace armbar::simbar

@@ -1,0 +1,709 @@
+#include "armbar/simbar/sim_barriers.hpp"
+
+#include <stdexcept>
+
+namespace armbar::simbar {
+
+namespace {
+/// Episode i uses epoch i+1 (variables start at 0).
+constexpr std::uint64_t epoch_of(int iteration) {
+  return static_cast<std::uint64_t>(iteration) + 1;
+}
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SimSense
+// ---------------------------------------------------------------------------
+
+SimSense::SimSense(sim::Engine& engine, sim::MemSystem& mem, int threads,
+                   bool packed)
+    : SimBarrier(engine, mem, threads), packed_(packed) {
+  if (packed) {
+    const sim::LineId line = mem.new_line();
+    count_ = mem.new_var_on(line, static_cast<std::uint64_t>(threads));
+    gen_ = mem.new_var_on(line, 0);
+  } else {
+    count_ = mem.new_var(static_cast<std::uint64_t>(threads));
+    gen_ = mem.new_var(0);
+  }
+}
+
+sim::SimThread SimSense::run_thread(int tid, const SimRunConfig& cfg,
+                                    Recorder& rec) {
+  const int core = cfg.core_of(tid);
+  for (int it = 0; it < cfg.iterations; ++it) {
+    co_await episode_delay(tid, cfg);
+    rec.enter(tid, it, eng_.now());
+    const std::uint64_t e = epoch_of(it);
+    co_await mem_.read(core, gen_);  // load the generation, as libgomp does
+    const std::uint64_t old = co_await mem_.fetch_sub(core, count_, 1);
+    if (old == 1) {
+      co_await mem_.write(core, count_,
+                          static_cast<std::uint64_t>(threads_));
+      co_await mem_.write(core, gen_, e);
+    } else {
+      co_await mem_.spin_until(
+          core, gen_, [e](std::uint64_t v) { return v >= e; });
+    }
+    rec.exit(tid, it, eng_.now());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SimDissemination
+// ---------------------------------------------------------------------------
+
+SimDissemination::SimDissemination(sim::Engine& engine, sim::MemSystem& mem,
+                                   int threads)
+    : SimBarrier(engine, mem, threads),
+      rounds_(shape::DisseminationShape::num_rounds(threads)) {
+  // Epoch-valued flags (one per thread per round, each on its own line)
+  // replace the native parity/sense double-banking; the communication
+  // structure per episode is identical.
+  flags_ = mem.new_padded_array(threads * std::max(rounds_, 1));
+}
+
+sim::VarId SimDissemination::flag(int tid, int round) const {
+  return flags_[static_cast<std::size_t>(tid) *
+                    static_cast<std::size_t>(std::max(rounds_, 1)) +
+                static_cast<std::size_t>(round)];
+}
+
+sim::SimThread SimDissemination::run_thread(int tid, const SimRunConfig& cfg,
+                                            Recorder& rec) {
+  const int core = cfg.core_of(tid);
+  for (int it = 0; it < cfg.iterations; ++it) {
+    co_await episode_delay(tid, cfg);
+    rec.enter(tid, it, eng_.now());
+    const std::uint64_t e = epoch_of(it);
+    for (int r = 0; r < rounds_; ++r) {
+      const int out =
+          shape::DisseminationShape::signal_partner(tid, r, threads_);
+      co_await mem_.write(core, flag(out, r), e);
+      co_await mem_.spin_until(
+          core, flag(tid, r), [e](std::uint64_t v) { return v >= e; });
+    }
+    rec.exit(tid, it, eng_.now());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SimCombining
+// ---------------------------------------------------------------------------
+
+SimCombining::SimCombining(sim::Engine& engine, sim::MemSystem& mem,
+                           int threads, int fanin)
+    : SimBarrier(engine, mem, threads),
+      fanin_(fanin),
+      tree_(shape::CombiningTree::build(threads, fanin)) {
+  counters_.reserve(tree_.nodes.size());
+  for (const auto& node : tree_.nodes)
+    counters_.push_back(
+        mem.new_var(static_cast<std::uint64_t>(node.fanin)));
+  gen_ = mem.new_var(0);
+}
+
+sim::SimThread SimCombining::run_thread(int tid, const SimRunConfig& cfg,
+                                        Recorder& rec) {
+  const int core = cfg.core_of(tid);
+  for (int it = 0; it < cfg.iterations; ++it) {
+    co_await episode_delay(tid, cfg);
+    rec.enter(tid, it, eng_.now());
+    const std::uint64_t e = epoch_of(it);
+    int node = tree_.leaf_of_thread[static_cast<std::size_t>(tid)];
+    bool released = false;
+    for (;;) {
+      const std::uint64_t old = co_await mem_.fetch_sub(
+          core, counters_[static_cast<std::size_t>(node)], 1);
+      if (old != 1) break;
+      co_await mem_.write(
+          core, counters_[static_cast<std::size_t>(node)],
+          static_cast<std::uint64_t>(
+              tree_.nodes[static_cast<std::size_t>(node)].fanin));
+      if (node == tree_.root()) {
+        co_await mem_.write(core, gen_, e);
+        released = true;
+        break;
+      }
+      node = tree_.nodes[static_cast<std::size_t>(node)].parent;
+    }
+    if (!released)
+      co_await mem_.spin_until(
+          core, gen_, [e](std::uint64_t v) { return v >= e; });
+    rec.exit(tid, it, eng_.now());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SimMcs
+// ---------------------------------------------------------------------------
+
+SimMcs::SimMcs(sim::Engine& engine, sim::MemSystem& mem, int threads)
+    : SimBarrier(engine, mem, threads) {
+  slots_.reserve(static_cast<std::size_t>(threads) * 4);
+  for (int t = 0; t < threads; ++t) {
+    // Four child_not_ready slots packed on one line per node, as in the
+    // original algorithm.
+    const sim::LineId line = mem.new_line();
+    const auto kids = shape::McsShape::arrival_children(t, threads);
+    for (int s = 0; s < shape::McsShape::kArrivalFanin; ++s) {
+      const bool have = s < static_cast<int>(kids.size());
+      slots_.push_back(mem.new_var_on(line, have ? 1 : 0));
+    }
+  }
+  wake_ = mem.new_padded_array(threads);
+}
+
+sim::VarId SimMcs::slot_var(int t, int slot) const {
+  return slots_[static_cast<std::size_t>(t) * 4 + static_cast<std::size_t>(slot)];
+}
+
+sim::SimThread SimMcs::run_thread(int tid, const SimRunConfig& cfg,
+                                  Recorder& rec) {
+  const int core = cfg.core_of(tid);
+  const auto kids = shape::McsShape::arrival_children(tid, threads_);
+  const auto wake_kids = shape::McsShape::wakeup_children(tid, threads_);
+  const int have = static_cast<int>(kids.size());
+  for (int it = 0; it < cfg.iterations; ++it) {
+    co_await episode_delay(tid, cfg);
+    rec.enter(tid, it, eng_.now());
+    const std::uint64_t e = epoch_of(it);
+    if (have > 0) {
+      std::vector<sim::VarId> slots;
+      for (int s = 0; s < have; ++s) slots.push_back(slot_var(tid, s));
+      co_await mem_.spin_until_all(core, std::move(slots),
+                                   [](std::uint64_t v) { return v == 0; });
+    }
+    for (int s = 0; s < have; ++s)
+      co_await mem_.write(core, slot_var(tid, s), 1);
+    if (tid != 0) {
+      const int parent = shape::McsShape::arrival_parent(tid);
+      co_await mem_.write(
+          core, slot_var(parent, shape::McsShape::arrival_slot(tid)), 0);
+      co_await mem_.spin_until(
+          core, wake_[static_cast<std::size_t>(tid)],
+          [e](std::uint64_t v) { return v >= e; });
+    }
+    for (int c : wake_kids)
+      co_await mem_.write(core, wake_[static_cast<std::size_t>(c)], e);
+    rec.exit(tid, it, eng_.now());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SimTournament
+// ---------------------------------------------------------------------------
+
+SimTournament::SimTournament(sim::Engine& engine, sim::MemSystem& mem,
+                             int threads)
+    : SimBarrier(engine, mem, threads),
+      schedule_(shape::PairTournamentSchedule::build(threads)) {
+  flags_ = mem.new_padded_array(
+      threads * std::max(schedule_.num_rounds(), 1));
+  gen_ = mem.new_var(0);
+}
+
+sim::SimThread SimTournament::run_thread(int tid, const SimRunConfig& cfg,
+                                         Recorder& rec) {
+  const int core = cfg.core_of(tid);
+  const int rounds = schedule_.num_rounds();
+  for (int it = 0; it < cfg.iterations; ++it) {
+    co_await episode_delay(tid, cfg);
+    rec.enter(tid, it, eng_.now());
+    const std::uint64_t e = epoch_of(it);
+    bool lost = false;
+    for (int r = 0; r < rounds && !lost; ++r) {
+      const shape::TourStep& step =
+          schedule_.steps[static_cast<std::size_t>(r)]
+                         [static_cast<std::size_t>(tid)];
+      switch (step.role) {
+        case shape::TourRole::kWinner: {
+          const sim::VarId f =
+              flags_[static_cast<std::size_t>(tid) *
+                         static_cast<std::size_t>(rounds) +
+                     static_cast<std::size_t>(r)];
+          co_await mem_.spin_until(
+              core, f, [e](std::uint64_t v) { return v >= e; });
+          break;
+        }
+        case shape::TourRole::kLoser: {
+          const sim::VarId f =
+              flags_[static_cast<std::size_t>(step.partner) *
+                         static_cast<std::size_t>(rounds) +
+                     static_cast<std::size_t>(r)];
+          co_await mem_.write(core, f, e);
+          lost = true;
+          break;
+        }
+        case shape::TourRole::kBye:
+        case shape::TourRole::kIdle:
+          break;
+      }
+    }
+    if (!lost)
+      co_await mem_.write(core, gen_, e);
+    else
+      co_await mem_.spin_until(
+          core, gen_, [e](std::uint64_t v) { return v >= e; });
+    rec.exit(tid, it, eng_.now());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SimStaticFway
+// ---------------------------------------------------------------------------
+
+SimStaticFway::SimStaticFway(sim::Engine& engine, sim::MemSystem& mem,
+                             int threads, FwayOptions options)
+    : SimBarrier(engine, mem, threads),
+      options_(options),
+      schedule_(options.fanin > 0
+                    ? shape::TournamentSchedule::fixed(threads, options.fanin)
+                    : shape::TournamentSchedule::balanced(threads,
+                                                          options.max_fanin)) {
+  // Per-thread plans and flat flag layout, exactly as the native barrier.
+  plans_.resize(static_cast<std::size_t>(threads));
+  round_offset_.resize(static_cast<std::size_t>(schedule_.num_rounds()));
+  std::size_t total = 0;
+  for (int r = 0; r < schedule_.num_rounds(); ++r) {
+    round_offset_[static_cast<std::size_t>(r)] = total;
+    const shape::TournamentRound& round =
+        schedule_.rounds[static_cast<std::size_t>(r)];
+    for (int pos = 0; pos < static_cast<int>(round.participants.size());
+         ++pos) {
+      const int t = round.participants[static_cast<std::size_t>(pos)];
+      const auto [begin, end] =
+          round.group_range(round.group_of_position(pos));
+      plans_[static_cast<std::size_t>(t)].push_back(
+          RoundPlan{r, pos, begin, end});
+    }
+    total += round.participants.size();
+  }
+  const int n = static_cast<int>(total);
+  flags_ = options.layout == FlagLayout::kPacked32
+               ? mem.new_packed_array(n, /*bytes_per_var=*/4)
+               : mem.new_padded_array(n);
+
+  gen_ = mem.new_var(0);
+  if (options.notify != NotifyPolicy::kGlobalSense) {
+    wake_ = mem.new_padded_array(threads);
+    wake_children_.resize(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t)
+      wake_children_[static_cast<std::size_t>(t)] =
+          options.notify == NotifyPolicy::kBinaryTree
+              ? shape::binary_wakeup_children(t, threads)
+              : shape::numa_wakeup_children(t, threads,
+                                            options.cluster_size);
+  }
+}
+
+sim::VarId SimStaticFway::flag(int round, int pos) const {
+  return flags_[round_offset_[static_cast<std::size_t>(round)] +
+                static_cast<std::size_t>(pos)];
+}
+
+std::string SimStaticFway::name() const {
+  std::string n = options_.fanin > 0
+                      ? "STOUR(f=" + std::to_string(options_.fanin) + ")"
+                      : "STOUR";
+  if (options_.layout == FlagLayout::kPaddedLine) n += "+pad";
+  if (options_.notify != NotifyPolicy::kGlobalSense)
+    n += "+" + to_string(options_.notify);
+  return n;
+}
+
+sim::SimThread SimStaticFway::run_thread(int tid, const SimRunConfig& cfg,
+                                         Recorder& rec) {
+  const int core = cfg.core_of(tid);
+  for (int it = 0; it < cfg.iterations; ++it) {
+    co_await episode_delay(tid, cfg);
+    rec.enter(tid, it, eng_.now());
+    const std::uint64_t e = epoch_of(it);
+    bool lost = false;
+    for (const RoundPlan& p : plans_[static_cast<std::size_t>(tid)]) {
+      if (p.my_pos == p.group_begin) {
+        if (p.group_end > p.group_begin + 1) {
+          std::vector<sim::VarId> kids;
+          for (int j = p.group_begin + 1; j < p.group_end; ++j)
+            kids.push_back(flag(p.round, j));
+          co_await mem_.spin_until_all(
+              core, std::move(kids),
+              [e](std::uint64_t v) { return v >= e; });
+        }
+      } else {
+        co_await mem_.write(core, flag(p.round, p.my_pos), e);
+        lost = true;
+        break;
+      }
+    }
+    // Notification phase.
+    if (options_.notify == NotifyPolicy::kGlobalSense) {
+      if (!lost)
+        co_await mem_.write(core, gen_, e);
+      else
+        co_await mem_.spin_until(
+            core, gen_, [e](std::uint64_t v) { return v >= e; });
+    } else {
+      if (tid != 0)
+        co_await mem_.spin_until(
+            core, wake_[static_cast<std::size_t>(tid)],
+            [e](std::uint64_t v) { return v >= e; });
+      for (int c : wake_children_[static_cast<std::size_t>(tid)])
+        co_await mem_.write(core, wake_[static_cast<std::size_t>(c)], e);
+    }
+    rec.exit(tid, it, eng_.now());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SimDynamicFway
+// ---------------------------------------------------------------------------
+
+SimDynamicFway::SimDynamicFway(sim::Engine& engine, sim::MemSystem& mem,
+                               int threads, int fanin, int max_fanin)
+    : SimBarrier(engine, mem, threads),
+      schedule_(fanin > 0
+                    ? shape::TournamentSchedule::fixed(threads, fanin)
+                    : shape::TournamentSchedule::balanced(threads,
+                                                          max_fanin)) {
+  group_offset_.resize(static_cast<std::size_t>(schedule_.num_rounds()));
+  std::size_t total = 0;
+  for (int r = 0; r < schedule_.num_rounds(); ++r) {
+    group_offset_[static_cast<std::size_t>(r)] = total;
+    total += static_cast<std::size_t>(
+        schedule_.rounds[static_cast<std::size_t>(r)].num_groups());
+  }
+  counters_ = mem.new_padded_array(static_cast<int>(total));
+  gen_ = mem.new_var(0);
+}
+
+sim::SimThread SimDynamicFway::run_thread(int tid, const SimRunConfig& cfg,
+                                          Recorder& rec) {
+  const int core = cfg.core_of(tid);
+  for (int it = 0; it < cfg.iterations; ++it) {
+    co_await episode_delay(tid, cfg);
+    rec.enter(tid, it, eng_.now());
+    const std::uint64_t e = epoch_of(it);
+    int pos = tid;
+    bool champion = true;
+    for (int r = 0; r < schedule_.num_rounds(); ++r) {
+      const shape::TournamentRound& round =
+          schedule_.rounds[static_cast<std::size_t>(r)];
+      const int g = round.group_of_position(pos);
+      const auto [begin, end] = round.group_range(g);
+      const auto group_size = static_cast<std::uint64_t>(end - begin);
+      const sim::VarId counter =
+          counters_[group_offset_[static_cast<std::size_t>(r)] +
+                    static_cast<std::size_t>(g)];
+      const std::uint64_t arrivals =
+          (co_await mem_.fetch_add(core, counter, 1)) + 1;
+      if (arrivals != e * group_size) {
+        champion = false;
+        break;
+      }
+      pos = g;
+    }
+    if (champion)
+      co_await mem_.write(core, gen_, e);
+    else
+      co_await mem_.spin_until(
+          core, gen_, [e](std::uint64_t v) { return v >= e; });
+    rec.exit(tid, it, eng_.now());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SimHypercube
+// ---------------------------------------------------------------------------
+
+SimHypercube::SimHypercube(sim::Engine& engine, sim::MemSystem& mem,
+                           int threads, int branch_factor)
+    : SimBarrier(engine, mem, threads), shape_(threads, branch_factor) {
+  arrive_ = mem.new_padded_array(threads);
+  release_ = mem.new_padded_array(threads);
+  children_.resize(static_cast<std::size_t>(threads));
+  report_level_.resize(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) {
+    const int levels = shape_.report_level(t);
+    report_level_[static_cast<std::size_t>(t)] = levels;
+    auto& per_level = children_[static_cast<std::size_t>(t)];
+    per_level.resize(static_cast<std::size_t>(levels));
+    for (int l = 0; l < levels; ++l)
+      per_level[static_cast<std::size_t>(l)] = shape_.children_at(t, l);
+  }
+}
+
+sim::SimThread SimHypercube::run_thread(int tid, const SimRunConfig& cfg,
+                                        Recorder& rec) {
+  const int core = cfg.core_of(tid);
+  const int levels = report_level_[static_cast<std::size_t>(tid)];
+  for (int it = 0; it < cfg.iterations; ++it) {
+    co_await episode_delay(tid, cfg);
+    rec.enter(tid, it, eng_.now());
+    const std::uint64_t e = epoch_of(it);
+    for (int l = 0; l < levels; ++l) {
+      const auto& kids =
+          children_[static_cast<std::size_t>(tid)][static_cast<std::size_t>(l)];
+      if (kids.empty()) continue;
+      std::vector<sim::VarId> flags;
+      for (int c : kids) flags.push_back(arrive_[static_cast<std::size_t>(c)]);
+      co_await mem_.spin_until_all(core, std::move(flags),
+                                   [e](std::uint64_t v) { return v >= e; });
+    }
+    if (tid != 0) {
+      co_await mem_.write(core, arrive_[static_cast<std::size_t>(tid)], e);
+      co_await mem_.spin_until(
+          core, release_[static_cast<std::size_t>(tid)],
+          [e](std::uint64_t v) { return v >= e; });
+    }
+    for (int l = levels - 1; l >= 0; --l) {
+      for (int c :
+           children_[static_cast<std::size_t>(tid)][static_cast<std::size_t>(l)])
+        co_await mem_.write(core, release_[static_cast<std::size_t>(c)], e);
+    }
+    rec.exit(tid, it, eng_.now());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SimHybrid
+// ---------------------------------------------------------------------------
+
+SimHybrid::SimHybrid(sim::Engine& engine, sim::MemSystem& mem, int threads,
+                     int cluster_size)
+    : SimBarrier(engine, mem, threads),
+      cluster_size_(cluster_size),
+      num_clusters_((threads + cluster_size - 1) / cluster_size),
+      rounds_(shape::DisseminationShape::num_rounds(num_clusters_)) {
+  if (cluster_size < 1)
+    throw std::invalid_argument("SimHybrid: cluster_size >= 1");
+  counters_.reserve(static_cast<std::size_t>(num_clusters_));
+  gens_.reserve(static_cast<std::size_t>(num_clusters_));
+  for (int cl = 0; cl < num_clusters_; ++cl) {
+    counters_.push_back(
+        mem.new_var(static_cast<std::uint64_t>(members_of(cl))));
+    gens_.push_back(mem.new_var(0));
+  }
+  flags_ = mem.new_padded_array(num_clusters_ * std::max(rounds_, 1));
+}
+
+int SimHybrid::members_of(int cluster) const {
+  return std::min(cluster_size_, threads_ - cluster * cluster_size_);
+}
+
+sim::SimThread SimHybrid::run_thread(int tid, const SimRunConfig& cfg,
+                                     Recorder& rec) {
+  const int core = cfg.core_of(tid);
+  const int cl = tid / cluster_size_;
+  for (int it = 0; it < cfg.iterations; ++it) {
+    co_await episode_delay(tid, cfg);
+    rec.enter(tid, it, eng_.now());
+    const std::uint64_t e = epoch_of(it);
+    const std::uint64_t old = co_await mem_.fetch_sub(
+        core, counters_[static_cast<std::size_t>(cl)], 1);
+    if (old == 1) {
+      co_await mem_.write(core, counters_[static_cast<std::size_t>(cl)],
+                          static_cast<std::uint64_t>(members_of(cl)));
+      for (int r = 0; r < rounds_; ++r) {
+        const int out =
+            shape::DisseminationShape::signal_partner(cl, r, num_clusters_);
+        co_await mem_.write(
+            core,
+            flags_[static_cast<std::size_t>(out) *
+                       static_cast<std::size_t>(std::max(rounds_, 1)) +
+                   static_cast<std::size_t>(r)],
+            e);
+        co_await mem_.spin_until(
+            core,
+            flags_[static_cast<std::size_t>(cl) *
+                       static_cast<std::size_t>(std::max(rounds_, 1)) +
+                   static_cast<std::size_t>(r)],
+            [e](std::uint64_t v) { return v >= e; });
+      }
+      co_await mem_.write(core, gens_[static_cast<std::size_t>(cl)], e);
+    } else {
+      co_await mem_.spin_until(
+          core, gens_[static_cast<std::size_t>(cl)],
+          [e](std::uint64_t v) { return v >= e; });
+    }
+    rec.exit(tid, it, eng_.now());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SimNWayDissemination
+// ---------------------------------------------------------------------------
+
+SimNWayDissemination::SimNWayDissemination(sim::Engine& engine,
+                                           sim::MemSystem& mem, int threads,
+                                           int ways)
+    : SimBarrier(engine, mem, threads), ways_(ways) {
+  if (ways < 1) throw std::invalid_argument("SimNWayDissemination: ways >= 1");
+  rounds_ = 0;
+  std::uint64_t reach = 1;
+  while (reach < static_cast<std::uint64_t>(threads)) {
+    reach *= static_cast<std::uint64_t>(ways_) + 1;
+    ++rounds_;
+  }
+  flags_ = mem.new_padded_array(threads * std::max(rounds_, 1) * ways_);
+}
+
+sim::VarId SimNWayDissemination::flag(int tid, int round, int slot) const {
+  const std::size_t idx =
+      (static_cast<std::size_t>(tid) *
+           static_cast<std::size_t>(std::max(rounds_, 1)) +
+       static_cast<std::size_t>(round)) *
+          static_cast<std::size_t>(ways_) +
+      static_cast<std::size_t>(slot);
+  return flags_[idx];
+}
+
+sim::SimThread SimNWayDissemination::run_thread(int tid,
+                                                const SimRunConfig& cfg,
+                                                Recorder& rec) {
+  const int core = cfg.core_of(tid);
+  const auto p = static_cast<std::uint64_t>(threads_);
+  for (int it = 0; it < cfg.iterations; ++it) {
+    co_await episode_delay(tid, cfg);
+    rec.enter(tid, it, eng_.now());
+    const std::uint64_t e = epoch_of(it);
+    std::uint64_t step = 1;
+    for (int r = 0; r < rounds_; ++r) {
+      for (int k = 1; k <= ways_; ++k) {
+        const auto out = (static_cast<std::uint64_t>(tid) +
+                          static_cast<std::uint64_t>(k) * step) %
+                         p;
+        co_await mem_.write(core, flag(static_cast<int>(out), r, k - 1), e);
+      }
+      std::vector<sim::VarId> awaited;
+      for (int k = 0; k < ways_; ++k) awaited.push_back(flag(tid, r, k));
+      co_await mem_.spin_until_all(
+          core, std::move(awaited), [e](std::uint64_t v) { return v >= e; });
+      step *= static_cast<std::uint64_t>(ways_) + 1;
+    }
+    rec.exit(tid, it, eng_.now());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SimRing
+// ---------------------------------------------------------------------------
+
+SimRing::SimRing(sim::Engine& engine, sim::MemSystem& mem, int threads)
+    : SimBarrier(engine, mem, threads) {
+  token_ = mem.new_padded_array(threads);
+  gen_ = mem.new_var(0);
+}
+
+sim::SimThread SimRing::run_thread(int tid, const SimRunConfig& cfg,
+                                   Recorder& rec) {
+  const int core = cfg.core_of(tid);
+  for (int it = 0; it < cfg.iterations; ++it) {
+    co_await episode_delay(tid, cfg);
+    rec.enter(tid, it, eng_.now());
+    const std::uint64_t e = epoch_of(it);
+    if (tid != 0) {
+      co_await mem_.spin_until(
+          core, token_[static_cast<std::size_t>(tid)],
+          [e](std::uint64_t v) { return v >= e; });
+    }
+    if (tid + 1 < threads_) {
+      co_await mem_.write(core, token_[static_cast<std::size_t>(tid) + 1], e);
+      co_await mem_.spin_until(
+          core, gen_, [e](std::uint64_t v) { return v >= e; });
+    } else {
+      co_await mem_.write(core, gen_, e);
+    }
+    rec.exit(tid, it, eng_.now());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Factory
+// ---------------------------------------------------------------------------
+
+namespace {
+// Per-episode runtime bookkeeping of the compiler OpenMP runtimes, beyond
+// the raw synchronization algorithm (calibrated against the EPCC numbers
+// the paper reports for the GCC/LLVM runtime barriers; see DESIGN.md §5).
+constexpr Picos kGccRuntimeOverheadPs = 350'000;   // 0.35 us
+constexpr Picos kLlvmRuntimeOverheadPs = 1'100'000;  // 1.1 us
+}  // namespace
+
+std::unique_ptr<SimBarrier> make_sim_barrier(Algo algo, sim::Engine& engine,
+                                             sim::MemSystem& mem, int threads,
+                                             const MakeOptions& options) {
+  const int nc = options.cluster_size > 0 ? options.cluster_size
+                                          : mem.machine().cluster_size();
+  switch (algo) {
+    case Algo::kSense:
+      return std::make_unique<SimSense>(engine, mem, threads, false);
+    case Algo::kGccSense: {
+      auto b = std::make_unique<SimSense>(engine, mem, threads, true);
+      b->set_runtime_overhead(kGccRuntimeOverheadPs);
+      return b;
+    }
+    case Algo::kDissemination:
+      return std::make_unique<SimDissemination>(engine, mem, threads);
+    case Algo::kCombiningTree:
+      return std::make_unique<SimCombining>(
+          engine, mem, threads, options.fanin > 0 ? options.fanin : 2);
+    case Algo::kMcsTree:
+      return std::make_unique<SimMcs>(engine, mem, threads);
+    case Algo::kTournament:
+      return std::make_unique<SimTournament>(engine, mem, threads);
+    case Algo::kStaticFway:
+      return std::make_unique<SimStaticFway>(
+          engine, mem, threads,
+          FwayOptions{.fanin = options.fanin,
+                      .layout = FlagLayout::kPacked32});
+    case Algo::kStaticFwayPadded:
+      return std::make_unique<SimStaticFway>(
+          engine, mem, threads,
+          FwayOptions{.fanin = options.fanin,
+                      .layout = FlagLayout::kPaddedLine});
+    case Algo::kStatic4WayPadded:
+      return std::make_unique<SimStaticFway>(
+          engine, mem, threads,
+          FwayOptions{.fanin = 4, .layout = FlagLayout::kPaddedLine});
+    case Algo::kDynamicFway:
+      return std::make_unique<SimDynamicFway>(engine, mem, threads,
+                                              options.fanin);
+    case Algo::kHypercube: {
+      // The sim flavour of the hypercube barrier models the LLVM libomp
+      // runtime barrier (the paper's "LLVM" line), runtime overhead
+      // included.
+      auto b = std::make_unique<SimHypercube>(engine, mem, threads);
+      b->set_runtime_overhead(kLlvmRuntimeOverheadPs);
+      return b;
+    }
+    case Algo::kOptimized:
+      return std::make_unique<SimStaticFway>(
+          engine, mem, threads,
+          FwayOptions{.fanin = options.fanin > 0 ? options.fanin : 4,
+                      .layout = FlagLayout::kPaddedLine,
+                      .notify = options.notify,
+                      .cluster_size = nc});
+    case Algo::kHybrid:
+      return std::make_unique<SimHybrid>(engine, mem, threads, nc);
+    case Algo::kNWayDissemination:
+      return std::make_unique<SimNWayDissemination>(
+          engine, mem, threads, options.fanin > 0 ? options.fanin : 3);
+    case Algo::kRing:
+      return std::make_unique<SimRing>(engine, mem, threads);
+    case Algo::kStdBarrier:
+    case Algo::kPthread:
+      throw std::invalid_argument(
+          "make_sim_barrier: std/pthread barriers have no simulated form");
+  }
+  throw std::invalid_argument("make_sim_barrier: unknown algorithm");
+}
+
+SimBarrierFactory sim_factory(Algo algo, const MakeOptions& options) {
+  return [algo, options](sim::Engine& engine, sim::MemSystem& mem,
+                         int threads) {
+    return make_sim_barrier(algo, engine, mem, threads, options);
+  };
+}
+
+}  // namespace armbar::simbar

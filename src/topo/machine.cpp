@@ -1,0 +1,85 @@
+#include "armbar/topo/machine.hpp"
+
+#include <stdexcept>
+
+namespace armbar::topo {
+
+Machine::Machine(std::string name, int num_cores, double epsilon_ns,
+                 int cluster_size, int cacheline_bytes, double alpha,
+                 double contention_ns, std::vector<Layer> layers,
+                 std::vector<std::int8_t> layer_of_pair, double mlp_delay_ns,
+                 double net_contention_ns)
+    : name_(std::move(name)),
+      num_cores_(num_cores),
+      epsilon_ns_(epsilon_ns),
+      cluster_size_(cluster_size),
+      cacheline_bytes_(cacheline_bytes),
+      alpha_(alpha),
+      contention_ns_(contention_ns),
+      mlp_delay_ns_(mlp_delay_ns),
+      net_contention_ns_(net_contention_ns),
+      layers_(std::move(layers)),
+      layer_of_pair_(std::move(layer_of_pair)) {
+  if (num_cores_ <= 0) throw std::invalid_argument("Machine: num_cores must be > 0");
+  if (cluster_size_ <= 0 || cluster_size_ > num_cores_)
+    throw std::invalid_argument("Machine: cluster_size out of range");
+  if (epsilon_ns_ <= 0.0) throw std::invalid_argument("Machine: epsilon must be > 0");
+  if (alpha_ < 0.0 || alpha_ > 1.0)
+    throw std::invalid_argument("Machine: alpha must be in [0, 1]");
+  if (contention_ns_ < 0.0)
+    throw std::invalid_argument("Machine: contention must be >= 0");
+  if (mlp_delay_ns_ < 0.0)
+    throw std::invalid_argument("Machine: mlp_delay must be >= 0");
+  if (net_contention_ns_ < 0.0)
+    throw std::invalid_argument("Machine: net_contention must be >= 0");
+  if (layers_.empty()) throw std::invalid_argument("Machine: needs >= 1 layer");
+  const auto n = static_cast<std::size_t>(num_cores_);
+  if (layer_of_pair_.size() != n * n)
+    throw std::invalid_argument("Machine: layer matrix shape mismatch");
+  for (int a = 0; a < num_cores_; ++a) {
+    for (int b = 0; b < num_cores_; ++b) {
+      if (a == b) continue;
+      const int l = layer_of_pair_[static_cast<std::size_t>(a) * n +
+                                   static_cast<std::size_t>(b)];
+      if (l < 0 || l >= num_layers())
+        throw std::invalid_argument("Machine: layer index out of range");
+      const int back = layer_of_pair_[static_cast<std::size_t>(b) * n +
+                                      static_cast<std::size_t>(a)];
+      if (back != l)
+        throw std::invalid_argument("Machine: layer matrix must be symmetric");
+    }
+  }
+  for (const Layer& l : layers_) {
+    if (l.ns <= 0.0) throw std::invalid_argument("Machine: layer latency must be > 0");
+  }
+}
+
+int Machine::layer(int core_a, int core_b) const {
+  if (core_a < 0 || core_a >= num_cores_ || core_b < 0 || core_b >= num_cores_)
+    throw std::out_of_range("Machine::layer: core index out of range");
+  if (core_a == core_b) return -1;
+  const auto n = static_cast<std::size_t>(num_cores_);
+  return layer_of_pair_[static_cast<std::size_t>(core_a) * n +
+                        static_cast<std::size_t>(core_b)];
+}
+
+double Machine::comm_ns(int core_a, int core_b) const {
+  const int l = layer(core_a, core_b);
+  return l < 0 ? epsilon_ns_ : layers_[static_cast<std::size_t>(l)].ns;
+}
+
+util::Picos Machine::comm_ps(int core_a, int core_b) const {
+  return util::ns_to_ps(comm_ns(core_a, core_b));
+}
+
+util::Picos Machine::layer_ps(int i) const {
+  return util::ns_to_ps(layer_info(i).ns);
+}
+
+double Machine::mean_remote_ns() const {
+  double sum = 0.0;
+  for (const Layer& l : layers_) sum += l.ns;
+  return sum / static_cast<double>(layers_.size());
+}
+
+}  // namespace armbar::topo

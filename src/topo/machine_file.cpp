@@ -1,0 +1,156 @@
+#include "armbar/topo/machine_file.hpp"
+
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+#include "armbar/topo/platforms.hpp"
+
+namespace armbar::topo {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  const auto b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  const auto e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+std::vector<double> parse_list(const std::string& value, int line_no) {
+  std::vector<double> out;
+  std::stringstream ss(value);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    item = trim(item);
+    if (item.empty())
+      throw std::invalid_argument("machine file line " +
+                                  std::to_string(line_no) +
+                                  ": empty list element");
+    std::size_t used = 0;
+    double v = 0;
+    try {
+      v = std::stod(item, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    if (used != item.size())
+      throw std::invalid_argument("machine file line " +
+                                  std::to_string(line_no) +
+                                  ": bad number '" + item + "'");
+    out.push_back(v);
+  }
+  if (out.empty())
+    throw std::invalid_argument("machine file line " +
+                                std::to_string(line_no) + ": empty list");
+  return out;
+}
+
+double parse_number(const std::string& value, int line_no) {
+  const auto v = parse_list(value, line_no);
+  if (v.size() != 1)
+    throw std::invalid_argument("machine file line " +
+                                std::to_string(line_no) +
+                                ": expected a single number");
+  return v[0];
+}
+
+}  // namespace
+
+Machine parse_machine(const std::string& text) {
+  std::map<std::string, std::pair<std::string, int>> kv;  // key -> (value, line)
+  std::istringstream in(text);
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (const auto hash = line.find('#'); hash != std::string::npos)
+      line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    const auto eq = line.find('=');
+    if (eq == std::string::npos)
+      throw std::invalid_argument("machine file line " +
+                                  std::to_string(line_no) +
+                                  ": expected key = value");
+    const std::string key = trim(line.substr(0, eq));
+    const std::string value = trim(line.substr(eq + 1));
+    if (key.empty() || value.empty())
+      throw std::invalid_argument("machine file line " +
+                                  std::to_string(line_no) +
+                                  ": empty key or value");
+    if (!kv.emplace(key, std::make_pair(value, line_no)).second)
+      throw std::invalid_argument("machine file line " +
+                                  std::to_string(line_no) +
+                                  ": duplicate key '" + key + "'");
+  }
+
+  const std::set<std::string> known = {
+      "name",       "groups",         "layer_ns",      "epsilon_ns",
+      "cluster_size", "cacheline_bytes", "alpha",      "contention_ns"};
+  for (const auto& [key, value_line] : kv) {
+    if (!known.count(key))
+      throw std::invalid_argument("machine file line " +
+                                  std::to_string(value_line.second) +
+                                  ": unknown key '" + key + "'");
+  }
+  if (!kv.count("groups") || !kv.count("layer_ns"))
+    throw std::invalid_argument(
+        "machine file: 'groups' and 'layer_ns' are required");
+
+  auto get_num = [&](const std::string& key, double fallback) {
+    const auto it = kv.find(key);
+    return it == kv.end() ? fallback
+                          : parse_number(it->second.first, it->second.second);
+  };
+
+  const auto groups_d =
+      parse_list(kv.at("groups").first, kv.at("groups").second);
+  std::vector<int> groups;
+  for (double g : groups_d) {
+    if (g < 2 || g != static_cast<int>(g))
+      throw std::invalid_argument(
+          "machine file: group sizes must be integers >= 2");
+    groups.push_back(static_cast<int>(g));
+  }
+  const auto layer_ns =
+      parse_list(kv.at("layer_ns").first, kv.at("layer_ns").second);
+
+  const std::string name =
+      kv.count("name") ? kv.at("name").first : "custom";
+  const double cluster = get_num("cluster_size", groups[0]);
+  if (cluster < 1 || cluster != static_cast<int>(cluster))
+    throw std::invalid_argument(
+        "machine file: cluster_size must be a positive integer");
+
+  return make_hierarchical(
+      name, groups, layer_ns, get_num("epsilon_ns", 1.0),
+      static_cast<int>(cluster),
+      static_cast<int>(get_num("cacheline_bytes", 64)),
+      get_num("alpha", 0.05), get_num("contention_ns", 1.0));
+}
+
+Machine load_machine_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in)
+    throw std::runtime_error("cannot read machine file '" + path + "'");
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return parse_machine(buffer.str());
+}
+
+std::string machine_file_template() {
+  return "# armbar machine description\n"
+         "name = MySoC\n"
+         "groups = 4, 8          # 8 clusters of 4 cores (innermost first)\n"
+         "layer_ns = 12.0, 55.0  # latency per hierarchy level (ns)\n"
+         "epsilon_ns = 1.0\n"
+         "cluster_size = 4\n"
+         "cacheline_bytes = 64\n"
+         "alpha = 0.05\n"
+         "contention_ns = 1.0\n";
+}
+
+}  // namespace armbar::topo

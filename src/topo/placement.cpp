@@ -1,0 +1,62 @@
+#include "armbar/topo/placement.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "armbar/util/prng.hpp"
+
+namespace armbar::topo {
+
+std::vector<int> compact_placement(const Machine& machine, int threads) {
+  if (threads < 1 || threads > machine.num_cores())
+    throw std::invalid_argument("compact_placement: bad thread count");
+  std::vector<int> out(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t) out[static_cast<std::size_t>(t)] = t;
+  return out;
+}
+
+std::vector<int> scatter_placement(const Machine& machine, int threads) {
+  if (threads < 1 || threads > machine.num_cores())
+    throw std::invalid_argument("scatter_placement: bad thread count");
+  const int clusters = machine.num_clusters();
+  const int per_cluster = machine.cluster_size();
+  std::vector<int> out;
+  out.reserve(static_cast<std::size_t>(threads));
+  // Walk (slot 0 of every cluster, slot 1 of every cluster, ...) skipping
+  // cores beyond the machine (ragged last cluster).
+  for (int slot = 0; slot < per_cluster && static_cast<int>(out.size()) < threads;
+       ++slot) {
+    for (int cl = 0; cl < clusters && static_cast<int>(out.size()) < threads;
+         ++cl) {
+      const int core = cl * per_cluster + slot;
+      if (core < machine.num_cores()) out.push_back(core);
+    }
+  }
+  return out;
+}
+
+std::vector<int> random_placement(const Machine& machine, int threads,
+                                  std::uint64_t seed) {
+  if (threads < 1 || threads > machine.num_cores())
+    throw std::invalid_argument("random_placement: bad thread count");
+  std::vector<int> cores(static_cast<std::size_t>(machine.num_cores()));
+  std::iota(cores.begin(), cores.end(), 0);
+  util::Xoshiro256 rng(seed);
+  for (std::size_t i = cores.size() - 1; i > 0; --i)
+    std::swap(cores[i], cores[rng.below(i + 1)]);
+  cores.resize(static_cast<std::size_t>(threads));
+  return cores;
+}
+
+int adjacent_same_cluster_pairs(const Machine& machine,
+                                const std::vector<int>& placement) {
+  int pairs = 0;
+  for (std::size_t i = 0; i + 1 < placement.size(); ++i) {
+    if (machine.cluster_of(placement[i]) ==
+        machine.cluster_of(placement[i + 1]))
+      ++pairs;
+  }
+  return pairs;
+}
+
+}  // namespace armbar::topo

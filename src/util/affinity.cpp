@@ -1,0 +1,48 @@
+#include "armbar/util/affinity.hpp"
+
+#include <pthread.h>
+#include <sched.h>
+#include <unistd.h>
+
+#include <thread>
+
+namespace armbar::util {
+
+int online_cpus() {
+  const long n = sysconf(_SC_NPROCESSORS_ONLN);
+  if (n >= 1) return static_cast<int>(n);
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc >= 1 ? static_cast<int>(hc) : 1;
+}
+
+bool pin_current_thread(int cpu) {
+  if (cpu < 0 || cpu >= CPU_SETSIZE) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(static_cast<unsigned>(cpu), &set);
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+}
+
+bool set_current_affinity(const std::vector<int>& cpus) {
+  if (cpus.empty()) return false;
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  for (int c : cpus) {
+    if (c < 0 || c >= CPU_SETSIZE) return false;
+    CPU_SET(static_cast<unsigned>(c), &set);
+  }
+  return pthread_setaffinity_np(pthread_self(), sizeof(set), &set) == 0;
+}
+
+std::optional<std::vector<int>> current_affinity() {
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  if (pthread_getaffinity_np(pthread_self(), sizeof(set), &set) != 0)
+    return std::nullopt;
+  std::vector<int> cpus;
+  for (int c = 0; c < CPU_SETSIZE; ++c)
+    if (CPU_ISSET(static_cast<unsigned>(c), &set)) cpus.push_back(c);
+  return cpus;
+}
+
+}  // namespace armbar::util

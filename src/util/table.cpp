@@ -1,0 +1,94 @@
+#include "armbar/util/table.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdio>
+#include <ostream>
+#include <sstream>
+#include <stdexcept>
+
+namespace armbar::util {
+
+void Table::set_header(std::vector<std::string> header) {
+  if (!rows_.empty())
+    throw std::logic_error("Table::set_header: rows already added");
+  header_ = std::move(header);
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (!header_.empty() && row.size() != header_.size())
+    throw std::invalid_argument("Table::add_row: row width mismatch");
+  if (header_.empty() && !rows_.empty() && row.size() != rows_.front().size())
+    throw std::invalid_argument("Table::add_row: row width mismatch");
+  rows_.push_back(std::move(row));
+}
+
+std::string Table::num(double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+  return buf;
+}
+
+std::string Table::to_text() const {
+  // Column widths.
+  std::vector<std::size_t> w;
+  auto widen = [&](const std::vector<std::string>& row) {
+    if (w.size() < row.size()) w.resize(row.size(), 0);
+    for (std::size_t i = 0; i < row.size(); ++i)
+      w[i] = std::max(w[i], row[i].size());
+  };
+  if (!header_.empty()) widen(header_);
+  for (const auto& r : rows_) widen(r);
+
+  std::ostringstream os;
+  if (!title_.empty()) os << title_ << "\n";
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << row[i];
+      if (i + 1 < row.size())
+        os << std::string(w[i] - row[i].size() + 2, ' ');
+    }
+    os << "\n";
+  };
+  if (!header_.empty()) {
+    emit(header_);
+    std::size_t total = 0;
+    for (std::size_t i = 0; i < w.size(); ++i) total += w[i] + (i + 1 < w.size() ? 2 : 0);
+    os << std::string(total, '-') << "\n";
+  }
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+namespace {
+std::string csv_escape(const std::string& s) {
+  if (s.find_first_of(",\"\n") == std::string::npos) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out += '"';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+}  // namespace
+
+std::string Table::to_csv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& row) {
+    for (std::size_t i = 0; i < row.size(); ++i) {
+      os << csv_escape(row[i]);
+      if (i + 1 < row.size()) os << ',';
+    }
+    os << '\n';
+  };
+  if (!header_.empty()) emit(header_);
+  for (const auto& r : rows_) emit(r);
+  return os.str();
+}
+
+std::ostream& operator<<(std::ostream& os, const Table& t) {
+  return os << t.to_text();
+}
+
+}  // namespace armbar::util

@@ -1,0 +1,83 @@
+// Tests for the simulation-driven auto-tuner.
+
+#include <gtest/gtest.h>
+
+#include "armbar/core/optimized.hpp"
+#include "armbar/simbar/autotune.hpp"
+#include "armbar/topo/platforms.hpp"
+
+namespace armbar::simbar {
+namespace {
+
+TEST(Autotune, RankingIsSortedAndComplete) {
+  const auto m = topo::kunpeng920();
+  const auto result = autotune(m, 32, /*iterations=*/8);
+  ASSERT_FALSE(result.ranking.empty());
+  EXPECT_EQ(result.ranking.size(), default_tune_candidates(m).size());
+  for (std::size_t i = 1; i < result.ranking.size(); ++i)
+    EXPECT_LE(result.ranking[i - 1].overhead_us,
+              result.ranking[i].overhead_us);
+  EXPECT_EQ(result.best.name, result.ranking.front().name);
+  EXPECT_GT(result.best.overhead_us, 0.0);
+}
+
+TEST(Autotune, Deterministic) {
+  const auto m = topo::phytium2000();
+  const auto a = autotune(m, 16, 8);
+  const auto b = autotune(m, 16, 8);
+  ASSERT_EQ(a.ranking.size(), b.ranking.size());
+  for (std::size_t i = 0; i < a.ranking.size(); ++i) {
+    EXPECT_EQ(a.ranking[i].name, b.ranking[i].name);
+    EXPECT_DOUBLE_EQ(a.ranking[i].overhead_us, b.ranking[i].overhead_us);
+  }
+}
+
+TEST(Autotune, EmpiricalWinnerIsTournamentShaped) {
+  // On every paper machine at full scale, the empirical best is a
+  // tournament-family configuration (the paper's conclusion); the
+  // centralized and ring barriers never win.
+  for (const auto& m : topo::armv8_machines()) {
+    const auto result = autotune(m, m.num_cores(), 10);
+    EXPECT_NE(result.best.algo, Algo::kSense) << m.name();
+    EXPECT_NE(result.best.algo, Algo::kRing) << m.name();
+    EXPECT_NE(result.best.algo, Algo::kMcsTree) << m.name();
+  }
+}
+
+TEST(Autotune, AnalyticalChoiceIsNearTheEmpiricalOptimum) {
+  // The paper's analytical tuning (OptimizedConfig::for_machine) must land
+  // within 25% of the empirical optimum found by exhaustive simulation.
+  for (const auto& m : topo::armv8_machines()) {
+    const auto result = autotune(m, m.num_cores(), 10);
+    const auto cfg = OptimizedConfig::for_machine(m);
+    double analytic_us = -1.0;
+    for (const auto& c : result.ranking) {
+      if (c.algo == Algo::kOptimized && c.options.fanin == cfg.fanin &&
+          c.options.notify == cfg.notify) {
+        analytic_us = c.overhead_us;
+        break;
+      }
+    }
+    ASSERT_GT(analytic_us, 0.0) << m.name();
+    EXPECT_LE(analytic_us, result.best.overhead_us * 1.25) << m.name();
+  }
+}
+
+TEST(DefaultCandidates, CoverAlgorithmsAndPolicies) {
+  const auto cands = default_tune_candidates(topo::thunderx2());
+  int optimized = 0;
+  bool has_hybrid = false, has_sense = false;
+  for (const auto& [algo, options] : cands) {
+    if (algo == Algo::kOptimized) ++optimized;
+    if (algo == Algo::kHybrid) has_hybrid = true;
+    if (algo == Algo::kSense) has_sense = true;
+    if (algo == Algo::kHybrid)
+      EXPECT_EQ(options.cluster_size, 32);  // machine's N_c propagated
+  }
+  EXPECT_EQ(optimized, 9);  // 3 fan-ins x 3 policies
+  EXPECT_TRUE(has_hybrid);
+  EXPECT_TRUE(has_sense);
+}
+
+}  // namespace
+}  // namespace armbar::simbar

@@ -1,0 +1,175 @@
+// Per-class unit tests of the native barriers, complementing the generic
+// sweeps in test_barriers.cpp with structure- and option-level checks.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "armbar/barriers/central_sense.hpp"
+#include "armbar/util/backoff.hpp"
+#include "armbar/barriers/combining_tree.hpp"
+#include "armbar/barriers/dissemination.hpp"
+#include "armbar/barriers/ftournament.hpp"
+#include "armbar/barriers/hypercube.hpp"
+#include "armbar/barriers/mcs_tree.hpp"
+#include "armbar/barriers/std_wrappers.hpp"
+#include "armbar/barriers/team.hpp"
+#include "armbar/barriers/tournament.hpp"
+#include "armbar/core/optimized.hpp"
+#include "armbar/topo/platforms.hpp"
+
+namespace armbar {
+namespace {
+
+/// Generic lock-step counter check used by the per-class tests.
+template <typename B>
+void run_lockstep(B& barrier, int threads, int episodes) {
+  std::atomic<long> counter{0};
+  std::atomic<int> violations{0};
+  parallel_run(threads, [&](int tid) {
+    for (int ep = 1; ep <= episodes; ++ep) {
+      counter.fetch_add(1);
+      barrier.wait(tid);
+      if (counter.load() < static_cast<long>(ep) * threads)
+        violations.fetch_add(1);
+      barrier.wait(tid);
+    }
+  });
+  EXPECT_EQ(violations.load(), 0) << barrier.name();
+  EXPECT_EQ(counter.load(), static_cast<long>(episodes) * threads);
+}
+
+TEST(CentralSenseUnit, NamesDistinguishLayouts) {
+  EXPECT_EQ(CentralSenseBarrier(2, SenseLayout::kSeparated).name(), "SENSE");
+  EXPECT_EQ(CentralSenseBarrier(2, SenseLayout::kPackedGcc).name(),
+            "SENSE(gcc-packed)");
+  EXPECT_THROW(CentralSenseBarrier(0), std::invalid_argument);
+}
+
+TEST(CentralSenseUnit, SingleThreadIsANoOpThatStillCounts) {
+  CentralSenseBarrier b(1);
+  for (int i = 0; i < 1000; ++i) b.wait(0);
+  SUCCEED();
+}
+
+TEST(CombiningTreeUnit, FaninsOtherThanTwo) {
+  for (int fanin : {2, 3, 4, 8}) {
+    CombiningTreeBarrier b(7, fanin);
+    EXPECT_EQ(b.fanin(), fanin);
+    run_lockstep(b, 7, 20);
+  }
+}
+
+TEST(DisseminationUnit, ParityAndSenseSurviveManyEpisodes) {
+  // The parity/sense reuse scheme has period 4 (two parities x two
+  // senses); exercise many multiples of it.
+  DisseminationBarrier b(5);
+  run_lockstep(b, 5, 101);  // odd count: ends mid-cycle
+}
+
+TEST(McsUnit, ChildNotReadyLinesAreReArmedCorrectly) {
+  // 21 threads: node 4 has four children (17..20), node 5 has none.
+  McsTreeBarrier b(21);
+  run_lockstep(b, 21, 12);
+}
+
+TEST(TournamentUnit, ByesWithNonPowerOfTwo) {
+  for (int p : {3, 5, 6, 7}) {
+    TournamentBarrier b(p);
+    run_lockstep(b, p, 15);
+  }
+}
+
+TEST(FwayUnit, BalancedScheduleExposedThroughAccessor) {
+  StaticFwayBarrier b(9, FwayOptions{});
+  EXPECT_EQ(b.schedule().num_rounds(), 2);
+  EXPECT_EQ(b.schedule().rounds[0].fanin, 3);
+  EXPECT_EQ(b.options().layout, FlagLayout::kPacked32);
+  EXPECT_EQ(b.name(), "STOUR");
+}
+
+TEST(FwayUnit, NamesEncodeOptions) {
+  EXPECT_EQ(StaticFwayBarrier(
+                8, FwayOptions{.fanin = 4, .layout = FlagLayout::kPaddedLine})
+                .name(),
+            "STOUR(f=4)+pad");
+  EXPECT_EQ(StaticFwayBarrier(8, FwayOptions{.fanin = 2,
+                                             .layout = FlagLayout::kPaddedLine,
+                                             .notify = NotifyPolicy::kNumaTree,
+                                             .cluster_size = 4})
+                .name(),
+            "STOUR(f=2)+pad+numa-tree");
+}
+
+TEST(FwayUnit, DynamicChampionRotatesWithoutCorruption) {
+  // In DTOUR the champion is whoever arrives last; run with deliberately
+  // asymmetric work so different threads win different episodes.
+  DynamicFwayBarrier b(6, /*fanin=*/3);
+  std::atomic<long> counter{0};
+  std::atomic<int> violations{0};
+  parallel_run(6, [&](int tid) {
+    for (int ep = 1; ep <= 30; ++ep) {
+      // Rotating delay: a different thread is slowest each episode.
+      const int spin = ((tid + ep) % 6) * 50;
+      for (int i = 0; i < spin; ++i) util::cpu_relax();
+      counter.fetch_add(1);
+      b.wait(tid);
+      if (counter.load() < static_cast<long>(ep) * 6) violations.fetch_add(1);
+      b.wait(tid);
+    }
+  });
+  EXPECT_EQ(violations.load(), 0);
+}
+
+TEST(HypercubeUnit, BranchFactorsTwoAndEight) {
+  for (int bf : {2, 4, 8}) {
+    HypercubeBarrier b(10, bf);
+    EXPECT_NE(b.name().find(std::to_string(bf)), std::string::npos);
+    run_lockstep(b, 10, 12);
+  }
+}
+
+TEST(OptimizedUnit, ConfigAccessorsAndMachineCtor) {
+  const auto machine = topo::thunderx2();
+  OptimizedBarrier b(8, machine);
+  EXPECT_EQ(b.config().fanin, 4);
+  EXPECT_EQ(b.config().notify, NotifyPolicy::kNumaTree);
+  EXPECT_EQ(b.config().cluster_size, 32);
+  EXPECT_EQ(b.num_threads(), 8);
+  run_lockstep(b, 8, 15);
+}
+
+TEST(StdWrappersUnit, MatchLockstepSemantics) {
+  StdBarrier sb(4);
+  run_lockstep(sb, 4, 25);
+  PthreadBarrier pb(4);
+  run_lockstep(pb, 4, 25);
+  EXPECT_THROW(StdBarrier(0), std::invalid_argument);
+  EXPECT_THROW(PthreadBarrier(-1), std::invalid_argument);
+}
+
+TEST(MixedBarriers, TwoIndependentBarriersInterleave) {
+  // Two distinct barrier objects used by the same team in alternation:
+  // episodes of one must not disturb the other.
+  constexpr int kThreads = 4;
+  OptimizedBarrier a(kThreads, OptimizedConfig{});
+  McsTreeBarrier b(kThreads);
+  std::atomic<long> ca{0}, cb{0};
+  std::atomic<int> violations{0};
+  parallel_run(kThreads, [&](int tid) {
+    for (int ep = 1; ep <= 40; ++ep) {
+      ca.fetch_add(1);
+      a.wait(tid);
+      if (ca.load() < static_cast<long>(ep) * kThreads)
+        violations.fetch_add(1);
+      cb.fetch_add(1);
+      b.wait(tid);
+      if (cb.load() < static_cast<long>(ep) * kThreads)
+        violations.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(violations.load(), 0);
+}
+
+}  // namespace
+}  // namespace armbar

@@ -1,0 +1,128 @@
+// Tests for barrier-based collectives (reduce / allreduce / broadcast).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <string>
+
+#include "armbar/barriers/factory.hpp"
+#include "armbar/barriers/team.hpp"
+#include "armbar/coll/collectives.hpp"
+#include "armbar/util/prng.hpp"
+
+namespace armbar::coll {
+namespace {
+
+class CollectiveSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectiveSweep, AllreduceSumMatchesSequential) {
+  const int threads = GetParam();
+  Barrier barrier = make_barrier(Algo::kOptimized, threads);
+  Collective<long long> coll(threads, barrier);
+  // value(t) = (t+1)^2; expect sum of squares.
+  long long expect = 0;
+  for (int t = 0; t < threads; ++t)
+    expect += static_cast<long long>(t + 1) * (t + 1);
+  std::atomic<int> mismatches{0};
+  parallel_run(threads, [&](int tid) {
+    for (int round = 0; round < 10; ++round) {
+      const long long mine = static_cast<long long>(tid + 1) * (tid + 1);
+      const long long got = coll.allreduce(
+          tid, mine, [](long long a, long long b) { return a + b; });
+      if (got != expect) mismatches.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0) << "threads=" << threads;
+}
+
+TEST_P(CollectiveSweep, ReduceMaxOnRootOnly) {
+  const int threads = GetParam();
+  Barrier barrier = make_barrier(Algo::kStaticFwayPadded, threads);
+  Collective<long long> coll(threads, barrier);
+  std::atomic<int> mismatches{0};
+  parallel_run(threads, [&](int tid) {
+    const long long mine = (tid * 37) % 23;  // arbitrary, deterministic
+    long long expect = 0;
+    for (int t = 0; t < threads; ++t)
+      expect = std::max(expect, static_cast<long long>((t * 37) % 23));
+    const long long got = coll.reduce(
+        tid, mine, [](long long a, long long b) { return std::max(a, b); });
+    if (tid == 0 && got != expect) mismatches.fetch_add(1);
+    if (tid != 0 && got != 0) mismatches.fetch_add(1);  // non-root gets T{}
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST_P(CollectiveSweep, BroadcastFromEveryRoot) {
+  const int threads = GetParam();
+  Barrier barrier = make_barrier(Algo::kMcsTree, threads);
+  Collective<int> coll(threads, barrier);
+  std::atomic<int> mismatches{0};
+  parallel_run(threads, [&](int tid) {
+    for (int root = 0; root < threads; ++root) {
+      const int payload = 1000 + root * 7;
+      const int got =
+          coll.broadcast(tid, tid == root ? payload : -1, root);
+      if (got != payload) mismatches.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Teams, CollectiveSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8));
+
+TEST(Collective, NonCommutativeAssociativeOpIsOrderStable) {
+  // String concatenation: associative but not commutative.  The fan-in-4
+  // tree must preserve thread order, producing "0123...".
+  constexpr int kThreads = 6;
+  Barrier barrier = make_barrier(Algo::kOptimized, kThreads);
+  Collective<std::string> coll(kThreads, barrier);
+  std::atomic<int> mismatches{0};
+  parallel_run(kThreads, [&](int tid) {
+    const std::string got = coll.allreduce(
+        tid, std::to_string(tid),
+        [](std::string a, std::string b) { return a + b; });
+    if (got != "012345") mismatches.fetch_add(1);
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(Collective, InterleavesWithRawBarrierUse) {
+  constexpr int kThreads = 4;
+  Barrier barrier = make_barrier(Algo::kOptimized, kThreads);
+  Collective<long long> coll(kThreads, barrier);
+  std::atomic<int> mismatches{0};
+  parallel_run(kThreads, [&](int tid) {
+    for (int round = 0; round < 5; ++round) {
+      barrier.wait(tid);  // raw use
+      const long long got = coll.allreduce(
+          tid, 1, [](long long a, long long b) { return a + b; });
+      if (got != kThreads) mismatches.fetch_add(1);
+      barrier.wait(tid);
+    }
+  });
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(Collective, RejectsBadConstruction) {
+  Barrier b4 = make_barrier(Algo::kSense, 4);
+  EXPECT_THROW(Collective<int>(5, b4), std::invalid_argument);
+  EXPECT_THROW(Collective<int>(0, b4), std::invalid_argument);
+  Collective<int> ok(4, b4);
+  std::atomic<bool> threw{false};
+  parallel_run(4, [&](int tid) {
+    if (tid == 0) {
+      try {
+        ok.broadcast(0, 1, 9);
+      } catch (const std::invalid_argument&) {
+        threw.store(true);
+      }
+    }
+  });
+  EXPECT_TRUE(threw.load());
+}
+
+}  // namespace
+}  // namespace armbar::coll

@@ -1,0 +1,61 @@
+// Tests for the native EPCC-style overhead harness.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "armbar/barriers/factory.hpp"
+#include "armbar/epcc/epcc.hpp"
+
+namespace armbar::epcc {
+namespace {
+
+TEST(DelayWork, ScalesWithCycles) {
+  // Smoke: both calls complete; no timing assertion (CI noise).
+  delay_work(0);
+  delay_work(10000);
+}
+
+TEST(MeasureOverhead, ProducesFiniteNumbers) {
+  Barrier b = make_barrier(Algo::kOptimized, 2);
+  ThreadTeam team(2);
+  EpccConfig cfg;
+  cfg.inner_iterations = 50;
+  cfg.outer_reps = 3;
+  cfg.delay_cycles = 10;
+  const EpccResult r = measure_overhead(b, team, cfg);
+  EXPECT_GT(r.reference_us_per_iter, 0.0);
+  EXPECT_TRUE(std::isfinite(r.overhead_us));
+  EXPECT_EQ(r.per_rep_overhead_us.count, 3u);
+}
+
+TEST(MeasureOverhead, WorksForEveryAlgorithm) {
+  constexpr int kThreads = 2;
+  ThreadTeam team(kThreads);
+  EpccConfig cfg;
+  cfg.inner_iterations = 20;
+  cfg.outer_reps = 2;
+  cfg.delay_cycles = 5;
+  for (Algo algo : all_algos()) {
+    Barrier b = make_barrier(algo, kThreads);
+    const EpccResult r = measure_overhead(b, team, cfg);
+    EXPECT_TRUE(std::isfinite(r.overhead_us)) << to_string(algo);
+  }
+}
+
+TEST(MeasureOverhead, RejectsMismatchedTeam) {
+  Barrier b = make_barrier(Algo::kSense, 2);
+  ThreadTeam team(3);
+  EXPECT_THROW(measure_overhead(b, team), std::invalid_argument);
+}
+
+TEST(MeasureOverhead, RejectsBadConfig) {
+  Barrier b = make_barrier(Algo::kSense, 2);
+  ThreadTeam team(2);
+  EpccConfig cfg;
+  cfg.inner_iterations = 0;
+  EXPECT_THROW(measure_overhead(b, team, cfg), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace armbar::epcc

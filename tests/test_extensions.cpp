@@ -1,0 +1,171 @@
+// Tests for the related-work extension barriers (hybrid, n-way
+// dissemination, ring) — native structure properties plus targeted
+// correctness beyond the generic sweeps in test_barriers / test_simbar.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "armbar/barriers/extensions.hpp"
+#include "armbar/barriers/factory.hpp"
+#include "armbar/barriers/team.hpp"
+#include "armbar/simbar/runner.hpp"
+#include "armbar/simbar/sim_barriers.hpp"
+#include "armbar/topo/platforms.hpp"
+
+namespace armbar {
+namespace {
+
+// --- NWayDissemination structure -------------------------------------------
+
+TEST(NWayDissemination, RoundCountsMatchLogBase) {
+  // rounds = ceil(log_{n+1} P).
+  EXPECT_EQ(NWayDisseminationBarrier(1, 3).rounds(), 0);
+  EXPECT_EQ(NWayDisseminationBarrier(4, 3).rounds(), 1);
+  EXPECT_EQ(NWayDisseminationBarrier(5, 3).rounds(), 2);
+  EXPECT_EQ(NWayDisseminationBarrier(16, 3).rounds(), 2);
+  EXPECT_EQ(NWayDisseminationBarrier(17, 3).rounds(), 3);
+  EXPECT_EQ(NWayDisseminationBarrier(64, 3).rounds(), 3);
+  // n = 1 degenerates to the classic dissemination round count.
+  EXPECT_EQ(NWayDisseminationBarrier(64, 1).rounds(), 6);
+  EXPECT_EQ(NWayDisseminationBarrier(5, 1).rounds(), 3);
+}
+
+TEST(NWayDissemination, FewerRoundsThanClassicDissemination) {
+  for (int p : {8, 16, 32, 64}) {
+    EXPECT_LT(NWayDisseminationBarrier(p, 3).rounds(),
+              NWayDisseminationBarrier(p, 1).rounds())
+        << "p=" << p;
+  }
+}
+
+TEST(NWayDissemination, RejectsBadArguments) {
+  EXPECT_THROW(NWayDisseminationBarrier(0, 3), std::invalid_argument);
+  EXPECT_THROW(NWayDisseminationBarrier(4, 0), std::invalid_argument);
+}
+
+// --- Hybrid ---------------------------------------------------------------------
+
+TEST(Hybrid, RejectsBadArguments) {
+  EXPECT_THROW(HybridBarrier(0, 4), std::invalid_argument);
+  EXPECT_THROW(HybridBarrier(8, 0), std::invalid_argument);
+}
+
+TEST(Hybrid, WorksWithRaggedLastCluster) {
+  // 7 threads in clusters of 4 -> clusters of 4 and 3.
+  HybridBarrier b(7, 4);
+  std::atomic<int> counter{0};
+  parallel_run(7, [&](int tid) {
+    for (int ep = 0; ep < 30; ++ep) {
+      counter.fetch_add(1);
+      b.wait(tid);
+      EXPECT_EQ(counter.load() % 7, 0);
+      b.wait(tid);
+    }
+  });
+}
+
+TEST(Hybrid, SingleClusterDegeneratesToCentralized) {
+  HybridBarrier b(4, 8);  // one cluster holds everyone
+  std::atomic<int> counter{0};
+  parallel_run(4, [&](int tid) {
+    for (int ep = 0; ep < 50; ++ep) {
+      counter.fetch_add(1);
+      b.wait(tid);
+      EXPECT_EQ(counter.load() % 4, 0);
+      b.wait(tid);
+    }
+  });
+}
+
+// --- Ring ------------------------------------------------------------------------
+
+TEST(Ring, ArrivalTokenImpliesPrefixArrived) {
+  // When thread i observes the token, threads 0..i-1 must have arrived.
+  constexpr int kThreads = 6;
+  RingBarrier b(kThreads);
+  std::vector<std::atomic<std::uint64_t>> arrived(kThreads);
+  for (auto& a : arrived) a.store(0);
+  std::atomic<int> violations{0};
+  parallel_run(kThreads, [&](int tid) {
+    for (int ep = 1; ep <= 40; ++ep) {
+      arrived[static_cast<std::size_t>(tid)].store(
+          static_cast<std::uint64_t>(ep), std::memory_order_release);
+      b.wait(tid);
+      for (int t = 0; t < kThreads; ++t) {
+        if (arrived[static_cast<std::size_t>(t)].load(
+                std::memory_order_acquire) < static_cast<std::uint64_t>(ep))
+          violations.fetch_add(1);
+      }
+    }
+  });
+  EXPECT_EQ(violations.load(), 0);
+}
+
+// --- factory round trips --------------------------------------------------------
+
+TEST(ExtensionsFactory, ConstructibleAndNamed) {
+  EXPECT_EQ(make_barrier(Algo::kHybrid, 8).name(), "HYBRID(Nc=4)");
+  EXPECT_EQ(make_barrier(Algo::kNWayDissemination, 8).name(), "NWAY-DIS(n=3)");
+  EXPECT_EQ(make_barrier(Algo::kRing, 8).name(), "RING");
+  // Options plumb through.
+  EXPECT_EQ(make_barrier(Algo::kHybrid, 8, {.cluster_size = 2}).name(),
+            "HYBRID(Nc=2)");
+  EXPECT_EQ(make_barrier(Algo::kNWayDissemination, 8, {.fanin = 2}).name(),
+            "NWAY-DIS(n=2)");
+}
+
+// --- simulated behaviour ----------------------------------------------------------
+
+TEST(ExtensionsSim, RingScalesLinearly) {
+  // The ring's critical path is O(P): cost at 64 threads far exceeds the
+  // cost at 8.
+  const auto m = topo::phytium2000();
+  simbar::SimRunConfig cfg;
+  cfg.threads = 8;
+  const double at8 =
+      simbar::measure_barrier(m, simbar::sim_factory(Algo::kRing), cfg)
+          .mean_overhead_ns;
+  cfg.threads = 64;
+  const double at64 =
+      simbar::measure_barrier(m, simbar::sim_factory(Algo::kRing), cfg)
+          .mean_overhead_ns;
+  EXPECT_GT(at64, 3.0 * at8);
+}
+
+TEST(ExtensionsSim, HybridBeatsPlainSenseOnClusteredMachines) {
+  // Confining the hot counter to a cluster removes the machine-wide
+  // storm: the hybrid barrier must be far cheaper than SENSE at scale.
+  for (const auto& m : topo::armv8_machines()) {
+    simbar::SimRunConfig cfg;
+    cfg.threads = 64;
+    const double hybrid =
+        simbar::measure_barrier(m, simbar::sim_factory(Algo::kHybrid), cfg)
+            .mean_overhead_ns;
+    const double sense =
+        simbar::measure_barrier(m, simbar::sim_factory(Algo::kSense), cfg)
+            .mean_overhead_ns;
+    EXPECT_LT(hybrid, sense) << m.name();
+  }
+}
+
+TEST(ExtensionsSim, NWayTradesRoundsForWidth) {
+  // 3-way dissemination halves the rounds of classic dissemination; on
+  // the simulated machines it should be at least competitive.
+  const auto m = topo::kunpeng920();
+  simbar::SimRunConfig cfg;
+  cfg.threads = 64;
+  const double nway =
+      simbar::measure_barrier(
+          m, simbar::sim_factory(Algo::kNWayDissemination), cfg)
+          .mean_overhead_ns;
+  const double classic =
+      simbar::measure_barrier(m, simbar::sim_factory(Algo::kDissemination),
+                              cfg)
+          .mean_overhead_ns;
+  EXPECT_LT(nway, classic * 1.5);
+}
+
+}  // namespace
+}  // namespace armbar

@@ -1,0 +1,141 @@
+// Property/fuzz tests: every barrier must synchronize correctly on
+// randomized topologies, thread counts and placements (seeded, fully
+// deterministic).  The synchronization invariant — no thread exits an
+// episode before the last thread entered it — is checked on every run.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <numeric>
+
+#include "armbar/barriers/factory.hpp"
+#include "armbar/barriers/team.hpp"
+#include "armbar/simbar/runner.hpp"
+#include "armbar/simbar/sim_barriers.hpp"
+#include "armbar/topo/placement.hpp"
+#include "armbar/topo/platforms.hpp"
+#include "armbar/util/prng.hpp"
+
+namespace armbar {
+namespace {
+
+using simbar::Recorder;
+using simbar::SimRunConfig;
+
+topo::Machine random_machine(util::Xoshiro256& rng) {
+  // 2-3 hierarchy levels with sizes in {2,3,4}; latencies grow outward.
+  const int levels = 2 + static_cast<int>(rng.below(2));
+  std::vector<int> groups;
+  std::vector<double> lat;
+  double base = 5.0 + rng.uniform01() * 20.0;
+  for (int l = 0; l < levels; ++l) {
+    groups.push_back(2 + static_cast<int>(rng.below(3)));
+    lat.push_back(base);
+    base *= 1.5 + rng.uniform01() * 2.0;
+  }
+  return topo::make_hierarchical(
+      "fuzz", groups, lat, /*epsilon_ns=*/0.5 + rng.uniform01(),
+      /*cluster_size=*/groups[0],
+      /*cacheline_bytes=*/rng.below(2) == 0 ? 64 : 128,
+      /*alpha=*/rng.uniform01() * 0.5,
+      /*contention_ns=*/rng.uniform01() * 4.0);
+}
+
+std::vector<int> random_subset_placement(util::Xoshiro256& rng,
+                                         const topo::Machine& m,
+                                         int threads) {
+  std::vector<int> cores(static_cast<std::size_t>(m.num_cores()));
+  std::iota(cores.begin(), cores.end(), 0);
+  for (std::size_t i = cores.size() - 1; i > 0; --i)
+    std::swap(cores[i], cores[rng.below(i + 1)]);
+  cores.resize(static_cast<std::size_t>(threads));
+  return cores;
+}
+
+/// Run one (machine, algo, threads, placement) case and check the
+/// synchronization invariant for every episode.
+void check_case(const topo::Machine& m, Algo algo, const SimRunConfig& cfg) {
+  sim::Engine eng;
+  sim::MemSystem mem(eng, m);
+  const auto barrier = simbar::make_sim_barrier(
+      algo, eng, mem, cfg.threads,
+      MakeOptions{.cluster_size = m.cluster_size()});
+  Recorder rec(cfg.threads, cfg.iterations);
+  for (int t = 0; t < cfg.threads; ++t)
+    eng.spawn(barrier->run_thread(t, cfg, rec));
+  ASSERT_TRUE(eng.run())
+      << barrier->name() << " deadlocked: machine=" << m.name()
+      << " threads=" << cfg.threads;
+  for (int it = 0; it < cfg.iterations; ++it) {
+    util::Picos last_enter = 0, first_exit = ~util::Picos{0};
+    for (int t = 0; t < cfg.threads; ++t) {
+      last_enter = std::max(last_enter, rec.enter_time(t, it));
+      first_exit = std::min(first_exit, rec.exit_time(t, it));
+    }
+    ASSERT_GE(first_exit, last_enter)
+        << barrier->name() << " violated the barrier property: machine="
+        << m.name() << " threads=" << cfg.threads << " episode=" << it;
+  }
+}
+
+class FuzzSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(FuzzSweep, RandomTopologyPlacementAndSkew) {
+  util::Xoshiro256 rng(static_cast<std::uint64_t>(GetParam()) * 7919 + 13);
+  const topo::Machine m = random_machine(rng);
+  const std::vector<Algo> algos = {
+      Algo::kSense,      Algo::kGccSense,       Algo::kDissemination,
+      Algo::kCombiningTree, Algo::kMcsTree,     Algo::kTournament,
+      Algo::kStaticFway, Algo::kStaticFwayPadded, Algo::kDynamicFway,
+      Algo::kHypercube,  Algo::kOptimized,      Algo::kHybrid,
+      Algo::kNWayDissemination, Algo::kRing};
+  for (int rep = 0; rep < 3; ++rep) {
+    const int threads =
+        1 + static_cast<int>(rng.below(
+                static_cast<std::uint64_t>(m.num_cores())));
+    SimRunConfig cfg;
+    cfg.threads = threads;
+    cfg.iterations = 4;
+    cfg.warmup = 1;
+    cfg.skew_ps = rng.below(20'000);
+    if (rng.below(2) == 1)
+      cfg.core_of_thread = random_subset_placement(rng, m, threads);
+    const Algo algo = algos[rng.below(algos.size())];
+    check_case(m, algo, cfg);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSweep, ::testing::Range(0, 24));
+
+// Native fuzz: random thread counts and episode counts with real threads.
+TEST(FuzzNative, RandomAlgoThreadEpisodeCombos) {
+  util::Xoshiro256 rng(2026);
+  const auto algos = all_algos();
+  for (int rep = 0; rep < 10; ++rep) {
+    const Algo algo = algos[rng.below(algos.size())];
+    const int threads = 1 + static_cast<int>(rng.below(6));
+    const int episodes = 5 + static_cast<int>(rng.below(20));
+    Barrier b = make_barrier(algo, threads);
+    std::vector<std::atomic<std::uint64_t>> arrived(
+        static_cast<std::size_t>(threads));
+    for (auto& a : arrived) a.store(0);
+    std::atomic<int> violations{0};
+    parallel_run(threads, [&](int tid) {
+      for (int ep = 1; ep <= episodes; ++ep) {
+        arrived[static_cast<std::size_t>(tid)].fetch_add(1);
+        b.wait(tid);
+        for (int t = 0; t < threads; ++t) {
+          if (arrived[static_cast<std::size_t>(t)].load() <
+              static_cast<std::uint64_t>(ep))
+            violations.fetch_add(1);
+        }
+      }
+    });
+    EXPECT_EQ(violations.load(), 0)
+        << b.name() << " threads=" << threads << " episodes=" << episodes;
+  }
+}
+
+}  // namespace
+}  // namespace armbar

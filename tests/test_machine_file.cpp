@@ -1,0 +1,91 @@
+// Tests for the textual machine-description loader.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "armbar/topo/machine_file.hpp"
+
+namespace armbar::topo {
+namespace {
+
+TEST(MachineFile, ParsesFullDescription) {
+  const Machine m = parse_machine(
+      "# comment line\n"
+      "name = TestSoC\n"
+      "groups = 4, 8   # clusters of 4\n"
+      "layer_ns = 12.0, 55.0\n"
+      "epsilon_ns = 1.4\n"
+      "cluster_size = 4\n"
+      "cacheline_bytes = 128\n"
+      "alpha = 0.07\n"
+      "contention_ns = 1.5\n");
+  EXPECT_EQ(m.name(), "TestSoC");
+  EXPECT_EQ(m.num_cores(), 32);
+  EXPECT_EQ(m.cluster_size(), 4);
+  EXPECT_EQ(m.cacheline_bytes(), 128);
+  EXPECT_DOUBLE_EQ(m.epsilon_ns(), 1.4);
+  EXPECT_DOUBLE_EQ(m.alpha(), 0.07);
+  EXPECT_DOUBLE_EQ(m.contention_ns(), 1.5);
+  EXPECT_DOUBLE_EQ(m.comm_ns(0, 1), 12.0);
+  EXPECT_DOUBLE_EQ(m.comm_ns(0, 31), 55.0);
+}
+
+TEST(MachineFile, DefaultsApply) {
+  const Machine m = parse_machine("groups = 2, 2\nlayer_ns = 10, 20\n");
+  EXPECT_EQ(m.name(), "custom");
+  EXPECT_EQ(m.num_cores(), 4);
+  EXPECT_EQ(m.cluster_size(), 2);  // defaults to the innermost group
+  EXPECT_EQ(m.cacheline_bytes(), 64);
+  EXPECT_DOUBLE_EQ(m.epsilon_ns(), 1.0);
+}
+
+TEST(MachineFile, TemplateParses) {
+  const Machine m = parse_machine(machine_file_template());
+  EXPECT_EQ(m.name(), "MySoC");
+  EXPECT_EQ(m.num_cores(), 32);
+}
+
+TEST(MachineFile, ErrorsCarryLineNumbers) {
+  try {
+    parse_machine("groups = 2, 2\nlayer_ns = 10, oops\n");
+    FAIL() << "expected throw";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(MachineFile, RejectsMalformedInput) {
+  EXPECT_THROW(parse_machine(""), std::invalid_argument);  // missing keys
+  EXPECT_THROW(parse_machine("groups = 2,2\n"), std::invalid_argument);
+  EXPECT_THROW(parse_machine("groups = 2,2\nlayer_ns = 1\nwat = 3\n"),
+               std::invalid_argument);  // unknown key
+  EXPECT_THROW(parse_machine("groups 2,2\nlayer_ns = 1,2\n"),
+               std::invalid_argument);  // missing '='
+  EXPECT_THROW(
+      parse_machine("groups = 2,2\ngroups = 2,2\nlayer_ns = 1,2\n"),
+      std::invalid_argument);  // duplicate
+  EXPECT_THROW(parse_machine("groups = 1, 2\nlayer_ns = 1, 2\n"),
+               std::invalid_argument);  // group < 2
+  EXPECT_THROW(parse_machine("groups = 2.5, 2\nlayer_ns = 1, 2\n"),
+               std::invalid_argument);  // non-integer group
+  // groups / layer_ns length mismatch surfaces via make_hierarchical.
+  EXPECT_THROW(parse_machine("groups = 2, 2\nlayer_ns = 1\n"),
+               std::invalid_argument);
+}
+
+TEST(MachineFile, LoadsFromDisk) {
+  const std::string path = ::testing::TempDir() + "/armbar_test.machine";
+  {
+    std::ofstream out(path);
+    out << machine_file_template();
+  }
+  const Machine m = load_machine_file(path);
+  EXPECT_EQ(m.num_cores(), 32);
+  std::remove(path.c_str());
+  EXPECT_THROW(load_machine_file(path), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace armbar::topo

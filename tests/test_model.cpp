@@ -1,0 +1,142 @@
+// Tests for the analytical cost model (paper Section III and eqs. 1-5).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "armbar/model/cost_model.hpp"
+#include "armbar/topo/platforms.hpp"
+
+namespace armbar::model {
+namespace {
+
+TEST(OpCosts, MatchSectionIIIFormulas) {
+  const topo::Machine m = topo::kunpeng920();
+  const OpCosts c(m, /*layer=*/2);  // across SCCLs, L=75
+  EXPECT_DOUBLE_EQ(c.local_read_ns(), 1.15);          // O_RL = epsilon
+  EXPECT_DOUBLE_EQ(c.remote_read_ns(), 75.0);         // O_RR = L_i
+  EXPECT_DOUBLE_EQ(c.local_write_ns(0), 0.0);         // no copies: free RFO
+  EXPECT_DOUBLE_EQ(c.local_write_ns(3),
+                   3 * m.alpha() * 75.0);             // O_WL = n*alpha*L
+  EXPECT_DOUBLE_EQ(c.remote_write_ns(3),
+                   (1 + 3 * m.alpha()) * 75.0);       // O_WR = (1+n*alpha)*L
+}
+
+TEST(ArrivalCost, EquationOne) {
+  // T(f) = ceil(log_f P) * (f+1) * L
+  EXPECT_DOUBLE_EQ(arrival_cost_ns(64, 4, 10.0), 3 * 5 * 10.0);
+  EXPECT_DOUBLE_EQ(arrival_cost_ns(64, 2, 10.0), 6 * 3 * 10.0);
+  EXPECT_DOUBLE_EQ(arrival_cost_ns(64, 8, 10.0), 2 * 9 * 10.0);
+  EXPECT_DOUBLE_EQ(arrival_cost_ns(1, 4, 10.0), 0.0);
+  EXPECT_THROW(arrival_cost_ns(8, 1, 10.0), std::invalid_argument);
+}
+
+TEST(ArrivalCost, FourBeatsNeighborsAtSixtyFourThreads) {
+  // Figure 13 / Section V-B2: at P=64 the discrete cost is minimized at
+  // f=4 among the candidate fan-ins.
+  const double l = 42.3;
+  const double at4 = arrival_cost_ns(64, 4, l);
+  for (int f : {2, 3, 5, 6, 7, 8, 16}) {
+    EXPECT_LE(at4, arrival_cost_ns(64, f, l)) << "f=" << f;
+  }
+}
+
+TEST(OptimalFanin, ContinuousWindowMatchesEquationTwo) {
+  // (ln f - 1) f = alpha; paper: 2.718 <= f <= 3.591 for alpha in [0,1].
+  const double f0 = optimal_fanin_continuous(0.0);
+  const double f1 = optimal_fanin_continuous(1.0);
+  EXPECT_NEAR(f0, std::exp(1.0), 1e-6);
+  EXPECT_NEAR(f1, 3.59112, 1e-4);
+  // Monotone in alpha.
+  double prev = f0;
+  for (double a = 0.1; a <= 1.0; a += 0.1) {
+    const double f = optimal_fanin_continuous(a);
+    EXPECT_GT(f, prev);
+    prev = f;
+  }
+  // The root actually satisfies the equation.
+  const double f = optimal_fanin_continuous(0.5);
+  EXPECT_NEAR((std::log(f) - 1.0) * f, 0.5, 1e-9);
+  EXPECT_THROW(optimal_fanin_continuous(-0.1), std::invalid_argument);
+  EXPECT_THROW(optimal_fanin_continuous(1.1), std::invalid_argument);
+}
+
+TEST(OptimalFanin, RecommendationIsFour) {
+  // Section V-B2: given the power-of-two preference, f = 4 for all alpha.
+  for (double a : {0.0, 0.05, 0.3, 0.4, 1.0})
+    EXPECT_EQ(recommended_fanin(a), 4);
+}
+
+TEST(WakeupCosts, EquationsThreeAndFour) {
+  // T_global = ((P-1) alpha + 1) L + c (P-1)
+  EXPECT_DOUBLE_EQ(global_wakeup_cost_ns(64, 100.0, 0.3, 2.0),
+                   (63 * 0.3 + 1) * 100.0 + 2.0 * 63);
+  EXPECT_DOUBLE_EQ(global_wakeup_cost_ns(1, 100.0, 0.3, 2.0), 0.0);
+  // T_tree = ceil(log2(P+1)) (alpha+1) L
+  EXPECT_DOUBLE_EQ(tree_wakeup_cost_ns(63, 100.0, 0.3),
+                   6 * 1.3 * 100.0);  // log2(64) = 6
+  EXPECT_DOUBLE_EQ(tree_wakeup_cost_ns(64, 100.0, 0.3),
+                   7 * 1.3 * 100.0);  // log2(65) ceil = 7
+  EXPECT_DOUBLE_EQ(tree_wakeup_cost_ns(1, 100.0, 0.3), 0.0);
+}
+
+TEST(WakeupCosts, SmallThreadCountsEquivalent) {
+  // Section VI-B: "when the number of threads is small, T_global and
+  // T_tree are equal" — i.e. the tree only wins beyond a crossover.
+  const int cross = wakeup_crossover_threads(100.0, 0.3, 2.0);
+  ASSERT_GT(cross, 2);
+  for (int p = 2; p < cross; ++p) {
+    EXPECT_LE(global_wakeup_cost_ns(p, 100.0, 0.3, 2.0),
+              tree_wakeup_cost_ns(p, 100.0, 0.3));
+  }
+}
+
+TEST(WakeupCosts, MachineChoicesMatchPaper) {
+  // Section VI-B: binary tree wins on Phytium 2000+ and ThunderX2 at high
+  // thread counts, global wake-up wins on Kunpeng920.  Evaluated with the
+  // topology-aware refinements (the published worst-layer forms are too
+  // coarse to rank policies once alpha is small).
+  const auto phy = topo::phytium2000();
+  const auto tx2 = topo::thunderx2();
+  const auto kp = topo::kunpeng920();
+  EXPECT_LT(tree_wakeup_cost_topo_ns(phy, 64),
+            global_wakeup_cost_topo_ns(phy, 64));
+  EXPECT_LT(tree_wakeup_cost_topo_ns(tx2, 64),
+            global_wakeup_cost_topo_ns(tx2, 64));
+  EXPECT_LE(global_wakeup_cost_topo_ns(kp, 64),
+            tree_wakeup_cost_topo_ns(kp, 64));
+}
+
+TEST(WakeupCosts, TopoVariantsDegenerateCases) {
+  const auto kp = topo::kunpeng920();
+  EXPECT_DOUBLE_EQ(global_wakeup_cost_topo_ns(kp, 1), 0.0);
+  EXPECT_DOUBLE_EQ(tree_wakeup_cost_topo_ns(kp, 1), 0.0);
+  // Two threads: one edge each way; tree path = (alpha+1)*L(0,1), global =
+  // alpha*L + L + c.
+  EXPECT_DOUBLE_EQ(tree_wakeup_cost_topo_ns(kp, 2),
+                   (kp.alpha() + 1.0) * kp.comm_ns(0, 1));
+  EXPECT_DOUBLE_EQ(global_wakeup_cost_topo_ns(kp, 2),
+                   kp.alpha() * kp.comm_ns(0, 1) + kp.comm_ns(0, 1) +
+                       kp.contention_ns());
+}
+
+TEST(WakeupCosts, CrossoverNeverReachedForCheapContention) {
+  // With alpha = c = 0, the global wake-up costs a constant L while the
+  // tree grows logarithmically: the tree never wins.
+  EXPECT_EQ(wakeup_crossover_threads(100.0, 0.0, 0.0, 512), -1);
+}
+
+TEST(ContinuousArrival, MatchesDiscreteShape) {
+  // The continuous relaxation is within one level of the ceiled form.
+  for (int p : {8, 16, 64}) {
+    for (int f : {2, 4, 8}) {
+      const double cont = arrival_cost_continuous_ns(p, f, 10.0, 0.0);
+      const double disc = arrival_cost_ns(p, f, 10.0);
+      EXPECT_LE(cont, disc + 1e-9);
+      EXPECT_GE(cont, disc - (f + 1) * 10.0);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace armbar::model

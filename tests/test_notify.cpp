@@ -1,0 +1,94 @@
+// Unit tests for the Notifier (notification-phase policies) used by the
+// tournament-family barriers and the optimized barrier.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "armbar/barriers/notify.hpp"
+#include "armbar/barriers/team.hpp"
+
+namespace armbar {
+namespace {
+
+TEST(Notifier, PolicyNames) {
+  EXPECT_EQ(to_string(NotifyPolicy::kGlobalSense), "global");
+  EXPECT_EQ(to_string(NotifyPolicy::kBinaryTree), "binary-tree");
+  EXPECT_EQ(to_string(NotifyPolicy::kNumaTree), "numa-tree");
+}
+
+TEST(Notifier, RejectsBadConstruction) {
+  EXPECT_THROW(Notifier(NotifyPolicy::kGlobalSense, 0, 1),
+               std::invalid_argument);
+  EXPECT_THROW(Notifier(NotifyPolicy::kNumaTree, 8, 0),
+               std::invalid_argument);
+  EXPECT_NO_THROW(Notifier(NotifyPolicy::kBinaryTree, 8, 0));
+}
+
+TEST(Notifier, TreeReleaseMustComeFromThreadZero) {
+  Notifier n(NotifyPolicy::kBinaryTree, 4, 1);
+  EXPECT_THROW(n.release(2, 1), std::logic_error);
+  // Global sense accepts any releaser.
+  Notifier g(NotifyPolicy::kGlobalSense, 4, 1);
+  EXPECT_NO_THROW(g.release(2, 1));
+}
+
+class NotifierPolicySweep
+    : public ::testing::TestWithParam<std::tuple<NotifyPolicy, int>> {};
+
+TEST_P(NotifierPolicySweep, ReleasesEveryWaiterEveryGeneration) {
+  const auto [policy, threads] = GetParam();
+  Notifier notifier(policy, threads, /*cluster_size=*/2);
+  std::atomic<int> released{0};
+  constexpr int kGens = 20;
+  parallel_run(threads, [&](int tid) {
+    for (std::uint64_t gen = 1; gen <= kGens; ++gen) {
+      if (tid == 0) {
+        // Thread 0 plays the champion (works for all three policies).
+        notifier.release(0, gen);
+      }
+      notifier.wait_release(tid, gen);
+      released.fetch_add(1);
+    }
+  });
+  EXPECT_EQ(released.load(), threads * kGens);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, NotifierPolicySweep,
+    ::testing::Combine(::testing::Values(NotifyPolicy::kGlobalSense,
+                                         NotifyPolicy::kBinaryTree,
+                                         NotifyPolicy::kNumaTree),
+                       ::testing::Values(1, 2, 3, 5, 8)));
+
+TEST(Notifier, WaitersBlockUntilTheirGeneration) {
+  // A waiter for generation 2 must not pass on the generation-1 release.
+  Notifier notifier(NotifyPolicy::kGlobalSense, 2, 1);
+  std::atomic<bool> passed{false};
+  std::thread waiter([&] {
+    notifier.wait_release(1, 2);
+    passed.store(true, std::memory_order_release);
+  });
+  notifier.release(0, 1);
+  // Give the waiter a chance to (incorrectly) pass.
+  for (int i = 0; i < 1000; ++i) std::this_thread::yield();
+  EXPECT_FALSE(passed.load(std::memory_order_acquire));
+  notifier.release(0, 2);
+  waiter.join();
+  EXPECT_TRUE(passed.load());
+}
+
+TEST(Notifier, GenerationsAreMonotonicAndSkippable) {
+  // wait_release(gen) must return when a LARGER generation was released
+  // (the >= semantics the barriers rely on after many episodes).
+  Notifier notifier(NotifyPolicy::kBinaryTree, 3, 1);
+  parallel_run(3, [&](int tid) {
+    if (tid == 0) notifier.release(0, 7);
+    notifier.wait_release(tid, 5);  // 7 >= 5: passes
+  });
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace armbar

@@ -1,0 +1,159 @@
+// Tests for thread placement (sim) and native CPU affinity helpers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "armbar/simbar/runner.hpp"
+#include "armbar/simbar/sim_barriers.hpp"
+#include "armbar/topo/placement.hpp"
+#include "armbar/topo/platforms.hpp"
+#include "armbar/util/affinity.hpp"
+
+namespace armbar {
+namespace {
+
+// --- placement vectors ---------------------------------------------------------
+
+TEST(Placement, CompactIsIdentity) {
+  const auto m = topo::kunpeng920();
+  const auto p = topo::compact_placement(m, 10);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(p[static_cast<std::size_t>(i)], i);
+}
+
+TEST(Placement, ScatterRoundRobinsClusters) {
+  const auto m = topo::kunpeng920();  // clusters of 4, 16 clusters
+  const auto p = topo::scatter_placement(m, 16);
+  // First 16 threads land in 16 distinct clusters.
+  std::set<int> clusters;
+  for (int core : p) clusters.insert(m.cluster_of(core));
+  EXPECT_EQ(clusters.size(), 16u);
+  // Adjacent threads never share a cluster in the scatter prefix.
+  EXPECT_EQ(topo::adjacent_same_cluster_pairs(m, p), 0);
+}
+
+TEST(Placement, ScatterCoversAllCoresDistinctly) {
+  for (const auto& m : topo::armv8_machines()) {
+    const auto p = topo::scatter_placement(m, m.num_cores());
+    std::set<int> cores(p.begin(), p.end());
+    EXPECT_EQ(cores.size(), static_cast<std::size_t>(m.num_cores()));
+    EXPECT_GE(*cores.begin(), 0);
+    EXPECT_LT(*cores.rbegin(), m.num_cores());
+  }
+}
+
+TEST(Placement, CompactAlignsClustersBetterThanScatter) {
+  const auto m = topo::phytium2000();
+  const auto compact = topo::compact_placement(m, 64);
+  const auto scatter = topo::scatter_placement(m, 64);
+  EXPECT_GT(topo::adjacent_same_cluster_pairs(m, compact),
+            topo::adjacent_same_cluster_pairs(m, scatter));
+}
+
+TEST(Placement, RejectsBadThreadCounts) {
+  const auto m = topo::xeon_gold();
+  EXPECT_THROW(topo::compact_placement(m, 0), std::invalid_argument);
+  EXPECT_THROW(topo::scatter_placement(m, m.num_cores() + 1),
+               std::invalid_argument);
+}
+
+// --- placement in the simulator ---------------------------------------------------
+
+TEST(PlacementSim, McsSuffersUnderAdversarialPlacement) {
+  // MCS bakes thread ids into its 4-ary arrival tree, so destroying the
+  // thread/cluster alignment costs it dearly; the optimized barrier's
+  // self-similar fan-in-4 structure is far more robust (a scatter on a
+  // 4-core-cluster machine merely permutes which level pays which layer).
+  for (const auto& m : {topo::phytium2000(), topo::kunpeng920()}) {
+    auto run = [&](Algo a, std::vector<int> placement) {
+      simbar::SimRunConfig cfg;
+      cfg.threads = 64;
+      cfg.core_of_thread = std::move(placement);
+      return simbar::measure_barrier(m, simbar::sim_factory(a), cfg)
+          .mean_overhead_ns;
+    };
+    const auto random = topo::random_placement(m, 64, 7);
+    const double mcs_penalty =
+        run(Algo::kMcsTree, random) / run(Algo::kMcsTree, {});
+    const double opt_penalty =
+        run(Algo::kOptimized, random) / run(Algo::kOptimized, {});
+    EXPECT_GT(mcs_penalty, 1.10) << m.name();
+    EXPECT_LT(opt_penalty, mcs_penalty) << m.name();
+  }
+}
+
+TEST(PlacementSim, RandomPlacementIsDeterministicPerSeed) {
+  const auto m = topo::thunderx2();
+  EXPECT_EQ(topo::random_placement(m, 64, 3), topo::random_placement(m, 64, 3));
+  EXPECT_NE(topo::random_placement(m, 64, 3), topo::random_placement(m, 64, 4));
+  // Valid permutation prefix.
+  const auto p = topo::random_placement(m, 64, 3);
+  std::set<int> s(p.begin(), p.end());
+  EXPECT_EQ(s.size(), 64u);
+}
+
+TEST(PlacementSim, PlacementValidation) {
+  const auto m = topo::kunpeng920();
+  simbar::SimRunConfig cfg;
+  cfg.threads = 4;
+  cfg.core_of_thread = {0, 1, 2};  // wrong size
+  EXPECT_THROW(
+      simbar::measure_barrier(m, simbar::sim_factory(Algo::kSense), cfg),
+      std::invalid_argument);
+  cfg.core_of_thread = {0, 1, 2, 2};  // duplicate
+  EXPECT_THROW(
+      simbar::measure_barrier(m, simbar::sim_factory(Algo::kSense), cfg),
+      std::invalid_argument);
+  cfg.core_of_thread = {0, 1, 2, 64};  // out of range
+  EXPECT_THROW(
+      simbar::measure_barrier(m, simbar::sim_factory(Algo::kSense), cfg),
+      std::invalid_argument);
+  cfg.core_of_thread = {3, 7, 11, 15};  // valid non-identity
+  EXPECT_GT(
+      simbar::measure_barrier(m, simbar::sim_factory(Algo::kSense), cfg)
+          .mean_overhead_ns,
+      0.0);
+}
+
+TEST(PlacementSim, IdentityPlacementMatchesDefault) {
+  const auto m = topo::thunderx2();
+  simbar::SimRunConfig a, b;
+  a.threads = b.threads = 32;
+  b.core_of_thread = topo::compact_placement(m, 32);
+  const auto ra =
+      simbar::measure_barrier(m, simbar::sim_factory(Algo::kOptimized), a);
+  const auto rb =
+      simbar::measure_barrier(m, simbar::sim_factory(Algo::kOptimized), b);
+  EXPECT_EQ(ra.per_episode_ns, rb.per_episode_ns);
+}
+
+// --- native affinity ----------------------------------------------------------------
+
+TEST(Affinity, OnlineCpusPositive) { EXPECT_GE(util::online_cpus(), 1); }
+
+TEST(Affinity, PinToCoreZeroSucceeds) {
+  const auto original = util::current_affinity();
+  EXPECT_TRUE(util::pin_current_thread(0));
+  const auto pinned = util::current_affinity();
+  ASSERT_TRUE(pinned.has_value());
+  EXPECT_EQ(*pinned, std::vector<int>{0});
+  // Restore the original mask so later tests are unaffected.
+  if (original) EXPECT_TRUE(util::set_current_affinity(*original));
+}
+
+TEST(Affinity, SetAffinityRoundTrips) {
+  const auto original = util::current_affinity();
+  ASSERT_TRUE(original.has_value());
+  EXPECT_TRUE(util::set_current_affinity(*original));
+  EXPECT_FALSE(util::set_current_affinity({}));
+  EXPECT_FALSE(util::set_current_affinity({-5}));
+}
+
+TEST(Affinity, PinToAbsurdCoreFails) {
+  EXPECT_FALSE(util::pin_current_thread(-1));
+  EXPECT_FALSE(util::pin_current_thread(1 << 20));
+}
+
+}  // namespace
+}  // namespace armbar

@@ -1,0 +1,165 @@
+// Tests for the mini fork-join runtime (OpenMP-shaped constructs).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include "armbar/rt/runtime.hpp"
+
+namespace armbar::rt {
+namespace {
+
+TEST(Runtime, ParallelRunsEveryThreadOnce) {
+  Runtime runtime(4);
+  std::vector<std::atomic<int>> hits(4);
+  for (auto& h : hits) h.store(0);
+  runtime.parallel([&](Team& t) {
+    hits[static_cast<std::size_t>(t.tid())].fetch_add(1);
+    EXPECT_EQ(t.size(), 4);
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(Runtime, RegionsAreReusable) {
+  Runtime runtime(3);
+  std::atomic<int> total{0};
+  for (int r = 0; r < 8; ++r)
+    runtime.parallel([&](Team&) { total.fetch_add(1); });
+  EXPECT_EQ(total.load(), 24);
+}
+
+TEST(Runtime, ForStaticCoversRangeExactlyOnce) {
+  Runtime runtime(4);
+  constexpr long kN = 1003;  // deliberately not divisible by 4
+  std::vector<std::atomic<int>> touched(kN);
+  for (auto& t : touched) t.store(0);
+  runtime.parallel([&](Team& t) {
+    t.for_static(0, kN, [&](long i) {
+      touched[static_cast<std::size_t>(i)].fetch_add(1);
+    });
+  });
+  for (long i = 0; i < kN; ++i)
+    ASSERT_EQ(touched[static_cast<std::size_t>(i)].load(), 1) << i;
+}
+
+TEST(Runtime, ForStaticEmptyAndOffsetRanges) {
+  Runtime runtime(3);
+  std::atomic<long> sum{0};
+  runtime.parallel([&](Team& t) {
+    t.for_static(10, 10, [&](long) { sum.fetch_add(1); });  // empty
+    t.for_static(5, 9, [&](long i) { sum.fetch_add(i); });  // 5+6+7+8
+  });
+  EXPECT_EQ(sum.load(), 26);
+}
+
+TEST(Runtime, ForStaticChunksAreContiguousPerThread) {
+  Runtime runtime(4);
+  std::vector<int> owner(100, -1);
+  runtime.parallel([&](Team& t) {
+    t.for_static(0, 100, [&](long i) {
+      owner[static_cast<std::size_t>(i)] = t.tid();
+    });
+  });
+  // Owners must be non-decreasing (thread t gets the t-th chunk).
+  for (std::size_t i = 1; i < owner.size(); ++i)
+    EXPECT_GE(owner[i], owner[i - 1]);
+  EXPECT_EQ(owner.front(), 0);
+  EXPECT_EQ(owner.back(), 3);
+}
+
+TEST(Runtime, ReduceSumMinMax) {
+  Runtime runtime(5);
+  runtime.parallel([&](Team& t) {
+    const long long sum = t.reduce(static_cast<long long>(t.tid() + 1));
+    EXPECT_EQ(sum, 15);
+    const long long mn = t.reduce(static_cast<long long>(t.tid() + 1),
+                                  ReduceOp::kMin);
+    EXPECT_EQ(mn, 1);
+    const double mx =
+        t.reduce(static_cast<double>(t.tid()) * 1.5, ReduceOp::kMax);
+    EXPECT_DOUBLE_EQ(mx, 6.0);
+  });
+}
+
+TEST(Runtime, SingleExecutesOnceAndSynchronizes) {
+  Runtime runtime(4);
+  std::atomic<int> singles{0};
+  std::vector<int> data(4, 0);
+  runtime.parallel([&](Team& t) {
+    data[static_cast<std::size_t>(t.tid())] = t.tid() + 1;
+    t.barrier();
+    t.single([&] {
+      singles.fetch_add(1);
+      // All pre-barrier writes must be visible.
+      EXPECT_EQ(std::accumulate(data.begin(), data.end(), 0), 10);
+    });
+  });
+  EXPECT_EQ(singles.load(), 1);
+}
+
+TEST(Runtime, CriticalIsMutuallyExclusive) {
+  Runtime runtime(4);
+  long long unguarded = 0;  // plain variable: only safe under critical
+  runtime.parallel([&](Team& t) {
+    for (int i = 0; i < 500; ++i)
+      t.critical([&] { unguarded += 1; });
+  });
+  EXPECT_EQ(unguarded, 2000);
+}
+
+TEST(Runtime, ExceptionPropagatesAndRuntimeSurvives) {
+  Runtime runtime(3);
+  EXPECT_THROW(runtime.parallel([&](Team& t) {
+                 if (t.tid() == 2) throw std::runtime_error("body failed");
+                 // The other threads must not hang on a barrier here.
+               }),
+               std::runtime_error);
+  std::atomic<int> ok{0};
+  runtime.parallel([&](Team&) { ok.fetch_add(1); });
+  EXPECT_EQ(ok.load(), 3);
+}
+
+TEST(Runtime, PiByReduction) {
+  // The classic OpenMP demo: integrate 4/(1+x^2) over [0,1].
+  Runtime runtime(4);
+  constexpr long kSteps = 200'000;
+  double pi = 0.0;
+  runtime.parallel([&](Team& t) {
+    double partial = 0.0;
+    const long chunk = kSteps / t.size();
+    const long lo = t.tid() * chunk;
+    const long hi = t.tid() == t.size() - 1 ? kSteps : lo + chunk;
+    const double dx = 1.0 / kSteps;
+    for (long i = lo; i < hi; ++i) {
+      const double x = (static_cast<double>(i) + 0.5) * dx;
+      partial += 4.0 / (1.0 + x * x) * dx;
+    }
+    const double total = t.reduce(partial);
+    if (t.tid() == 0) pi = total;
+  });
+  EXPECT_NEAR(pi, M_PI, 1e-8);
+}
+
+TEST(Runtime, ConfigurableBarrierAlgorithm) {
+  Runtime::Options opts;
+  opts.threads = 4;
+  opts.barrier_algo = Algo::kMcsTree;
+  Runtime runtime(opts);
+  EXPECT_EQ(runtime.barrier_name(), "MCS");
+  std::atomic<int> n{0};
+  runtime.parallel([&](Team& t) {
+    n.fetch_add(1);
+    t.barrier();
+  });
+  EXPECT_EQ(n.load(), 4);
+}
+
+TEST(Runtime, RejectsBadThreadCount) {
+  EXPECT_THROW(Runtime(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace armbar::rt

@@ -1,0 +1,352 @@
+// Tests for the synchronization-tree shapes shared by the native barriers
+// and the simulator.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+#include "armbar/barriers/shape.hpp"
+
+namespace armbar::shape {
+namespace {
+
+// --- f-way tournament schedules -----------------------------------------------
+
+TEST(TournamentSchedule, BalancedPaperExampleNineThreads) {
+  // Paper Figure 9(a): 9 threads, balanced -> two rounds of fan-in 3.
+  const auto s = TournamentSchedule::balanced(9, 8);
+  ASSERT_EQ(s.num_rounds(), 2);
+  EXPECT_EQ(s.rounds[0].fanin, 3);
+  EXPECT_EQ(s.rounds[1].fanin, 3);
+  EXPECT_EQ(s.rounds[0].participants.size(), 9u);
+  EXPECT_EQ(s.rounds[1].participants, (std::vector<int>{0, 3, 6}));
+  EXPECT_EQ(s.champion(), 0);
+}
+
+TEST(TournamentSchedule, FixedPaperExampleNineThreads) {
+  // Paper Figure 9(b): 9 threads, fixed fan-in 4 -> rounds of 4 then the
+  // three group winners {0, 4, 8}.
+  const auto s = TournamentSchedule::fixed(9, 4);
+  ASSERT_EQ(s.num_rounds(), 2);
+  EXPECT_EQ(s.rounds[1].participants, (std::vector<int>{0, 4, 8}));
+  EXPECT_EQ(s.champion(), 0);
+}
+
+TEST(TournamentSchedule, Figure9ExactCrossClusterEdgeCounts) {
+  // Paper Figure 9, 9 threads, clusters of 4 (Phytium core groups):
+  // balanced fan-in 3 incurs 4 cross-cluster child->winner edges
+  // (4->3, 5->3, 8->6, 6->0), the fixed fan-in 4 tree only 2 (4->0, 8->0).
+  EXPECT_EQ(shape::TournamentSchedule::balanced(9, 8).cross_cluster_edges(4),
+            4);
+  EXPECT_EQ(shape::TournamentSchedule::fixed(9, 4).cross_cluster_edges(4), 2);
+}
+
+TEST(TournamentSchedule, FixedFaninFourClusterAlignment) {
+  // With N_c = 4 (Phytium/Kunpeng) and fan-in 4, no round-0 edge crosses a
+  // cluster; the balanced fan-in 3 tree for 9 threads does cross (the
+  // paper's argument for fixing f to a power of two).
+  const auto fixed4 = TournamentSchedule::fixed(9, 4);
+  const auto balanced = TournamentSchedule::balanced(9, 8);
+  EXPECT_LT(fixed4.cross_cluster_edges(4), balanced.cross_cluster_edges(4));
+}
+
+TEST(TournamentSchedule, SingleThread) {
+  const auto s = TournamentSchedule::fixed(1, 4);
+  EXPECT_EQ(s.num_rounds(), 0);
+  EXPECT_EQ(s.champion(), 0);
+}
+
+class TournamentProperty
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TournamentProperty, EveryThreadLosesAtMostOnceAndAllCovered) {
+  const auto [p, f] = GetParam();
+  for (const auto& s : {TournamentSchedule::fixed(p, f),
+                        TournamentSchedule::balanced(p, 8)}) {
+    EXPECT_EQ(s.num_threads, p);
+    // Round 0 must contain all threads in order.
+    if (p > 1) {
+      ASSERT_FALSE(s.rounds.empty());
+      std::vector<int> all(static_cast<std::size_t>(p));
+      std::iota(all.begin(), all.end(), 0);
+      EXPECT_EQ(s.rounds[0].participants, all);
+    }
+    // Winners of round r are exactly the participants of round r+1, and
+    // the final round has a single winner.
+    for (int r = 0; r < s.num_rounds(); ++r) {
+      const auto& round = s.rounds[static_cast<std::size_t>(r)];
+      ASSERT_GE(round.fanin, 2);
+      std::vector<int> winners;
+      for (int g = 0; g < round.num_groups(); ++g) {
+        const auto [begin, end] = round.group_range(g);
+        ASSERT_LT(begin, end);
+        winners.push_back(round.participants[static_cast<std::size_t>(begin)]);
+      }
+      if (r + 1 < s.num_rounds()) {
+        EXPECT_EQ(winners, s.rounds[static_cast<std::size_t>(r + 1)].participants);
+      } else {
+        EXPECT_EQ(winners.size(), 1u);
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TournamentProperty,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 13, 16, 17,
+                                         31, 32, 33, 48, 63, 64),
+                       ::testing::Values(2, 3, 4, 8)));
+
+// --- pairwise tournament ---------------------------------------------------------
+
+TEST(PairTournament, PowersOfTwoHaveNoByes) {
+  const auto s = PairTournamentSchedule::build(8);
+  ASSERT_EQ(s.num_rounds(), 3);
+  for (const auto& round : s.steps)
+    for (const auto& st : round) EXPECT_NE(st.role, TourRole::kBye);
+}
+
+TEST(PairTournament, RolesAreConsistent) {
+  for (int p : {1, 2, 3, 5, 8, 13, 16, 31, 64}) {
+    const auto s = PairTournamentSchedule::build(p);
+    std::vector<bool> alive(static_cast<std::size_t>(p), true);
+    for (int r = 0; r < s.num_rounds(); ++r) {
+      for (int t = 0; t < p; ++t) {
+        const TourStep& st = s.steps[static_cast<std::size_t>(r)][static_cast<std::size_t>(t)];
+        if (!alive[static_cast<std::size_t>(t)]) {
+          EXPECT_EQ(st.role, TourRole::kIdle) << "p=" << p << " r=" << r;
+          continue;
+        }
+        switch (st.role) {
+          case TourRole::kWinner: {
+            ASSERT_GE(st.partner, 0);
+            ASSERT_LT(st.partner, p);
+            const TourStep& other =
+                s.steps[static_cast<std::size_t>(r)][static_cast<std::size_t>(st.partner)];
+            EXPECT_EQ(other.role, TourRole::kLoser);
+            EXPECT_EQ(other.partner, t);
+            break;
+          }
+          case TourRole::kLoser:
+            alive[static_cast<std::size_t>(t)] = false;
+            break;
+          case TourRole::kBye:
+            break;
+          case TourRole::kIdle:
+            ADD_FAILURE() << "alive thread marked idle";
+        }
+      }
+    }
+    // Exactly one survivor: thread 0.
+    int survivors = 0;
+    for (int t = 0; t < p; ++t)
+      if (alive[static_cast<std::size_t>(t)]) ++survivors;
+    EXPECT_EQ(survivors, 1);
+    EXPECT_TRUE(alive[0]);
+  }
+}
+
+// --- combining tree -----------------------------------------------------------------
+
+TEST(CombiningTree, TwentyThreadsFanin4MatchesFigure4a) {
+  // Paper Figure 4(a): 20 threads, fan-in 4 -> 5 leaves, 2 mid nodes, root.
+  const auto t = CombiningTree::build(20, 4);
+  EXPECT_EQ(t.nodes.size(), 5u + 2u + 1u);
+  EXPECT_EQ(t.root(), 7);
+  EXPECT_EQ(t.nodes[static_cast<std::size_t>(t.root())].parent, -1);
+}
+
+TEST(CombiningTree, FaninsSumToThreadCount) {
+  for (int p : {1, 2, 3, 4, 5, 8, 9, 16, 20, 33, 64}) {
+    for (int f : {2, 3, 4, 8}) {
+      const auto t = CombiningTree::build(p, f);
+      // Sum of leaf fanins == P.
+      int leaf_sum = 0;
+      std::set<int> leaves(t.leaf_of_thread.begin(), t.leaf_of_thread.end());
+      for (int leaf : leaves)
+        leaf_sum += t.nodes[static_cast<std::size_t>(leaf)].fanin;
+      EXPECT_EQ(leaf_sum, p) << "p=" << p << " f=" << f;
+      // Every non-root node has a valid parent; fanin of a parent counts
+      // its children.
+      std::vector<int> child_count(t.nodes.size(), 0);
+      for (std::size_t n = 0; n + 1 < t.nodes.size(); ++n) {
+        const int parent = t.nodes[n].parent;
+        ASSERT_GE(parent, 0);
+        ASSERT_LT(parent, static_cast<int>(t.nodes.size()));
+        ++child_count[static_cast<std::size_t>(parent)];
+      }
+      for (std::size_t n = 0; n < t.nodes.size(); ++n) {
+        if (child_count[n] > 0)
+          EXPECT_EQ(t.nodes[n].fanin, child_count[n]);
+      }
+    }
+  }
+}
+
+// --- MCS shape -------------------------------------------------------------------
+
+TEST(Mcs, ParentChildInverse) {
+  constexpr int p = 64;
+  for (int t = 1; t < p; ++t) {
+    const int parent = McsShape::arrival_parent(t);
+    const auto kids = McsShape::arrival_children(parent, p);
+    EXPECT_NE(std::find(kids.begin(), kids.end(), t), kids.end());
+    EXPECT_EQ(kids[static_cast<std::size_t>(McsShape::arrival_slot(t))], t);
+  }
+  EXPECT_EQ(McsShape::arrival_parent(0), -1);
+  EXPECT_EQ(McsShape::wakeup_parent(0), -1);
+}
+
+TEST(Mcs, ArrivalTreeSpans) {
+  constexpr int p = 37;
+  std::set<int> seen{0};
+  std::vector<int> frontier{0};
+  while (!frontier.empty()) {
+    const int n = frontier.back();
+    frontier.pop_back();
+    for (int c : McsShape::arrival_children(n, p)) {
+      EXPECT_TRUE(seen.insert(c).second);
+      frontier.push_back(c);
+    }
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(p));
+}
+
+// --- hypercube -------------------------------------------------------------------
+
+TEST(Hypercube, SixtyFourThreadsBranch4) {
+  const HypercubeShape h(64, 4);
+  EXPECT_EQ(h.num_levels(), 3);
+  EXPECT_EQ(h.children_at(0, 0), (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(h.children_at(0, 1), (std::vector<int>{4, 8, 12}));
+  EXPECT_EQ(h.children_at(0, 2), (std::vector<int>{16, 32, 48}));
+  EXPECT_EQ(h.report_level(5), 0);
+  EXPECT_EQ(h.parent_of(5), 4);
+  EXPECT_EQ(h.report_level(4), 1);
+  EXPECT_EQ(h.parent_of(4), 0);
+  EXPECT_EQ(h.report_level(48), 2);
+  EXPECT_EQ(h.parent_of(48), 0);
+  EXPECT_EQ(h.parent_of(0), -1);
+}
+
+TEST(Hypercube, EveryThreadReportsExactlyOnce) {
+  for (int p : {1, 2, 3, 4, 5, 15, 16, 17, 63, 64}) {
+    const HypercubeShape h(p, 4);
+    std::vector<int> gathered_by(static_cast<std::size_t>(p), -1);
+    for (int t = 0; t < p; ++t) {
+      for (int l = 0; l < h.report_level(t); ++l) {
+        for (int c : h.children_at(t, l)) {
+          EXPECT_EQ(gathered_by[static_cast<std::size_t>(c)], -1)
+              << "child " << c << " gathered twice (p=" << p << ")";
+          gathered_by[static_cast<std::size_t>(c)] = t;
+        }
+      }
+    }
+    for (int t = 1; t < p; ++t) {
+      EXPECT_EQ(gathered_by[static_cast<std::size_t>(t)], h.parent_of(t));
+      EXPECT_NE(gathered_by[static_cast<std::size_t>(t)], -1);
+    }
+    EXPECT_EQ(gathered_by[0], -1);
+  }
+}
+
+// --- dissemination ------------------------------------------------------------------
+
+TEST(Dissemination, RoundsAndPartners) {
+  EXPECT_EQ(DisseminationShape::num_rounds(1), 0);
+  EXPECT_EQ(DisseminationShape::num_rounds(2), 1);
+  EXPECT_EQ(DisseminationShape::num_rounds(5), 3);
+  EXPECT_EQ(DisseminationShape::num_rounds(64), 6);
+  // Round j: i signals (i + 2^j) mod P.
+  EXPECT_EQ(DisseminationShape::signal_partner(0, 0, 5), 1);
+  EXPECT_EQ(DisseminationShape::signal_partner(0, 2, 5), 4);
+  EXPECT_EQ(DisseminationShape::signal_partner(4, 2, 5), 3);
+  // wait partner is the inverse relation.
+  for (int p : {2, 3, 5, 8, 13, 64}) {
+    for (int r = 0; r < DisseminationShape::num_rounds(p); ++r) {
+      for (int i = 0; i < p; ++i) {
+        const int out = DisseminationShape::signal_partner(i, r, p);
+        EXPECT_EQ(DisseminationShape::wait_partner(out, r, p), i);
+      }
+    }
+  }
+}
+
+// --- wake-up trees -------------------------------------------------------------------
+
+TEST(WakeupTrees, BinaryChildren) {
+  EXPECT_EQ(binary_wakeup_children(0, 7), (std::vector<int>{1, 2}));
+  EXPECT_EQ(binary_wakeup_children(2, 7), (std::vector<int>{5, 6}));
+  EXPECT_EQ(binary_wakeup_children(3, 7), (std::vector<int>{}));
+  EXPECT_EQ(binary_wakeup_children(2, 6), (std::vector<int>{5}));
+}
+
+TEST(WakeupTrees, NumaEqualsBinaryWithinOneCluster) {
+  // Paper Section VI-B: with P <= N_c the NUMA-aware tree degenerates to
+  // the binary tree.
+  for (int p = 1; p <= 32; ++p) {
+    for (int n = 0; n < p; ++n)
+      EXPECT_EQ(numa_wakeup_children(n, p, 32), binary_wakeup_children(n, p))
+          << "p=" << p << " n=" << n;
+  }
+}
+
+TEST(WakeupTrees, NumaMasterHasUpToFourChildren) {
+  // ThunderX2 case: P=64, N_c=32.  Master 0 wakes master 32 plus its two
+  // local slaves; slaves have at most two children.
+  const auto kids0 = numa_wakeup_children(0, 64, 32);
+  EXPECT_EQ(kids0, (std::vector<int>{32, 1, 2}));
+  const auto kids32 = numa_wakeup_children(32, 64, 32);
+  EXPECT_EQ(kids32, (std::vector<int>{33, 34}));
+  for (int n = 1; n < 32; ++n)
+    EXPECT_LE(numa_wakeup_children(n, 64, 32).size(), 2u);
+}
+
+TEST(WakeupTrees, NumaCutsCrossClusterEdges) {
+  // Figure 10's claim, generalized: the NUMA-aware tree has strictly fewer
+  // cross-cluster edges whenever the binary tree has enough of them.
+  struct Case {
+    int p, nc;
+  };
+  for (const Case c : {Case{64, 32}, Case{64, 4}, Case{48, 4}, Case{33, 4}}) {
+    const int bin = cross_cluster_wakeup_edges(c.p, c.nc, false);
+    const int numa = cross_cluster_wakeup_edges(c.p, c.nc, true);
+    EXPECT_LT(numa, bin) << "p=" << c.p << " nc=" << c.nc;
+    // NUMA-aware: exactly one cross edge per non-root cluster (the
+    // master-tree edges are the only ones crossing).
+    EXPECT_EQ(numa, (c.p + c.nc - 1) / c.nc - 1);
+  }
+}
+
+TEST(WakeupTrees, ThunderX2CrossEdgesMatchFigure10) {
+  // Figure 10(a): for 64 threads on ThunderX2, every node of socket 1
+  // (ids 32..63) has its binary-tree parent (ids 15..31) in socket 0, so
+  // 32 of the 63 wake-up edges — half, as the paper says — cross the
+  // socket.  The NUMA-aware tree sends exactly one edge across.
+  EXPECT_EQ(cross_cluster_wakeup_edges(64, 32, false), 32);
+  EXPECT_EQ(cross_cluster_wakeup_edges(64, 32, true), 1);
+}
+
+TEST(WakeupTrees, BothTreesSpanAndDepthStaysLogarithmic) {
+  for (int p : {1, 2, 3, 4, 7, 8, 9, 16, 17, 31, 32, 33, 63, 64}) {
+    for (int nc : {4, 32}) {
+      // bfs inside the helpers throws if the tree is not spanning.
+      const int bin_depth = wakeup_tree_depth(p, nc, false);
+      const int numa_depth = wakeup_tree_depth(p, nc, true);
+      EXPECT_GE(numa_depth, 0);
+      // The paper keeps the tree height essentially unchanged; allow a
+      // small constant slack.
+      EXPECT_LE(numa_depth, bin_depth + 2) << "p=" << p << " nc=" << nc;
+    }
+  }
+}
+
+TEST(WakeupTrees, NumaRejectsBadArguments) {
+  EXPECT_THROW(numa_wakeup_children(-1, 8, 4), std::out_of_range);
+  EXPECT_THROW(numa_wakeup_children(8, 8, 4), std::out_of_range);
+  EXPECT_THROW(numa_wakeup_children(0, 8, 0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace armbar::shape

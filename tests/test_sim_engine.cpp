@@ -1,0 +1,111 @@
+// Tests for the discrete-event engine and coroutine plumbing.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "armbar/sim/engine.hpp"
+
+namespace armbar::sim {
+namespace {
+
+SimThread record_wakeups(Engine& eng, std::vector<Picos>& log,
+                         std::vector<Picos> delays) {
+  for (const Picos d : delays) {
+    co_await delay(eng, d);
+    log.push_back(eng.now());
+  }
+}
+
+TEST(Engine, AdvancesTimeThroughDelays) {
+  Engine eng;
+  std::vector<Picos> log;
+  eng.spawn(record_wakeups(eng, log, {10, 5, 100}));
+  EXPECT_TRUE(eng.run());
+  EXPECT_EQ(log, (std::vector<Picos>{10, 15, 115}));
+  EXPECT_EQ(eng.now(), 115u);
+  EXPECT_TRUE(eng.finished(0));
+}
+
+TEST(Engine, InterleavesThreadsByTime) {
+  Engine eng;
+  std::vector<Picos> log;
+  eng.spawn(record_wakeups(eng, log, {10, 10}));  // wakes at 10, 20
+  eng.spawn(record_wakeups(eng, log, {5, 10}));   // wakes at 5, 15
+  EXPECT_TRUE(eng.run());
+  EXPECT_EQ(log, (std::vector<Picos>{5, 10, 15, 20}));
+}
+
+TEST(Engine, TiesBreakByScheduleOrder) {
+  Engine eng;
+  std::vector<int> order;
+  auto tagged = [](Engine& e, std::vector<int>& out, int tag) -> SimThread {
+    co_await delay(e, 50);
+    out.push_back(tag);
+  };
+  eng.spawn(tagged(eng, order, 1));
+  eng.spawn(tagged(eng, order, 2));
+  eng.spawn(tagged(eng, order, 3));
+  EXPECT_TRUE(eng.run());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Engine, DetectsNeverScheduledThreadAsDeadlock) {
+  Engine eng;
+  // A coroutine that suspends forever: schedule nothing.
+  struct Never {
+    bool await_ready() const noexcept { return false; }
+    void await_suspend(std::coroutine_handle<>) const noexcept {}
+    void await_resume() const noexcept {}
+  };
+  auto hang = [](Engine&) -> SimThread { co_await Never{}; };
+  eng.spawn(hang(eng));
+  EXPECT_FALSE(eng.run());
+  EXPECT_FALSE(eng.finished(0));
+}
+
+TEST(Engine, PropagatesCoroutineException) {
+  Engine eng;
+  auto thrower = [](Engine& e) -> SimThread {
+    co_await delay(e, 1);
+    throw std::runtime_error("sim-error");
+  };
+  eng.spawn(thrower(eng));
+  EXPECT_THROW(eng.run(), std::runtime_error);
+}
+
+TEST(Engine, RejectsSchedulingInThePast) {
+  Engine eng;
+  std::vector<Picos> log;
+  eng.spawn(record_wakeups(eng, log, {100}));
+  EXPECT_TRUE(eng.run());
+  EXPECT_THROW(eng.schedule(50, nullptr), std::logic_error);
+}
+
+TEST(Engine, EventBudgetGuardsRunaways) {
+  Engine eng;
+  auto forever = [](Engine& e) -> SimThread {
+    for (;;) co_await delay(e, 1);
+  };
+  eng.spawn(forever(eng));
+  EXPECT_THROW(eng.run(/*max_events=*/1000), std::runtime_error);
+}
+
+TEST(Engine, ZeroDelayRunsInInsertionOrder) {
+  Engine eng;
+  std::vector<int> order;
+  auto quick = [](Engine& e, std::vector<int>& out, int tag) -> SimThread {
+    co_await delay(e, 0);
+    out.push_back(tag);
+    co_await delay(e, 0);
+    out.push_back(tag + 10);
+  };
+  eng.spawn(quick(eng, order, 1));
+  eng.spawn(quick(eng, order, 2));
+  EXPECT_TRUE(eng.run());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 11, 12}));
+}
+
+}  // namespace
+}  // namespace armbar::sim

@@ -1,0 +1,343 @@
+// Tests for the simulated cache-coherent memory: the operation costs must
+// implement Section III's model, including RFO accounting, same-line write
+// serialization, and polling-reader contention.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "armbar/sim/engine.hpp"
+#include "armbar/sim/memory.hpp"
+#include "armbar/topo/platforms.hpp"
+
+namespace armbar::sim {
+namespace {
+
+using util::Picos;
+
+/// Helper machine: "toy" with two clusters of two cores; layer 0 = 10 ns,
+/// layer 1 = 100 ns, epsilon = 1 ns, alpha = 0.5, c = 2 ns.
+topo::Machine toy() {
+  return topo::make_hierarchical("toy", {2, 2}, {10.0, 100.0},
+                                 /*epsilon_ns=*/1.0, /*cluster_size=*/2,
+                                 /*cacheline_bytes=*/64, /*alpha=*/0.5,
+                                 /*contention_ns=*/2.0);
+}
+
+/// Runs a scripted program and captures op completion times.
+struct Script {
+  Engine eng;
+  MemSystem mem{eng, toy()};
+};
+
+TEST(SimMemory, ColdReadThenHitCosts) {
+  Script s;
+  std::vector<Picos> t;
+  auto prog = [](Script& sc, std::vector<Picos>& out) -> SimThread {
+    const VarId v = sc.mem.new_var(7);
+    const auto val = co_await sc.mem.read(0, v);  // cold: epsilon
+    EXPECT_EQ(val, 7u);
+    out.push_back(sc.eng.now());
+    co_await sc.mem.read(0, v);  // hit: epsilon
+    out.push_back(sc.eng.now());
+  };
+  s.eng.spawn(prog(s, t));
+  ASSERT_TRUE(s.eng.run());
+  EXPECT_EQ(t[0], 1000u);   // 1 ns cold fill
+  EXPECT_EQ(t[1], 2000u);   // + 1 ns local hit
+  EXPECT_EQ(s.mem.stats().local_reads, 1u);
+  EXPECT_EQ(s.mem.stats().remote_reads, 1u);  // the cold fill
+}
+
+TEST(SimMemory, RemoteReadCostsLayerLatency) {
+  Script s;
+  std::vector<Picos> t;
+  auto prog = [](Script& sc, std::vector<Picos>& out) -> SimThread {
+    const VarId v = sc.mem.new_var(1);
+    co_await sc.mem.write(0, v, 42);  // core 0 owns
+    const Picos t0 = sc.eng.now();
+    co_await sc.mem.read(1, v);  // same cluster: 10 ns
+    out.push_back(sc.eng.now() - t0);
+    const Picos t1 = sc.eng.now();
+    co_await sc.mem.read(2, v);  // across clusters: 100 ns
+    out.push_back(sc.eng.now() - t1);
+  };
+  s.eng.spawn(prog(s, t));
+  ASSERT_TRUE(s.eng.run());
+  EXPECT_EQ(t[0], 10'000u);
+  EXPECT_EQ(t[1], 100'000u);
+  // Transfers recorded per layer.
+  EXPECT_EQ(s.mem.stats().layer_transfers[0], 1u);
+  EXPECT_EQ(s.mem.stats().layer_transfers[1], 1u);
+}
+
+TEST(SimMemory, PlainStoreRetiresAtEpsilonForTheWriter) {
+  // Store-buffer semantics: a plain write costs the writer epsilon; the
+  // invalidation tail is paid by observers (next test).
+  Script s;
+  std::vector<Picos> t;
+  auto prog = [](Script& sc, std::vector<Picos>& out) -> SimThread {
+    const VarId v = sc.mem.new_var(0);
+    co_await sc.mem.write(0, v, 1);   // own it
+    co_await sc.mem.read(1, v);       // sharer at layer 0 (10 ns away)
+    co_await sc.mem.read(2, v);       // sharer at layer 1 (100 ns away)
+    const Picos t0 = sc.eng.now();
+    co_await sc.mem.write(0, v, 2);   // writer sees only epsilon
+    out.push_back(sc.eng.now() - t0);
+  };
+  s.eng.spawn(prog(s, t));
+  ASSERT_TRUE(s.eng.run());
+  EXPECT_EQ(t[0], 1'000u);
+  EXPECT_EQ(s.mem.stats().invalidations, 2u);  // both copies invalidated
+}
+
+TEST(SimMemory, RmwBlocksForFetchPlusRfo) {
+  // Atomics hold the line for the whole transaction: core 2's RMW pays
+  // the 100 ns fetch plus 0.5*100 RFO for core 0's copy = 150 ns.
+  Script s;
+  std::vector<Picos> t;
+  auto prog = [](Script& sc, std::vector<Picos>& out) -> SimThread {
+    const VarId v = sc.mem.new_var(0);
+    co_await sc.mem.fetch_add(0, v, 1);  // core 0 owns (cold: 1 ns)
+    const Picos t0 = sc.eng.now();
+    co_await sc.mem.fetch_add(2, v, 1);
+    out.push_back(sc.eng.now() - t0);
+  };
+  s.eng.spawn(prog(s, t));
+  ASSERT_TRUE(s.eng.run());
+  EXPECT_EQ(t[0], 150'000u);
+}
+
+TEST(SimMemory, SameLineRmwsSerialize) {
+  // Two cores performing atomic RMWs on ONE line must serialize; on two
+  // separate lines they proceed in parallel.  This is the packed-flag
+  // effect of Section V-B1.
+  auto run_case = [](bool packed) -> Picos {
+    Engine eng;
+    MemSystem mem(eng, toy());
+    VarId a, b;
+    if (packed) {
+      const LineId line = mem.new_line();
+      a = mem.new_var_on(line, 0);
+      b = mem.new_var_on(line, 0);
+    } else {
+      a = mem.new_var(0);
+      b = mem.new_var(0);
+    }
+    auto writer = [](Engine&, MemSystem& m, int core, VarId v) -> SimThread {
+      co_await m.fetch_add(core, v, 1);
+      co_await m.fetch_add(core, v, 1);
+    };
+    eng.spawn(writer(eng, mem, 0, a));
+    eng.spawn(writer(eng, mem, 2, b));
+    EXPECT_TRUE(eng.run());
+    return eng.now();
+  };
+  const Picos packed_end = run_case(true);
+  const Picos padded_end = run_case(false);
+  EXPECT_GT(packed_end, padded_end);
+}
+
+TEST(SimMemory, RmwReturnsOldValueAndUpdates) {
+  Script s;
+  auto prog = [](Script& sc) -> SimThread {
+    const VarId v = sc.mem.new_var(10);
+    const auto old = co_await sc.mem.fetch_add(0, v, 5);
+    EXPECT_EQ(old, 10u);
+    const auto old2 = co_await sc.mem.fetch_sub(1, v, 3);
+    EXPECT_EQ(old2, 15u);
+    const auto now_val = co_await sc.mem.read(0, v);
+    EXPECT_EQ(now_val, 12u);
+  };
+  s.eng.spawn(prog(s));
+  ASSERT_TRUE(s.eng.run());
+  EXPECT_EQ(s.mem.stats().rmws, 2u);
+}
+
+TEST(SimMemory, SpinWakesOnSatisfyingWrite) {
+  Script s;
+  std::vector<Picos> t;
+  auto waiter = [](Script& sc, std::vector<Picos>& out) -> SimThread {
+    const auto v = static_cast<VarId>(0);
+    const auto val = co_await sc.mem.spin_until(
+        1, v, [](std::uint64_t x) { return x == 99; });
+    EXPECT_EQ(val, 99u);
+    out.push_back(sc.eng.now());
+  };
+  auto setter = [](Script& sc) -> SimThread {
+    const auto v = static_cast<VarId>(0);
+    co_await delay(sc.eng, 50'000);
+    co_await sc.mem.write(0, v, 5);   // does not satisfy
+    co_await delay(sc.eng, 50'000);
+    co_await sc.mem.write(0, v, 99);  // satisfies
+  };
+  const VarId v = s.mem.new_var(0);
+  EXPECT_EQ(v, 0);
+  s.eng.spawn(waiter(s, t));
+  s.eng.spawn(setter(s));
+  ASSERT_TRUE(s.eng.run());
+  // Woken after the second write (~101 us) plus the poll read cost.
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_GT(t[0], 100'000u);
+  EXPECT_EQ(s.mem.stats().poll_reads, 2u);  // one failed + one successful
+}
+
+TEST(SimMemory, SpinSatisfiedImmediatelyCostsOneRead) {
+  Script s;
+  std::vector<Picos> t;
+  auto prog = [](Script& sc, std::vector<Picos>& out) -> SimThread {
+    const VarId v = sc.mem.new_var(7);
+    co_await sc.mem.spin_until(0, v, [](std::uint64_t x) { return x == 7; });
+    out.push_back(sc.eng.now());
+  };
+  s.eng.spawn(prog(s, t));
+  ASSERT_TRUE(s.eng.run());
+  EXPECT_EQ(t[0], 1000u);  // one cold epsilon read
+}
+
+TEST(SimMemory, UnsatisfiableSpinIsDeadlock) {
+  Script s;
+  auto prog = [](Script& sc) -> SimThread {
+    const VarId v = sc.mem.new_var(0);
+    co_await sc.mem.spin_until(0, v, [](std::uint64_t x) { return x == 1; });
+  };
+  s.eng.spawn(prog(s));
+  EXPECT_FALSE(s.eng.run());
+}
+
+TEST(SimMemory, PollersRejoinSharerSetAfterFailedPoll) {
+  // The SENSE hot-spot mechanism: a failed poll still re-caches the line,
+  // so the next write pays RFO for the poller again — visible in the
+  // waiter's final wake time.
+  Script s;
+  std::vector<Picos> t;
+  auto waiter = [](Script& sc, std::vector<Picos>& out) -> SimThread {
+    const auto v = static_cast<VarId>(0);
+    co_await sc.mem.spin_until(2, v,
+                               [](std::uint64_t x) { return x >= 2; });
+    out.push_back(sc.eng.now());
+  };
+  auto setter = [](Script& sc) -> SimThread {
+    const auto v = static_cast<VarId>(0);
+    co_await delay(sc.eng, 10'000);
+    co_await sc.mem.write(0, v, 1);  // invalidates the waiter's copy
+    co_await delay(sc.eng, 500'000);  // resume at 511 ns (10 + eps + 500)
+    co_await sc.mem.write(0, v, 2);  // must pay RFO for the waiter again
+  };
+  const VarId v = s.mem.new_var(0);
+  EXPECT_EQ(v, 0);
+  s.eng.spawn(waiter(s, t));
+  s.eng.spawn(setter(s));
+  ASSERT_TRUE(s.eng.run());
+  // Timeline (ns): waiter's cold poll parks (owner: core 2).  First write
+  // at t=10: fetch from the waiter (100) + RFO for its copy (50) -> the
+  // transaction completes at 160; the waiter's failed re-poll re-caches
+  // the line by 260.  Second write issues at 511: local base (1) + RFO
+  // for the re-cached copy (50) -> completes 562; the waiter's successful
+  // wake re-read pays the 100 ns fetch -> resumes at 662.
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0], 662'000u);
+  // Two RFO invalidations of the same waiter copy were paid.
+  EXPECT_EQ(s.mem.stats().invalidations, 2u);
+}
+
+TEST(SimMemory, ReaderContentionAddsCPerInflightRead) {
+  // Three cores fetch the same line simultaneously: the k-th pays k*c
+  // extra.
+  Script s;
+  std::vector<Picos> t(3);
+  auto reader = [](Script& sc, std::vector<Picos>& out, int core) -> SimThread {
+    const auto v = static_cast<VarId>(0);
+    const Picos t0 = sc.eng.now();
+    co_await sc.mem.read(core, v);
+    out[static_cast<std::size_t>(core) - 1] = sc.eng.now() - t0;
+  };
+  auto owner = [](Script& sc) -> SimThread {
+    const auto v = static_cast<VarId>(0);
+    co_await sc.mem.write(0, v, 1);
+  };
+  const VarId v = s.mem.new_var(0);
+  EXPECT_EQ(v, 0);
+  s.eng.spawn(owner(s));
+  // Readers start strictly after the owner's write (same tick ordering:
+  // owner spawned first, writes at t=0 with 1 ns cost).
+  s.eng.spawn(reader(s, t, 1));
+  s.eng.spawn(reader(s, t, 2));
+  s.eng.spawn(reader(s, t, 3));
+  ASSERT_TRUE(s.eng.run());
+  // Core 1 (layer 0): first in -> no contention, but must wait out the
+  // 1 ns write transaction: 1 + 10 = 11 ns total from t=0.
+  EXPECT_EQ(t[0], 11'000u);
+  // Cores 2, 3 (layer 1): 1 + 100 + k*2 ns contention.
+  EXPECT_EQ(t[1], 103'000u);  // one read in flight
+  EXPECT_EQ(t[2], 105'000u);  // two reads in flight
+}
+
+TEST(SimMemory, PackedArrayGeometryFollowsMachineLineSize) {
+  Engine eng;
+  MemSystem mem64(eng, toy());  // 64-byte lines
+  const auto flags = mem64.new_packed_array(20, 4);
+  // 16 four-byte flags per 64-byte line: first 16 share, next 4 share.
+  for (int i = 1; i < 16; ++i)
+    EXPECT_EQ(mem64.line_of(flags[static_cast<std::size_t>(i)]),
+              mem64.line_of(flags[0]));
+  EXPECT_NE(mem64.line_of(flags[16]), mem64.line_of(flags[0]));
+  for (int i = 17; i < 20; ++i)
+    EXPECT_EQ(mem64.line_of(flags[static_cast<std::size_t>(i)]),
+              mem64.line_of(flags[16]));
+
+  Engine eng2;
+  MemSystem mem128(eng2, topo::kunpeng920());  // 128-byte effective lines
+  const auto kflags = mem128.new_packed_array(40, 4);
+  for (int i = 1; i < 32; ++i)
+    EXPECT_EQ(mem128.line_of(kflags[static_cast<std::size_t>(i)]),
+              mem128.line_of(kflags[0]));
+  EXPECT_NE(mem128.line_of(kflags[32]), mem128.line_of(kflags[0]));
+}
+
+TEST(SimMemory, PaddedArrayAllDistinctLines) {
+  Engine eng;
+  MemSystem mem(eng, toy());
+  const auto vars = mem.new_padded_array(8, 3);
+  for (std::size_t i = 0; i < vars.size(); ++i) {
+    EXPECT_EQ(mem.peek(vars[i]), 3u);
+    for (std::size_t j = i + 1; j < vars.size(); ++j)
+      EXPECT_NE(mem.line_of(vars[i]), mem.line_of(vars[j]));
+  }
+}
+
+TEST(SimMemory, HotLinesRankByTraffic) {
+  Script s;
+  auto prog = [](Script& sc) -> SimThread {
+    const VarId hot = sc.mem.new_var(0);
+    const VarId warm = sc.mem.new_var(0);
+    const VarId cold = sc.mem.new_var(0);
+    (void)cold;  // allocated but never touched
+    for (int i = 0; i < 10; ++i) co_await sc.mem.fetch_add(0, hot, 1);
+    for (int i = 0; i < 3; ++i) co_await sc.mem.read(1, warm);
+    co_await sc.mem.write(2, warm, 5);
+  };
+  s.eng.spawn(prog(s));
+  ASSERT_TRUE(s.eng.run());
+  const auto hot_lines = s.mem.hot_lines(10);
+  ASSERT_EQ(hot_lines.size(), 2u);  // the untouched line is omitted
+  EXPECT_EQ(hot_lines[0].writes, 10u);
+  EXPECT_EQ(hot_lines[0].reads, 0u);
+  EXPECT_EQ(hot_lines[1].reads, 3u);
+  EXPECT_EQ(hot_lines[1].writes, 1u);
+  // top_n truncation.
+  EXPECT_EQ(s.mem.hot_lines(1).size(), 1u);
+}
+
+TEST(SimMemory, RejectsBadCoreAndVar) {
+  Engine eng;
+  MemSystem mem(eng, toy());
+  const VarId v = mem.new_var(0);
+  EXPECT_THROW((void)mem.read(-1, v), std::out_of_range);
+  EXPECT_THROW((void)mem.read(4, v), std::out_of_range);
+  EXPECT_THROW((void)mem.read(0, 999), std::out_of_range);
+  EXPECT_THROW(mem.new_var_on(42, 0), std::out_of_range);
+}
+
+}  // namespace
+}  // namespace armbar::sim

@@ -1,0 +1,165 @@
+// Dedicated tests for the batched spin primitive (spin_until_all): MLP
+// overlap of the initial polls, per-line wake grouping, partial
+// satisfaction, and interaction with packed lines.
+
+#include <gtest/gtest.h>
+
+#include "armbar/sim/engine.hpp"
+#include "armbar/sim/memory.hpp"
+#include "armbar/topo/platforms.hpp"
+
+namespace armbar::sim {
+namespace {
+
+using util::Picos;
+
+/// 8-core machine: clusters of 2; L0=10, L1=100; eps=1; alpha=0.5; c=2;
+/// mlp defaults to 5 (make_hierarchical does not override it).
+topo::Machine toy() {
+  return topo::make_hierarchical("toy", {2, 2, 2}, {10.0, 50.0, 100.0}, 1.0,
+                                 2, 64, 0.5, 2.0);
+}
+
+TEST(SpinAll, InitialMissesOverlapWithMlpBound) {
+  // Core 0 batch-polls three vars owned by cores 2, 4, 6 (layer costs 50,
+  // 100, 100).  Sequential spins would pay 50+100+100 = 250 ns; the batch
+  // pays max(50, 100+mlp, 100+2*mlp) = 110 ns.
+  Engine eng;
+  MemSystem mem(eng, toy());
+  const VarId a = mem.new_var(1);
+  const VarId b = mem.new_var(1);
+  const VarId c = mem.new_var(1);
+  std::vector<Picos> t;
+  auto owner = [](Engine&, MemSystem& m, VarId v, int core) -> SimThread {
+    co_await m.write(core, v, 1);
+  };
+  auto prog = [](Engine& e, MemSystem& m, std::vector<Picos>& out,
+                 VarId va, VarId vb, VarId vc) -> SimThread {
+    co_await delay(e, 10'000);  // let the owners place their lines
+    const Picos t0 = e.now();
+    std::vector<VarId> vars{va, vb, vc};
+    co_await m.spin_until_all(0, std::move(vars),
+                              [](std::uint64_t x) { return x == 1; });
+    out.push_back(e.now() - t0);
+  };
+  eng.spawn(owner(eng, mem, a, 2));
+  eng.spawn(owner(eng, mem, b, 4));
+  eng.spawn(owner(eng, mem, c, 6));
+  eng.spawn(prog(eng, mem, t, a, b, c));
+  ASSERT_TRUE(eng.run());
+  ASSERT_EQ(t.size(), 1u);
+  // max(50, 100+5, 100+10) = 110 ns.
+  EXPECT_EQ(t[0], 110'000u);
+}
+
+TEST(SpinAll, ResumesOnlyWhenEveryVarSatisfied) {
+  Engine eng;
+  MemSystem mem(eng, toy());
+  const VarId a = mem.new_var(0);
+  const VarId b = mem.new_var(0);
+  std::vector<Picos> t;
+  auto waiter = [](Engine& e, MemSystem& m, std::vector<Picos>& out, VarId va,
+                   VarId vb) -> SimThread {
+    std::vector<VarId> vars{va, vb};
+    co_await m.spin_until_all(0, std::move(vars),
+                              [](std::uint64_t x) { return x >= 1; });
+    out.push_back(e.now());
+  };
+  auto setter = [](Engine& e, MemSystem& m, VarId va, VarId vb) -> SimThread {
+    co_await delay(e, 100'000);
+    co_await m.write(3, va, 1);
+    co_await delay(e, 400'000);
+    co_await m.write(3, vb, 1);
+  };
+  eng.spawn(waiter(eng, mem, t, a, b));
+  eng.spawn(setter(eng, mem, a, b));
+  ASSERT_TRUE(eng.run());
+  ASSERT_EQ(t.size(), 1u);
+  // Must not resume at the first write (~100 ns); only after the second
+  // (~501 ns) plus its wake re-read.
+  EXPECT_GT(t[0], 500'000u);
+}
+
+TEST(SpinAll, VarsOnOneLineWakeWithASingleRead) {
+  // Two watched vars packed on one line: a single write satisfying both
+  // triggers exactly one poll read.
+  Engine eng;
+  MemSystem mem(eng, toy());
+  const LineId line = mem.new_line();
+  const VarId a = mem.new_var_on(line, 0);
+  const VarId b = mem.new_var_on(line, 0);
+  std::vector<Picos> t;
+  auto waiter = [](Engine& e, MemSystem& m, std::vector<Picos>& out, VarId va,
+                   VarId vb) -> SimThread {
+    std::vector<VarId> vars{va, vb};
+    co_await m.spin_until_all(0, std::move(vars),
+                              [](std::uint64_t x) { return x >= 1; });
+    out.push_back(e.now());
+  };
+  auto setter = [](Engine& e, MemSystem& m, VarId va, VarId vb) -> SimThread {
+    co_await delay(e, 50'000);
+    co_await m.write(7, va, 1);  // wakes; vb still 0 -> stays parked
+    co_await delay(e, 50'000);
+    co_await m.write(7, vb, 2);  // satisfies both
+  };
+  eng.spawn(waiter(eng, mem, t, a, b));
+  eng.spawn(setter(eng, mem, a, b));
+  ASSERT_TRUE(eng.run());
+  ASSERT_EQ(t.size(), 1u);
+  // One initial read (the two vars share a line) + two poll re-reads.
+  EXPECT_EQ(mem.stats().poll_reads, 2u);
+  EXPECT_GT(t[0], 100'000u);
+}
+
+TEST(SpinAll, EmptyVarListIsReadyImmediately) {
+  Engine eng;
+  MemSystem mem(eng, toy());
+  std::vector<Picos> t;
+  auto prog = [](Engine& e, MemSystem& m, std::vector<Picos>& out) -> SimThread {
+    std::vector<VarId> none;
+    co_await m.spin_until_all(0, std::move(none),
+                              [](std::uint64_t) { return false; });
+    out.push_back(e.now());
+  };
+  eng.spawn(prog(eng, mem, t));
+  ASSERT_TRUE(eng.run());
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t[0], 0u);
+}
+
+TEST(SpinAll, AlreadySatisfiedStillPaysThePollReads) {
+  Engine eng;
+  MemSystem mem(eng, toy());
+  const VarId a = mem.new_var(5);
+  const VarId b = mem.new_var(5);
+  std::vector<Picos> t;
+  auto prog = [](Engine& e, MemSystem& m, std::vector<Picos>& out, VarId va,
+                 VarId vb) -> SimThread {
+    std::vector<VarId> vars{va, vb};
+    co_await m.spin_until_all(0, std::move(vars),
+                              [](std::uint64_t x) { return x == 5; });
+    out.push_back(e.now());
+  };
+  eng.spawn(prog(eng, mem, t, a, b));
+  ASSERT_TRUE(eng.run());
+  // Two cold fills (epsilon each, overlapped): resume at ~eps + mlp.
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_GE(t[0], 1'000u);
+  EXPECT_LE(t[0], 10'000u);
+}
+
+TEST(SpinAll, DeadlocksWhenUnsatisfiable) {
+  Engine eng;
+  MemSystem mem(eng, toy());
+  const VarId a = mem.new_var(0);
+  auto prog = [](Engine&, MemSystem& m, VarId va) -> SimThread {
+    std::vector<VarId> vars{va};
+    co_await m.spin_until_all(0, std::move(vars),
+                              [](std::uint64_t x) { return x == 9; });
+  };
+  eng.spawn(prog(eng, mem, a));
+  EXPECT_FALSE(eng.run());
+}
+
+}  // namespace
+}  // namespace armbar::sim

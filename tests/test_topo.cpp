@@ -1,0 +1,202 @@
+// Unit tests for the topology substrate: the machine models must carry the
+// paper's Tables I-III exactly and expose consistent layer lookups.
+
+#include <gtest/gtest.h>
+
+#include "armbar/topo/machine.hpp"
+#include "armbar/topo/platforms.hpp"
+
+namespace armbar::topo {
+namespace {
+
+// --- Phytium 2000+ (Table I) -----------------------------------------------
+
+TEST(Phytium, TableIValues) {
+  const Machine m = phytium2000();
+  EXPECT_EQ(m.num_cores(), 64);
+  EXPECT_EQ(m.cluster_size(), 4);  // N_c
+  EXPECT_DOUBLE_EQ(m.epsilon_ns(), 1.8);
+  ASSERT_EQ(m.num_layers(), 9);
+  EXPECT_DOUBLE_EQ(m.layer_info(0).ns, 9.1);   // within a core group
+  EXPECT_DOUBLE_EQ(m.layer_info(1).ns, 42.3);  // within a panel
+  EXPECT_DOUBLE_EQ(m.layer_info(2).ns, 54.1);  // panel 0-1
+  EXPECT_DOUBLE_EQ(m.layer_info(3).ns, 76.3);  // panel 0-2
+  EXPECT_DOUBLE_EQ(m.layer_info(4).ns, 65.6);  // panel 0-3
+  EXPECT_DOUBLE_EQ(m.layer_info(5).ns, 61.4);  // panel 0-4
+  EXPECT_DOUBLE_EQ(m.layer_info(6).ns, 72.7);  // panel 0-5
+  EXPECT_DOUBLE_EQ(m.layer_info(7).ns, 95.5);  // panel 0-6
+  EXPECT_DOUBLE_EQ(m.layer_info(8).ns, 84.5);  // panel 0-7
+}
+
+TEST(Phytium, LayerGeometry) {
+  const Machine m = phytium2000();
+  EXPECT_EQ(m.layer(0, 0), -1);            // local
+  EXPECT_EQ(m.layer(0, 1), 0);             // same core group of 4
+  EXPECT_EQ(m.layer(0, 3), 0);
+  EXPECT_EQ(m.layer(0, 4), 1);             // same panel, different group
+  EXPECT_EQ(m.layer(0, 7), 1);
+  EXPECT_EQ(m.layer(0, 8), 2);             // panel 0 -> 1
+  EXPECT_EQ(m.layer(0, 63), 8);            // panel 0 -> 7
+  EXPECT_EQ(m.layer(8, 16), 2);            // panel 1 -> 2, distance 1
+  EXPECT_DOUBLE_EQ(m.comm_ns(0, 0), 1.8);
+  EXPECT_DOUBLE_EQ(m.comm_ns(0, 1), 9.1);
+  EXPECT_DOUBLE_EQ(m.comm_ns(0, 63), 84.5);
+}
+
+// --- ThunderX2 (Table II) -----------------------------------------------------
+
+TEST(ThunderX2, TableIIValues) {
+  const Machine m = thunderx2();
+  EXPECT_EQ(m.num_cores(), 64);
+  EXPECT_EQ(m.cluster_size(), 32);  // N_c: uniform within a socket
+  EXPECT_DOUBLE_EQ(m.epsilon_ns(), 1.2);
+  ASSERT_EQ(m.num_layers(), 2);
+  EXPECT_DOUBLE_EQ(m.layer_info(0).ns, 24.0);
+  EXPECT_DOUBLE_EQ(m.layer_info(1).ns, 140.7);
+}
+
+TEST(ThunderX2, SocketGeometry) {
+  const Machine m = thunderx2();
+  EXPECT_EQ(m.layer(0, 31), 0);
+  EXPECT_EQ(m.layer(0, 32), 1);
+  EXPECT_EQ(m.layer(31, 32), 1);
+  EXPECT_EQ(m.layer(33, 63), 0);
+  EXPECT_EQ(m.num_clusters(), 2);
+}
+
+// --- Kunpeng 920 (Table III) ---------------------------------------------------
+
+TEST(Kunpeng, TableIIIValues) {
+  const Machine m = kunpeng920();
+  EXPECT_EQ(m.num_cores(), 64);
+  EXPECT_EQ(m.cluster_size(), 4);  // N_c = CCL size
+  EXPECT_DOUBLE_EQ(m.epsilon_ns(), 1.15);
+  ASSERT_EQ(m.num_layers(), 3);
+  EXPECT_DOUBLE_EQ(m.layer_info(0).ns, 14.2);
+  EXPECT_DOUBLE_EQ(m.layer_info(1).ns, 44.2);
+  EXPECT_DOUBLE_EQ(m.layer_info(2).ns, 75.0);
+  // Section V-B1: a Kunpeng cacheline holds 32 four-byte flags.
+  EXPECT_EQ(m.cacheline_bytes() / 4, 32);
+}
+
+TEST(Kunpeng, CclScclGeometry) {
+  const Machine m = kunpeng920();
+  EXPECT_EQ(m.layer(0, 3), 0);   // same CCL
+  EXPECT_EQ(m.layer(0, 4), 1);   // same SCCL, different CCL
+  EXPECT_EQ(m.layer(0, 31), 1);
+  EXPECT_EQ(m.layer(0, 32), 2);  // across SCCLs
+  EXPECT_EQ(m.layer(31, 32), 2);
+}
+
+// --- Xeon reference -------------------------------------------------------------
+
+TEST(Xeon, Uniform32Cores) {
+  const Machine m = xeon_gold();
+  EXPECT_EQ(m.num_cores(), 32);
+  EXPECT_EQ(m.num_layers(), 1);
+  for (int b = 1; b < m.num_cores(); ++b) EXPECT_EQ(m.layer(0, b), 0);
+}
+
+// --- generic invariants -----------------------------------------------------------
+
+class AllMachines : public ::testing::TestWithParam<int> {};
+
+TEST_P(AllMachines, LayerMatrixSymmetricAndInRange) {
+  const Machine m = all_machines()[static_cast<std::size_t>(GetParam())];
+  for (int a = 0; a < m.num_cores(); ++a) {
+    EXPECT_EQ(m.layer(a, a), -1);
+    for (int b = 0; b < m.num_cores(); ++b) {
+      if (a == b) continue;
+      const int l = m.layer(a, b);
+      ASSERT_GE(l, 0);
+      ASSERT_LT(l, m.num_layers());
+      EXPECT_EQ(l, m.layer(b, a));
+      EXPECT_GT(m.comm_ns(a, b), m.epsilon_ns());
+    }
+  }
+}
+
+TEST_P(AllMachines, IntraClusterIsCheapestLayer) {
+  const Machine m = all_machines()[static_cast<std::size_t>(GetParam())];
+  for (int a = 0; a < m.num_cores(); ++a) {
+    for (int b = 0; b < m.num_cores(); ++b) {
+      if (a == b) continue;
+      if (m.cluster_of(a) == m.cluster_of(b)) EXPECT_EQ(m.layer(a, b), 0);
+    }
+  }
+}
+
+TEST_P(AllMachines, PicosecondConversionExact) {
+  const Machine m = all_machines()[static_cast<std::size_t>(GetParam())];
+  EXPECT_EQ(m.epsilon_ps(), util::ns_to_ps(m.epsilon_ns()));
+  for (int i = 0; i < m.num_layers(); ++i)
+    EXPECT_EQ(m.layer_ps(i), util::ns_to_ps(m.layer_info(i).ns));
+}
+
+TEST_P(AllMachines, AlphaAndContentionWithinPaperBounds) {
+  const Machine m = all_machines()[static_cast<std::size_t>(GetParam())];
+  EXPECT_GE(m.alpha(), 0.0);
+  EXPECT_LE(m.alpha(), 1.0);  // Section III-B: 0 <= alpha <= 1
+  EXPECT_GE(m.contention_ns(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Machines, AllMachines, ::testing::Range(0, 4));
+
+// --- lookup and custom builder ------------------------------------------------------
+
+TEST(Lookup, ByNameVariants) {
+  EXPECT_EQ(machine_by_name("Phytium2000+").name(), "Phytium2000+");
+  EXPECT_EQ(machine_by_name("phytium-2000").name(), "Phytium2000+");
+  EXPECT_EQ(machine_by_name("TX2").name(), "ThunderX2");
+  EXPECT_EQ(machine_by_name("kunpeng920").name(), "Kunpeng920");
+  EXPECT_EQ(machine_by_name("KP920").name(), "Kunpeng920");
+  EXPECT_EQ(machine_by_name("xeon").name(), "XeonGold");
+  EXPECT_THROW(machine_by_name("rocket"), std::invalid_argument);
+}
+
+TEST(Hierarchical, BuildsExpectedLayers) {
+  const Machine m = make_hierarchical("toy", {2, 4}, {5.0, 50.0}, 1.0, 2, 64,
+                                      0.2, 1.0);
+  EXPECT_EQ(m.num_cores(), 8);
+  EXPECT_EQ(m.layer(0, 1), 0);  // same innermost pair
+  EXPECT_EQ(m.layer(0, 2), 1);  // across pairs
+  EXPECT_EQ(m.layer(0, 7), 1);
+  EXPECT_DOUBLE_EQ(m.comm_ns(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(m.comm_ns(0, 2), 50.0);
+}
+
+TEST(Hierarchical, RejectsBadShapes) {
+  EXPECT_THROW(make_hierarchical("x", {2}, {1.0, 2.0}, 1.0, 2, 64, 0.1, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(make_hierarchical("x", {1, 2}, {1.0, 2.0}, 1.0, 2, 64, 0.1, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(make_hierarchical("x", {}, {}, 1.0, 2, 64, 0.1, 0.0),
+               std::invalid_argument);
+}
+
+TEST(MachineValidation, RejectsBadParameters) {
+  std::vector<Layer> layers = {{"l0", 10.0}};
+  std::vector<std::int8_t> mat(4, 0);
+  EXPECT_NO_THROW(Machine("ok", 2, 1.0, 2, 64, 0.5, 1.0, layers, mat));
+  EXPECT_THROW(Machine("bad", 2, 1.0, 2, 64, 1.5, 1.0, layers, mat),
+               std::invalid_argument);  // alpha > 1
+  EXPECT_THROW(Machine("bad", 2, -1.0, 2, 64, 0.5, 1.0, layers, mat),
+               std::invalid_argument);  // epsilon <= 0
+  EXPECT_THROW(Machine("bad", 2, 1.0, 3, 64, 0.5, 1.0, layers, mat),
+               std::invalid_argument);  // cluster > cores
+  std::vector<std::int8_t> bad_mat(4, 5);
+  bad_mat[0] = bad_mat[3] = 0;
+  EXPECT_THROW(Machine("bad", 2, 1.0, 2, 64, 0.5, 1.0, layers, bad_mat),
+               std::invalid_argument);  // layer out of range
+}
+
+TEST(MachineValidation, RejectsAsymmetricMatrix) {
+  std::vector<Layer> layers = {{"l0", 10.0}, {"l1", 20.0}};
+  // 2x2 with [0][1]=0 but [1][0]=1.
+  std::vector<std::int8_t> mat = {0, 0, 1, 0};
+  EXPECT_THROW(Machine("bad", 2, 1.0, 2, 64, 0.5, 1.0, layers, mat),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace armbar::topo

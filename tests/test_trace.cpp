@@ -1,0 +1,140 @@
+// Tests for the simulator's operation tracer and its exports.
+
+#include <gtest/gtest.h>
+
+#include "armbar/sim/engine.hpp"
+#include "armbar/sim/memory.hpp"
+#include "armbar/sim/trace.hpp"
+#include "armbar/simbar/runner.hpp"
+#include "armbar/simbar/sim_barriers.hpp"
+#include "armbar/topo/platforms.hpp"
+
+namespace armbar::sim {
+namespace {
+
+topo::Machine toy() {
+  return topo::make_hierarchical("toy", {2, 2}, {10.0, 100.0}, 1.0, 2, 64,
+                                 0.5, 2.0);
+}
+
+SimThread traffic(Engine& eng, MemSystem& mem, VarId v) {
+  co_await mem.write(0, v, 1);
+  co_await mem.read(1, v);
+  co_await mem.fetch_add(2, v, 1);
+  (void)eng;
+}
+
+TEST(Trace, RecordsKindsAndTimes) {
+  Engine eng;
+  MemSystem mem(eng, toy());
+  Tracer tracer;
+  mem.set_tracer(&tracer);
+  const VarId v = mem.new_var(0);
+  eng.spawn(traffic(eng, mem, v));
+  ASSERT_TRUE(eng.run());
+
+  ASSERT_EQ(tracer.events().size(), 3u);
+  EXPECT_EQ(tracer.events()[0].kind, TraceEvent::Kind::kWrite);
+  EXPECT_EQ(tracer.events()[0].core, 0);
+  EXPECT_EQ(tracer.events()[1].kind, TraceEvent::Kind::kRead);
+  EXPECT_EQ(tracer.events()[1].core, 1);
+  EXPECT_EQ(tracer.events()[2].kind, TraceEvent::Kind::kRmw);
+  EXPECT_EQ(tracer.events()[2].core, 2);
+  for (const auto& ev : tracer.events()) {
+    EXPECT_LT(ev.start, ev.finish);
+    EXPECT_EQ(ev.line, mem.line_of(v));
+  }
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(Trace, PollsAreTaggedAsPolls) {
+  Engine eng;
+  MemSystem mem(eng, toy());
+  Tracer tracer;
+  mem.set_tracer(&tracer);
+  const VarId v = mem.new_var(0);
+  auto waiter = [](Engine&, MemSystem& m, VarId var) -> SimThread {
+    co_await m.spin_until(1, var, [](std::uint64_t x) { return x == 1; });
+  };
+  auto setter = [](Engine& e, MemSystem& m, VarId var) -> SimThread {
+    co_await delay(e, 1000);
+    co_await m.write(0, var, 1);
+  };
+  eng.spawn(waiter(eng, mem, v));
+  eng.spawn(setter(eng, mem, v));
+  ASSERT_TRUE(eng.run());
+  int polls = 0;
+  for (const auto& ev : tracer.events())
+    if (ev.kind == TraceEvent::Kind::kPoll) ++polls;
+  EXPECT_EQ(polls, 1);  // the successful wake re-read
+}
+
+TEST(Trace, CapacityBoundsAndDropCounting) {
+  Tracer tracer(/*capacity=*/2);
+  tracer.record({0, 1, 0, 0, TraceEvent::Kind::kRead});
+  tracer.record({1, 2, 0, 0, TraceEvent::Kind::kRead});
+  tracer.record({2, 3, 0, 0, TraceEvent::Kind::kRead});
+  EXPECT_EQ(tracer.events().size(), 2u);
+  EXPECT_EQ(tracer.dropped(), 1u);
+  tracer.clear();
+  EXPECT_TRUE(tracer.events().empty());
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+TEST(Trace, SummaryAggregatesPerCore) {
+  Tracer tracer;
+  tracer.record({0, 10, 0, 0, TraceEvent::Kind::kRead});
+  tracer.record({0, 20, 0, 1, TraceEvent::Kind::kWrite});
+  tracer.record({5, 25, 1, 0, TraceEvent::Kind::kRmw});
+  tracer.record({5, 30, 1, 0, TraceEvent::Kind::kPoll});
+  const auto summary = tracer.summarize(2);
+  ASSERT_EQ(summary.size(), 2u);
+  EXPECT_EQ(summary[0].reads, 1u);
+  EXPECT_EQ(summary[0].writes, 1u);
+  EXPECT_EQ(summary[0].busy_ps, 30u);
+  EXPECT_EQ(summary[1].rmws, 1u);
+  EXPECT_EQ(summary[1].polls, 1u);
+  EXPECT_EQ(summary[1].busy_ps, 45u);
+}
+
+TEST(Trace, CsvAndChromeExports) {
+  Tracer tracer;
+  tracer.record({1000, 2000, 3, 7, TraceEvent::Kind::kWrite});
+  const std::string csv = tracer.to_csv();
+  EXPECT_NE(csv.find("start_ps,finish_ps,core,line,kind"), std::string::npos);
+  EXPECT_NE(csv.find("1000,2000,3,7,write"), std::string::npos);
+  const std::string json = tracer.to_chrome_json();
+  EXPECT_EQ(json.front(), '[');
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":3"), std::string::npos);
+  EXPECT_NE(json.find("write L7"), std::string::npos);
+}
+
+TEST(Trace, AttachesThroughMeasureBarrier) {
+  Tracer tracer;
+  simbar::SimRunConfig cfg;
+  cfg.threads = 8;
+  cfg.iterations = 4;
+  cfg.warmup = 1;
+  const auto r = simbar::measure_barrier(
+      topo::kunpeng920(), simbar::sim_factory(Algo::kOptimized), cfg,
+      &tracer);
+  EXPECT_GT(r.mean_overhead_ns, 0.0);
+  EXPECT_GT(tracer.events().size(), 16u);
+  // Events must be within the simulated time range and well-formed.
+  for (const auto& ev : tracer.events()) {
+    EXPECT_LE(ev.start, ev.finish);
+    EXPECT_GE(ev.core, 0);
+    EXPECT_LT(ev.core, 64);
+  }
+}
+
+TEST(Trace, KindNames) {
+  EXPECT_EQ(to_string(TraceEvent::Kind::kRead), "read");
+  EXPECT_EQ(to_string(TraceEvent::Kind::kWrite), "write");
+  EXPECT_EQ(to_string(TraceEvent::Kind::kRmw), "rmw");
+  EXPECT_EQ(to_string(TraceEvent::Kind::kPoll), "poll");
+}
+
+}  // namespace
+}  // namespace armbar::sim

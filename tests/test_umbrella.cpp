@@ -1,0 +1,24 @@
+// The umbrella header must compile standalone and expose the whole API.
+
+#include "armbar/armbar.hpp"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(Umbrella, VersionAndOneSymbolPerModule) {
+  EXPECT_EQ(armbar::kVersionMajor, 1);
+  // One representative symbol from each module proves the includes wire up.
+  EXPECT_EQ(armbar::util::kCachelineBytes, 64u);
+  EXPECT_EQ(armbar::topo::kunpeng920().num_cores(), 64);
+  EXPECT_EQ(armbar::model::recommended_fanin(0.5), 4);
+  EXPECT_EQ(armbar::make_barrier(armbar::Algo::kOptimized, 2).num_threads(),
+            2);
+  armbar::sim::Engine engine;
+  EXPECT_EQ(engine.now(), 0u);
+  EXPECT_FALSE(armbar::simbar::default_tune_candidates(
+                   armbar::topo::xeon_gold())
+                   .empty());
+}
+
+}  // namespace
