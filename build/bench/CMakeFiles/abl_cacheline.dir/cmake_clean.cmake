@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_cacheline.dir/abl_cacheline.cpp.o"
+  "CMakeFiles/abl_cacheline.dir/abl_cacheline.cpp.o.d"
+  "abl_cacheline"
+  "abl_cacheline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_cacheline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_interval.dir/abl_interval.cpp.o"
+  "CMakeFiles/abl_interval.dir/abl_interval.cpp.o.d"
+  "abl_interval"
+  "abl_interval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_interval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

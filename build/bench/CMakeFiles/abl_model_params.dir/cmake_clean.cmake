@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_model_params.dir/abl_model_params.cpp.o"
+  "CMakeFiles/abl_model_params.dir/abl_model_params.cpp.o.d"
+  "abl_model_params"
+  "abl_model_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_model_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

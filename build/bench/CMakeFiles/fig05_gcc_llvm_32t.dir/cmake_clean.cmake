@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig05_gcc_llvm_32t.dir/fig05_gcc_llvm_32t.cpp.o"
+  "CMakeFiles/fig05_gcc_llvm_32t.dir/fig05_gcc_llvm_32t.cpp.o.d"
+  "fig05_gcc_llvm_32t"
+  "fig05_gcc_llvm_32t.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig05_gcc_llvm_32t.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

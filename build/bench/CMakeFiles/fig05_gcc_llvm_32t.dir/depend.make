@@ -1,0 +1,2 @@
+# Empty dependencies file for fig05_gcc_llvm_32t.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_gcc_llvm_scaling.dir/fig06_gcc_llvm_scaling.cpp.o"
+  "CMakeFiles/fig06_gcc_llvm_scaling.dir/fig06_gcc_llvm_scaling.cpp.o.d"
+  "fig06_gcc_llvm_scaling"
+  "fig06_gcc_llvm_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_gcc_llvm_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

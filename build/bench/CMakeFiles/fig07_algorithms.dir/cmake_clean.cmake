@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_algorithms.dir/fig07_algorithms.cpp.o"
+  "CMakeFiles/fig07_algorithms.dir/fig07_algorithms.cpp.o.d"
+  "fig07_algorithms"
+  "fig07_algorithms.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_arrival_opt.dir/fig11_arrival_opt.cpp.o"
+  "CMakeFiles/fig11_arrival_opt.dir/fig11_arrival_opt.cpp.o.d"
+  "fig11_arrival_opt"
+  "fig11_arrival_opt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_arrival_opt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig12_notification_opt.
+# This may be replaced when dependencies are built.

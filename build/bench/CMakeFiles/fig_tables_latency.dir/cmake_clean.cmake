@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig_tables_latency.dir/fig_tables_latency.cpp.o"
+  "CMakeFiles/fig_tables_latency.dir/fig_tables_latency.cpp.o.d"
+  "fig_tables_latency"
+  "fig_tables_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig_tables_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/model_predictions.dir/model_predictions.cpp.o"
+  "CMakeFiles/model_predictions.dir/model_predictions.cpp.o.d"
+  "model_predictions"
+  "model_predictions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/model_predictions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_barriers.dir/native_barriers.cpp.o"
+  "CMakeFiles/native_barriers.dir/native_barriers.cpp.o.d"
+  "native_barriers"
+  "native_barriers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_barriers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/native_epcc.dir/native_epcc.cpp.o"
+  "CMakeFiles/native_epcc.dir/native_epcc.cpp.o.d"
+  "native_epcc"
+  "native_epcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/native_epcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tab04_overall_speedup.dir/tab04_overall_speedup.cpp.o"
+  "CMakeFiles/tab04_overall_speedup.dir/tab04_overall_speedup.cpp.o.d"
+  "tab04_overall_speedup"
+  "tab04_overall_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tab04_overall_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/histogram_runtime.dir/histogram_runtime.cpp.o"
+  "CMakeFiles/histogram_runtime.dir/histogram_runtime.cpp.o.d"
+  "histogram_runtime"
+  "histogram_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/histogram_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

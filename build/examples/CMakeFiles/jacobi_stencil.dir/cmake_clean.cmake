@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jacobi_stencil.dir/jacobi_stencil.cpp.o"
+  "CMakeFiles/jacobi_stencil.dir/jacobi_stencil.cpp.o.d"
+  "jacobi_stencil"
+  "jacobi_stencil.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jacobi_stencil.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

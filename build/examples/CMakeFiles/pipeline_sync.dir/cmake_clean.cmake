@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pipeline_sync.dir/pipeline_sync.cpp.o"
+  "CMakeFiles/pipeline_sync.dir/pipeline_sync.cpp.o.d"
+  "pipeline_sync"
+  "pipeline_sync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pipeline_sync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

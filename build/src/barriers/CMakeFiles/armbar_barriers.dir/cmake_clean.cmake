@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/armbar_barriers.dir/factory.cpp.o"
+  "CMakeFiles/armbar_barriers.dir/factory.cpp.o.d"
+  "CMakeFiles/armbar_barriers.dir/shape.cpp.o"
+  "CMakeFiles/armbar_barriers.dir/shape.cpp.o.d"
+  "CMakeFiles/armbar_barriers.dir/team.cpp.o"
+  "CMakeFiles/armbar_barriers.dir/team.cpp.o.d"
+  "libarmbar_barriers.a"
+  "libarmbar_barriers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/armbar_barriers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/armbar_core.dir/optimized.cpp.o"
+  "CMakeFiles/armbar_core.dir/optimized.cpp.o.d"
+  "libarmbar_core.a"
+  "libarmbar_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/armbar_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/armbar_epcc.dir/epcc.cpp.o"
+  "CMakeFiles/armbar_epcc.dir/epcc.cpp.o.d"
+  "libarmbar_epcc.a"
+  "libarmbar_epcc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/armbar_epcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for armbar_epcc.
+# This may be replaced when dependencies are built.

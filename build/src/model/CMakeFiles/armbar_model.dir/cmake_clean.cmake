@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/armbar_model.dir/cost_model.cpp.o"
+  "CMakeFiles/armbar_model.dir/cost_model.cpp.o.d"
+  "libarmbar_model.a"
+  "libarmbar_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/armbar_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

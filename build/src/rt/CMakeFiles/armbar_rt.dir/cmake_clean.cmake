@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/armbar_rt.dir/runtime.cpp.o"
+  "CMakeFiles/armbar_rt.dir/runtime.cpp.o.d"
+  "libarmbar_rt.a"
+  "libarmbar_rt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/armbar_rt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libarmbar_rt.a"
+)

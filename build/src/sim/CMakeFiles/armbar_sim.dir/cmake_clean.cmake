@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/armbar_sim.dir/engine.cpp.o"
+  "CMakeFiles/armbar_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/armbar_sim.dir/memory.cpp.o"
+  "CMakeFiles/armbar_sim.dir/memory.cpp.o.d"
+  "CMakeFiles/armbar_sim.dir/trace.cpp.o"
+  "CMakeFiles/armbar_sim.dir/trace.cpp.o.d"
+  "libarmbar_sim.a"
+  "libarmbar_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/armbar_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

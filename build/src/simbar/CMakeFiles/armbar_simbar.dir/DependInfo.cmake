@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/simbar/autotune.cpp" "src/simbar/CMakeFiles/armbar_simbar.dir/autotune.cpp.o" "gcc" "src/simbar/CMakeFiles/armbar_simbar.dir/autotune.cpp.o.d"
+  "/root/repo/src/simbar/latency_probe.cpp" "src/simbar/CMakeFiles/armbar_simbar.dir/latency_probe.cpp.o" "gcc" "src/simbar/CMakeFiles/armbar_simbar.dir/latency_probe.cpp.o.d"
+  "/root/repo/src/simbar/runner.cpp" "src/simbar/CMakeFiles/armbar_simbar.dir/runner.cpp.o" "gcc" "src/simbar/CMakeFiles/armbar_simbar.dir/runner.cpp.o.d"
+  "/root/repo/src/simbar/sim_barriers.cpp" "src/simbar/CMakeFiles/armbar_simbar.dir/sim_barriers.cpp.o" "gcc" "src/simbar/CMakeFiles/armbar_simbar.dir/sim_barriers.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/armbar_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/barriers/CMakeFiles/armbar_barriers.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/armbar_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/armbar_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/armbar_model.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/armbar_simbar.dir/autotune.cpp.o"
+  "CMakeFiles/armbar_simbar.dir/autotune.cpp.o.d"
+  "CMakeFiles/armbar_simbar.dir/latency_probe.cpp.o"
+  "CMakeFiles/armbar_simbar.dir/latency_probe.cpp.o.d"
+  "CMakeFiles/armbar_simbar.dir/runner.cpp.o"
+  "CMakeFiles/armbar_simbar.dir/runner.cpp.o.d"
+  "CMakeFiles/armbar_simbar.dir/sim_barriers.cpp.o"
+  "CMakeFiles/armbar_simbar.dir/sim_barriers.cpp.o.d"
+  "libarmbar_simbar.a"
+  "libarmbar_simbar.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/armbar_simbar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for armbar_simbar.
+# This may be replaced when dependencies are built.

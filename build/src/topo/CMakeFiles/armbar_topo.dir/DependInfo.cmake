@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/machine.cpp" "src/topo/CMakeFiles/armbar_topo.dir/machine.cpp.o" "gcc" "src/topo/CMakeFiles/armbar_topo.dir/machine.cpp.o.d"
+  "/root/repo/src/topo/machine_file.cpp" "src/topo/CMakeFiles/armbar_topo.dir/machine_file.cpp.o" "gcc" "src/topo/CMakeFiles/armbar_topo.dir/machine_file.cpp.o.d"
+  "/root/repo/src/topo/placement.cpp" "src/topo/CMakeFiles/armbar_topo.dir/placement.cpp.o" "gcc" "src/topo/CMakeFiles/armbar_topo.dir/placement.cpp.o.d"
+  "/root/repo/src/topo/platforms.cpp" "src/topo/CMakeFiles/armbar_topo.dir/platforms.cpp.o" "gcc" "src/topo/CMakeFiles/armbar_topo.dir/platforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/armbar_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

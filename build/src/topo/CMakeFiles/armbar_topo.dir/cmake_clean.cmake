@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/armbar_topo.dir/machine.cpp.o"
+  "CMakeFiles/armbar_topo.dir/machine.cpp.o.d"
+  "CMakeFiles/armbar_topo.dir/machine_file.cpp.o"
+  "CMakeFiles/armbar_topo.dir/machine_file.cpp.o.d"
+  "CMakeFiles/armbar_topo.dir/placement.cpp.o"
+  "CMakeFiles/armbar_topo.dir/placement.cpp.o.d"
+  "CMakeFiles/armbar_topo.dir/platforms.cpp.o"
+  "CMakeFiles/armbar_topo.dir/platforms.cpp.o.d"
+  "libarmbar_topo.a"
+  "libarmbar_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/armbar_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/armbar_util.dir/affinity.cpp.o"
+  "CMakeFiles/armbar_util.dir/affinity.cpp.o.d"
+  "CMakeFiles/armbar_util.dir/args.cpp.o"
+  "CMakeFiles/armbar_util.dir/args.cpp.o.d"
+  "CMakeFiles/armbar_util.dir/stats.cpp.o"
+  "CMakeFiles/armbar_util.dir/stats.cpp.o.d"
+  "CMakeFiles/armbar_util.dir/table.cpp.o"
+  "CMakeFiles/armbar_util.dir/table.cpp.o.d"
+  "libarmbar_util.a"
+  "libarmbar_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/armbar_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_barrier_units.dir/test_barrier_units.cpp.o"
+  "CMakeFiles/test_barrier_units.dir/test_barrier_units.cpp.o.d"
+  "test_barrier_units"
+  "test_barrier_units.pdb"
+  "test_barrier_units[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_barrier_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

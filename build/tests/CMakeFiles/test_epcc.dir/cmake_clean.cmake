@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_epcc.dir/test_epcc.cpp.o"
+  "CMakeFiles/test_epcc.dir/test_epcc.cpp.o.d"
+  "test_epcc"
+  "test_epcc.pdb"
+  "test_epcc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_epcc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

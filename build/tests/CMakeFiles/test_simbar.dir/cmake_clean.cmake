@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_simbar.dir/test_simbar.cpp.o"
+  "CMakeFiles/test_simbar.dir/test_simbar.cpp.o.d"
+  "test_simbar"
+  "test_simbar.pdb"
+  "test_simbar[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_simbar.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_spin_all.dir/test_spin_all.cpp.o"
+  "CMakeFiles/test_spin_all.dir/test_spin_all.cpp.o.d"
+  "test_spin_all"
+  "test_spin_all.pdb"
+  "test_spin_all[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_spin_all.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

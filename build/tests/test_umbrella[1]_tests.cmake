@@ -1,0 +1,3 @@
+add_test([=[Umbrella.VersionAndOneSymbolPerModule]=]  /root/repo/build/tests/test_umbrella [==[--gtest_filter=Umbrella.VersionAndOneSymbolPerModule]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[Umbrella.VersionAndOneSymbolPerModule]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==] TIMEOUT 600)
+set(  test_umbrella_TESTS Umbrella.VersionAndOneSymbolPerModule)
