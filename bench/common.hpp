@@ -8,12 +8,16 @@
 #include <cstdio>
 #include <fstream>
 #include <iostream>
+#include <map>
+#include <set>
 #include <string>
+#include <tuple>
 #include <vector>
 
 #include "armbar/barriers/factory.hpp"
 #include "armbar/simbar/runner.hpp"
 #include "armbar/simbar/sim_barriers.hpp"
+#include "armbar/simbar/sweep.hpp"
 #include "armbar/topo/platforms.hpp"
 #include "armbar/util/args.hpp"
 #include "armbar/util/table.hpp"
@@ -43,6 +47,63 @@ inline double sim_overhead_us(const topo::Machine& machine, Algo algo,
 inline std::vector<int> thread_sweep() {
   return {1, 2, 4, 8, 12, 16, 24, 32, 40, 48, 56, 64};
 }
+
+/// Sweep-backed cache of simulated overheads.  A figure binary queues
+/// every (machine, algorithm, threads, options) cell it will print, run()
+/// fans the whole batch over a SweepDriver worker pool, and us() serves
+/// the table cells and shape checks from the cache.  Values are identical
+/// to per-cell sim_overhead_us calls — each simulation runs on an
+/// isolated Engine/MemSystem — the batch just uses every core, and
+/// duplicate cells (tables and shape checks share many) simulate once.
+class SimCache {
+ public:
+  /// Queue one cell; duplicates collapse.  @p m is referenced, not
+  /// copied: it must stay alive until run() returns.
+  void queue(const topo::Machine& m, Algo algo, int threads,
+             const MakeOptions& opt = {}) {
+    Key k = key(m, algo, threads, opt);
+    if (us_.count(k) != 0 || !queued_.insert(k).second) return;
+    jobs_.push_back(
+        {&m, simbar::sim_factory(algo, opt), sim_cfg(threads)});
+    keys_.push_back(std::move(k));
+  }
+
+  /// Run every queued cell over the worker pool.
+  void run(const simbar::SweepDriver& driver = simbar::SweepDriver()) {
+    const auto results = driver.run(jobs_);
+    for (std::size_t i = 0; i < results.size(); ++i)
+      us_.emplace(keys_[i], results[i].mean_overhead_ns / 1000.0);
+    jobs_.clear();
+    keys_.clear();
+    queued_.clear();
+  }
+
+  /// Overhead in microseconds.  A cell that was never queued is computed
+  /// inline (and cached), so lookups are always safe — just serial.
+  double us(const topo::Machine& m, Algo algo, int threads,
+            const MakeOptions& opt = {}) {
+    const Key k = key(m, algo, threads, opt);
+    const auto it = us_.find(k);
+    if (it != us_.end()) return it->second;
+    const double v = sim_overhead_us(m, algo, threads, opt);
+    us_.emplace(k, v);
+    return v;
+  }
+
+ private:
+  using Key = std::tuple<std::string, int, int, int, int, int>;
+  static Key key(const topo::Machine& m, Algo algo, int threads,
+                 const MakeOptions& opt) {
+    return {m.name(),  static_cast<int>(algo),
+            threads,   opt.fanin,
+            static_cast<int>(opt.notify), opt.cluster_size};
+  }
+
+  std::map<Key, double> us_;
+  std::set<Key> queued_;
+  std::vector<Key> keys_;
+  std::vector<simbar::SweepJob> jobs_;
+};
 
 /// One qualitative claim from the paper, evaluated on our measurements.
 struct ShapeCheck {

@@ -10,6 +10,14 @@ int main(int argc, char** argv) {
   std::cout << "== Figure 6: GCC / LLVM barrier scaling (us) ==\n\n";
 
   const auto machines = topo::armv8_machines();
+
+  bench::SimCache cache;
+  for (const auto& m : machines)
+    for (int p : bench::thread_sweep()) {
+      cache.queue(m, Algo::kGccSense, p);
+      cache.queue(m, Algo::kHypercube, p);
+    }
+  cache.run();
   std::vector<bench::ShapeCheck> checks;
 
   for (const char* impl : {"GCC", "LLVM"}) {
@@ -22,16 +30,16 @@ int main(int argc, char** argv) {
       std::vector<std::string> row{std::to_string(p)};
       for (const auto& m : machines)
         row.push_back(
-            util::Table::num(bench::sim_overhead_us(m, algo, p), 3));
+            util::Table::num(cache.us(m, algo, p), 3));
       t.add_row(std::move(row));
     }
     bench::emit(t, args);
   }
 
   for (const auto& m : machines) {
-    const double gcc8 = bench::sim_overhead_us(m, Algo::kGccSense, 8);
-    const double gcc64 = bench::sim_overhead_us(m, Algo::kGccSense, 64);
-    const double llvm64 = bench::sim_overhead_us(m, Algo::kHypercube, 64);
+    const double gcc8 = cache.us(m, Algo::kGccSense, 8);
+    const double gcc64 = cache.us(m, Algo::kGccSense, 64);
+    const double llvm64 = cache.us(m, Algo::kHypercube, 64);
     checks.push_back(
         {m.name() + ": GCC overhead grows steeply with threads",
          gcc64 > 4.0 * gcc8});
@@ -42,10 +50,10 @@ int main(int argc, char** argv) {
   // Paper: 3x on Phytium 2000+, 10x on ThunderX2 at 64 threads.
   checks.push_back(
       {"ThunderX2 LLVM-vs-GCC gap exceeds Phytium's (paper: 10x vs 3x)",
-       bench::sim_overhead_us(machines[1], Algo::kGccSense, 64) /
-               bench::sim_overhead_us(machines[1], Algo::kHypercube, 64) >
-           bench::sim_overhead_us(machines[0], Algo::kGccSense, 64) /
-               bench::sim_overhead_us(machines[0], Algo::kHypercube, 64)});
+       cache.us(machines[1], Algo::kGccSense, 64) /
+               cache.us(machines[1], Algo::kHypercube, 64) >
+           cache.us(machines[0], Algo::kGccSense, 64) /
+               cache.us(machines[0], Algo::kHypercube, 64)});
   bench::report_checks(checks);
   return 0;
 }

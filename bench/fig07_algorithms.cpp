@@ -12,6 +12,18 @@ int main(int argc, char** argv) {
 
   const auto machines = topo::armv8_machines();
 
+  const std::vector<Algo> six = {Algo::kDissemination, Algo::kCombiningTree,
+                                 Algo::kMcsTree,       Algo::kTournament,
+                                 Algo::kStaticFway,    Algo::kDynamicFway};
+  bench::SimCache cache;
+  for (const auto& m : machines)
+    for (int p : bench::thread_sweep()) {
+      cache.queue(m, Algo::kSense, p);
+      for (Algo a : six) cache.queue(m, a, p);
+    }
+  cache.queue(machines[0], Algo::kDissemination, 17);
+  cache.run();
+
   // 7(a): SENSE on the three machines.
   {
     util::Table t("Figure 7(a): SENSE");
@@ -21,16 +33,13 @@ int main(int argc, char** argv) {
       std::vector<std::string> row{std::to_string(p)};
       for (const auto& m : machines)
         row.push_back(
-            util::Table::num(bench::sim_overhead_us(m, Algo::kSense, p), 3));
+            util::Table::num(cache.us(m, Algo::kSense, p), 3));
       t.add_row(std::move(row));
     }
     bench::emit(t, args);
   }
 
   // 7(b)-(d): the other six algorithms per machine.
-  const std::vector<Algo> six = {Algo::kDissemination, Algo::kCombiningTree,
-                                 Algo::kMcsTree,       Algo::kTournament,
-                                 Algo::kStaticFway,    Algo::kDynamicFway};
   for (const auto& m : machines) {
     util::Table t("Figure 7 (" + m.name() + ")");
     std::vector<std::string> header{"threads"};
@@ -39,7 +48,7 @@ int main(int argc, char** argv) {
     for (int p : bench::thread_sweep()) {
       std::vector<std::string> row{std::to_string(p)};
       for (Algo a : six)
-        row.push_back(util::Table::num(bench::sim_overhead_us(m, a, p), 3));
+        row.push_back(util::Table::num(cache.us(m, a, p), 3));
       t.add_row(std::move(row));
     }
     bench::emit(t, args);
@@ -47,34 +56,34 @@ int main(int argc, char** argv) {
 
   std::vector<bench::ShapeCheck> checks;
   for (const auto& m : machines) {
-    const double sense = bench::sim_overhead_us(m, Algo::kSense, 64);
+    const double sense = cache.us(m, Algo::kSense, 64);
     double worst_other = 0;
     for (Algo a : six)
-      worst_other = std::max(worst_other, bench::sim_overhead_us(m, a, 64));
+      worst_other = std::max(worst_other, cache.us(m, a, 64));
     checks.push_back({m.name() + ": SENSE is the most expensive at 64",
                       sense > worst_other});
     const double family_best =
-        std::min({bench::sim_overhead_us(m, Algo::kTournament, 64),
-                  bench::sim_overhead_us(m, Algo::kStaticFway, 64),
-                  bench::sim_overhead_us(m, Algo::kDynamicFway, 64)});
+        std::min({cache.us(m, Algo::kTournament, 64),
+                  cache.us(m, Algo::kStaticFway, 64),
+                  cache.us(m, Algo::kDynamicFway, 64)});
     checks.push_back(
         {m.name() + ": tournament family beats DIS at 64 (paper: DIS "
                     "scales poorly on-chip)",
-         family_best < bench::sim_overhead_us(m, Algo::kDissemination, 64)});
+         family_best < cache.us(m, Algo::kDissemination, 64)});
     checks.push_back(
         {m.name() + ": tournament family beats CMB at 64",
-         family_best < bench::sim_overhead_us(m, Algo::kCombiningTree, 64)});
+         family_best < cache.us(m, Algo::kCombiningTree, 64)});
   }
   // Figures 7(c)/(d): MCS loses to CMB on the small-cluster Kunpeng920.
   checks.push_back(
       {"Kunpeng920: MCS costs more than CMB at 64 (paper Fig 7d)",
-       bench::sim_overhead_us(machines[2], Algo::kMcsTree, 64) >
-           bench::sim_overhead_us(machines[2], Algo::kCombiningTree, 64)});
+       cache.us(machines[2], Algo::kMcsTree, 64) >
+           cache.us(machines[2], Algo::kCombiningTree, 64)});
   // DIS spike at the round boundary.
   checks.push_back(
       {"Phytium: DIS steps up when P crosses 16 (rounds increase)",
-       bench::sim_overhead_us(machines[0], Algo::kDissemination, 17) >
-           bench::sim_overhead_us(machines[0], Algo::kDissemination, 16)});
+       cache.us(machines[0], Algo::kDissemination, 17) >
+           cache.us(machines[0], Algo::kDissemination, 16)});
   bench::report_checks(checks);
   return 0;
 }

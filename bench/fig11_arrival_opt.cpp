@@ -11,28 +11,38 @@ int main(int argc, char** argv) {
 
   std::cout << "== Figure 11: arrival-phase optimizations (us) ==\n\n";
 
+  const auto machines = topo::armv8_machines();
+  bench::SimCache cache;
+  for (const auto& m : machines)
+    for (int p : bench::thread_sweep()) {
+      cache.queue(m, Algo::kStaticFway, p);
+      cache.queue(m, Algo::kStaticFwayPadded, p);
+      cache.queue(m, Algo::kStatic4WayPadded, p);
+    }
+  cache.run();
+
   std::vector<bench::ShapeCheck> checks;
-  for (const auto& m : topo::armv8_machines()) {
+  for (const auto& m : machines) {
     util::Table t("Figure 11 (" + m.name() + ")");
     t.set_header({"threads", "static f-way", "padding f-way",
                   "padding 4-way"});
     for (int p : bench::thread_sweep()) {
       t.add_row({std::to_string(p),
                  util::Table::num(
-                     bench::sim_overhead_us(m, Algo::kStaticFway, p), 3),
+                     cache.us(m, Algo::kStaticFway, p), 3),
                  util::Table::num(
-                     bench::sim_overhead_us(m, Algo::kStaticFwayPadded, p), 3),
+                     cache.us(m, Algo::kStaticFwayPadded, p), 3),
                  util::Table::num(
-                     bench::sim_overhead_us(m, Algo::kStatic4WayPadded, p),
+                     cache.us(m, Algo::kStatic4WayPadded, p),
                      3)});
     }
     bench::emit(t, args);
 
-    const double packed = bench::sim_overhead_us(m, Algo::kStaticFway, 64);
+    const double packed = cache.us(m, Algo::kStaticFway, 64);
     const double padded =
-        bench::sim_overhead_us(m, Algo::kStaticFwayPadded, 64);
+        cache.us(m, Algo::kStaticFwayPadded, 64);
     const double padded4 =
-        bench::sim_overhead_us(m, Algo::kStatic4WayPadded, 64);
+        cache.us(m, Algo::kStatic4WayPadded, 64);
     checks.push_back(
         {m.name() + ": padding the arrival flags does not hurt at 64",
          padded <= packed * 1.02});
@@ -44,8 +54,8 @@ int main(int argc, char** argv) {
   // must pay off most there (paper: up to 1.35x).
   const auto kp = topo::kunpeng920();
   const double kp_speedup =
-      bench::sim_overhead_us(kp, Algo::kStaticFway, 64) /
-      bench::sim_overhead_us(kp, Algo::kStaticFwayPadded, 64);
+      cache.us(kp, Algo::kStaticFway, 64) /
+      cache.us(kp, Algo::kStaticFwayPadded, 64);
   checks.push_back(
       {"Kunpeng920 padding speedup exceeds 1.1x (paper: up to 1.35x)",
        kp_speedup > 1.1});

@@ -14,33 +14,43 @@ int main(int argc, char** argv) {
                        .cluster_size = m.cluster_size()};
   };
 
+  const auto machines = topo::armv8_machines();
+  bench::SimCache cache;
+  for (const auto& m : machines)
+    for (int p : bench::thread_sweep())
+      for (NotifyPolicy policy : {NotifyPolicy::kGlobalSense,
+                                  NotifyPolicy::kBinaryTree,
+                                  NotifyPolicy::kNumaTree})
+        cache.queue(m, Algo::kOptimized, p, opts(policy, m));
+  cache.run();
+
   std::vector<bench::ShapeCheck> checks;
-  for (const auto& m : topo::armv8_machines()) {
+  for (const auto& m : machines) {
     util::Table t("Figure 12 (" + m.name() + ")");
     t.set_header({"threads", "global", "binary tree", "NUMA-aware tree"});
     for (int p : bench::thread_sweep()) {
       t.add_row(
           {std::to_string(p),
-           util::Table::num(bench::sim_overhead_us(
+           util::Table::num(cache.us(
                                 m, Algo::kOptimized, p,
                                 opts(NotifyPolicy::kGlobalSense, m)),
                             3),
-           util::Table::num(bench::sim_overhead_us(
+           util::Table::num(cache.us(
                                 m, Algo::kOptimized, p,
                                 opts(NotifyPolicy::kBinaryTree, m)),
                             3),
-           util::Table::num(bench::sim_overhead_us(
+           util::Table::num(cache.us(
                                 m, Algo::kOptimized, p,
                                 opts(NotifyPolicy::kNumaTree, m)),
                             3)});
     }
     bench::emit(t, args);
 
-    const double global = bench::sim_overhead_us(
+    const double global = cache.us(
         m, Algo::kOptimized, 64, opts(NotifyPolicy::kGlobalSense, m));
-    const double binary = bench::sim_overhead_us(
+    const double binary = cache.us(
         m, Algo::kOptimized, 64, opts(NotifyPolicy::kBinaryTree, m));
-    const double numa = bench::sim_overhead_us(
+    const double numa = cache.us(
         m, Algo::kOptimized, 64, opts(NotifyPolicy::kNumaTree, m));
     if (m.name() == "Kunpeng920") {
       checks.push_back({m.name() + ": global wake-up wins (paper VI-B)",
@@ -53,9 +63,9 @@ int main(int argc, char** argv) {
            numa <= binary * 1.02});
     }
     // Small thread counts: the methods are near-equivalent.
-    const double g4 = bench::sim_overhead_us(
+    const double g4 = cache.us(
         m, Algo::kOptimized, 4, opts(NotifyPolicy::kGlobalSense, m));
-    const double b4 = bench::sim_overhead_us(
+    const double b4 = cache.us(
         m, Algo::kOptimized, 4, opts(NotifyPolicy::kBinaryTree, m));
     checks.push_back(
         {m.name() + ": global and tree meet at small thread counts",

@@ -15,6 +15,12 @@ int main(int argc, char** argv) {
   const std::vector<int> fanins = {2, 3, 4, 5, 6, 8, 12, 16};
   const auto machines = topo::armv8_machines();
 
+  bench::SimCache cache;
+  for (const auto& m : machines)
+    for (int f : fanins)
+      cache.queue(m, Algo::kStaticFwayPadded, threads, MakeOptions{.fanin = f});
+  cache.run();
+
   util::Table t;
   {
     std::vector<std::string> header{"fan-in"};
@@ -26,7 +32,7 @@ int main(int argc, char** argv) {
   for (int f : fanins) {
     std::vector<std::string> row{std::to_string(f)};
     for (std::size_t mi = 0; mi < machines.size(); ++mi) {
-      const double us = bench::sim_overhead_us(
+      const double us = cache.us(
           machines[mi], Algo::kStaticFwayPadded, threads,
           MakeOptions{.fanin = f});
       measured[mi].push_back(us);

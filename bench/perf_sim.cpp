@@ -1,0 +1,133 @@
+// Simulator perf-regression harness: times the fixed Figure 7 sweep
+// (3 machines x 7 algorithms x 12 thread counts = 252 simulations per
+// rep) and writes wall time, event throughput, and the determinism
+// checksum to BENCH_sim.json.  Run after any engine/memory change; the
+// checksum must never move, the throughput must not regress.
+//
+// Timing is serial by default (workers=1) so numbers are comparable
+// across revisions and to the embedded seed baseline; --workers N times
+// the same sweep fanned over the SweepDriver pool instead (aggregate
+// throughput, same results).
+
+#include <algorithm>
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common.hpp"
+
+namespace {
+
+// Seed baseline, measured on this container before the hot-path overhaul
+// (commit 01c2857 tree: std::vector<bool> sharer directory, binary-heap
+// std::priority_queue engine, std::function spin predicates, per-pair
+// latency vectors): best of repeated serial runs of this exact sweep,
+// 0.0968 s/rep (10 reps timed together in 0.968 s).  Event counts are
+// deterministic and identical across revisions, so the events/sec ratio
+// equals the wall-time ratio.
+constexpr double kSeedWallSecPerRep = 0.0968;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace armbar;
+  const util::Args args(argc, argv);
+  const int reps = static_cast<int>(args.get_int_or("reps", 5));
+  if (reps < 1) {
+    std::fprintf(stderr, "perf_sim: --reps must be >= 1\n");
+    return 1;
+  }
+  const int workers = static_cast<int>(args.get_int_or("workers", 1));
+  const std::string out_path =
+      args.get("json").value_or("BENCH_sim.json");
+
+  const auto machines = topo::armv8_machines();
+  const std::vector<Algo> algos = {
+      Algo::kSense,      Algo::kDissemination, Algo::kCombiningTree,
+      Algo::kMcsTree,    Algo::kTournament,    Algo::kStaticFway,
+      Algo::kDynamicFway};
+  const auto sweep = bench::thread_sweep();
+
+  std::vector<simbar::SweepJob> jobs;
+  for (const auto& m : machines)
+    for (Algo a : algos)
+      for (int p : sweep)
+        jobs.push_back({&m, simbar::sim_factory(a, {}), bench::sim_cfg(p)});
+
+  const simbar::SweepDriver driver(workers);
+  std::printf("perf_sim: %zu sims/rep, %d reps, %d worker(s)\n", jobs.size(),
+              reps, driver.workers());
+
+  std::vector<double> walls;
+  double checksum_ns = 0.0;
+  std::uint64_t events_per_rep = 0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const auto results = driver.run(jobs);
+    const auto t1 = std::chrono::steady_clock::now();
+    walls.push_back(std::chrono::duration<double>(t1 - t0).count());
+
+    double sum = 0.0;
+    std::uint64_t events = 0;
+    for (const auto& r : results) {
+      sum += r.mean_overhead_ns;
+      events += r.events_processed;
+    }
+    if (rep == 0) {
+      checksum_ns = sum;
+      events_per_rep = events;
+    } else if (sum != checksum_ns || events != events_per_rep) {
+      std::fprintf(stderr,
+                   "perf_sim: DETERMINISM VIOLATION at rep %d "
+                   "(checksum %.6f vs %.6f, events %llu vs %llu)\n",
+                   rep, sum, checksum_ns,
+                   static_cast<unsigned long long>(events),
+                   static_cast<unsigned long long>(events_per_rep));
+      return 1;
+    }
+    std::printf("  rep %d: %.3f s  (%.2f M events/s)\n", rep, walls.back(),
+                static_cast<double>(events) / walls.back() / 1e6);
+  }
+
+  const double wall_min = *std::min_element(walls.begin(), walls.end());
+  const double events_per_sec =
+      static_cast<double>(events_per_rep) / wall_min;
+  const double speedup = kSeedWallSecPerRep / wall_min;
+
+  std::printf(
+      "perf_sim: best %.3f s/rep, %.2f M events/s, checksum %.6f ns, "
+      "%.2fx vs seed (serial baseline %.4f s/rep)\n",
+      wall_min, events_per_sec / 1e6, checksum_ns, speedup,
+      kSeedWallSecPerRep);
+
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "perf_sim: cannot write %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"perf_sim\",\n");
+  std::fprintf(f,
+               "  \"sweep\": {\"machines\": %zu, \"algorithms\": %zu, "
+               "\"thread_counts\": %zu, \"sims_per_rep\": %zu},\n",
+               machines.size(), algos.size(), sweep.size(), jobs.size());
+  std::fprintf(f, "  \"reps\": %d,\n", reps);
+  std::fprintf(f, "  \"workers\": %d,\n", driver.workers());
+  std::fprintf(f, "  \"wall_s\": [");
+  for (std::size_t i = 0; i < walls.size(); ++i)
+    std::fprintf(f, "%s%.6f", i ? ", " : "", walls[i]);
+  std::fprintf(f, "],\n");
+  std::fprintf(f, "  \"wall_s_min\": %.6f,\n", wall_min);
+  std::fprintf(f, "  \"events_processed_per_rep\": %llu,\n",
+               static_cast<unsigned long long>(events_per_rep));
+  std::fprintf(f, "  \"events_per_sec\": %.1f,\n", events_per_sec);
+  std::fprintf(f, "  \"checksum_ns\": %.6f,\n", checksum_ns);
+  std::fprintf(f, "  \"seed_wall_s_per_rep\": %.6f,\n", kSeedWallSecPerRep);
+  std::fprintf(f, "  \"speedup_vs_seed\": %.3f\n", speedup);
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("perf_sim: wrote %s\n", out_path.c_str());
+  return 0;
+}

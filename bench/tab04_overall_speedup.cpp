@@ -29,16 +29,29 @@ int main(int argc, char** argv) {
                                    Algo::kTournament, Algo::kStaticFway,
                                    Algo::kDynamicFway};
 
-  for (const auto& m : topo::armv8_machines()) {
+  const auto machines = topo::armv8_machines();
+  bench::SimCache cache;
+  for (const auto& m : machines) {
+    const auto cfg = OptimizedConfig::for_machine(m);
+    cache.queue(m, Algo::kOptimized, threads,
+                MakeOptions{.fanin = cfg.fanin, .notify = cfg.notify,
+                            .cluster_size = cfg.cluster_size});
+    cache.queue(m, Algo::kGccSense, threads);
+    cache.queue(m, Algo::kHypercube, threads);
+    for (Algo a : prior) cache.queue(m, a, threads);
+  }
+  cache.run();
+
+  for (const auto& m : machines) {
     const auto cfg = OptimizedConfig::for_machine(m);
     const MakeOptions opt{.fanin = cfg.fanin, .notify = cfg.notify,
                           .cluster_size = cfg.cluster_size};
-    const double ours = bench::sim_overhead_us(m, Algo::kOptimized, threads, opt);
-    const double gcc = bench::sim_overhead_us(m, Algo::kGccSense, threads);
-    const double llvm = bench::sim_overhead_us(m, Algo::kHypercube, threads);
+    const double ours = cache.us(m, Algo::kOptimized, threads, opt);
+    const double gcc = cache.us(m, Algo::kGccSense, threads);
+    const double llvm = cache.us(m, Algo::kHypercube, threads);
     double best_prior = gcc;
     for (Algo a : prior)
-      best_prior = std::min(best_prior, bench::sim_overhead_us(m, a, threads));
+      best_prior = std::min(best_prior, cache.us(m, a, threads));
     rows.push_back(
         {m.name(), gcc / ours, llvm / ours, best_prior / ours});
   }

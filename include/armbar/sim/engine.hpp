@@ -5,9 +5,10 @@
 // time break by insertion sequence, so a simulation is a pure function of
 // its inputs.  Time is integer picoseconds (armbar/util/vtime.hpp).
 
+#include <algorithm>
 #include <coroutine>
 #include <cstdint>
-#include <queue>
+#include <stdexcept>
 #include <vector>
 
 #include "armbar/sim/task.hpp"
@@ -28,8 +29,26 @@ class Engine {
   /// Current simulated time.
   Picos now() const noexcept { return now_; }
 
-  /// Enqueue @p h to resume at absolute time @p t (>= now).
-  void schedule(Picos t, std::coroutine_handle<> h);
+  /// Enqueue @p h to resume at absolute time @p t (>= now).  Inline: this
+  /// is the single most-called function of a simulation (one call per
+  /// event) and most callers live in other translation units.
+  ///
+  /// Fast path: popping an event leaves a hole at the heap root, and a
+  /// resumed coroutine almost always schedules exactly one successor
+  /// before the next pop — that successor slides straight into the hole
+  /// (one sift, often zero element moves) instead of paying a leaf
+  /// sift-up now and a root sift-down at the next pop.
+  void schedule(Picos t, std::coroutine_handle<> h) {
+    if (t < now_) throw std::logic_error("Engine::schedule: time in the past");
+    const Event e{t, next_seq_++, h};
+    if (root_hole_) {
+      root_hole_ = false;
+      sift_down_from(0, e);
+      return;
+    }
+    heap_.push_back(e);
+    sift_up(heap_.size() - 1);
+  }
 
   /// Take ownership of a simulated thread and schedule its first resume
   /// at the current time.  Returns an id usable with finished().
@@ -48,6 +67,11 @@ class Engine {
   std::size_t num_threads() const noexcept { return threads_.size(); }
   std::uint64_t events_processed() const noexcept { return events_; }
 
+  /// Pre-size the event heap and thread table (hot-path allocation
+  /// avoidance; callers that know the simulation size, e.g. the sweep
+  /// runner, reserve once up front).
+  void reserve(std::size_t threads, std::size_t events);
+
   static constexpr std::uint64_t kDefaultMaxEvents = 200'000'000;
 
  private:
@@ -55,12 +79,43 @@ class Engine {
     Picos t;
     std::uint64_t seq;
     std::coroutine_handle<> h;
-    bool operator>(const Event& o) const noexcept {
-      return t != o.t ? t > o.t : seq > o.seq;
-    }
   };
 
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  /// Min-heap order: earliest time first, insertion sequence breaking
+  /// ties — (t, seq) keys are unique, so any correct min-heap pops events
+  /// in exactly one order (deterministic replay).
+  static bool before(const Event& a, const Event& b) noexcept {
+    return a.t != b.t ? a.t < b.t : a.seq < b.seq;
+  }
+
+  /// Restore heap order after appending at @p i (hole-percolation: the
+  /// moved element is written once at its final slot).
+  void sift_up(std::size_t i) noexcept {
+    const Event e = heap_[i];
+    while (i > 0) {
+      const std::size_t parent = (i - 1) / kHeapArity;
+      if (!before(e, heap_[parent])) break;
+      heap_[i] = heap_[parent];
+      i = parent;
+    }
+    heap_[i] = e;
+  }
+
+  /// Percolate the hole at @p i down the min-child chain until @p e fits,
+  /// then write @p e there (the only write of e).
+  void sift_down_from(std::size_t i, const Event& e) noexcept;
+
+  /// 4-ary min-heap over a plain vector: half the depth of a binary heap
+  /// (the event loop pops one event per simulated operation, so sift
+  /// depth is pure per-event overhead), and the four children of a node
+  /// share cachelines.  Unlike std::priority_queue the storage is
+  /// reservable, so steady-state simulation never reallocates event nodes.
+  /// When root_hole_ is set, heap_[0] is a popped (stale) slot and the
+  /// live elements are heap_[1..size): schedule() fills the hole, or the
+  /// event loop repairs it with the last leaf before the next pop.
+  static constexpr std::size_t kHeapArity = 4;
+  std::vector<Event> heap_;
+  bool root_hole_ = false;
   std::vector<SimThread::handle_type> threads_;
   Picos now_ = 0;
   std::uint64_t next_seq_ = 0;

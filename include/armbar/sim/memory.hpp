@@ -28,16 +28,17 @@
 // fails — the re-fetch storm that makes the centralized barrier quadratic
 // on a packed counter+generation line.
 
+#include <algorithm>
 #include <coroutine>
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <string>
 #include <vector>
 
 #include "armbar/sim/engine.hpp"
 #include "armbar/sim/trace.hpp"
 #include "armbar/topo/machine.hpp"
+#include "armbar/util/bits.hpp"
 #include "armbar/util/vtime.hpp"
 
 namespace armbar::sim {
@@ -57,6 +58,37 @@ struct MemStats {
   /// Remote transfers whose source/destination crossed each layer; indexed
   /// by machine layer.
   std::vector<std::uint64_t> layer_transfers;
+};
+
+/// Spin predicate: the small closed set of comparisons barrier algorithms
+/// poll with, kept as a tagged value so each poll evaluates as an inline
+/// integer compare — no type-erased call, no allocation.  Every spin in
+/// the paper's algorithms is "flag reached my epoch" (ge) or "slot
+/// drained/filled" (eq); never() exists for deadlock probes in tests.
+struct SpinPred {
+  enum class Kind : std::uint8_t { kGe, kEq, kNever };
+  Kind kind = Kind::kGe;
+  std::uint64_t rhs = 0;
+
+  static SpinPred ge(std::uint64_t rhs) noexcept {
+    return {Kind::kGe, rhs};
+  }
+  static SpinPred eq(std::uint64_t rhs) noexcept {
+    return {Kind::kEq, rhs};
+  }
+  static SpinPred never() noexcept { return {Kind::kNever, 0}; }
+
+  bool operator()(std::uint64_t v) const noexcept {
+    switch (kind) {
+      case Kind::kGe:
+        return v >= rhs;
+      case Kind::kEq:
+        return v == rhs;
+      case Kind::kNever:
+        return false;
+    }
+    return false;  // unreachable
+  }
 };
 
 class MemSystem {
@@ -130,8 +162,7 @@ class MemSystem {
 
   /// Spin until pred(value of v) holds, re-polling after every write to
   /// the line.  co_await yields the satisfying value.
-  SpinAwaiter spin_until(int core, VarId v,
-                         std::function<bool(std::uint64_t)> pred);
+  SpinAwaiter spin_until(int core, VarId v, SpinPred pred);
 
   /// Spin until pred holds for EVERY variable in @p vars (one shared
   /// predicate — e.g. "flag >= epoch").  The initial polls are issued
@@ -140,7 +171,7 @@ class MemSystem {
   /// several padded flags behaves, and it is what makes wide fan-ins
   /// profitable (Section V-B2).  co_await yields nothing.
   SpinAllAwaiter spin_until_all(int core, std::vector<VarId> vars,
-                                std::function<bool(std::uint64_t)> pred);
+                                SpinPred pred);
 
   const MemStats& stats() const noexcept { return stats_; }
   void reset_stats();
@@ -177,11 +208,58 @@ class MemSystem {
     int core_;
   };
 
+  /// Compact multiset of in-flight completion times.  Only the count of
+  /// still-pending entries feeds the contention model, so the storage is
+  /// an unordered flat vector with a cached minimum: count_at() answers in
+  /// O(1) while nothing has expired (`at < min`, the common case — this is
+  /// the hottest query of a sweep, several calls per simulated operation),
+  /// and compacts with one swap-pop sweep when the minimum lapses.
+  /// Expiries cluster at round boundaries in barrier traffic, so a sweep
+  /// usually retires many entries at once; a min-heap variant (O(log n)
+  /// add, pop-per-expiry) measured ~35% slower per event on the
+  /// dissemination sweep because it pays the heap maintenance on every
+  /// add while the flat sweep amortizes.  The backing vector keeps its
+  /// capacity across a run.
+  struct InflightSet {
+    static constexpr Picos kNone = ~Picos{0};
+
+    std::vector<Picos> finish;
+    Picos min_finish = kNone;
+
+    void add(Picos f) {
+      finish.push_back(f);
+      if (f < min_finish) min_finish = f;
+    }
+
+    /// Number of entries still in flight at @p at (> at); expired entries
+    /// are removed.
+    int count_at(Picos at) noexcept {
+      if (at < min_finish) return static_cast<int>(finish.size());
+      Picos min = kNone;
+      std::size_t n = finish.size();
+      for (std::size_t i = 0; i < n;) {
+        const Picos f = finish[i];
+        if (f <= at) {
+          finish[i] = finish[--n];  // swap-pop: order is irrelevant
+        } else {
+          if (f < min) min = f;
+          ++i;
+        }
+      }
+      finish.resize(n);
+      min_finish = min;
+      return static_cast<int>(n);
+    }
+  };
+
+  /// Per-line bookkeeping.  The sharer bitmask itself lives in the
+  /// contiguous directory array sharer_words_ (indexed by line id ×
+  /// sharer_stride_), not here: one flat allocation keeps the hot masks
+  /// densely packed instead of scattering one heap block per line.
   struct Line {
-    std::vector<bool> sharer;     ///< per-core valid copy
     int owner = -1;               ///< last writer / first reader
     Picos busy_until = 0;         ///< end of the last exclusive transaction
-    std::vector<Picos> read_finish;  ///< in-flight read completion times
+    InflightSet read_finish;      ///< in-flight read completion times
     std::vector<WaiterBase*> waiters;
     std::uint64_t read_count = 0;    ///< lifetime costed reads (incl. polls)
     std::uint64_t write_count = 0;   ///< lifetime write/rmw transactions
@@ -198,18 +276,40 @@ class MemSystem {
   /// wakes parked pollers at that time.
   Picos write_at(int core, LineId line, Picos issue, bool is_rmw);
   void wake_waiters(LineId line, Picos when);
-  int pick_source(const Line& l, int core) const;
-  static int count_inflight(std::vector<Picos>& finishes, Picos at);
+  /// Cheapest source core for a fetch by @p core given a sharer mask and
+  /// the line's owner, or -1 when no other core holds a copy.
+  int pick_source(const std::uint64_t* sharer, int owner, int core) const;
   void check_core(int core) const;
+
+  /// Sharer mask of @p line: sharer_stride_ words inside the contiguous
+  /// directory array.
+  std::uint64_t* sharer_of(LineId line) noexcept {
+    return sharer_words_.data() +
+           static_cast<std::size_t>(line) * sharer_stride_;
+  }
+  const std::uint64_t* sharer_of(LineId line) const noexcept {
+    return sharer_words_.data() +
+           static_cast<std::size_t>(line) * sharer_stride_;
+  }
 
   Engine& engine_;
   topo::Machine machine_;
   std::vector<Line> lines_;
+  /// Coherence directory: all lines' sharer bitmasks, one flat word array,
+  /// sharer_stride_ = words_for_bits(num_cores) words per line.
+  std::vector<std::uint64_t> sharer_words_;
+  std::size_t sharer_stride_ = 1;
   std::vector<Var> vars_;
   /// Per-core in-flight miss completion times (MLP accounting).
-  std::vector<std::vector<Picos>> core_miss_finish_;
+  std::vector<InflightSet> core_miss_finish_;
   /// Machine-wide in-flight remote transfers (network contention).
-  std::vector<Picos> net_inflight_;
+  InflightSet net_inflight_;
+  /// Scratch masks reused across write transactions (RFO holder set);
+  /// avoids a heap allocation per write.
+  util::BitWords holder_scratch_;
+  /// Scratch list reused by wake_waiters (keeps its capacity between
+  /// wake-ups; wake_waiters never re-enters itself).
+  std::vector<WaiterBase*> wake_scratch_;
   Tracer* tracer_ = nullptr;
   MemStats stats_;
 };
@@ -219,9 +319,8 @@ class MemSystem {
 /// it (with read costs) after every write until the predicate holds.
 class [[nodiscard]] MemSystem::SpinAwaiter final : public MemSystem::WaiterBase {
  public:
-  SpinAwaiter(MemSystem& mem, int core, VarId var,
-              std::function<bool(std::uint64_t)> pred)
-      : WaiterBase(core), mem_(mem), var_(var), pred_(std::move(pred)) {}
+  SpinAwaiter(MemSystem& mem, int core, VarId var, SpinPred pred)
+      : WaiterBase(core), mem_(mem), var_(var), pred_(pred) {}
 
   bool await_ready() const noexcept { return false; }
   void await_suspend(std::coroutine_handle<> h);
@@ -233,7 +332,7 @@ class [[nodiscard]] MemSystem::SpinAwaiter final : public MemSystem::WaiterBase 
 
   MemSystem& mem_;
   VarId var_;
-  std::function<bool(std::uint64_t)> pred_;
+  SpinPred pred_;
   std::coroutine_handle<> handle_;
   std::uint64_t result_ = 0;
 };
@@ -247,7 +346,7 @@ class [[nodiscard]] MemSystem::SpinAllAwaiter final
     : public MemSystem::WaiterBase {
  public:
   SpinAllAwaiter(MemSystem& mem, int core, std::vector<VarId> vars,
-                 std::function<bool(std::uint64_t)> pred);
+                 SpinPred pred);
 
   bool await_ready() const noexcept { return remaining_ == 0; }
   void await_suspend(std::coroutine_handle<> h);
@@ -260,9 +359,17 @@ class [[nodiscard]] MemSystem::SpinAllAwaiter final
   /// it empties.  Returns true if vars remain pending on the line.
   bool settle_line(LineId line);
 
+  /// One watched line and the watched variables on it.  Kept in a flat
+  /// vector sorted by line id (few entries, scanned linearly) — same
+  /// ascending iteration order a std::map would give.
+  struct PendingLine {
+    LineId line;
+    std::vector<VarId> vars;
+  };
+
   MemSystem& mem_;
-  std::function<bool(std::uint64_t)> pred_;
-  std::map<LineId, std::vector<VarId>> pending_;
+  SpinPred pred_;
+  std::vector<PendingLine> pending_;
   int remaining_ = 0;
   Picos latest_read_ = 0;  ///< resume no earlier than the slowest poll
   std::coroutine_handle<> handle_;

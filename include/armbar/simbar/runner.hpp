@@ -6,6 +6,7 @@
 
 #include <functional>
 #include <memory>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -43,8 +44,10 @@ class Recorder {
  public:
   Recorder(int threads, int iterations);
 
-  void enter(int tid, int iter, Picos t);
-  void exit(int tid, int iter, Picos t);
+  // Inline: every simulated thread records two instants per episode, so
+  // these are called millions of times per sweep.
+  void enter(int tid, int iter, Picos t) { enter_[idx(tid, iter)] = t; }
+  void exit(int tid, int iter, Picos t) { exit_[idx(tid, iter)] = t; }
 
   Picos enter_time(int tid, int iter) const;
   Picos exit_time(int tid, int iter) const;
@@ -62,11 +65,22 @@ class Recorder {
   /// Mean overhead over episodes >= warmup.
   double mean_overhead_ns(int warmup, Picos think_ps) const;
 
+  /// All episode overheads in one pass (each episode end computed once,
+  /// not once per neighbouring episode as repeated episode_overhead_ns
+  /// calls would).  Element i equals episode_overhead_ns(i, think_ps).
+  std::vector<double> overheads(Picos think_ps) const;
+
   int threads() const noexcept { return threads_; }
   int iterations() const noexcept { return iterations_; }
 
  private:
-  std::size_t idx(int tid, int iter) const;
+  std::size_t idx(int tid, int iter) const {
+    if (tid < 0 || tid >= threads_ || iter < 0 || iter >= iterations_)
+      throw std::out_of_range("Recorder: index out of range");
+    return static_cast<std::size_t>(tid) *
+               static_cast<std::size_t>(iterations_) +
+           static_cast<std::size_t>(iter);
+  }
   int threads_;
   int iterations_;
   std::vector<Picos> enter_;
@@ -118,6 +132,9 @@ struct SimResult {
   /// The five busiest cachelines of the run (contention diagnosis).
   std::vector<sim::MemSystem::HotLine> hot_lines;
   std::string barrier_name;
+  /// Discrete events the engine processed for this run (perf accounting;
+  /// deterministic for a given scenario).
+  std::uint64_t events_processed = 0;
 };
 
 /// Build engine + memory for @p machine, instantiate the barrier, run

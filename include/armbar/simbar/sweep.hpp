@@ -1,0 +1,61 @@
+#pragma once
+// Parallel sweep driver for independent barrier simulations.
+//
+// Every figure/table binary and the autotuner runs the same shape of
+// workload: a list of independent (machine, algorithm, thread-count,
+// config) simulations whose results are only combined afterwards.  Each
+// simulation is single-threaded and deterministic, so the sweep
+// parallelizes perfectly across a worker pool: workers claim jobs from a
+// shared counter and write results into a slot indexed by job position.
+//
+// Determinism guarantee: results[i] is the result of jobs[i], computed by
+// an isolated Engine/MemSystem, so the output is identical for any worker
+// count (including 1) and any claim interleaving.  The first job
+// exception (by job index, not completion order) is rethrown on join.
+
+#include <cstddef>
+#include <functional>
+#include <vector>
+
+#include "armbar/simbar/runner.hpp"
+#include "armbar/topo/machine.hpp"
+
+namespace armbar::simbar {
+
+/// One independent simulation of a sweep.  The machine is referenced, not
+/// copied: it must stay alive until run() returns (measure_barrier copies
+/// it into the MemSystem it builds).
+struct SweepJob {
+  const topo::Machine* machine = nullptr;
+  SimBarrierFactory factory;
+  SimRunConfig cfg;
+};
+
+class SweepDriver {
+ public:
+  /// @param workers worker-thread count; 0 picks default_workers().
+  explicit SweepDriver(int workers = 0);
+
+  int workers() const noexcept { return workers_; }
+
+  /// Hardware concurrency, at least 1.
+  static int default_workers();
+
+  /// Run every job and return results in job order.  Jobs with a null
+  /// machine or empty factory throw std::invalid_argument (before any
+  /// worker starts).  A single worker runs inline on the calling thread
+  /// (no pool, same results).
+  std::vector<SimResult> run(const std::vector<SweepJob>& jobs) const;
+
+  /// Convenience: run one simulation per element of @p items, with
+  /// @p make mapping an item index to its job.  Saves callers the
+  /// boilerplate of materializing the job list.
+  std::vector<SimResult> run_indexed(
+      std::size_t count,
+      const std::function<SweepJob(std::size_t)>& make) const;
+
+ private:
+  int workers_;
+};
+
+}  // namespace armbar::simbar

@@ -10,9 +10,14 @@
 // machine's cluster/panel/socket geometry.
 //
 // Latencies are stored both in ns (for reporting, as in the paper) and as
-// integer picoseconds (for the exact discrete-event simulator).
+// integer picoseconds (for the exact discrete-event simulator).  The
+// picosecond forms are precomputed once at construction into dense
+// core×core tables so the simulator's per-access lookups are single array
+// loads with no float conversion.
 
+#include <cassert>
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -65,15 +70,11 @@ class Machine {
 
   /// Per-extra-in-flight-miss delivery delay of one core, in ns.
   double mlp_delay_ns() const noexcept { return mlp_delay_ns_; }
-  util::Picos mlp_delay_ps() const noexcept {
-    return util::ns_to_ps(mlp_delay_ns_);
-  }
+  util::Picos mlp_delay_ps() const noexcept { return mlp_delay_ps_; }
 
   /// Machine-wide per-extra-in-flight-transfer queuing delay, in ns.
   double net_contention_ns() const noexcept { return net_contention_ns_; }
-  util::Picos net_contention_ps() const noexcept {
-    return util::ns_to_ps(net_contention_ns_);
-  }
+  util::Picos net_contention_ps() const noexcept { return net_contention_ps_; }
 
   int num_layers() const noexcept { return static_cast<int>(layers_.size()); }
   const Layer& layer_info(int i) const { return layers_.at(static_cast<std::size_t>(i)); }
@@ -90,9 +91,58 @@ class Machine {
 
   /// Latency of layer @p i in integer picoseconds.
   util::Picos layer_ps(int i) const;
-  util::Picos epsilon_ps() const noexcept { return util::ns_to_ps(epsilon_ns_); }
-  util::Picos contention_ps() const noexcept {
-    return util::ns_to_ps(contention_ns_);
+  util::Picos epsilon_ps() const noexcept { return epsilon_ps_; }
+  util::Picos contention_ps() const noexcept { return contention_ps_; }
+
+  // -- unchecked hot-path accessors (simulator inner loop) ------------------
+  // Single array loads over tables built once at construction; core
+  // indices must already be validated (the simulator checks them at the
+  // operation boundary).
+  //
+  // The comm table fuses latency and layer into one 64-bit entry
+  // (low 48 bits: picoseconds; high bits: layer index + 1, so the
+  // diagonal's "-1" encodes as 0): the simulator needs both on every
+  // remote transfer, and one fused load halves the random table traffic
+  // of the miss path.
+
+  static constexpr unsigned kCommLayerShift = 48;
+  static constexpr std::uint64_t kCommPsMask =
+      (std::uint64_t{1} << kCommLayerShift) - 1;
+
+  /// Raw fused comm-table entry; decode with entry_ps()/entry_layer().
+  std::uint64_t comm_entry_fast(int core_a, int core_b) const noexcept {
+    assert(core_a >= 0 && core_a < num_cores_ && core_b >= 0 &&
+           core_b < num_cores_);
+    return tables_->comm[static_cast<std::size_t>(core_a) *
+                             static_cast<std::size_t>(num_cores_) +
+                         static_cast<std::size_t>(core_b)];
+  }
+
+  static util::Picos entry_ps(std::uint64_t entry) noexcept {
+    return entry & kCommPsMask;
+  }
+  static int entry_layer(std::uint64_t entry) noexcept {
+    return static_cast<int>(entry >> kCommLayerShift) - 1;
+  }
+
+  /// comm_ps without range checks.
+  util::Picos comm_ps_fast(int core_a, int core_b) const noexcept {
+    return entry_ps(comm_entry_fast(core_a, core_b));
+  }
+
+  /// α·comm_ps (the per-copy RFO invalidation cost), precomputed with the
+  /// exact same rounding as static_cast<Picos>(alpha * comm_ps).
+  util::Picos rfo_ps_fast(int core_a, int core_b) const noexcept {
+    assert(core_a >= 0 && core_a < num_cores_ && core_b >= 0 &&
+           core_b < num_cores_);
+    return tables_->rfo[static_cast<std::size_t>(core_a) *
+                            static_cast<std::size_t>(num_cores_) +
+                        static_cast<std::size_t>(core_b)];
+  }
+
+  /// layer() without range checks; -1 when a == b.
+  int layer_fast(int core_a, int core_b) const noexcept {
+    return entry_layer(comm_entry_fast(core_a, core_b));
   }
 
   /// Index of the logical cluster containing @p core.
@@ -119,6 +169,22 @@ class Machine {
   double net_contention_ns_;
   std::vector<Layer> layers_;
   std::vector<std::int8_t> layer_of_pair_;  // row-major [a*num_cores + b]
+
+  // Integer-picosecond caches, built once in the constructor.
+  util::Picos epsilon_ps_ = 0;
+  util::Picos contention_ps_ = 0;
+  util::Picos mlp_delay_ps_ = 0;
+  util::Picos net_contention_ps_ = 0;
+  std::vector<util::Picos> layer_ps_;  // per layer
+
+  /// Dense core×core tables (tens of KB on a 64-core machine).  Shared,
+  /// immutable: the simulator copies its Machine per run, and sharing
+  /// makes that copy O(1) instead of re-copying the tables every run.
+  struct Tables {
+    std::vector<std::uint64_t> comm;  ///< fused ps+layer (ε / -1 diagonal)
+    std::vector<util::Picos> rfo;     ///< α-weighted comm_ps
+  };
+  std::shared_ptr<const Tables> tables_;
 };
 
 }  // namespace armbar::topo

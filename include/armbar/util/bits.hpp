@@ -1,9 +1,12 @@
 #pragma once
-// Small integer helpers used by tree-shape computations.
+// Small integer helpers used by tree-shape computations, plus the
+// fixed-width word-array bitset backing the simulator's coherence
+// directory (one bit per core, multi-word for >64-core machines).
 
 #include <bit>
 #include <cassert>
 #include <cstdint>
+#include <vector>
 
 namespace armbar::util {
 
@@ -66,5 +69,147 @@ constexpr std::uint64_t iroot_ceil(std::uint64_t x, unsigned k) noexcept {
   while (ipow(f, k) < x) ++f;
   return f;
 }
+
+// ---------------------------------------------------------------------------
+// Word-array bitsets
+// ---------------------------------------------------------------------------
+
+inline constexpr unsigned kBitsPerWord = 64;
+
+/// Number of 64-bit words needed to hold @p nbits bits.
+constexpr std::size_t words_for_bits(std::size_t nbits) noexcept {
+  return (nbits + kBitsPerWord - 1) / kBitsPerWord;
+}
+
+// Primitive operations over raw word arrays.  The simulator's coherence
+// directory stores every line's sharer mask in ONE contiguous word array
+// (stride words_for_bits(num_cores)), so the per-line mask is addressed
+// as a raw pointer — no per-line heap allocation, no indirection, and
+// word-at-a-time iteration of set bits (ctz/popcount) instead of the
+// O(num_cores) scans a std::vector<bool> forces.  Indices are not
+// range-checked in release builds (the simulator validates core indices
+// once at the operation boundary).
+
+inline bool bit_test(const std::uint64_t* words, std::size_t i) noexcept {
+  return (words[i / kBitsPerWord] >> (i % kBitsPerWord)) & 1u;
+}
+
+inline void bit_set(std::uint64_t* words, std::size_t i) noexcept {
+  words[i / kBitsPerWord] |= std::uint64_t{1} << (i % kBitsPerWord);
+}
+
+inline void bit_clear(std::uint64_t* words, std::size_t i) noexcept {
+  words[i / kBitsPerWord] &= ~(std::uint64_t{1} << (i % kBitsPerWord));
+}
+
+/// True if any bit of the @p nwords words is set.
+inline bool bits_any(const std::uint64_t* words, std::size_t nwords) noexcept {
+  for (std::size_t k = 0; k < nwords; ++k)
+    if (words[k]) return true;
+  return false;
+}
+
+/// Number of set bits across @p nwords words.
+inline int bits_count(const std::uint64_t* words, std::size_t nwords) noexcept {
+  int n = 0;
+  for (std::size_t k = 0; k < nwords; ++k) n += std::popcount(words[k]);
+  return n;
+}
+
+/// Invoke f(index) for every set bit, in ascending index order.
+template <typename F>
+inline void for_each_set_bit(const std::uint64_t* words, std::size_t nwords,
+                             F&& f) {
+  for (std::size_t k = 0; k < nwords; ++k) {
+    std::uint64_t w = words[k];
+    while (w != 0) {
+      const unsigned bit = static_cast<unsigned>(std::countr_zero(w));
+      f(k * kBitsPerWord + bit);
+      w &= w - 1;  // clear lowest set bit
+    }
+  }
+}
+
+/// Owning bitset over a fixed number of bits, stored as std::uint64_t
+/// words — the reusable-scratch / standalone form of the raw-word helpers
+/// above.  The width is fixed by assign().
+class BitWords {
+ public:
+  BitWords() = default;
+  explicit BitWords(std::size_t nbits) { assign(nbits); }
+
+  /// Resize to @p nbits bits, all clear.
+  void assign(std::size_t nbits) {
+    nbits_ = nbits;
+    words_.assign(words_for_bits(nbits), 0);
+  }
+
+  std::size_t size_bits() const noexcept { return nbits_; }
+  std::size_t num_words() const noexcept { return words_.size(); }
+  const std::uint64_t* data() const noexcept { return words_.data(); }
+  std::uint64_t* data() noexcept { return words_.data(); }
+
+  bool test(std::size_t i) const noexcept {
+    assert(i < nbits_);
+    return bit_test(words_.data(), i);
+  }
+  void set(std::size_t i) noexcept {
+    assert(i < nbits_);
+    bit_set(words_.data(), i);
+  }
+  void clear(std::size_t i) noexcept {
+    assert(i < nbits_);
+    bit_clear(words_.data(), i);
+  }
+  void clear_all() noexcept {
+    for (auto& w : words_) w = 0;
+  }
+
+  bool any() const noexcept { return bits_any(words_.data(), words_.size()); }
+
+  /// Number of set bits.
+  int count() const noexcept {
+    return bits_count(words_.data(), words_.size());
+  }
+
+  /// Copy @p nwords raw words into this bitset (same word count required).
+  void copy_from_words(const std::uint64_t* words) noexcept {
+    for (std::size_t k = 0; k < words_.size(); ++k) words_[k] = words[k];
+  }
+
+  /// Copy the bit pattern of @p other (same width required).
+  void copy_from(const BitWords& other) noexcept {
+    assert(other.nbits_ == nbits_);
+    copy_from_words(other.words_.data());
+  }
+
+  /// OR the bits of @p other into this (same width required).
+  void or_with(const BitWords& other) noexcept {
+    assert(other.nbits_ == nbits_);
+    for (std::size_t k = 0; k < words_.size(); ++k)
+      words_[k] |= other.words_[k];
+  }
+
+  /// Invoke f(index) for every set bit, in ascending index order.
+  template <typename F>
+  void for_each_set(F&& f) const {
+    for_each_set_bit(words_.data(), words_.size(), std::forward<F>(f));
+  }
+
+  /// First set bit index, or npos when empty.
+  static constexpr std::size_t npos = static_cast<std::size_t>(-1);
+  std::size_t first_set() const noexcept {
+    for (std::size_t k = 0; k < words_.size(); ++k) {
+      if (words_[k] != 0)
+        return k * kBitsPerWord +
+               static_cast<unsigned>(std::countr_zero(words_[k]));
+    }
+    return npos;
+  }
+
+ private:
+  std::size_t nbits_ = 0;
+  std::vector<std::uint64_t> words_;
+};
 
 }  // namespace armbar::util

@@ -1,5 +1,6 @@
 #include "armbar/sim/engine.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace armbar::sim {
@@ -11,9 +12,9 @@ Engine::~Engine() {
     if (h) h.destroy();
 }
 
-void Engine::schedule(Picos t, std::coroutine_handle<> h) {
-  if (t < now_) throw std::logic_error("Engine::schedule: time in the past");
-  queue_.push(Event{t, next_seq_++, h});
+void Engine::reserve(std::size_t threads, std::size_t events) {
+  threads_.reserve(threads);
+  heap_.reserve(events);
 }
 
 std::size_t Engine::spawn(SimThread&& thread) {
@@ -24,12 +25,38 @@ std::size_t Engine::spawn(SimThread&& thread) {
   return threads_.size() - 1;
 }
 
+void Engine::sift_down_from(std::size_t i, const Event& e) noexcept {
+  const std::size_t n = heap_.size();
+  for (;;) {
+    const std::size_t first_child = i * kHeapArity + 1;
+    if (first_child >= n) break;
+    const std::size_t last_child =
+        std::min(first_child + kHeapArity, n);
+    std::size_t best = first_child;
+    for (std::size_t c = first_child + 1; c < last_child; ++c)
+      if (before(heap_[c], heap_[best])) best = c;
+    if (!before(heap_[best], e)) break;
+    heap_[i] = heap_[best];
+    i = best;
+  }
+  heap_[i] = e;
+}
+
 bool Engine::run(std::uint64_t max_events) {
-  while (!queue_.empty()) {
+  for (;;) {
+    if (root_hole_) {
+      // The resumed coroutine scheduled nothing (finished or parked):
+      // repair the hole with the last leaf before the next pop.
+      root_hole_ = false;
+      const Event last = heap_.back();
+      heap_.pop_back();
+      if (!heap_.empty()) sift_down_from(0, last);
+    }
+    if (heap_.empty()) break;
     if (events_ >= max_events)
       throw std::runtime_error("Engine::run: event budget exhausted");
-    const Event ev = queue_.top();
-    queue_.pop();
+    const Event ev = heap_.front();
+    root_hole_ = true;
     now_ = ev.t;
     ++events_;
     ev.h.resume();

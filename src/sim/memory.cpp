@@ -1,6 +1,7 @@
 #include "armbar/sim/memory.hpp"
 
 #include <algorithm>
+#include <limits>
 #include <stdexcept>
 
 namespace armbar::sim {
@@ -10,6 +11,17 @@ MemSystem::MemSystem(Engine& engine, topo::Machine machine)
   stats_.layer_transfers.assign(
       static_cast<std::size_t>(machine_.num_layers()), 0);
   core_miss_finish_.resize(static_cast<std::size_t>(machine_.num_cores()));
+  holder_scratch_.assign(static_cast<std::size_t>(machine_.num_cores()));
+  sharer_stride_ =
+      util::words_for_bits(static_cast<std::size_t>(machine_.num_cores()));
+  // Barrier data structures allocate O(P log P) lines (dissemination's
+  // P·ceil(log2 P) flags is the largest of the implemented algorithms);
+  // reserving 8 lines per core covers every algorithm up to the machine
+  // size without reallocation during construction.
+  const auto cores = static_cast<std::size_t>(machine_.num_cores());
+  lines_.reserve(8 * cores);
+  vars_.reserve(8 * cores);
+  sharer_words_.reserve(8 * cores * sharer_stride_);
 }
 
 // ---------------------------------------------------------------------------
@@ -17,9 +29,8 @@ MemSystem::MemSystem(Engine& engine, topo::Machine machine)
 // ---------------------------------------------------------------------------
 
 LineId MemSystem::new_line() {
-  Line l;
-  l.sharer.assign(static_cast<std::size_t>(machine_.num_cores()), false);
-  lines_.push_back(std::move(l));
+  lines_.emplace_back();
+  sharer_words_.insert(sharer_words_.end(), sharer_stride_, 0);
   return static_cast<LineId>(lines_.size() - 1);
 }
 
@@ -84,40 +95,38 @@ void MemSystem::check_core(int core) const {
     throw std::out_of_range("MemSystem: core index out of range");
 }
 
-int MemSystem::pick_source(const Line& l, int core) const {
+int MemSystem::pick_source(const std::uint64_t* sharer, int owner,
+                           int core) const {
   // Prefer the owner (last writer); otherwise forward from the nearest
-  // valid copy (deterministic tie-break on core index).
-  if (l.owner >= 0 && l.owner != core &&
-      l.sharer[static_cast<std::size_t>(l.owner)])
-    return l.owner;
+  // valid copy (deterministic tie-break on core index: the scan over set
+  // bits is ascending and only a strictly cheaper source replaces the
+  // current best).
+  if (owner >= 0 && owner != core &&
+      util::bit_test(sharer, static_cast<std::size_t>(owner)))
+    return owner;
   int best = -1;
-  util::Picos best_cost = 0;
-  for (int s = 0; s < machine_.num_cores(); ++s) {
-    if (s == core || !l.sharer[static_cast<std::size_t>(s)]) continue;
-    const util::Picos cost = machine_.comm_ps(core, s);
-    if (best == -1 || cost < best_cost) {
-      best = s;
+  util::Picos best_cost = std::numeric_limits<util::Picos>::max();
+  util::for_each_set_bit(sharer, sharer_stride_, [&](std::size_t s) {
+    const int si = static_cast<int>(s);
+    if (si == core) return;
+    const util::Picos cost = machine_.comm_ps_fast(core, si);
+    if (cost < best_cost) {
+      best = si;
       best_cost = cost;
     }
-  }
+  });
   return best;
-}
-
-int MemSystem::count_inflight(std::vector<Picos>& finishes, Picos at) {
-  finishes.erase(std::remove_if(finishes.begin(), finishes.end(),
-                                [at](Picos f) { return f <= at; }),
-                 finishes.end());
-  return static_cast<int>(finishes.size());
 }
 
 Picos MemSystem::read_at(int core, LineId line, Picos issue, bool is_poll) {
   Line& l = lines_[static_cast<std::size_t>(line)];
+  std::uint64_t* const sharer = sharer_of(line);
   const Picos start = std::max(issue, l.busy_until);
 
   if (is_poll) ++stats_.poll_reads;
 
   ++l.read_count;
-  if (l.sharer[static_cast<std::size_t>(core)]) {
+  if (util::bit_test(sharer, static_cast<std::size_t>(core))) {
     ++stats_.local_reads;
     const Picos finish = start + machine_.epsilon_ps();
     if (tracer_)
@@ -127,38 +136,38 @@ Picos MemSystem::read_at(int core, LineId line, Picos issue, bool is_poll) {
     return finish;
   }
 
-  const int src = pick_source(l, core);
+  const int src = pick_source(sharer, l.owner, core);
   Picos cost;
   if (src == -1) {
     // Cold line: no cached copy anywhere; abstracted as a local fill.
     cost = machine_.epsilon_ps();
   } else {
-    cost = machine_.comm_ps(core, src);
+    const std::uint64_t e = machine_.comm_entry_fast(core, src);
+    cost = topo::Machine::entry_ps(e);
     ++stats_.layer_transfers[static_cast<std::size_t>(
-        machine_.layer(core, src))];
+        topo::Machine::entry_layer(e))];
   }
   // Reader contention (eq. 3's c term): pay c per other read of this line
   // still in flight when ours starts.
   cost += machine_.contention_ps() *
-          static_cast<Picos>(count_inflight(l.read_finish, start));
+          static_cast<Picos>(l.read_finish.count_at(start));
   // Memory-level-parallelism bound: each additional miss this core has in
   // flight delays the response delivery.
   auto& mine = core_miss_finish_[static_cast<std::size_t>(core)];
-  cost += machine_.mlp_delay_ps() *
-          static_cast<Picos>(count_inflight(mine, start));
+  cost += machine_.mlp_delay_ps() * static_cast<Picos>(mine.count_at(start));
   // Machine-wide network contention: every other remote transfer currently
   // in flight adds a small queuing delay (the on-chip network saturation
   // that hurts the dissemination barrier's all-pairs traffic).
   const bool is_remote_transfer = src != -1;
   if (is_remote_transfer)
     cost += machine_.net_contention_ps() *
-            static_cast<Picos>(count_inflight(net_inflight_, start));
+            static_cast<Picos>(net_inflight_.count_at(start));
 
   const Picos finish = start + cost;
-  l.read_finish.push_back(finish);
-  mine.push_back(finish);
-  if (is_remote_transfer) net_inflight_.push_back(finish);
-  l.sharer[static_cast<std::size_t>(core)] = true;
+  l.read_finish.add(finish);
+  mine.add(finish);
+  if (is_remote_transfer) net_inflight_.add(finish);
+  util::bit_set(sharer, static_cast<std::size_t>(core));
   if (l.owner == -1) l.owner = core;
   ++stats_.remote_reads;
   if (tracer_)
@@ -170,24 +179,26 @@ Picos MemSystem::read_at(int core, LineId line, Picos issue, bool is_poll) {
 
 Picos MemSystem::write_at(int core, LineId line, Picos issue, bool is_rmw) {
   Line& l = lines_[static_cast<std::size_t>(line)];
+  std::uint64_t* const sharer = sharer_of(line);
   // Exclusive transactions on a line serialize (packed-flag effect).
   const Picos start = std::max(issue, l.busy_until);
 
   ++l.write_count;
   Picos base;
   bool fetched_remotely = false;
-  if (l.sharer[static_cast<std::size_t>(core)]) {
+  if (util::bit_test(sharer, static_cast<std::size_t>(core))) {
     base = machine_.epsilon_ps();
     ++(is_rmw ? stats_.rmws : stats_.local_writes);
   } else {
-    const int src = pick_source(l, core);
+    const int src = pick_source(sharer, l.owner, core);
     if (src == -1) {
       base = machine_.epsilon_ps();
     } else {
-      base = machine_.comm_ps(core, src);
+      const std::uint64_t e = machine_.comm_entry_fast(core, src);
+      base = topo::Machine::entry_ps(e);
       fetched_remotely = true;
       ++stats_.layer_transfers[static_cast<std::size_t>(
-          machine_.layer(core, src))];
+          topo::Machine::entry_layer(e))];
     }
     ++(is_rmw ? stats_.rmws : stats_.remote_writes);
   }
@@ -199,18 +210,18 @@ Picos MemSystem::write_at(int core, LineId line, Picos issue, bool is_rmw) {
   // again.  This is the cascade that makes the centralized barrier
   // quadratic on the packed counter+generation line.
   Picos rfo = 0;
-  const double alpha = machine_.alpha();
-  std::vector<bool> holder(l.sharer);
+  util::BitWords& holder = holder_scratch_;
+  holder.copy_from_words(sharer);
   for (const WaiterBase* w : l.waiters) {
-    holder[static_cast<std::size_t>(w->core_)] = true;
+    holder.set(static_cast<std::size_t>(w->core_));
   }
-  for (int s = 0; s < machine_.num_cores(); ++s) {
-    if (s == core || !holder[static_cast<std::size_t>(s)]) continue;
-    rfo += static_cast<Picos>(alpha *
-                              static_cast<double>(machine_.comm_ps(core, s)));
+  holder.for_each_set([&](std::size_t s) {
+    const int si = static_cast<int>(s);
+    if (si == core) return;
+    rfo += machine_.rfo_ps_fast(core, si);
     ++stats_.invalidations;
-    l.sharer[static_cast<std::size_t>(s)] = false;
-  }
+    util::bit_clear(sharer, s);
+  });
 
   // Poll pressure: an invalidating transaction on a line that many cores
   // are re-reading contends with those reads at the line's home — the
@@ -220,22 +231,22 @@ Picos MemSystem::write_at(int core, LineId line, Picos issue, bool is_rmw) {
   Picos cost =
       base + rfo +
       machine_.contention_ps() *
-          static_cast<Picos>(count_inflight(l.read_finish, start));
+          static_cast<Picos>(l.read_finish.count_at(start));
   // Machine-wide network contention for the fetch and the invalidations.
   const bool is_remote_transfer = fetched_remotely || rfo > 0;
   if (is_remote_transfer)
     cost += machine_.net_contention_ps() *
-            static_cast<Picos>(count_inflight(net_inflight_, start));
+            static_cast<Picos>(net_inflight_.count_at(start));
 
   const Picos finish = start + cost;
-  if (is_remote_transfer) net_inflight_.push_back(finish);
+  if (is_remote_transfer) net_inflight_.add(finish);
   // A plain store occupies the line until ownership has migrated (base);
   // the RFO / contention tail delays observers of THIS write (wake time
   // below) but a subsequent store can begin acquiring ownership meanwhile.
   // An atomic RMW holds the line exclusively for the whole transaction —
   // that is what serializes the centralized barrier's arrival chain.
   l.busy_until = is_rmw ? finish : start + base;
-  l.sharer[static_cast<std::size_t>(core)] = true;
+  util::bit_set(sharer, static_cast<std::size_t>(core));
   l.owner = core;
   if (tracer_)
     tracer_->record({start, finish, core, line,
@@ -248,7 +259,12 @@ Picos MemSystem::write_at(int core, LineId line, Picos issue, bool is_rmw) {
 void MemSystem::wake_waiters(LineId line, Picos when) {
   Line& l = lines_[static_cast<std::size_t>(line)];
   if (l.waiters.empty()) return;
-  std::vector<WaiterBase*> pending;
+  // Reuse one scratch list so the swap keeps (and grows once) a single
+  // buffer instead of reallocating per wake-up.  wake_waiters never
+  // re-enters itself: read_at touches no waiter lists and on_line_write
+  // only schedules deferred resumptions.
+  std::vector<WaiterBase*>& pending = wake_scratch_;
+  pending.clear();
   pending.swap(l.waiters);
   for (WaiterBase* w : pending) {
     // Each parked poller re-fetches the line (costed read at the write's
@@ -257,6 +273,8 @@ void MemSystem::wake_waiters(LineId line, Picos when) {
     const Picos finish = read_at(w->core_, line, when, /*is_poll=*/true);
     if (w->on_line_write(*this, line, finish)) l.waiters.push_back(w);
   }
+  // The drained buffer stays in wake_scratch_ for the next wake-up; the
+  // line's list took the scratch buffer's capacity in the swap above.
 }
 
 std::vector<MemSystem::HotLine> MemSystem::hot_lines(int top_n) const {
@@ -269,11 +287,19 @@ std::vector<MemSystem::HotLine> MemSystem::hot_lines(int top_n) const {
     h.writes = lines_[i].write_count;
     if (h.total() > 0) all.push_back(h);
   }
-  std::sort(all.begin(), all.end(), [](const HotLine& a, const HotLine& b) {
+  const auto busier = [](const HotLine& a, const HotLine& b) {
     return a.total() != b.total() ? a.total() > b.total() : a.line < b.line;
-  });
-  if (top_n >= 0 && all.size() > static_cast<std::size_t>(top_n))
+  };
+  if (top_n >= 0 && all.size() > static_cast<std::size_t>(top_n)) {
+    // Only the reported prefix needs ordering (called once per run, but
+    // over every allocated line).
+    std::partial_sort(all.begin(),
+                      all.begin() + static_cast<std::ptrdiff_t>(top_n),
+                      all.end(), busier);
     all.resize(static_cast<std::size_t>(top_n));
+  } else {
+    std::sort(all.begin(), all.end(), busier);
+  }
   return all;
 }
 
@@ -310,27 +336,39 @@ MemSystem::OpAwaiter MemSystem::rmw(
   return OpAwaiter(engine_, finish, old);
 }
 
+// fetch_add/fetch_sub are the barrier algorithms' bread-and-butter RMWs;
+// apply the delta directly instead of routing through a std::function.
 MemSystem::OpAwaiter MemSystem::fetch_add(int core, VarId v,
                                           std::uint64_t delta) {
-  return rmw(core, v, [delta](std::uint64_t x) { return x + delta; });
+  check_core(core);
+  Var& var = vars_.at(static_cast<std::size_t>(v));
+  const std::uint64_t old = var.value;
+  var.value = old + delta;
+  const Picos finish = write_at(core, var.line, engine_.now(), true);
+  return OpAwaiter(engine_, finish, old);
 }
 
 MemSystem::OpAwaiter MemSystem::fetch_sub(int core, VarId v,
                                           std::uint64_t delta) {
-  return rmw(core, v, [delta](std::uint64_t x) { return x - delta; });
+  check_core(core);
+  Var& var = vars_.at(static_cast<std::size_t>(v));
+  const std::uint64_t old = var.value;
+  var.value = old - delta;
+  const Picos finish = write_at(core, var.line, engine_.now(), true);
+  return OpAwaiter(engine_, finish, old);
 }
 
-MemSystem::SpinAwaiter MemSystem::spin_until(
-    int core, VarId v, std::function<bool(std::uint64_t)> pred) {
+MemSystem::SpinAwaiter MemSystem::spin_until(int core, VarId v,
+                                             SpinPred pred) {
   check_core(core);
-  return SpinAwaiter(*this, core, v, std::move(pred));
+  return SpinAwaiter(*this, core, v, pred);
 }
 
-MemSystem::SpinAllAwaiter MemSystem::spin_until_all(
-    int core, std::vector<VarId> vars,
-    std::function<bool(std::uint64_t)> pred) {
+MemSystem::SpinAllAwaiter MemSystem::spin_until_all(int core,
+                                                    std::vector<VarId> vars,
+                                                    SpinPred pred) {
   check_core(core);
-  return SpinAllAwaiter(*this, core, std::move(vars), std::move(pred));
+  return SpinAllAwaiter(*this, core, std::move(vars), pred);
 }
 
 void MemSystem::SpinAwaiter::await_suspend(std::coroutine_handle<> h) {
@@ -359,21 +397,30 @@ bool MemSystem::SpinAwaiter::on_line_write(MemSystem& mem, LineId /*line*/,
   return true;
 }
 
-MemSystem::SpinAllAwaiter::SpinAllAwaiter(
-    MemSystem& mem, int core, std::vector<VarId> vars,
-    std::function<bool(std::uint64_t)> pred)
-    : WaiterBase(core), mem_(mem), pred_(std::move(pred)) {
+MemSystem::SpinAllAwaiter::SpinAllAwaiter(MemSystem& mem, int core,
+                                          std::vector<VarId> vars,
+                                          SpinPred pred)
+    : WaiterBase(core), mem_(mem), pred_(pred) {
   for (VarId v : vars) {
     const LineId line = mem_.line_of(v);
-    pending_[line].push_back(v);
+    const auto it = std::lower_bound(
+        pending_.begin(), pending_.end(), line,
+        [](const PendingLine& p, LineId l) { return p.line < l; });
+    if (it != pending_.end() && it->line == line) {
+      it->vars.push_back(v);
+    } else {
+      pending_.insert(it, PendingLine{line, {v}});
+    }
     ++remaining_;
   }
 }
 
 bool MemSystem::SpinAllAwaiter::settle_line(LineId line) {
-  const auto it = pending_.find(line);
+  const auto it = std::find_if(
+      pending_.begin(), pending_.end(),
+      [line](const PendingLine& p) { return p.line == line; });
   if (it == pending_.end()) return false;
-  auto& vars = it->second;
+  auto& vars = it->vars;
   vars.erase(std::remove_if(vars.begin(), vars.end(),
                             [&](VarId v) {
                               if (!pred_(mem_.peek(v))) return false;
@@ -390,13 +437,14 @@ bool MemSystem::SpinAllAwaiter::settle_line(LineId line) {
 
 void MemSystem::SpinAllAwaiter::await_suspend(std::coroutine_handle<> h) {
   handle_ = h;
-  // Initial polls: one read per watched line, all issued now; misses
-  // overlap subject to the per-core MLP bound.
+  // Initial polls: one read per watched line, all issued now (ascending
+  // line order, as pending_ is sorted); misses overlap subject to the
+  // per-core MLP bound.
   const Picos now = mem_.engine_.now();
   Picos max_finish = now;
   std::vector<LineId> watched;
   watched.reserve(pending_.size());
-  for (const auto& [line, vars] : pending_) watched.push_back(line);
+  for (const auto& p : pending_) watched.push_back(p.line);
   for (const LineId line : watched)
     max_finish = std::max(max_finish, mem_.read_at(core_, line, now, false));
   latest_read_ = max_finish;

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "armbar/simbar/sim_barriers.hpp"
+#include "armbar/simbar/sweep.hpp"
 
 namespace armbar::simbar {
 
@@ -35,15 +36,23 @@ TuneResult autotune(const topo::Machine& machine, int threads,
   cfg.iterations = iterations;
   cfg.warmup = std::min(4, iterations - 1);
 
+  // Candidates are independent simulations: fan them out over the worker
+  // pool; results come back in candidate order, so the ranking (and its
+  // stable sort) is identical to the sequential evaluation.
+  const auto candidates = default_tune_candidates(machine);
+  std::vector<SweepJob> jobs;
+  jobs.reserve(candidates.size());
+  for (const auto& [algo, options] : candidates)
+    jobs.push_back(SweepJob{&machine, sim_factory(algo, options), cfg});
+  const std::vector<SimResult> measured = SweepDriver().run(jobs);
+
   TuneResult result;
-  for (const auto& [algo, options] : default_tune_candidates(machine)) {
-    const SimResult r =
-        measure_barrier(machine, sim_factory(algo, options), cfg);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
     TuneCandidate c;
-    c.algo = algo;
-    c.options = options;
-    c.name = r.barrier_name;
-    c.overhead_us = r.mean_overhead_ns / 1000.0;
+    c.algo = candidates[i].first;
+    c.options = candidates[i].second;
+    c.name = measured[i].barrier_name;
+    c.overhead_us = measured[i].mean_overhead_ns / 1000.0;
     result.ranking.push_back(std::move(c));
   }
   std::stable_sort(result.ranking.begin(), result.ranking.end(),

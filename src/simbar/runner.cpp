@@ -14,16 +14,6 @@ Recorder::Recorder(int threads, int iterations)
   exit_.assign(enter_.size(), 0);
 }
 
-std::size_t Recorder::idx(int tid, int iter) const {
-  if (tid < 0 || tid >= threads_ || iter < 0 || iter >= iterations_)
-    throw std::out_of_range("Recorder: index out of range");
-  return static_cast<std::size_t>(tid) * static_cast<std::size_t>(iterations_) +
-         static_cast<std::size_t>(iter);
-}
-
-void Recorder::enter(int tid, int iter, Picos t) { enter_[idx(tid, iter)] = t; }
-void Recorder::exit(int tid, int iter, Picos t) { exit_[idx(tid, iter)] = t; }
-
 Picos Recorder::enter_time(int tid, int iter) const {
   return enter_[idx(tid, iter)];
 }
@@ -39,8 +29,8 @@ Picos Recorder::episode_end(int iter) const {
 }
 
 Picos Recorder::episode_begin(int iter) const {
-  Picos begin = exit_[idx(0, iter)];
-  for (int t = 0; t < threads_; ++t)
+  Picos begin = enter_[idx(0, iter)];
+  for (int t = 1; t < threads_; ++t)
     begin = std::min(begin, enter_[idx(t, iter)]);
   return begin;
 }
@@ -63,6 +53,28 @@ double Recorder::mean_overhead_ns(int warmup, Picos think_ps) const {
     ++n;
   }
   return sum / n;
+}
+
+std::vector<double> Recorder::overheads(Picos think_ps) const {
+  std::vector<double> out(static_cast<std::size_t>(iterations_));
+  Picos prev = 0;
+  const Picos* exit_row = exit_.data();
+  for (int i = 0; i < iterations_; ++i) {
+    // episode_end(i), single unchecked pass (indices are by construction
+    // in range here).
+    Picos end = 0;
+    for (int t = 0; t < threads_; ++t) {
+      const Picos e = exit_row[static_cast<std::size_t>(t) *
+                                   static_cast<std::size_t>(iterations_) +
+                               static_cast<std::size_t>(i)];
+      end = std::max(end, e);
+    }
+    const Picos span = end > prev ? end - prev : 0;
+    const Picos net = span > think_ps ? span - think_ps : 0;
+    out[static_cast<std::size_t>(i)] = util::ps_to_ns(net);
+    prev = end;
+  }
+  return out;
 }
 
 namespace {
@@ -104,6 +116,10 @@ SimResult measure_barrier(const topo::Machine& machine,
     }
   }
   sim::Engine engine;
+  // Pre-size the event heap: at any instant at most a handful of events
+  // per simulated thread are pending (resume + parked polls).
+  engine.reserve(static_cast<std::size_t>(cfg.threads),
+                 static_cast<std::size_t>(cfg.threads) * 8);
   sim::MemSystem mem(engine, machine);
   mem.set_tracer(tracer);
   const auto barrier = factory(engine, mem, cfg.threads);
@@ -115,14 +131,19 @@ SimResult measure_barrier(const topo::Machine& machine,
                              barrier->name() + "' with " +
                              std::to_string(cfg.threads) + " threads on " +
                              machine.name());
+  if (cfg.warmup >= cfg.iterations)
+    throw std::invalid_argument("Recorder: warmup must be < iterations");
   SimResult result;
   result.barrier_name = barrier->name();
-  result.mean_overhead_ns = rec.mean_overhead_ns(cfg.warmup, cfg.think_ps);
-  result.per_episode_ns.reserve(static_cast<std::size_t>(cfg.iterations));
-  for (int i = 0; i < cfg.iterations; ++i)
-    result.per_episode_ns.push_back(rec.episode_overhead_ns(i, cfg.think_ps));
+  result.per_episode_ns = rec.overheads(cfg.think_ps);
+  // Same sum, same order, same doubles as Recorder::mean_overhead_ns.
+  double sum = 0.0;
+  for (int i = cfg.warmup; i < cfg.iterations; ++i)
+    sum += result.per_episode_ns[static_cast<std::size_t>(i)];
+  result.mean_overhead_ns = sum / (cfg.iterations - cfg.warmup);
   result.stats = mem.stats();
   result.hot_lines = mem.hot_lines(5);
+  result.events_processed = engine.events_processed();
   return result;
 }
 

@@ -43,7 +43,7 @@ sim::SimThread SimSense::run_thread(int tid, const SimRunConfig& cfg,
       co_await mem_.write(core, gen_, e);
     } else {
       co_await mem_.spin_until(
-          core, gen_, [e](std::uint64_t v) { return v >= e; });
+          core, gen_, sim::SpinPred::ge(e));
     }
     rec.exit(tid, it, eng_.now());
   }
@@ -81,7 +81,7 @@ sim::SimThread SimDissemination::run_thread(int tid, const SimRunConfig& cfg,
           shape::DisseminationShape::signal_partner(tid, r, threads_);
       co_await mem_.write(core, flag(out, r), e);
       co_await mem_.spin_until(
-          core, flag(tid, r), [e](std::uint64_t v) { return v >= e; });
+          core, flag(tid, r), sim::SpinPred::ge(e));
     }
     rec.exit(tid, it, eng_.now());
   }
@@ -129,7 +129,7 @@ sim::SimThread SimCombining::run_thread(int tid, const SimRunConfig& cfg,
     }
     if (!released)
       co_await mem_.spin_until(
-          core, gen_, [e](std::uint64_t v) { return v >= e; });
+          core, gen_, sim::SpinPred::ge(e));
     rec.exit(tid, it, eng_.now());
   }
 }
@@ -172,7 +172,7 @@ sim::SimThread SimMcs::run_thread(int tid, const SimRunConfig& cfg,
       std::vector<sim::VarId> slots;
       for (int s = 0; s < have; ++s) slots.push_back(slot_var(tid, s));
       co_await mem_.spin_until_all(core, std::move(slots),
-                                   [](std::uint64_t v) { return v == 0; });
+                                   sim::SpinPred::eq(0));
     }
     for (int s = 0; s < have; ++s)
       co_await mem_.write(core, slot_var(tid, s), 1);
@@ -182,7 +182,7 @@ sim::SimThread SimMcs::run_thread(int tid, const SimRunConfig& cfg,
           core, slot_var(parent, shape::McsShape::arrival_slot(tid)), 0);
       co_await mem_.spin_until(
           core, wake_[static_cast<std::size_t>(tid)],
-          [e](std::uint64_t v) { return v >= e; });
+          sim::SpinPred::ge(e));
     }
     for (int c : wake_kids)
       co_await mem_.write(core, wake_[static_cast<std::size_t>(c)], e);
@@ -223,7 +223,7 @@ sim::SimThread SimTournament::run_thread(int tid, const SimRunConfig& cfg,
                          static_cast<std::size_t>(rounds) +
                      static_cast<std::size_t>(r)];
           co_await mem_.spin_until(
-              core, f, [e](std::uint64_t v) { return v >= e; });
+              core, f, sim::SpinPred::ge(e));
           break;
         }
         case shape::TourRole::kLoser: {
@@ -244,7 +244,7 @@ sim::SimThread SimTournament::run_thread(int tid, const SimRunConfig& cfg,
       co_await mem_.write(core, gen_, e);
     else
       co_await mem_.spin_until(
-          core, gen_, [e](std::uint64_t v) { return v >= e; });
+          core, gen_, sim::SpinPred::ge(e));
     rec.exit(tid, it, eng_.now());
   }
 }
@@ -328,7 +328,7 @@ sim::SimThread SimStaticFway::run_thread(int tid, const SimRunConfig& cfg,
             kids.push_back(flag(p.round, j));
           co_await mem_.spin_until_all(
               core, std::move(kids),
-              [e](std::uint64_t v) { return v >= e; });
+              sim::SpinPred::ge(e));
         }
       } else {
         co_await mem_.write(core, flag(p.round, p.my_pos), e);
@@ -342,12 +342,12 @@ sim::SimThread SimStaticFway::run_thread(int tid, const SimRunConfig& cfg,
         co_await mem_.write(core, gen_, e);
       else
         co_await mem_.spin_until(
-            core, gen_, [e](std::uint64_t v) { return v >= e; });
+            core, gen_, sim::SpinPred::ge(e));
     } else {
       if (tid != 0)
         co_await mem_.spin_until(
             core, wake_[static_cast<std::size_t>(tid)],
-            [e](std::uint64_t v) { return v >= e; });
+            sim::SpinPred::ge(e));
       for (int c : wake_children_[static_cast<std::size_t>(tid)])
         co_await mem_.write(core, wake_[static_cast<std::size_t>(c)], e);
     }
@@ -407,7 +407,7 @@ sim::SimThread SimDynamicFway::run_thread(int tid, const SimRunConfig& cfg,
       co_await mem_.write(core, gen_, e);
     else
       co_await mem_.spin_until(
-          core, gen_, [e](std::uint64_t v) { return v >= e; });
+          core, gen_, sim::SpinPred::ge(e));
     rec.exit(tid, it, eng_.now());
   }
 }
@@ -448,13 +448,13 @@ sim::SimThread SimHypercube::run_thread(int tid, const SimRunConfig& cfg,
       std::vector<sim::VarId> flags;
       for (int c : kids) flags.push_back(arrive_[static_cast<std::size_t>(c)]);
       co_await mem_.spin_until_all(core, std::move(flags),
-                                   [e](std::uint64_t v) { return v >= e; });
+                                   sim::SpinPred::ge(e));
     }
     if (tid != 0) {
       co_await mem_.write(core, arrive_[static_cast<std::size_t>(tid)], e);
       co_await mem_.spin_until(
           core, release_[static_cast<std::size_t>(tid)],
-          [e](std::uint64_t v) { return v >= e; });
+          sim::SpinPred::ge(e));
     }
     for (int l = levels - 1; l >= 0; --l) {
       for (int c :
@@ -518,13 +518,13 @@ sim::SimThread SimHybrid::run_thread(int tid, const SimRunConfig& cfg,
             flags_[static_cast<std::size_t>(cl) *
                        static_cast<std::size_t>(std::max(rounds_, 1)) +
                    static_cast<std::size_t>(r)],
-            [e](std::uint64_t v) { return v >= e; });
+            sim::SpinPred::ge(e));
       }
       co_await mem_.write(core, gens_[static_cast<std::size_t>(cl)], e);
     } else {
       co_await mem_.spin_until(
           core, gens_[static_cast<std::size_t>(cl)],
-          [e](std::uint64_t v) { return v >= e; });
+          sim::SpinPred::ge(e));
     }
     rec.exit(tid, it, eng_.now());
   }
@@ -578,7 +578,7 @@ sim::SimThread SimNWayDissemination::run_thread(int tid,
       std::vector<sim::VarId> awaited;
       for (int k = 0; k < ways_; ++k) awaited.push_back(flag(tid, r, k));
       co_await mem_.spin_until_all(
-          core, std::move(awaited), [e](std::uint64_t v) { return v >= e; });
+          core, std::move(awaited), sim::SpinPred::ge(e));
       step *= static_cast<std::uint64_t>(ways_) + 1;
     }
     rec.exit(tid, it, eng_.now());
@@ -605,12 +605,12 @@ sim::SimThread SimRing::run_thread(int tid, const SimRunConfig& cfg,
     if (tid != 0) {
       co_await mem_.spin_until(
           core, token_[static_cast<std::size_t>(tid)],
-          [e](std::uint64_t v) { return v >= e; });
+          sim::SpinPred::ge(e));
     }
     if (tid + 1 < threads_) {
       co_await mem_.write(core, token_[static_cast<std::size_t>(tid) + 1], e);
       co_await mem_.spin_until(
-          core, gen_, [e](std::uint64_t v) { return v >= e; });
+          core, gen_, sim::SpinPred::ge(e));
     } else {
       co_await mem_.write(core, gen_, e);
     }

@@ -1,0 +1,76 @@
+#include "armbar/simbar/sweep.hpp"
+
+#include <atomic>
+#include <exception>
+#include <stdexcept>
+#include <thread>
+
+namespace armbar::simbar {
+
+SweepDriver::SweepDriver(int workers)
+    : workers_(workers > 0 ? workers : default_workers()) {}
+
+int SweepDriver::default_workers() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+std::vector<SimResult> SweepDriver::run(
+    const std::vector<SweepJob>& jobs) const {
+  for (const SweepJob& j : jobs) {
+    if (j.machine == nullptr)
+      throw std::invalid_argument("SweepDriver::run: job without machine");
+    if (!j.factory)
+      throw std::invalid_argument("SweepDriver::run: job without factory");
+  }
+
+  std::vector<SimResult> results(jobs.size());
+  std::vector<std::exception_ptr> errors(jobs.size());
+
+  const auto run_one = [&](std::size_t i) {
+    try {
+      results[i] = measure_barrier(*jobs[i].machine, jobs[i].factory,
+                                   jobs[i].cfg);
+    } catch (...) {
+      errors[i] = std::current_exception();
+    }
+  };
+
+  const int pool =
+      static_cast<int>(std::min<std::size_t>(
+          static_cast<std::size_t>(workers_), jobs.size()));
+  if (pool <= 1) {
+    for (std::size_t i = 0; i < jobs.size(); ++i) run_one(i);
+  } else {
+    std::atomic<std::size_t> next{0};
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(pool));
+    for (int w = 0; w < pool; ++w) {
+      threads.emplace_back([&] {
+        for (std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+             i < jobs.size();
+             i = next.fetch_add(1, std::memory_order_relaxed)) {
+          run_one(i);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+  }
+
+  // Rethrow the first failure by job index — deterministic regardless of
+  // which worker hit it or when.
+  for (std::exception_ptr& e : errors)
+    if (e) std::rethrow_exception(e);
+  return results;
+}
+
+std::vector<SimResult> SweepDriver::run_indexed(
+    std::size_t count,
+    const std::function<SweepJob(std::size_t)>& make) const {
+  std::vector<SweepJob> jobs;
+  jobs.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) jobs.push_back(make(i));
+  return run(jobs);
+}
+
+}  // namespace armbar::simbar

@@ -52,6 +52,35 @@ Machine::Machine(std::string name, int num_cores, double epsilon_ns,
   for (const Layer& l : layers_) {
     if (l.ns <= 0.0) throw std::invalid_argument("Machine: layer latency must be > 0");
   }
+
+  // Precompute the integer-picosecond forms the simulator's hot path
+  // loads on every access.  The rfo table uses the exact expression the
+  // simulator previously evaluated inline (static_cast<Picos>(alpha *
+  // double(comm_ps))) so optimized runs stay bit-for-bit identical.
+  epsilon_ps_ = util::ns_to_ps(epsilon_ns_);
+  contention_ps_ = util::ns_to_ps(contention_ns_);
+  mlp_delay_ps_ = util::ns_to_ps(mlp_delay_ns_);
+  net_contention_ps_ = util::ns_to_ps(net_contention_ns_);
+  layer_ps_.reserve(layers_.size());
+  for (const Layer& l : layers_) layer_ps_.push_back(util::ns_to_ps(l.ns));
+  auto tables = std::make_shared<Tables>();
+  tables->comm.resize(n * n);
+  tables->rfo.resize(n * n);
+  for (int a = 0; a < num_cores_; ++a) {
+    for (int b = 0; b < num_cores_; ++b) {
+      const std::size_t at =
+          static_cast<std::size_t>(a) * n + static_cast<std::size_t>(b);
+      const int layer = a == b ? -1 : layer_of_pair_[at];
+      const util::Picos ps =
+          layer < 0 ? epsilon_ps_ : layer_ps_[static_cast<std::size_t>(layer)];
+      assert(ps <= kCommPsMask);
+      tables->comm[at] =
+          ps | (static_cast<std::uint64_t>(layer + 1) << kCommLayerShift);
+      tables->rfo[at] =
+          static_cast<util::Picos>(alpha_ * static_cast<double>(ps));
+    }
+  }
+  tables_ = std::move(tables);
 }
 
 int Machine::layer(int core_a, int core_b) const {
@@ -69,11 +98,15 @@ double Machine::comm_ns(int core_a, int core_b) const {
 }
 
 util::Picos Machine::comm_ps(int core_a, int core_b) const {
-  return util::ns_to_ps(comm_ns(core_a, core_b));
+  if (core_a < 0 || core_a >= num_cores_ || core_b < 0 || core_b >= num_cores_)
+    throw std::out_of_range("Machine::comm_ps: core index out of range");
+  return comm_ps_fast(core_a, core_b);
 }
 
 util::Picos Machine::layer_ps(int i) const {
-  return util::ns_to_ps(layer_info(i).ns);
+  if (i < 0 || i >= num_layers())
+    throw std::out_of_range("Machine::layer_ps: layer index out of range");
+  return layer_ps_[static_cast<std::size_t>(i)];
 }
 
 double Machine::mean_remote_ns() const {

@@ -1,0 +1,143 @@
+// Tests for the word-array bitset primitives and the BitWords owning
+// bitset (armbar/util/bits.hpp) that back the simulator's coherence
+// directory.  Multi-word cases matter most: the directory uses one bit
+// per core, so >64-core machines exercise the k>0 words.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "armbar/util/bits.hpp"
+
+namespace armbar::util {
+namespace {
+
+TEST(Bits, WordsForBits) {
+  EXPECT_EQ(words_for_bits(0), 0u);
+  EXPECT_EQ(words_for_bits(1), 1u);
+  EXPECT_EQ(words_for_bits(64), 1u);
+  EXPECT_EQ(words_for_bits(65), 2u);
+  EXPECT_EQ(words_for_bits(128), 2u);
+  EXPECT_EQ(words_for_bits(129), 3u);
+}
+
+TEST(Bits, SetTestClearAcrossWordBoundary) {
+  std::uint64_t words[3] = {0, 0, 0};
+  for (const std::size_t i : {0u, 1u, 63u, 64u, 65u, 127u, 128u, 191u}) {
+    EXPECT_FALSE(bit_test(words, i)) << i;
+    bit_set(words, i);
+    EXPECT_TRUE(bit_test(words, i)) << i;
+  }
+  EXPECT_EQ(bits_count(words, 3), 8);
+  bit_clear(words, 64);
+  EXPECT_FALSE(bit_test(words, 64));
+  EXPECT_TRUE(bit_test(words, 63));   // neighbours untouched
+  EXPECT_TRUE(bit_test(words, 65));
+  EXPECT_EQ(bits_count(words, 3), 7);
+}
+
+TEST(Bits, AnyAndCount) {
+  std::uint64_t words[2] = {0, 0};
+  EXPECT_FALSE(bits_any(words, 2));
+  EXPECT_EQ(bits_count(words, 2), 0);
+  bit_set(words, 100);  // only the second word
+  EXPECT_TRUE(bits_any(words, 2));
+  EXPECT_EQ(bits_count(words, 2), 1);
+  words[0] = ~std::uint64_t{0};
+  EXPECT_EQ(bits_count(words, 2), 65);
+}
+
+TEST(Bits, ForEachSetBitAscendingAcrossWords) {
+  std::uint64_t words[2] = {0, 0};
+  const std::vector<std::size_t> expect = {0, 5, 63, 64, 70, 127};
+  for (const std::size_t i : expect) bit_set(words, i);
+  std::vector<std::size_t> seen;
+  for_each_set_bit(words, 2, [&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, expect);
+}
+
+TEST(Bits, ForEachSetBitEmpty) {
+  std::uint64_t words[2] = {0, 0};
+  int calls = 0;
+  for_each_set_bit(words, 2, [&](std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(BitWords, BasicSetClearQuery) {
+  BitWords b(96);
+  EXPECT_EQ(b.size_bits(), 96u);
+  EXPECT_EQ(b.num_words(), 2u);
+  EXPECT_FALSE(b.any());
+  EXPECT_EQ(b.count(), 0);
+  EXPECT_EQ(b.first_set(), BitWords::npos);
+
+  b.set(3);
+  b.set(95);
+  EXPECT_TRUE(b.test(3));
+  EXPECT_TRUE(b.test(95));
+  EXPECT_FALSE(b.test(4));
+  EXPECT_TRUE(b.any());
+  EXPECT_EQ(b.count(), 2);
+  EXPECT_EQ(b.first_set(), 3u);
+
+  b.clear(3);
+  EXPECT_FALSE(b.test(3));
+  EXPECT_EQ(b.first_set(), 95u);
+  b.clear_all();
+  EXPECT_FALSE(b.any());
+}
+
+TEST(BitWords, CopyAndOr) {
+  BitWords a(80), b(80);
+  a.set(1);
+  a.set(79);
+  b.set(2);
+  b.or_with(a);
+  EXPECT_TRUE(b.test(1));
+  EXPECT_TRUE(b.test(2));
+  EXPECT_TRUE(b.test(79));
+  EXPECT_EQ(b.count(), 3);
+  EXPECT_EQ(a.count(), 2);  // source unchanged
+
+  BitWords c(80);
+  c.copy_from(b);
+  EXPECT_EQ(c.count(), 3);
+  c.copy_from(a);  // copy overwrites, not ORs
+  EXPECT_EQ(c.count(), 2);
+  EXPECT_FALSE(c.test(2));
+}
+
+TEST(BitWords, CopyFromRawWords) {
+  const std::uint64_t raw[2] = {0b1010, std::uint64_t{1} << 10};
+  BitWords b(128);
+  b.set(0);  // must be overwritten
+  b.copy_from_words(raw);
+  EXPECT_FALSE(b.test(0));
+  EXPECT_TRUE(b.test(1));
+  EXPECT_TRUE(b.test(3));
+  EXPECT_TRUE(b.test(74));
+  EXPECT_EQ(b.count(), 3);
+}
+
+TEST(BitWords, ForEachSetMatchesFirstSet) {
+  BitWords b(130);
+  b.set(64);
+  b.set(129);
+  std::vector<std::size_t> seen;
+  b.for_each_set([&](std::size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<std::size_t>{64, 129}));
+  EXPECT_EQ(b.first_set(), 64u);
+}
+
+TEST(BitWords, AssignResizesAndClears) {
+  BitWords b(64);
+  b.set(10);
+  b.assign(256);
+  EXPECT_EQ(b.size_bits(), 256u);
+  EXPECT_EQ(b.num_words(), 4u);
+  EXPECT_FALSE(b.any());
+}
+
+}  // namespace
+}  // namespace armbar::util

@@ -1,0 +1,149 @@
+// Golden-determinism pin: the simulator's results for a fixed set of
+// scenarios, captured from the original (pre-optimization) implementation.
+// Every hot-path change — directory representation, event-queue layout,
+// latency-table encoding, spin-predicate dispatch — must reproduce these
+// MemStats and overheads bit for bit; a mismatch means an optimization
+// changed simulation SEMANTICS, not just speed.  The same scenarios also
+// pin the SweepDriver contract: 1 worker and 8 workers must return
+// identical results in identical order.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "armbar/simbar/runner.hpp"
+#include "armbar/simbar/sim_barriers.hpp"
+#include "armbar/simbar/sweep.hpp"
+#include "armbar/topo/platforms.hpp"
+
+namespace armbar::simbar {
+namespace {
+
+struct Scenario {
+  int machine;  ///< index into topo::armv8_machines()
+  Algo algo;
+  MakeOptions opt;
+  int threads;
+  util::Picos skew_ps;
+};
+
+// Mixed algorithms, machines, thread counts, arrival skews, and a
+// non-default fan-in — chosen to cover every memory-operation kind
+// (reads, writes, RMWs, RFO invalidations, poll wake-ups) and both the
+// single- and multi-word sharer-mask paths.
+const std::vector<Scenario> kScenarios = {
+    {0, Algo::kSense, {}, 8, 0},
+    {0, Algo::kDissemination, {}, 16, 0},
+    {0, Algo::kMcsTree, {}, 24, 2000},
+    {1, Algo::kTournament, {}, 32, 0},
+    {1, Algo::kGccSense, {}, 12, 500},
+    {1, Algo::kHypercube, {}, 64, 0},
+    {2, Algo::kStaticFwayPadded, MakeOptions{.fanin = 4}, 64, 0},
+    {2, Algo::kCombiningTree, {}, 40, 0},
+    {2, Algo::kOptimized, {}, 64, 0},
+};
+
+struct Golden {
+  sim::MemStats stats;
+  double mean_overhead_ns;
+};
+
+// Captured from the seed implementation (commit 01c2857 tree) with the
+// scenario configs above: iterations=20, warmup=5, identity placement.
+const std::vector<Golden> kGolden = {
+    // scenario 0 algo=sense fanin=0 P=8 skew=0
+    {{292ull, 148ull, 40ull, 0ull, 160ull, 280ull, 140ull,
+      {183ull, 104ull, 0ull, 0ull, 0ull, 0ull, 0ull, 0ull, 0ull}},
+     150.20199999999997},
+    // scenario 0 algo=dis fanin=0 P=16 skew=0
+    {{622ull, 1301ull, 1216ull, 64ull, 0ull, 1237ull, 643ull,
+      {404ull, 287ull, 610ull, 0ull, 0ull, 0ull, 0ull, 0ull, 0ull}},
+     323.55466666666672},
+    // scenario 0 algo=mcs fanin=0 P=24 skew=2000
+    {{551ull, 944ull, 897ull, 483ull, 0ull, 1375ull, 915ull,
+      {342ull, 265ull, 574ull, 217ull, 0ull, 0ull, 0ull, 0ull, 0ull}},
+     608.82700000000011},
+    // scenario 1 algo=tour fanin=0 P=32 skew=0
+    {{674ull, 1301ull, 608ull, 32ull, 0ull, 1239ull, 735ull,
+      {1301ull, 0ull}},
+     493.13333333333344},
+    // scenario 1 algo=gcc-sense fanin=0 P=12 skew=500
+    {{38ull, 1433ull, 40ull, 0ull, 240ull, 1622ull, 1011ull,
+      {1633ull, 0ull}},
+     1262.5648666666666},
+    // scenario 1 algo=hyper fanin=0 P=64 skew=0
+    {{2394ull, 2646ull, 2394ull, 126ull, 0ull, 2520ull, 2520ull,
+      {2562ull, 84ull}},
+     1790.6699999999996},
+    // scenario 2 algo=stour-pad fanin=4 P=64 skew=0
+    {{1349ull, 2644ull, 1216ull, 64ull, 0ull, 2518ull, 1473ull,
+      {1071ull, 860ull, 713ull}},
+     524.20399999999984},
+    // scenario 2 algo=cmb fanin=0 P=40 skew=0
+    {{741ull, 819ull, 839ull, 1ull, 1600ull, 2227ull, 780ull,
+      {1193ull, 866ull, 207ull}},
+     546.80280000000005},
+    // scenario 2 algo=opt fanin=0 P=64 skew=0
+    {{1349ull, 2644ull, 1216ull, 64ull, 0ull, 2518ull, 1473ull,
+      {1071ull, 860ull, 713ull}},
+     524.20399999999984},
+};
+
+SimRunConfig config_of(const Scenario& s) {
+  SimRunConfig cfg;
+  cfg.threads = s.threads;
+  cfg.iterations = 20;
+  cfg.warmup = 5;
+  cfg.skew_ps = s.skew_ps;
+  return cfg;
+}
+
+void expect_matches_golden(const SimResult& r, const Golden& g,
+                           std::size_t scenario) {
+  EXPECT_EQ(r.stats.local_reads, g.stats.local_reads) << scenario;
+  EXPECT_EQ(r.stats.remote_reads, g.stats.remote_reads) << scenario;
+  EXPECT_EQ(r.stats.local_writes, g.stats.local_writes) << scenario;
+  EXPECT_EQ(r.stats.remote_writes, g.stats.remote_writes) << scenario;
+  EXPECT_EQ(r.stats.rmws, g.stats.rmws) << scenario;
+  EXPECT_EQ(r.stats.invalidations, g.stats.invalidations) << scenario;
+  EXPECT_EQ(r.stats.poll_reads, g.stats.poll_reads) << scenario;
+  EXPECT_EQ(r.stats.layer_transfers, g.stats.layer_transfers) << scenario;
+  // Exact double equality, deliberately: the overhead is a deterministic
+  // function of integer picosecond timestamps.
+  EXPECT_EQ(r.mean_overhead_ns, g.mean_overhead_ns) << scenario;
+}
+
+TEST(GoldenDeterminism, PinnedScenariosMatchSeedResults) {
+  const auto machines = topo::armv8_machines();
+  ASSERT_EQ(kScenarios.size(), kGolden.size());
+  for (std::size_t i = 0; i < kScenarios.size(); ++i) {
+    const auto& s = kScenarios[i];
+    const SimResult r = measure_barrier(
+        machines[static_cast<std::size_t>(s.machine)],
+        sim_factory(s.algo, s.opt), config_of(s));
+    expect_matches_golden(r, kGolden[i], i);
+  }
+}
+
+TEST(GoldenDeterminism, SweepDriverMatchesGoldenAtAnyWorkerCount) {
+  const auto machines = topo::armv8_machines();
+  std::vector<SweepJob> jobs;
+  for (const auto& s : kScenarios)
+    jobs.push_back({&machines[static_cast<std::size_t>(s.machine)],
+                    sim_factory(s.algo, s.opt), config_of(s)});
+
+  const auto serial = SweepDriver(1).run(jobs);
+  const auto pooled = SweepDriver(8).run(jobs);
+  ASSERT_EQ(serial.size(), kGolden.size());
+  ASSERT_EQ(pooled.size(), kGolden.size());
+  for (std::size_t i = 0; i < kGolden.size(); ++i) {
+    expect_matches_golden(serial[i], kGolden[i], i);
+    expect_matches_golden(pooled[i], kGolden[i], i);
+    EXPECT_EQ(serial[i].per_episode_ns, pooled[i].per_episode_ns) << i;
+    EXPECT_EQ(serial[i].events_processed, pooled[i].events_processed) << i;
+  }
+}
+
+}  // namespace
+}  // namespace armbar::simbar

@@ -160,7 +160,7 @@ TEST(SimMemory, SpinWakesOnSatisfyingWrite) {
   auto waiter = [](Script& sc, std::vector<Picos>& out) -> SimThread {
     const auto v = static_cast<VarId>(0);
     const auto val = co_await sc.mem.spin_until(
-        1, v, [](std::uint64_t x) { return x == 99; });
+        1, v, sim::SpinPred::eq(99));
     EXPECT_EQ(val, 99u);
     out.push_back(sc.eng.now());
   };
@@ -187,7 +187,7 @@ TEST(SimMemory, SpinSatisfiedImmediatelyCostsOneRead) {
   std::vector<Picos> t;
   auto prog = [](Script& sc, std::vector<Picos>& out) -> SimThread {
     const VarId v = sc.mem.new_var(7);
-    co_await sc.mem.spin_until(0, v, [](std::uint64_t x) { return x == 7; });
+    co_await sc.mem.spin_until(0, v, sim::SpinPred::eq(7));
     out.push_back(sc.eng.now());
   };
   s.eng.spawn(prog(s, t));
@@ -199,7 +199,7 @@ TEST(SimMemory, UnsatisfiableSpinIsDeadlock) {
   Script s;
   auto prog = [](Script& sc) -> SimThread {
     const VarId v = sc.mem.new_var(0);
-    co_await sc.mem.spin_until(0, v, [](std::uint64_t x) { return x == 1; });
+    co_await sc.mem.spin_until(0, v, sim::SpinPred::eq(1));
   };
   s.eng.spawn(prog(s));
   EXPECT_FALSE(s.eng.run());
@@ -214,7 +214,7 @@ TEST(SimMemory, PollersRejoinSharerSetAfterFailedPoll) {
   auto waiter = [](Script& sc, std::vector<Picos>& out) -> SimThread {
     const auto v = static_cast<VarId>(0);
     co_await sc.mem.spin_until(2, v,
-                               [](std::uint64_t x) { return x >= 2; });
+                               sim::SpinPred::ge(2));
     out.push_back(sc.eng.now());
   };
   auto setter = [](Script& sc) -> SimThread {

@@ -39,7 +39,7 @@ TEST(SpinAll, InitialMissesOverlapWithMlpBound) {
     const Picos t0 = e.now();
     std::vector<VarId> vars{va, vb, vc};
     co_await m.spin_until_all(0, std::move(vars),
-                              [](std::uint64_t x) { return x == 1; });
+                              sim::SpinPred::eq(1));
     out.push_back(e.now() - t0);
   };
   eng.spawn(owner(eng, mem, a, 2));
@@ -62,7 +62,7 @@ TEST(SpinAll, ResumesOnlyWhenEveryVarSatisfied) {
                    VarId vb) -> SimThread {
     std::vector<VarId> vars{va, vb};
     co_await m.spin_until_all(0, std::move(vars),
-                              [](std::uint64_t x) { return x >= 1; });
+                              sim::SpinPred::ge(1));
     out.push_back(e.now());
   };
   auto setter = [](Engine& e, MemSystem& m, VarId va, VarId vb) -> SimThread {
@@ -93,7 +93,7 @@ TEST(SpinAll, VarsOnOneLineWakeWithASingleRead) {
                    VarId vb) -> SimThread {
     std::vector<VarId> vars{va, vb};
     co_await m.spin_until_all(0, std::move(vars),
-                              [](std::uint64_t x) { return x >= 1; });
+                              sim::SpinPred::ge(1));
     out.push_back(e.now());
   };
   auto setter = [](Engine& e, MemSystem& m, VarId va, VarId vb) -> SimThread {
@@ -118,7 +118,7 @@ TEST(SpinAll, EmptyVarListIsReadyImmediately) {
   auto prog = [](Engine& e, MemSystem& m, std::vector<Picos>& out) -> SimThread {
     std::vector<VarId> none;
     co_await m.spin_until_all(0, std::move(none),
-                              [](std::uint64_t) { return false; });
+                              sim::SpinPred::never());
     out.push_back(e.now());
   };
   eng.spawn(prog(eng, mem, t));
@@ -137,7 +137,7 @@ TEST(SpinAll, AlreadySatisfiedStillPaysThePollReads) {
                  VarId vb) -> SimThread {
     std::vector<VarId> vars{va, vb};
     co_await m.spin_until_all(0, std::move(vars),
-                              [](std::uint64_t x) { return x == 5; });
+                              sim::SpinPred::eq(5));
     out.push_back(e.now());
   };
   eng.spawn(prog(eng, mem, t, a, b));
@@ -155,7 +155,7 @@ TEST(SpinAll, DeadlocksWhenUnsatisfiable) {
   auto prog = [](Engine&, MemSystem& m, VarId va) -> SimThread {
     std::vector<VarId> vars{va};
     co_await m.spin_until_all(0, std::move(vars),
-                              [](std::uint64_t x) { return x == 9; });
+                              sim::SpinPred::eq(9));
   };
   eng.spawn(prog(eng, mem, a));
   EXPECT_FALSE(eng.run());

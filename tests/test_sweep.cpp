@@ -1,0 +1,134 @@
+// Tests for the parallel sweep driver: result ordering, worker-count
+// independence (the determinism contract every figure binary relies on),
+// input validation, and exception propagation.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "armbar/simbar/sim_barriers.hpp"
+#include "armbar/simbar/sweep.hpp"
+#include "armbar/topo/platforms.hpp"
+
+namespace armbar::simbar {
+namespace {
+
+SimRunConfig cfg_for(int threads) {
+  SimRunConfig cfg;
+  cfg.threads = threads;
+  cfg.iterations = 20;
+  cfg.warmup = 5;
+  return cfg;
+}
+
+// A small but non-trivial job list: distinct algorithms and thread
+// counts so every slot has a distinguishable result.
+std::vector<SweepJob> sample_jobs(const topo::Machine& m) {
+  std::vector<SweepJob> jobs;
+  for (const Algo a : {Algo::kSense, Algo::kDissemination, Algo::kMcsTree})
+    for (const int p : {2, 8, 16, 32})
+      jobs.push_back({&m, sim_factory(a, {}), cfg_for(p)});
+  return jobs;
+}
+
+void expect_identical(const SimResult& a, const SimResult& b) {
+  EXPECT_EQ(a.barrier_name, b.barrier_name);
+  EXPECT_EQ(a.mean_overhead_ns, b.mean_overhead_ns);  // exact, not near
+  EXPECT_EQ(a.per_episode_ns, b.per_episode_ns);
+  EXPECT_EQ(a.events_processed, b.events_processed);
+  EXPECT_EQ(a.stats.local_reads, b.stats.local_reads);
+  EXPECT_EQ(a.stats.remote_reads, b.stats.remote_reads);
+  EXPECT_EQ(a.stats.local_writes, b.stats.local_writes);
+  EXPECT_EQ(a.stats.remote_writes, b.stats.remote_writes);
+  EXPECT_EQ(a.stats.rmws, b.stats.rmws);
+  EXPECT_EQ(a.stats.invalidations, b.stats.invalidations);
+  EXPECT_EQ(a.stats.poll_reads, b.stats.poll_reads);
+  EXPECT_EQ(a.stats.layer_transfers, b.stats.layer_transfers);
+}
+
+TEST(SweepDriver, DefaultWorkersAtLeastOne) {
+  EXPECT_GE(SweepDriver::default_workers(), 1);
+  EXPECT_GE(SweepDriver(0).workers(), 1);
+  EXPECT_EQ(SweepDriver(3).workers(), 3);
+}
+
+TEST(SweepDriver, EmptyJobListYieldsEmptyResults) {
+  EXPECT_TRUE(SweepDriver(2).run({}).empty());
+}
+
+TEST(SweepDriver, ResultsFollowJobOrder) {
+  const auto m = topo::phytium2000();
+  const auto jobs = sample_jobs(m);
+  const auto results = SweepDriver(4).run(jobs);
+  ASSERT_EQ(results.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    // Slot i must hold the simulation of jobs[i]: re-run it in isolation
+    // and compare exactly.
+    const SimResult lone =
+        measure_barrier(m, jobs[i].factory, jobs[i].cfg);
+    expect_identical(results[i], lone);
+  }
+}
+
+TEST(SweepDriver, WorkerCountDoesNotChangeResults) {
+  const auto m = topo::thunderx2();
+  const auto jobs = sample_jobs(m);
+  const auto serial = SweepDriver(1).run(jobs);
+  for (const int workers : {2, 4, 8}) {
+    const auto pooled = SweepDriver(workers).run(jobs);
+    ASSERT_EQ(pooled.size(), serial.size()) << workers;
+    for (std::size_t i = 0; i < serial.size(); ++i)
+      expect_identical(pooled[i], serial[i]);
+  }
+}
+
+TEST(SweepDriver, RunIndexedMatchesRun) {
+  const auto m = topo::kunpeng920();
+  const auto jobs = sample_jobs(m);
+  const SweepDriver driver(4);
+  const auto direct = driver.run(jobs);
+  const auto indexed = driver.run_indexed(
+      jobs.size(), [&](std::size_t i) { return jobs[i]; });
+  ASSERT_EQ(indexed.size(), direct.size());
+  for (std::size_t i = 0; i < direct.size(); ++i)
+    expect_identical(indexed[i], direct[i]);
+}
+
+TEST(SweepDriver, RejectsNullMachineAndEmptyFactory) {
+  const auto m = topo::phytium2000();
+  const SweepDriver driver(2);
+  {
+    std::vector<SweepJob> jobs{{nullptr, sim_factory(Algo::kSense, {}),
+                                cfg_for(2)}};
+    EXPECT_THROW(driver.run(jobs), std::invalid_argument);
+  }
+  {
+    std::vector<SweepJob> jobs{{&m, SimBarrierFactory{}, cfg_for(2)}};
+    EXPECT_THROW(driver.run(jobs), std::invalid_argument);
+  }
+}
+
+TEST(SweepDriver, PropagatesFirstJobExceptionByIndex) {
+  const auto m = topo::phytium2000();
+  // Jobs 1 and 3 throw (thread count beyond the machine); the driver must
+  // rethrow the FIRST failing job's exception whatever the completion
+  // order, and still with many workers.
+  std::vector<SweepJob> jobs = {
+      {&m, sim_factory(Algo::kSense, {}), cfg_for(4)},
+      {&m, sim_factory(Algo::kSense, {}), cfg_for(10'000)},
+      {&m, sim_factory(Algo::kSense, {}), cfg_for(8)},
+      {&m, sim_factory(Algo::kSense, {}), cfg_for(20'000)},
+  };
+  for (const int workers : {1, 4}) {
+    try {
+      SweepDriver(workers).run(jobs);
+      FAIL() << "expected invalid_argument with " << workers << " workers";
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find("threads"), std::string::npos);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace armbar::simbar

@@ -54,7 +54,7 @@ TEST(Trace, PollsAreTaggedAsPolls) {
   mem.set_tracer(&tracer);
   const VarId v = mem.new_var(0);
   auto waiter = [](Engine&, MemSystem& m, VarId var) -> SimThread {
-    co_await m.spin_until(1, var, [](std::uint64_t x) { return x == 1; });
+    co_await m.spin_until(1, var, sim::SpinPred::eq(1));
   };
   auto setter = [](Engine& e, MemSystem& m, VarId var) -> SimThread {
     co_await delay(e, 1000);
