@@ -15,6 +15,9 @@
 #include <vector>
 
 #include "armbar/barriers/factory.hpp"
+#include "armbar/obs/metrics.hpp"
+#include "armbar/obs/perfetto.hpp"
+#include "armbar/sim/trace.hpp"
 #include "armbar/simbar/runner.hpp"
 #include "armbar/simbar/sim_barriers.hpp"
 #include "armbar/simbar/sweep.hpp"
@@ -145,6 +148,44 @@ inline void emit(const util::Table& table, const util::Args& args) {
       std::cerr << "warning: cannot write to --out dir '" << *dir << "'\n";
     }
   }
+}
+
+/// Honour --trace=<file> and/or --metrics=<file>: rerun one
+/// representative configuration of the figure with a tracer attached and
+/// write the Perfetto trace / the phase-resolved metrics report.  A no-op
+/// when neither flag was passed, so the measured sweeps above stay
+/// observability-free (tracing is opt-in per run, never ambient).
+inline void emit_observability(const util::Args& args,
+                               const topo::Machine& machine, Algo algo,
+                               int threads, const MakeOptions& opt = {}) {
+  const auto trace_path = args.get("trace");
+  const auto metrics_path = args.get("metrics");
+  if (!trace_path && !metrics_path) return;
+
+  sim::Tracer tracer;
+  const simbar::SimRunConfig cfg = sim_cfg(threads);
+  const simbar::SimResult result = simbar::measure_barrier(
+      machine, simbar::sim_factory(algo, opt), cfg, &tracer);
+
+  const auto write_file = [](const std::string& path,
+                             const std::string& body, const char* what) {
+    std::ofstream out(path);
+    if (!out) {
+      std::cerr << "warning: cannot write " << what << " to '" << path
+                << "'\n";
+      return;
+    }
+    out << body;
+    std::cout << "(wrote " << what << " to " << path << ")\n";
+  };
+  std::cout << "\nObservability run: " << result.barrier_name << " on "
+            << machine.name() << ", " << threads << " threads\n";
+  if (trace_path)
+    write_file(*trace_path, obs::to_perfetto_json(tracer), "Perfetto trace");
+  if (metrics_path)
+    write_file(*metrics_path,
+               obs::to_json(obs::make_metrics(machine, cfg, result, tracer)),
+               "metrics report");
 }
 
 }  // namespace armbar::bench

@@ -60,5 +60,9 @@ int main(int argc, char** argv) {
       {"Kunpeng920 padding speedup exceeds 1.1x (paper: up to 1.35x)",
        kp_speedup > 1.1});
   bench::report_checks(checks);
+
+  // --trace=<file> / --metrics=<file>: observe the arrival-optimized
+  // variant (padded f-way) at full scale on the Phytium 2000+.
+  bench::emit_observability(args, machines[0], Algo::kStaticFwayPadded, 64);
   return 0;
 }

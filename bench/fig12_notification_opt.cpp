@@ -72,5 +72,10 @@ int main(int argc, char** argv) {
          std::abs(g4 - b4) <= 0.35 * std::max(g4, b4)});
   }
   bench::report_checks(checks);
+
+  // --trace=<file> / --metrics=<file>: observe the fully optimized
+  // barrier (padded 4-way arrival + NUMA-aware wake-up) at full scale.
+  bench::emit_observability(args, machines[0], Algo::kOptimized, 64,
+                            opts(NotifyPolicy::kNumaTree, machines[0]));
   return 0;
 }

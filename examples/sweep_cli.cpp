@@ -12,6 +12,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "armbar/obs/perfetto.hpp"
 #include "armbar/simbar/autotune.hpp"
 #include "armbar/simbar/sim_barriers.hpp"
 #include "armbar/topo/machine_file.hpp"
@@ -56,7 +57,8 @@ int main(int argc, char** argv) {
           << "  --threads L    comma list, e.g. 1,2,4,8,16,32,64\n"
           << "  --placement P  compact | scatter | random (default compact)\n"
           << "  --iterations N episodes per run (default 20)\n"
-          << "  --trace FILE   write a chrome://tracing JSON of the run\n"
+          << "  --trace FILE   write a Perfetto / chrome://tracing JSON of "
+             "the run\n"
           << "  --hot-lines    print the busiest cachelines per run\n"
           << "  --autotune     rank all candidates at --threads (single "
              "value)\n"
@@ -136,11 +138,12 @@ int main(int argc, char** argv) {
     if (tracing) {
       const std::string path = args.get_or("trace", "trace.json");
       std::ofstream out(path);
-      out << tracer.to_chrome_json();
+      out << obs::to_perfetto_json(tracer);
       std::cout << "\nwrote " << tracer.events().size()
-                << " trace events to " << path;
+                << " trace events and " << tracer.spans().size()
+                << " phase spans to " << path;
       if (tracer.dropped() > 0)
-        std::cout << " (" << tracer.dropped() << " dropped)";
+        std::cout << " (" << tracer.dropped() << " events dropped)";
       std::cout << "\n";
     }
     return 0;

@@ -1,0 +1,89 @@
+// trace_explorer: phase-resolved observability walkthrough.
+//
+// Runs one barrier configuration with tracing attached and prints the
+// phase breakdown: how much of each episode is arrival vs notification,
+// what the operation mix of each phase is, and which machine latency
+// layers the remote transfers crossed.  Optionally exports the Perfetto
+// timeline and the metrics JSON (schema: docs/TRACING.md):
+//
+//   $ ./trace_explorer --machine phytium2000+ --algo stour --threads 64
+//   $ ./trace_explorer --algo opt --threads 64 \
+//         --trace trace.json --metrics metrics.json
+//
+// Load trace.json at https://ui.perfetto.dev to see, per core, the
+// arrival/notification spans with the individual memory operations (and
+// their latency layers) beneath them.
+
+#include <fstream>
+#include <iostream>
+
+#include "armbar/obs/metrics.hpp"
+#include "armbar/obs/perfetto.hpp"
+#include "armbar/sim/trace.hpp"
+#include "armbar/simbar/runner.hpp"
+#include "armbar/simbar/sim_barriers.hpp"
+#include "armbar/topo/platforms.hpp"
+#include "armbar/util/args.hpp"
+
+int main(int argc, char** argv) {
+  using namespace armbar;
+  try {
+    const util::Args args(argc, argv);
+    if (args.has("help")) {
+      std::cout
+          << "usage: " << args.program() << " [options]\n"
+          << "  --machine M    phytium2000+ | thunderx2 | kunpeng920 | "
+             "xeongold (default phytium2000+)\n"
+          << "  --algo A       algorithm id (see sweep_cli --help; default "
+             "stour)\n"
+          << "  --threads N    team size (default 64)\n"
+          << "  --iterations N episodes (default 20)\n"
+          << "  --trace FILE   write the Perfetto / chrome://tracing JSON\n"
+          << "  --metrics FILE write the phase metrics JSON\n";
+      return 0;
+    }
+
+    const auto machine =
+        topo::machine_by_name(args.get_or("machine", "phytium2000+"));
+    const Algo algo = algo_from_string(args.get_or("algo", "stour"));
+    const int threads = static_cast<int>(args.get_int_or("threads", 64));
+
+    simbar::SimRunConfig cfg;
+    cfg.threads = threads;
+    cfg.iterations = static_cast<int>(args.get_int_or("iterations", 20));
+    cfg.warmup = std::min(5, cfg.iterations - 1);
+
+    sim::Tracer tracer;
+    const auto result = simbar::measure_barrier(
+        machine,
+        simbar::sim_factory(algo, {.cluster_size = machine.cluster_size()}),
+        cfg, &tracer);
+
+    const obs::MetricsReport report =
+        obs::make_metrics(machine, cfg, result, tracer);
+    std::cout << obs::to_table(report) << "\n";
+    if (report.dropped_events > 0 || report.dropped_spans > 0)
+      std::cout << "note: event log overflowed (" << report.dropped_events
+                << " events, " << report.dropped_spans
+                << " spans dropped); counters above are still exact.\n";
+
+    if (const auto path = args.get("trace")) {
+      std::ofstream out(*path);
+      if (!out) throw std::runtime_error("cannot write " + *path);
+      out << obs::to_perfetto_json(tracer);
+      std::cout << "wrote " << tracer.spans().size() << " phase spans and "
+                << tracer.events().size() << " memory ops to " << *path
+                << "\n";
+    }
+    if (const auto path = args.get("metrics")) {
+      std::ofstream out(*path);
+      if (!out) throw std::runtime_error("cannot write " + *path);
+      out << obs::to_json(report);
+      std::cout << "wrote metrics to " << *path << "\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}

@@ -1,0 +1,32 @@
+#pragma once
+// Chrome trace-event JSON export with phase-span tracks, loadable in
+// Perfetto (ui.perfetto.dev) or chrome://tracing.
+//
+// Layout: two "processes" so slices never overlap on one track —
+//  * pid 1 ("phases"): one track per core carrying the barrier phase
+//    spans (arrival / notification, nested round/level spans inside);
+//  * pid 0 ("mem ops"): one track per core carrying the individual costed
+//    memory operations, each tagged with its cacheline, latency layer,
+//    and attributed phase in args.
+// All timestamps are microseconds (the format's unit); the simulator's
+// picosecond instants divide by 1e6.  See docs/TRACING.md.
+
+#include <string>
+
+#include "armbar/sim/trace.hpp"
+
+namespace armbar::obs {
+
+struct PerfettoOptions {
+  /// Emit the per-operation slices (pid 0).  Disable for huge traces when
+  /// only the phase structure matters.
+  bool include_mem_ops = true;
+  /// Emit the phase-span slices (pid 1).
+  bool include_phase_spans = true;
+};
+
+/// Serialize @p tracer's events and spans as Chrome trace-event JSON.
+std::string to_perfetto_json(const sim::Tracer& tracer,
+                             const PerfettoOptions& options = {});
+
+}  // namespace armbar::obs

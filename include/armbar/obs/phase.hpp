@@ -1,0 +1,34 @@
+#pragma once
+// Barrier phase vocabulary for the observability layer.
+//
+// The paper's cost model (Section III) splits barrier time into an
+// *arrival* phase (threads report in) and a *notification* phase (the
+// release propagates back out); every optimization it studies targets one
+// of the two.  This header is the shared, dependency-free vocabulary used
+// by the simulator's tracer, the exporters, and the native-side hooks so
+// that simulated and native phase breakdowns are directly comparable.
+
+#include <cstdint>
+
+namespace armbar::obs {
+
+/// Which part of a barrier episode an operation or span belongs to.
+enum class Phase : std::uint8_t {
+  kNone = 0,          ///< outside any annotated span (think time, runtime)
+  kArrival = 1,       ///< threads reporting in (signal + gather)
+  kNotification = 2,  ///< the release propagating back out (wake-up)
+};
+
+inline constexpr int kNumPhases = 3;
+
+/// Stable lowercase name ("none", "arrival", "notification").
+constexpr const char* to_string(Phase p) noexcept {
+  switch (p) {
+    case Phase::kNone: return "none";
+    case Phase::kArrival: return "arrival";
+    case Phase::kNotification: return "notification";
+  }
+  return "?";
+}
+
+}  // namespace armbar::obs

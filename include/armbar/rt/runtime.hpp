@@ -25,6 +25,7 @@
 #include "armbar/barriers/factory.hpp"
 #include "armbar/barriers/team.hpp"
 #include "armbar/coll/collectives.hpp"
+#include "armbar/obs/native_phase.hpp"
 #include "armbar/util/affinity.hpp"
 
 namespace armbar::rt {
@@ -88,6 +89,13 @@ class Runtime {
     MakeOptions barrier_options{};
     /// Pin worker i to cpu i (best effort; ignored where unsupported).
     bool pin_threads = false;
+    /// Optional phase observability hook: when set, every Team::barrier
+    /// logs its enter/exit instants here so the run decomposes into
+    /// arrival/notification time comparable with the simulator's phase
+    /// spans.  Caller owns the log; it must outlive the Runtime's
+    /// parallel regions.  Null (the default) keeps the barrier fast path
+    /// to a single predictable branch.
+    obs::NativePhaseLog* phase_log = nullptr;
   };
 
   explicit Runtime(Options options);
@@ -118,7 +126,16 @@ class Runtime {
 
 inline int Team::size() const noexcept { return rt_.options_.threads; }
 
-inline void Team::barrier() { rt_.barrier_.wait(tid_); }
+inline void Team::barrier() {
+  obs::NativePhaseLog* log = rt_.options_.phase_log;
+  if (log == nullptr) {
+    rt_.barrier_.wait(tid_);
+    return;
+  }
+  const std::uint64_t enter = obs::NativePhaseLog::now_ns();
+  rt_.barrier_.wait(tid_);
+  log->record(tid_, enter, obs::NativePhaseLog::now_ns());
+}
 
 template <typename F>
 void Team::critical(F&& body) {

@@ -180,6 +180,10 @@ class MemSystem {
   /// outlive the simulation run.
   void set_tracer(Tracer* tracer) noexcept { tracer_ = tracer; }
 
+  /// The attached tracer, or nullptr.  Barrier programs use this to open
+  /// phase spans (sim::PhaseScope) against the run's tracer.
+  Tracer* tracer() const noexcept { return tracer_; }
+
   /// Contention report: the @p top_n busiest cachelines by transaction
   /// count (reads + writes + polls), busiest first.  The hot line of a
   /// centralized barrier is its counter line; a well-padded tree barrier

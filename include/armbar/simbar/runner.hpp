@@ -116,6 +116,13 @@ class SimBarrier {
   /// runtime overhead (if any).
   sim::WakeAt episode_delay(int tid, const SimRunConfig& cfg) const;
 
+  /// Open a phase span on @p core against the run's tracer (no-op when
+  /// tracing is off).  Hold the returned scope across the operations of
+  /// the phase:  `{ auto s = phase(core, obs::Phase::kArrival); ... }`.
+  sim::PhaseScope phase(int core, obs::Phase p, int round = -1) const {
+    return sim::PhaseScope(mem_.tracer(), eng_, core, p, round);
+  }
+
   sim::Engine& eng_;
   sim::MemSystem& mem_;
   int threads_;

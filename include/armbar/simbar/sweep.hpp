@@ -29,6 +29,11 @@ struct SweepJob {
   const topo::Machine* machine = nullptr;
   SimBarrierFactory factory;
   SimRunConfig cfg;
+  /// Optional per-job tracer (owned by the caller, attached for the whole
+  /// run).  Each job needs its own Tracer instance: jobs run concurrently
+  /// and the tracer is not synchronized.  Null (the default) keeps the
+  /// sweep observability-free with zero overhead.
+  sim::Tracer* tracer = nullptr;
 };
 
 class SweepDriver {

@@ -1,0 +1,83 @@
+#!/usr/bin/env python3
+"""Documentation consistency checks (run by CI, stdlib only).
+
+1. Every bench binary declared in bench/CMakeLists.txt must be mentioned
+   in EXPERIMENTS.md -- the file claims to map binaries to paper
+   artifacts, so an unmapped binary is documentation drift.
+2. Every relative markdown link in the repo's *.md files must point at a
+   file (or directory) that exists.
+
+Exit status 0 iff both checks pass; offending items are listed on stderr.
+"""
+
+import re
+import sys
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+
+# Directories never scanned for markdown (build trees, VCS internals).
+SKIP_DIRS = {".git", "build", ".github"}
+
+
+def bench_targets():
+    text = (REPO / "bench" / "CMakeLists.txt").read_text()
+    return re.findall(r"armbar_add_bench\(\s*(\w+)", text)
+
+
+def check_bench_coverage(errors):
+    experiments = (REPO / "EXPERIMENTS.md").read_text()
+    for target in bench_targets():
+        if not re.search(r"\b%s\b" % re.escape(target), experiments):
+            errors.append(
+                "EXPERIMENTS.md does not mention bench target '%s'" % target
+            )
+
+
+# [text](target) -- excluding images and ``-quoted code spans; nested
+# parens don't occur in our links.
+LINK_RE = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+
+
+def markdown_files():
+    for path in sorted(REPO.rglob("*.md")):
+        if not any(part in SKIP_DIRS for part in path.parts):
+            yield path
+
+
+def check_links(errors):
+    for md in markdown_files():
+        for match in LINK_RE.finditer(md.read_text()):
+            target = match.group(1)
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            path_part = target.split("#", 1)[0]
+            if not path_part:  # pure intra-document anchor
+                continue
+            resolved = (md.parent / path_part).resolve()
+            if not resolved.exists():
+                errors.append(
+                    "%s: broken link '%s'"
+                    % (md.relative_to(REPO), target)
+                )
+
+
+def main():
+    errors = []
+    check_bench_coverage(errors)
+    check_links(errors)
+    if errors:
+        for err in errors:
+            print("check_docs: %s" % err, file=sys.stderr)
+        return 1
+    n_targets = len(bench_targets())
+    n_files = len(list(markdown_files()))
+    print(
+        "check_docs: OK (%d bench targets mapped, %d markdown files linked)"
+        % (n_targets, n_files)
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

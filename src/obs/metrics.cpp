@@ -1,0 +1,189 @@
+#include "armbar/obs/metrics.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "armbar/util/table.hpp"
+
+namespace armbar::obs {
+
+namespace {
+
+/// JSON string escaping for the small set of characters our names can
+/// plausibly contain.
+std::string escaped(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default: out += c; break;
+    }
+  }
+  return out;
+}
+
+void emit_u64_array(std::ostringstream& os, const std::vector<std::uint64_t>& v) {
+  os << '[';
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) os << ',';
+    os << v[i];
+  }
+  os << ']';
+}
+
+}  // namespace
+
+std::uint64_t MetricsReport::total_remote_transfers() const noexcept {
+  std::uint64_t sum = 0;
+  for (const std::uint64_t n : totals.layer_transfers) sum += n;
+  return sum;
+}
+
+MetricsReport make_metrics(const topo::Machine& machine,
+                           const simbar::SimRunConfig& cfg,
+                           const simbar::SimResult& result,
+                           const sim::Tracer& tracer) {
+  MetricsReport report;
+  report.machine_name = machine.name();
+  report.barrier_name = result.barrier_name;
+  report.threads = cfg.threads;
+  report.iterations = cfg.iterations;
+  report.mean_overhead_ns = result.mean_overhead_ns;
+  report.events_processed = result.events_processed;
+  report.totals = result.stats;
+  for (int l = 0; l < machine.num_layers(); ++l)
+    report.layer_names.push_back(machine.layer_info(l).name);
+
+  const auto num_layers = static_cast<std::size_t>(machine.num_layers());
+  report.phases.reserve(static_cast<std::size_t>(kNumPhases));
+  for (int p = 0; p < kNumPhases; ++p) {
+    const auto phase = static_cast<Phase>(p);
+    const sim::Tracer::PhaseCounters& c = tracer.phase_counters(phase);
+    PhaseMetrics m;
+    m.phase = phase;
+    m.reads = c.reads;
+    m.writes = c.writes;
+    m.rmws = c.rmws;
+    m.polls = c.polls;
+    m.local_ops = c.local_ops;
+    m.rfo_invalidations = c.rfo_invalidations;
+    m.layer_transfers = c.layer_transfers;
+    if (m.layer_transfers.size() < num_layers)
+      m.layer_transfers.resize(num_layers, 0);
+    m.remote_transfers = c.remote_transfers();
+    m.busy_ns = static_cast<double>(c.busy_ps) / 1e3;
+    m.span_ns = static_cast<double>(c.span_ps) / 1e3;
+    report.phases.push_back(std::move(m));
+  }
+
+  report.trace_events = tracer.events().size();
+  report.trace_spans = tracer.spans().size();
+  report.dropped_events = tracer.dropped();
+  report.dropped_spans = tracer.dropped_spans();
+  return report;
+}
+
+std::string to_json(const MetricsReport& r) {
+  std::ostringstream os;
+  os << "{\n";
+  os << "  \"machine\": \"" << escaped(r.machine_name) << "\",\n";
+  os << "  \"barrier\": \"" << escaped(r.barrier_name) << "\",\n";
+  os << "  \"threads\": " << r.threads << ",\n";
+  os << "  \"iterations\": " << r.iterations << ",\n";
+  os << "  \"mean_overhead_ns\": " << r.mean_overhead_ns << ",\n";
+  os << "  \"events_processed\": " << r.events_processed << ",\n";
+  os << "  \"totals\": {\n";
+  os << "    \"local_reads\": " << r.totals.local_reads << ",\n";
+  os << "    \"remote_reads\": " << r.totals.remote_reads << ",\n";
+  os << "    \"local_writes\": " << r.totals.local_writes << ",\n";
+  os << "    \"remote_writes\": " << r.totals.remote_writes << ",\n";
+  os << "    \"rmws\": " << r.totals.rmws << ",\n";
+  os << "    \"invalidations\": " << r.totals.invalidations << ",\n";
+  os << "    \"poll_reads\": " << r.totals.poll_reads << ",\n";
+  os << "    \"layer_transfers\": ";
+  emit_u64_array(os, r.totals.layer_transfers);
+  os << "\n  },\n";
+  os << "  \"layers\": [";
+  for (std::size_t i = 0; i < r.layer_names.size(); ++i) {
+    if (i > 0) os << ',';
+    os << "\"" << escaped(r.layer_names[i]) << "\"";
+  }
+  os << "],\n";
+  os << "  \"phases\": [";
+  for (std::size_t i = 0; i < r.phases.size(); ++i) {
+    const PhaseMetrics& m = r.phases[i];
+    if (i > 0) os << ',';
+    os << "\n    {\n";
+    os << "      \"phase\": \"" << to_string(m.phase) << "\",\n";
+    os << "      \"reads\": " << m.reads << ",\n";
+    os << "      \"writes\": " << m.writes << ",\n";
+    os << "      \"rmws\": " << m.rmws << ",\n";
+    os << "      \"polls\": " << m.polls << ",\n";
+    os << "      \"local_ops\": " << m.local_ops << ",\n";
+    os << "      \"rfo_invalidations\": " << m.rfo_invalidations << ",\n";
+    os << "      \"remote_transfers\": " << m.remote_transfers << ",\n";
+    os << "      \"layer_transfers\": ";
+    emit_u64_array(os, m.layer_transfers);
+    os << ",\n";
+    os << "      \"busy_ns\": " << m.busy_ns << ",\n";
+    os << "      \"span_ns\": " << m.span_ns << "\n";
+    os << "    }";
+  }
+  os << "\n  ],\n";
+  os << "  \"trace\": {\n";
+  os << "    \"events\": " << r.trace_events << ",\n";
+  os << "    \"spans\": " << r.trace_spans << ",\n";
+  os << "    \"dropped_events\": " << r.dropped_events << ",\n";
+  os << "    \"dropped_spans\": " << r.dropped_spans << "\n";
+  os << "  }\n";
+  os << "}\n";
+  return os.str();
+}
+
+std::string to_table(const MetricsReport& r) {
+  std::ostringstream os;
+  os << "machine: " << r.machine_name << "  barrier: " << r.barrier_name
+     << "  threads: " << r.threads
+     << "  mean overhead: " << util::Table::num(r.mean_overhead_ns, 1)
+     << " ns\n\n";
+
+  util::Table phases("Per-phase breakdown");
+  phases.set_header({"phase", "span us", "busy us", "reads", "writes", "rmws",
+                     "polls", "local", "remote", "rfo"});
+  for (const PhaseMetrics& m : r.phases) {
+    if (m.phase == Phase::kNone && m.reads + m.writes + m.rmws + m.polls == 0)
+      continue;  // nothing ran unattributed: keep the table tight
+    phases.add_row({to_string(m.phase), util::Table::num(m.span_ns / 1e3, 2),
+                    util::Table::num(m.busy_ns / 1e3, 2),
+                    std::to_string(m.reads), std::to_string(m.writes),
+                    std::to_string(m.rmws), std::to_string(m.polls),
+                    std::to_string(m.local_ops),
+                    std::to_string(m.remote_transfers),
+                    std::to_string(m.rfo_invalidations)});
+  }
+  os << phases.to_text() << '\n';
+
+  util::Table layers("Remote transfers by latency layer");
+  layers.set_header({"layer", "name", "arrival", "notification", "total"});
+  for (std::size_t l = 0; l < r.layer_names.size(); ++l) {
+    const auto at = [&](Phase p) -> std::uint64_t {
+      const auto& v =
+          r.phases[static_cast<std::size_t>(p)].layer_transfers;
+      return l < v.size() ? v[l] : 0;
+    };
+    const std::uint64_t total =
+        l < r.totals.layer_transfers.size() ? r.totals.layer_transfers[l] : 0;
+    layers.add_row({"L" + std::to_string(l), r.layer_names[l],
+                    std::to_string(at(Phase::kArrival)),
+                    std::to_string(at(Phase::kNotification)),
+                    std::to_string(total)});
+  }
+  os << layers.to_text();
+  return os.str();
+}
+
+}  // namespace armbar::obs

@@ -1,0 +1,94 @@
+#include "armbar/obs/perfetto.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <string>
+
+namespace armbar::obs {
+
+namespace {
+
+constexpr int kMemPid = 0;
+constexpr int kPhasePid = 1;
+
+double us(util::Picos ps) { return static_cast<double>(ps) / 1e6; }
+
+void emit_process_name(std::ostringstream& os, bool& first, int pid,
+                       const char* name) {
+  if (!first) os << ',';
+  first = false;
+  os << "\n  {\"name\":\"process_name\",\"ph\":\"M\",\"pid\":" << pid
+     << ",\"args\":{\"name\":\"" << name << "\"}}";
+}
+
+void emit_thread_name(std::ostringstream& os, bool& first, int pid, int core) {
+  if (!first) os << ',';
+  first = false;
+  os << "\n  {\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":" << pid
+     << ",\"tid\":" << core << ",\"args\":{\"name\":\"core " << core
+     << "\"}}";
+}
+
+}  // namespace
+
+std::string to_perfetto_json(const sim::Tracer& tracer,
+                             const PerfettoOptions& options) {
+  // Track discovery: cores appear on a pid's track list only if they have
+  // slices there, so empty tracks never clutter the timeline.
+  int max_mem_core = -1;
+  int max_span_core = -1;
+  if (options.include_mem_ops)
+    for (const sim::TraceEvent& ev : tracer.events())
+      max_mem_core = std::max(max_mem_core, ev.core);
+  if (options.include_phase_spans)
+    for (const sim::Tracer::PhaseSpan& sp : tracer.spans())
+      max_span_core = std::max(max_span_core, sp.core);
+
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+
+  if (max_span_core >= 0) {
+    emit_process_name(os, first, kPhasePid, "phases");
+    for (int c = 0; c <= max_span_core; ++c)
+      emit_thread_name(os, first, kPhasePid, c);
+  }
+  if (max_mem_core >= 0) {
+    emit_process_name(os, first, kMemPid, "mem ops");
+    for (int c = 0; c <= max_mem_core; ++c)
+      emit_thread_name(os, first, kMemPid, c);
+  }
+
+  if (options.include_phase_spans) {
+    for (const sim::Tracer::PhaseSpan& sp : tracer.spans()) {
+      if (!first) os << ',';
+      first = false;
+      os << "\n  {\"name\":\"" << to_string(sp.phase);
+      if (sp.round >= 0) os << " r" << sp.round;
+      os << "\",\"cat\":\"phase\",\"ph\":\"X\",\"ts\":" << us(sp.start)
+         << ",\"dur\":" << us(sp.finish - sp.start)
+         << ",\"pid\":" << kPhasePid << ",\"tid\":" << sp.core
+         << ",\"args\":{\"round\":" << sp.round
+         << ",\"depth\":" << sp.depth << "}}";
+    }
+  }
+
+  if (options.include_mem_ops) {
+    for (const sim::TraceEvent& ev : tracer.events()) {
+      if (!first) os << ',';
+      first = false;
+      os << "\n  {\"name\":\"" << sim::to_string(ev.kind) << " L" << ev.line
+         << "\",\"cat\":\"mem\",\"ph\":\"X\",\"ts\":" << us(ev.start)
+         << ",\"dur\":" << us(ev.finish - ev.start)
+         << ",\"pid\":" << kMemPid << ",\"tid\":" << ev.core
+         << ",\"args\":{\"line\":" << ev.line
+         << ",\"layer\":" << static_cast<int>(ev.layer) << ",\"phase\":\""
+         << to_string(ev.phase) << "\",\"round\":" << ev.round << "}}";
+    }
+  }
+
+  os << "\n],\"displayTimeUnit\":\"ns\"}\n";
+  return os.str();
+}
+
+}  // namespace armbar::obs

@@ -138,14 +138,15 @@ Picos MemSystem::read_at(int core, LineId line, Picos issue, bool is_poll) {
 
   const int src = pick_source(sharer, l.owner, core);
   Picos cost;
+  std::int8_t layer = -1;
   if (src == -1) {
     // Cold line: no cached copy anywhere; abstracted as a local fill.
     cost = machine_.epsilon_ps();
   } else {
     const std::uint64_t e = machine_.comm_entry_fast(core, src);
     cost = topo::Machine::entry_ps(e);
-    ++stats_.layer_transfers[static_cast<std::size_t>(
-        topo::Machine::entry_layer(e))];
+    layer = static_cast<std::int8_t>(topo::Machine::entry_layer(e));
+    ++stats_.layer_transfers[static_cast<std::size_t>(layer)];
   }
   // Reader contention (eq. 3's c term): pay c per other read of this line
   // still in flight when ours starts.
@@ -173,7 +174,8 @@ Picos MemSystem::read_at(int core, LineId line, Picos issue, bool is_poll) {
   if (tracer_)
     tracer_->record({start, finish, core, line,
                      is_poll ? TraceEvent::Kind::kPoll
-                             : TraceEvent::Kind::kRead});
+                             : TraceEvent::Kind::kRead,
+                     layer});
   return finish;
 }
 
@@ -186,6 +188,7 @@ Picos MemSystem::write_at(int core, LineId line, Picos issue, bool is_rmw) {
   ++l.write_count;
   Picos base;
   bool fetched_remotely = false;
+  std::int8_t layer = -1;
   if (util::bit_test(sharer, static_cast<std::size_t>(core))) {
     base = machine_.epsilon_ps();
     ++(is_rmw ? stats_.rmws : stats_.local_writes);
@@ -197,8 +200,8 @@ Picos MemSystem::write_at(int core, LineId line, Picos issue, bool is_rmw) {
       const std::uint64_t e = machine_.comm_entry_fast(core, src);
       base = topo::Machine::entry_ps(e);
       fetched_remotely = true;
-      ++stats_.layer_transfers[static_cast<std::size_t>(
-          topo::Machine::entry_layer(e))];
+      layer = static_cast<std::int8_t>(topo::Machine::entry_layer(e));
+      ++stats_.layer_transfers[static_cast<std::size_t>(layer)];
     }
     ++(is_rmw ? stats_.rmws : stats_.remote_writes);
   }
@@ -210,6 +213,7 @@ Picos MemSystem::write_at(int core, LineId line, Picos issue, bool is_rmw) {
   // again.  This is the cascade that makes the centralized barrier
   // quadratic on the packed counter+generation line.
   Picos rfo = 0;
+  std::uint64_t invalidated = 0;
   util::BitWords& holder = holder_scratch_;
   holder.copy_from_words(sharer);
   for (const WaiterBase* w : l.waiters) {
@@ -219,9 +223,10 @@ Picos MemSystem::write_at(int core, LineId line, Picos issue, bool is_rmw) {
     const int si = static_cast<int>(s);
     if (si == core) return;
     rfo += machine_.rfo_ps_fast(core, si);
-    ++stats_.invalidations;
+    ++invalidated;
     util::bit_clear(sharer, s);
   });
+  stats_.invalidations += invalidated;
 
   // Poll pressure: an invalidating transaction on a line that many cores
   // are re-reading contends with those reads at the line's home — the
@@ -248,10 +253,13 @@ Picos MemSystem::write_at(int core, LineId line, Picos issue, bool is_rmw) {
   l.busy_until = is_rmw ? finish : start + base;
   util::bit_set(sharer, static_cast<std::size_t>(core));
   l.owner = core;
-  if (tracer_)
+  if (tracer_) {
     tracer_->record({start, finish, core, line,
                      is_rmw ? TraceEvent::Kind::kRmw
-                            : TraceEvent::Kind::kWrite});
+                            : TraceEvent::Kind::kWrite,
+                     layer});
+    if (invalidated > 0) tracer_->add_rfo(core, invalidated);
+  }
   wake_waiters(line, finish);
   return finish;
 }

@@ -1,5 +1,6 @@
 #include "armbar/sim/trace.hpp"
 
+#include <algorithm>
 #include <sstream>
 
 namespace armbar::sim {
@@ -18,7 +19,36 @@ Tracer::Tracer(std::size_t capacity) : capacity_(capacity) {
   events_.reserve(std::min<std::size_t>(capacity, 4096));
 }
 
-void Tracer::record(const TraceEvent& ev) {
+void Tracer::record(TraceEvent ev) {
+  // Attribute to the innermost span open on the event's core.  This runs
+  // in engine execution order, which equals simulated-time resumption
+  // order, so a poll issued on behalf of a parked waiter lands in the
+  // phase the waiter was in when it parked.
+  if (ev.core >= 0 && static_cast<std::size_t>(ev.core) < open_.size()) {
+    const auto& stack = open_[static_cast<std::size_t>(ev.core)];
+    if (!stack.empty()) {
+      ev.phase = stack.back().phase;
+      ev.round = stack.back().round;
+    }
+  }
+
+  // Counters first: they must stay exact even when the event log is full.
+  PhaseCounters& c = counters_[static_cast<std::size_t>(ev.phase)];
+  switch (ev.kind) {
+    case TraceEvent::Kind::kRead: ++c.reads; break;
+    case TraceEvent::Kind::kWrite: ++c.writes; break;
+    case TraceEvent::Kind::kRmw: ++c.rmws; break;
+    case TraceEvent::Kind::kPoll: ++c.polls; break;
+  }
+  c.busy_ps += ev.finish - ev.start;
+  if (ev.layer >= 0) {
+    const auto layer = static_cast<std::size_t>(ev.layer);
+    if (c.layer_transfers.size() <= layer) c.layer_transfers.resize(layer + 1);
+    ++c.layer_transfers[layer];
+  } else {
+    ++c.local_ops;
+  }
+
   if (events_.size() >= capacity_) {
     ++dropped_;
     return;
@@ -26,13 +56,55 @@ void Tracer::record(const TraceEvent& ev) {
   events_.push_back(ev);
 }
 
+void Tracer::add_rfo(int core, std::uint64_t n) {
+  counters_[static_cast<std::size_t>(current_phase(core))].rfo_invalidations +=
+      n;
+}
+
+void Tracer::begin_phase(int core, obs::Phase phase, int round,
+                         util::Picos now) {
+  if (core < 0) return;
+  if (static_cast<std::size_t>(core) >= open_.size())
+    open_.resize(static_cast<std::size_t>(core) + 1);
+  open_[static_cast<std::size_t>(core)].push_back(
+      OpenSpan{now, phase, static_cast<std::int16_t>(round)});
+}
+
+void Tracer::end_phase(int core, util::Picos now) {
+  if (core < 0 || static_cast<std::size_t>(core) >= open_.size()) return;
+  auto& stack = open_[static_cast<std::size_t>(core)];
+  if (stack.empty()) return;
+  const OpenSpan top = stack.back();
+  stack.pop_back();
+  if (stack.empty())
+    counters_[static_cast<std::size_t>(top.phase)].span_ps += now - top.start;
+  if (spans_.size() >= capacity_) {
+    ++dropped_spans_;
+    return;
+  }
+  spans_.push_back(PhaseSpan{top.start, now, core, top.phase, top.round,
+                             static_cast<std::int16_t>(stack.size())});
+}
+
+obs::Phase Tracer::current_phase(int core) const noexcept {
+  if (core < 0 || static_cast<std::size_t>(core) >= open_.size())
+    return obs::Phase::kNone;
+  const auto& stack = open_[static_cast<std::size_t>(core)];
+  return stack.empty() ? obs::Phase::kNone : stack.back().phase;
+}
+
 void Tracer::clear() {
   events_.clear();
+  spans_.clear();
+  open_.clear();
+  for (PhaseCounters& c : counters_) c = PhaseCounters{};
   dropped_ = 0;
+  dropped_spans_ = 0;
 }
 
 std::vector<Tracer::CoreSummary> Tracer::summarize(int num_cores) const {
-  std::vector<CoreSummary> out(static_cast<std::size_t>(num_cores));
+  std::vector<CoreSummary> out(
+      static_cast<std::size_t>(std::max(num_cores, 0)));
   for (int c = 0; c < num_cores; ++c) out[static_cast<std::size_t>(c)].core = c;
   for (const TraceEvent& ev : events_) {
     if (ev.core < 0 || ev.core >= num_cores) continue;
@@ -50,10 +122,11 @@ std::vector<Tracer::CoreSummary> Tracer::summarize(int num_cores) const {
 
 std::string Tracer::to_csv() const {
   std::ostringstream os;
-  os << "start_ps,finish_ps,core,line,kind\n";
+  os << "start_ps,finish_ps,core,line,kind,layer,phase,round\n";
   for (const TraceEvent& ev : events_) {
     os << ev.start << ',' << ev.finish << ',' << ev.core << ',' << ev.line
-       << ',' << to_string(ev.kind) << '\n';
+       << ',' << to_string(ev.kind) << ',' << static_cast<int>(ev.layer)
+       << ',' << obs::to_string(ev.phase) << ',' << ev.round << '\n';
   }
   return os.str();
 }

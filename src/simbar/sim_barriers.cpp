@@ -35,15 +35,22 @@ sim::SimThread SimSense::run_thread(int tid, const SimRunConfig& cfg,
     co_await episode_delay(tid, cfg);
     rec.enter(tid, it, eng_.now());
     const std::uint64_t e = epoch_of(it);
-    co_await mem_.read(core, gen_);  // load the generation, as libgomp does
-    const std::uint64_t old = co_await mem_.fetch_sub(core, count_, 1);
-    if (old == 1) {
-      co_await mem_.write(core, count_,
-                          static_cast<std::uint64_t>(threads_));
-      co_await mem_.write(core, gen_, e);
-    } else {
-      co_await mem_.spin_until(
-          core, gen_, sim::SpinPred::ge(e));
+    std::uint64_t old;
+    {
+      auto arrive = phase(core, obs::Phase::kArrival);
+      co_await mem_.read(core, gen_);  // load the generation, as libgomp does
+      old = co_await mem_.fetch_sub(core, count_, 1);
+    }
+    {
+      auto notify = phase(core, obs::Phase::kNotification);
+      if (old == 1) {
+        co_await mem_.write(core, count_,
+                            static_cast<std::uint64_t>(threads_));
+        co_await mem_.write(core, gen_, e);
+      } else {
+        co_await mem_.spin_until(
+            core, gen_, sim::SpinPred::ge(e));
+      }
     }
     rec.exit(tid, it, eng_.now());
   }
@@ -76,12 +83,18 @@ sim::SimThread SimDissemination::run_thread(int tid, const SimRunConfig& cfg,
     co_await episode_delay(tid, cfg);
     rec.enter(tid, it, eng_.now());
     const std::uint64_t e = epoch_of(it);
-    for (int r = 0; r < rounds_; ++r) {
-      const int out =
-          shape::DisseminationShape::signal_partner(tid, r, threads_);
-      co_await mem_.write(core, flag(out, r), e);
-      co_await mem_.spin_until(
-          core, flag(tid, r), sim::SpinPred::ge(e));
+    {
+      // Dissemination has no separate notification: the last round's flag
+      // arrival doubles as the release, so every round is arrival work.
+      auto arrive = phase(core, obs::Phase::kArrival);
+      for (int r = 0; r < rounds_; ++r) {
+        auto span = phase(core, obs::Phase::kArrival, r);
+        const int out =
+            shape::DisseminationShape::signal_partner(tid, r, threads_);
+        co_await mem_.write(core, flag(out, r), e);
+        co_await mem_.spin_until(
+            core, flag(tid, r), sim::SpinPred::ge(e));
+      }
     }
     rec.exit(tid, it, eng_.now());
   }
@@ -111,25 +124,32 @@ sim::SimThread SimCombining::run_thread(int tid, const SimRunConfig& cfg,
     rec.enter(tid, it, eng_.now());
     const std::uint64_t e = epoch_of(it);
     int node = tree_.leaf_of_thread[static_cast<std::size_t>(tid)];
-    bool released = false;
-    for (;;) {
-      const std::uint64_t old = co_await mem_.fetch_sub(
-          core, counters_[static_cast<std::size_t>(node)], 1);
-      if (old != 1) break;
-      co_await mem_.write(
-          core, counters_[static_cast<std::size_t>(node)],
-          static_cast<std::uint64_t>(
-              tree_.nodes[static_cast<std::size_t>(node)].fanin));
-      if (node == tree_.root()) {
-        co_await mem_.write(core, gen_, e);
-        released = true;
-        break;
+    bool champion = false;
+    {
+      auto arrive = phase(core, obs::Phase::kArrival);
+      for (;;) {
+        const std::uint64_t old = co_await mem_.fetch_sub(
+            core, counters_[static_cast<std::size_t>(node)], 1);
+        if (old != 1) break;
+        co_await mem_.write(
+            core, counters_[static_cast<std::size_t>(node)],
+            static_cast<std::uint64_t>(
+                tree_.nodes[static_cast<std::size_t>(node)].fanin));
+        if (node == tree_.root()) {
+          champion = true;
+          break;
+        }
+        node = tree_.nodes[static_cast<std::size_t>(node)].parent;
       }
-      node = tree_.nodes[static_cast<std::size_t>(node)].parent;
     }
-    if (!released)
-      co_await mem_.spin_until(
-          core, gen_, sim::SpinPred::ge(e));
+    {
+      auto notify = phase(core, obs::Phase::kNotification);
+      if (champion)
+        co_await mem_.write(core, gen_, e);
+      else
+        co_await mem_.spin_until(
+            core, gen_, sim::SpinPred::ge(e));
+    }
     rec.exit(tid, it, eng_.now());
   }
 }
@@ -168,24 +188,31 @@ sim::SimThread SimMcs::run_thread(int tid, const SimRunConfig& cfg,
     co_await episode_delay(tid, cfg);
     rec.enter(tid, it, eng_.now());
     const std::uint64_t e = epoch_of(it);
-    if (have > 0) {
-      std::vector<sim::VarId> slots;
-      for (int s = 0; s < have; ++s) slots.push_back(slot_var(tid, s));
-      co_await mem_.spin_until_all(core, std::move(slots),
-                                   sim::SpinPred::eq(0));
+    {
+      auto arrive = phase(core, obs::Phase::kArrival);
+      if (have > 0) {
+        std::vector<sim::VarId> slots;
+        for (int s = 0; s < have; ++s) slots.push_back(slot_var(tid, s));
+        co_await mem_.spin_until_all(core, std::move(slots),
+                                     sim::SpinPred::eq(0));
+      }
+      for (int s = 0; s < have; ++s)
+        co_await mem_.write(core, slot_var(tid, s), 1);
+      if (tid != 0) {
+        const int parent = shape::McsShape::arrival_parent(tid);
+        co_await mem_.write(
+            core, slot_var(parent, shape::McsShape::arrival_slot(tid)), 0);
+      }
     }
-    for (int s = 0; s < have; ++s)
-      co_await mem_.write(core, slot_var(tid, s), 1);
-    if (tid != 0) {
-      const int parent = shape::McsShape::arrival_parent(tid);
-      co_await mem_.write(
-          core, slot_var(parent, shape::McsShape::arrival_slot(tid)), 0);
-      co_await mem_.spin_until(
-          core, wake_[static_cast<std::size_t>(tid)],
-          sim::SpinPred::ge(e));
+    {
+      auto notify = phase(core, obs::Phase::kNotification);
+      if (tid != 0)
+        co_await mem_.spin_until(
+            core, wake_[static_cast<std::size_t>(tid)],
+            sim::SpinPred::ge(e));
+      for (int c : wake_kids)
+        co_await mem_.write(core, wake_[static_cast<std::size_t>(c)], e);
     }
-    for (int c : wake_kids)
-      co_await mem_.write(core, wake_[static_cast<std::size_t>(c)], e);
     rec.exit(tid, it, eng_.now());
   }
 }
@@ -212,39 +239,49 @@ sim::SimThread SimTournament::run_thread(int tid, const SimRunConfig& cfg,
     rec.enter(tid, it, eng_.now());
     const std::uint64_t e = epoch_of(it);
     bool lost = false;
-    for (int r = 0; r < rounds && !lost; ++r) {
-      const shape::TourStep& step =
-          schedule_.steps[static_cast<std::size_t>(r)]
-                         [static_cast<std::size_t>(tid)];
-      switch (step.role) {
-        case shape::TourRole::kWinner: {
-          const sim::VarId f =
-              flags_[static_cast<std::size_t>(tid) *
-                         static_cast<std::size_t>(rounds) +
-                     static_cast<std::size_t>(r)];
-          co_await mem_.spin_until(
-              core, f, sim::SpinPred::ge(e));
-          break;
+    {
+      auto arrive = phase(core, obs::Phase::kArrival);
+      for (int r = 0; r < rounds && !lost; ++r) {
+        const shape::TourStep& step =
+            schedule_.steps[static_cast<std::size_t>(r)]
+                           [static_cast<std::size_t>(tid)];
+        if (step.role == shape::TourRole::kBye ||
+            step.role == shape::TourRole::kIdle)
+          continue;
+        auto span = phase(core, obs::Phase::kArrival, r);
+        switch (step.role) {
+          case shape::TourRole::kWinner: {
+            const sim::VarId f =
+                flags_[static_cast<std::size_t>(tid) *
+                           static_cast<std::size_t>(rounds) +
+                       static_cast<std::size_t>(r)];
+            co_await mem_.spin_until(
+                core, f, sim::SpinPred::ge(e));
+            break;
+          }
+          case shape::TourRole::kLoser: {
+            const sim::VarId f =
+                flags_[static_cast<std::size_t>(step.partner) *
+                           static_cast<std::size_t>(rounds) +
+                       static_cast<std::size_t>(r)];
+            co_await mem_.write(core, f, e);
+            lost = true;
+            break;
+          }
+          case shape::TourRole::kBye:
+          case shape::TourRole::kIdle:
+            break;
         }
-        case shape::TourRole::kLoser: {
-          const sim::VarId f =
-              flags_[static_cast<std::size_t>(step.partner) *
-                         static_cast<std::size_t>(rounds) +
-                     static_cast<std::size_t>(r)];
-          co_await mem_.write(core, f, e);
-          lost = true;
-          break;
-        }
-        case shape::TourRole::kBye:
-        case shape::TourRole::kIdle:
-          break;
       }
     }
-    if (!lost)
-      co_await mem_.write(core, gen_, e);
-    else
-      co_await mem_.spin_until(
-          core, gen_, sim::SpinPred::ge(e));
+    {
+      auto notify = phase(core, obs::Phase::kNotification);
+      if (!lost)
+        co_await mem_.write(core, gen_, e);
+      else
+        co_await mem_.spin_until(
+            core, gen_, sim::SpinPred::ge(e));
+    }
     rec.exit(tid, it, eng_.now());
   }
 }
@@ -320,36 +357,43 @@ sim::SimThread SimStaticFway::run_thread(int tid, const SimRunConfig& cfg,
     rec.enter(tid, it, eng_.now());
     const std::uint64_t e = epoch_of(it);
     bool lost = false;
-    for (const RoundPlan& p : plans_[static_cast<std::size_t>(tid)]) {
-      if (p.my_pos == p.group_begin) {
-        if (p.group_end > p.group_begin + 1) {
-          std::vector<sim::VarId> kids;
-          for (int j = p.group_begin + 1; j < p.group_end; ++j)
-            kids.push_back(flag(p.round, j));
-          co_await mem_.spin_until_all(
-              core, std::move(kids),
-              sim::SpinPred::ge(e));
+    {
+      auto arrive = phase(core, obs::Phase::kArrival);
+      for (const RoundPlan& p : plans_[static_cast<std::size_t>(tid)]) {
+        auto span = phase(core, obs::Phase::kArrival, p.round);
+        if (p.my_pos == p.group_begin) {
+          if (p.group_end > p.group_begin + 1) {
+            std::vector<sim::VarId> kids;
+            for (int j = p.group_begin + 1; j < p.group_end; ++j)
+              kids.push_back(flag(p.round, j));
+            co_await mem_.spin_until_all(
+                core, std::move(kids),
+                sim::SpinPred::ge(e));
+          }
+        } else {
+          co_await mem_.write(core, flag(p.round, p.my_pos), e);
+          lost = true;
+          break;
         }
-      } else {
-        co_await mem_.write(core, flag(p.round, p.my_pos), e);
-        lost = true;
-        break;
       }
     }
     // Notification phase.
-    if (options_.notify == NotifyPolicy::kGlobalSense) {
-      if (!lost)
-        co_await mem_.write(core, gen_, e);
-      else
-        co_await mem_.spin_until(
-            core, gen_, sim::SpinPred::ge(e));
-    } else {
-      if (tid != 0)
-        co_await mem_.spin_until(
-            core, wake_[static_cast<std::size_t>(tid)],
-            sim::SpinPred::ge(e));
-      for (int c : wake_children_[static_cast<std::size_t>(tid)])
-        co_await mem_.write(core, wake_[static_cast<std::size_t>(c)], e);
+    {
+      auto notify = phase(core, obs::Phase::kNotification);
+      if (options_.notify == NotifyPolicy::kGlobalSense) {
+        if (!lost)
+          co_await mem_.write(core, gen_, e);
+        else
+          co_await mem_.spin_until(
+              core, gen_, sim::SpinPred::ge(e));
+      } else {
+        if (tid != 0)
+          co_await mem_.spin_until(
+              core, wake_[static_cast<std::size_t>(tid)],
+              sim::SpinPred::ge(e));
+        for (int c : wake_children_[static_cast<std::size_t>(tid)])
+          co_await mem_.write(core, wake_[static_cast<std::size_t>(c)], e);
+      }
     }
     rec.exit(tid, it, eng_.now());
   }
@@ -386,28 +430,35 @@ sim::SimThread SimDynamicFway::run_thread(int tid, const SimRunConfig& cfg,
     const std::uint64_t e = epoch_of(it);
     int pos = tid;
     bool champion = true;
-    for (int r = 0; r < schedule_.num_rounds(); ++r) {
-      const shape::TournamentRound& round =
-          schedule_.rounds[static_cast<std::size_t>(r)];
-      const int g = round.group_of_position(pos);
-      const auto [begin, end] = round.group_range(g);
-      const auto group_size = static_cast<std::uint64_t>(end - begin);
-      const sim::VarId counter =
-          counters_[group_offset_[static_cast<std::size_t>(r)] +
-                    static_cast<std::size_t>(g)];
-      const std::uint64_t arrivals =
-          (co_await mem_.fetch_add(core, counter, 1)) + 1;
-      if (arrivals != e * group_size) {
-        champion = false;
-        break;
+    {
+      auto arrive = phase(core, obs::Phase::kArrival);
+      for (int r = 0; r < schedule_.num_rounds(); ++r) {
+        auto span = phase(core, obs::Phase::kArrival, r);
+        const shape::TournamentRound& round =
+            schedule_.rounds[static_cast<std::size_t>(r)];
+        const int g = round.group_of_position(pos);
+        const auto [begin, end] = round.group_range(g);
+        const auto group_size = static_cast<std::uint64_t>(end - begin);
+        const sim::VarId counter =
+            counters_[group_offset_[static_cast<std::size_t>(r)] +
+                      static_cast<std::size_t>(g)];
+        const std::uint64_t arrivals =
+            (co_await mem_.fetch_add(core, counter, 1)) + 1;
+        if (arrivals != e * group_size) {
+          champion = false;
+          break;
+        }
+        pos = g;
       }
-      pos = g;
     }
-    if (champion)
-      co_await mem_.write(core, gen_, e);
-    else
-      co_await mem_.spin_until(
-          core, gen_, sim::SpinPred::ge(e));
+    {
+      auto notify = phase(core, obs::Phase::kNotification);
+      if (champion)
+        co_await mem_.write(core, gen_, e);
+      else
+        co_await mem_.spin_until(
+            core, gen_, sim::SpinPred::ge(e));
+    }
     rec.exit(tid, it, eng_.now());
   }
 }
@@ -441,25 +492,33 @@ sim::SimThread SimHypercube::run_thread(int tid, const SimRunConfig& cfg,
     co_await episode_delay(tid, cfg);
     rec.enter(tid, it, eng_.now());
     const std::uint64_t e = epoch_of(it);
-    for (int l = 0; l < levels; ++l) {
-      const auto& kids =
-          children_[static_cast<std::size_t>(tid)][static_cast<std::size_t>(l)];
-      if (kids.empty()) continue;
-      std::vector<sim::VarId> flags;
-      for (int c : kids) flags.push_back(arrive_[static_cast<std::size_t>(c)]);
-      co_await mem_.spin_until_all(core, std::move(flags),
-                                   sim::SpinPred::ge(e));
+    {
+      auto arrive = phase(core, obs::Phase::kArrival);
+      for (int l = 0; l < levels; ++l) {
+        const auto& kids = children_[static_cast<std::size_t>(tid)]
+                                    [static_cast<std::size_t>(l)];
+        if (kids.empty()) continue;
+        auto span = phase(core, obs::Phase::kArrival, l);
+        std::vector<sim::VarId> flags;
+        for (int c : kids)
+          flags.push_back(arrive_[static_cast<std::size_t>(c)]);
+        co_await mem_.spin_until_all(core, std::move(flags),
+                                     sim::SpinPred::ge(e));
+      }
+      if (tid != 0)
+        co_await mem_.write(core, arrive_[static_cast<std::size_t>(tid)], e);
     }
-    if (tid != 0) {
-      co_await mem_.write(core, arrive_[static_cast<std::size_t>(tid)], e);
-      co_await mem_.spin_until(
-          core, release_[static_cast<std::size_t>(tid)],
-          sim::SpinPred::ge(e));
-    }
-    for (int l = levels - 1; l >= 0; --l) {
-      for (int c :
-           children_[static_cast<std::size_t>(tid)][static_cast<std::size_t>(l)])
-        co_await mem_.write(core, release_[static_cast<std::size_t>(c)], e);
+    {
+      auto notify = phase(core, obs::Phase::kNotification);
+      if (tid != 0)
+        co_await mem_.spin_until(
+            core, release_[static_cast<std::size_t>(tid)],
+            sim::SpinPred::ge(e));
+      for (int l = levels - 1; l >= 0; --l) {
+        for (int c : children_[static_cast<std::size_t>(tid)]
+                              [static_cast<std::size_t>(l)])
+          co_await mem_.write(core, release_[static_cast<std::size_t>(c)], e);
+      }
     }
     rec.exit(tid, it, eng_.now());
   }
@@ -499,32 +558,41 @@ sim::SimThread SimHybrid::run_thread(int tid, const SimRunConfig& cfg,
     co_await episode_delay(tid, cfg);
     rec.enter(tid, it, eng_.now());
     const std::uint64_t e = epoch_of(it);
-    const std::uint64_t old = co_await mem_.fetch_sub(
-        core, counters_[static_cast<std::size_t>(cl)], 1);
-    if (old == 1) {
-      co_await mem_.write(core, counters_[static_cast<std::size_t>(cl)],
-                          static_cast<std::uint64_t>(members_of(cl)));
-      for (int r = 0; r < rounds_; ++r) {
-        const int out =
-            shape::DisseminationShape::signal_partner(cl, r, num_clusters_);
-        co_await mem_.write(
-            core,
-            flags_[static_cast<std::size_t>(out) *
-                       static_cast<std::size_t>(std::max(rounds_, 1)) +
-                   static_cast<std::size_t>(r)],
-            e);
-        co_await mem_.spin_until(
-            core,
-            flags_[static_cast<std::size_t>(cl) *
-                       static_cast<std::size_t>(std::max(rounds_, 1)) +
-                   static_cast<std::size_t>(r)],
-            sim::SpinPred::ge(e));
+    std::uint64_t old;
+    {
+      auto arrive = phase(core, obs::Phase::kArrival);
+      old = co_await mem_.fetch_sub(
+          core, counters_[static_cast<std::size_t>(cl)], 1);
+      if (old == 1) {
+        co_await mem_.write(core, counters_[static_cast<std::size_t>(cl)],
+                            static_cast<std::uint64_t>(members_of(cl)));
+        for (int r = 0; r < rounds_; ++r) {
+          auto span = phase(core, obs::Phase::kArrival, r);
+          const int out =
+              shape::DisseminationShape::signal_partner(cl, r, num_clusters_);
+          co_await mem_.write(
+              core,
+              flags_[static_cast<std::size_t>(out) *
+                         static_cast<std::size_t>(std::max(rounds_, 1)) +
+                     static_cast<std::size_t>(r)],
+              e);
+          co_await mem_.spin_until(
+              core,
+              flags_[static_cast<std::size_t>(cl) *
+                         static_cast<std::size_t>(std::max(rounds_, 1)) +
+                     static_cast<std::size_t>(r)],
+              sim::SpinPred::ge(e));
+        }
       }
-      co_await mem_.write(core, gens_[static_cast<std::size_t>(cl)], e);
-    } else {
-      co_await mem_.spin_until(
-          core, gens_[static_cast<std::size_t>(cl)],
-          sim::SpinPred::ge(e));
+    }
+    {
+      auto notify = phase(core, obs::Phase::kNotification);
+      if (old == 1)
+        co_await mem_.write(core, gens_[static_cast<std::size_t>(cl)], e);
+      else
+        co_await mem_.spin_until(
+            core, gens_[static_cast<std::size_t>(cl)],
+            sim::SpinPred::ge(e));
     }
     rec.exit(tid, it, eng_.now());
   }
@@ -568,18 +636,23 @@ sim::SimThread SimNWayDissemination::run_thread(int tid,
     rec.enter(tid, it, eng_.now());
     const std::uint64_t e = epoch_of(it);
     std::uint64_t step = 1;
-    for (int r = 0; r < rounds_; ++r) {
-      for (int k = 1; k <= ways_; ++k) {
-        const auto out = (static_cast<std::uint64_t>(tid) +
-                          static_cast<std::uint64_t>(k) * step) %
-                         p;
-        co_await mem_.write(core, flag(static_cast<int>(out), r, k - 1), e);
+    {
+      // Like plain dissemination: symmetric, no dedicated release phase.
+      auto arrive = phase(core, obs::Phase::kArrival);
+      for (int r = 0; r < rounds_; ++r) {
+        auto span = phase(core, obs::Phase::kArrival, r);
+        for (int k = 1; k <= ways_; ++k) {
+          const auto out = (static_cast<std::uint64_t>(tid) +
+                            static_cast<std::uint64_t>(k) * step) %
+                           p;
+          co_await mem_.write(core, flag(static_cast<int>(out), r, k - 1), e);
+        }
+        std::vector<sim::VarId> awaited;
+        for (int k = 0; k < ways_; ++k) awaited.push_back(flag(tid, r, k));
+        co_await mem_.spin_until_all(
+            core, std::move(awaited), sim::SpinPred::ge(e));
+        step *= static_cast<std::uint64_t>(ways_) + 1;
       }
-      std::vector<sim::VarId> awaited;
-      for (int k = 0; k < ways_; ++k) awaited.push_back(flag(tid, r, k));
-      co_await mem_.spin_until_all(
-          core, std::move(awaited), sim::SpinPred::ge(e));
-      step *= static_cast<std::uint64_t>(ways_) + 1;
     }
     rec.exit(tid, it, eng_.now());
   }
@@ -602,17 +675,24 @@ sim::SimThread SimRing::run_thread(int tid, const SimRunConfig& cfg,
     co_await episode_delay(tid, cfg);
     rec.enter(tid, it, eng_.now());
     const std::uint64_t e = epoch_of(it);
-    if (tid != 0) {
-      co_await mem_.spin_until(
-          core, token_[static_cast<std::size_t>(tid)],
-          sim::SpinPred::ge(e));
+    {
+      auto arrive = phase(core, obs::Phase::kArrival);
+      if (tid != 0) {
+        co_await mem_.spin_until(
+            core, token_[static_cast<std::size_t>(tid)],
+            sim::SpinPred::ge(e));
+      }
+      if (tid + 1 < threads_)
+        co_await mem_.write(core, token_[static_cast<std::size_t>(tid) + 1],
+                            e);
     }
-    if (tid + 1 < threads_) {
-      co_await mem_.write(core, token_[static_cast<std::size_t>(tid) + 1], e);
-      co_await mem_.spin_until(
-          core, gen_, sim::SpinPred::ge(e));
-    } else {
-      co_await mem_.write(core, gen_, e);
+    {
+      auto notify = phase(core, obs::Phase::kNotification);
+      if (tid + 1 < threads_)
+        co_await mem_.spin_until(
+            core, gen_, sim::SpinPred::ge(e));
+      else
+        co_await mem_.write(core, gen_, e);
     }
     rec.exit(tid, it, eng_.now());
   }

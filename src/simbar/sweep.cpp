@@ -30,7 +30,7 @@ std::vector<SimResult> SweepDriver::run(
   const auto run_one = [&](std::size_t i) {
     try {
       results[i] = measure_barrier(*jobs[i].machine, jobs[i].factory,
-                                   jobs[i].cfg);
+                                   jobs[i].cfg, jobs[i].tracer);
     } catch (...) {
       errors[i] = std::current_exception();
     }
