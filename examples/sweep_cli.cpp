@@ -5,16 +5,18 @@
 //
 //   $ ./sweep_cli --machine kunpeng920 --algo opt --threads 1,2,4,8,16,64
 //   $ ./sweep_cli --machine tx2 --algo gcc-sense --threads 64 --trace t.json
-//   $ ./sweep_cli --machine phytium --autotune
-//   $ ./sweep_cli --machine kp920 --algo all --threads 64 --csv
+//   $ ./sweep_cli --machine phytium --autotune --prune
+//   $ ./sweep_cli --machine kp920 --algo all --threads 64 --metrics sum.json
 
 #include <fstream>
 #include <iostream>
 #include <sstream>
 
+#include "armbar/obs/aggregate.hpp"
 #include "armbar/obs/perfetto.hpp"
 #include "armbar/simbar/autotune.hpp"
 #include "armbar/simbar/sim_barriers.hpp"
+#include "armbar/simbar/sweep.hpp"
 #include "armbar/topo/machine_file.hpp"
 #include "armbar/topo/placement.hpp"
 #include "armbar/topo/platforms.hpp"
@@ -62,6 +64,11 @@ int main(int argc, char** argv) {
           << "  --hot-lines    print the busiest cachelines per run\n"
           << "  --autotune     rank all candidates at --threads (single "
              "value)\n"
+          << "  --prune        with --autotune: skip notify variants whose\n"
+          << "                 fan-in's arrival floor is already dominated\n"
+          << "  --metrics [F]  run the sweep with per-job metrics and print\n"
+          << "                 the aggregated phase/layer summary; with a\n"
+          << "                 value, also write the summary JSON to F\n"
           << "  --csv          machine-readable output\n";
       return 0;
     }
@@ -74,15 +81,22 @@ int main(int argc, char** argv) {
         args.get_or("threads", "64"), machine.num_cores());
 
     if (args.has("autotune")) {
-      const auto tuned = simbar::autotune(machine, thread_list.front());
+      simbar::TuneOptions opts;
+      opts.iterations = static_cast<int>(args.get_int_or("iterations", 16));
+      opts.prune = args.has("prune");
+      const auto tuned = simbar::autotune(machine, thread_list.front(), opts);
       util::Table t("Auto-tune on " + machine.name() + " at " +
                     std::to_string(thread_list.front()) + " threads");
-      t.set_header({"rank", "barrier", "overhead (us)"});
+      t.set_header({"rank", "barrier", "overhead (us)", "bound", "why"});
       int rank = 1;
       for (const auto& c : tuned.ranking)
         t.add_row({std::to_string(rank++), c.name,
-                   util::Table::num(c.overhead_us, 3)});
+                   util::Table::num(c.overhead_us, 3),
+                   obs::to_string(c.bound), c.explanation});
       std::cout << (args.has("csv") ? t.to_csv() : t.to_text());
+      std::cout << "\nevaluated " << tuned.evaluated << " of "
+                << tuned.grid_size << " grid candidates\n";
+      for (const auto& p : tuned.pruned) std::cout << "  " << p << "\n";
       return 0;
     }
 
@@ -105,20 +119,62 @@ int main(int argc, char** argv) {
 
     sim::Tracer tracer;
     const bool tracing = args.has("trace");
+    const bool metrics = args.has("metrics");
+    if (tracing && metrics)
+      throw std::invalid_argument(
+          "--trace and --metrics are exclusive: metrics mode attaches one "
+          "driver-owned tracer per job");
+
+    const auto make_cfg = [&](int p) {
+      simbar::SimRunConfig cfg;
+      cfg.threads = p;
+      cfg.iterations = static_cast<int>(args.get_int_or("iterations", 20));
+      cfg.warmup = std::min(5, cfg.iterations - 1);
+      if (placement == "scatter")
+        cfg.core_of_thread = topo::scatter_placement(machine, p);
+      else if (placement == "random")
+        cfg.core_of_thread = topo::random_placement(machine, p);
+      else if (placement != "compact")
+        throw std::invalid_argument("unknown placement " + placement);
+      return cfg;
+    };
+
+    if (metrics) {
+      // Fan the whole grid out over the sweep driver with per-job metrics;
+      // results come back in job order, so the tables below read the grid
+      // back row-major.
+      std::vector<simbar::SweepJob> jobs;
+      for (int p : thread_list)
+        for (Algo a : algos)
+          jobs.push_back(simbar::SweepJob{
+              &machine,
+              simbar::sim_factory(a, {.cluster_size = machine.cluster_size()}),
+              make_cfg(p)});
+      const simbar::SweepDriver driver;
+      const auto runs = driver.run_with_metrics(jobs);
+      std::size_t j = 0;
+      for (int p : thread_list) {
+        std::vector<std::string> row{std::to_string(p)};
+        for (std::size_t k = 0; k < algos.size(); ++k)
+          row.push_back(util::Table::num(
+              runs[j++].result.mean_overhead_ns / 1000.0, 3));
+        t.add_row(std::move(row));
+      }
+      std::cout << (args.has("csv") ? t.to_csv() : t.to_text());
+      const obs::SweepSummary summary = obs::aggregate(runs);
+      std::cout << '\n' << obs::to_table(summary);
+      if (const auto path = args.get("metrics"); path && !path->empty()) {
+        std::ofstream out(*path);
+        out << obs::to_json(summary);
+        std::cout << "\nwrote sweep summary JSON to " << *path << "\n";
+      }
+      return 0;
+    }
 
     for (int p : thread_list) {
       std::vector<std::string> row{std::to_string(p)};
       for (Algo a : algos) {
-        simbar::SimRunConfig cfg;
-        cfg.threads = p;
-        cfg.iterations = static_cast<int>(args.get_int_or("iterations", 20));
-        cfg.warmup = std::min(5, cfg.iterations - 1);
-        if (placement == "scatter")
-          cfg.core_of_thread = topo::scatter_placement(machine, p);
-        else if (placement == "random")
-          cfg.core_of_thread = topo::random_placement(machine, p);
-        else if (placement != "compact")
-          throw std::invalid_argument("unknown placement " + placement);
+        const auto cfg = make_cfg(p);
         const auto r = simbar::measure_barrier(
             machine, simbar::sim_factory(a, {.cluster_size = machine.cluster_size()}),
             cfg, tracing ? &tracer : nullptr);

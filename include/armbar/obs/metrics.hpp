@@ -45,6 +45,12 @@ struct PhaseMetrics {
   /// Total simulated time inside outermost spans of this phase, summed
   /// over cores.
   double span_ns = 0.0;
+  /// Mean per-episode critical path of the phase: the longest outermost
+  /// span over cores, averaged over post-warmup episodes.  For arrival
+  /// this is the serial gather floor no wake-up policy can remove — the
+  /// quantity the autotuner's phase prune compares against the best
+  /// overhead (see docs/TRACING.md §7).
+  double critical_span_ns = 0.0;
 };
 
 /// Everything the run produced, ready for serialization.

@@ -19,6 +19,7 @@
 //    total transfer counts even when the event log overflows.  These feed
 //    armbar::obs::MetricsReport.  See docs/TRACING.md for the schema.
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -115,6 +116,13 @@ class Tracer {
     /// Total time inside *outermost* spans of this phase, summed over
     /// cores (nested round spans are not double-counted).
     util::Picos span_ps = 0;
+    /// Per-episode critical path: element k is the longest k-th outermost
+    /// span of this phase over all cores (every core opens one outermost
+    /// arrival/notification span per episode, so k indexes episodes).
+    /// The arrival entry is the serial floor no wake-up policy can beat —
+    /// what the autotuner's phase prune keys on.  Exact regardless of the
+    /// span-log capacity.
+    std::vector<util::Picos> episode_max_span_ps;
     /// Remote transfers by machine latency layer; grown on demand.  Sums
     /// (across phases) to MemStats::layer_transfers exactly.
     std::vector<std::uint64_t> layer_transfers;
@@ -166,6 +174,9 @@ class Tracer {
   std::vector<PhaseSpan> spans_;
   /// Per-core stack of open spans (lazily grown to the largest core seen).
   std::vector<std::vector<OpenSpan>> open_;
+  /// Per-core count of closed outermost spans per phase (the episode
+  /// index feeding PhaseCounters::episode_max_span_ps).
+  std::vector<std::array<std::uint32_t, obs::kNumPhases>> span_seq_;
   PhaseCounters counters_[obs::kNumPhases];
   std::size_t capacity_;
   std::size_t dropped_ = 0;

@@ -17,6 +17,7 @@
 #include <functional>
 #include <vector>
 
+#include "armbar/obs/metrics.hpp"
 #include "armbar/simbar/runner.hpp"
 #include "armbar/topo/machine.hpp"
 
@@ -34,6 +35,13 @@ struct SweepJob {
   /// and the tracer is not synchronized.  Null (the default) keeps the
   /// sweep observability-free with zero overhead.
   sim::Tracer* tracer = nullptr;
+};
+
+/// One job's result together with its phase-resolved metrics report
+/// (SweepDriver::run_with_metrics).
+struct MeteredRun {
+  SimResult result;
+  obs::MetricsReport report;
 };
 
 class SweepDriver {
@@ -58,6 +66,19 @@ class SweepDriver {
   std::vector<SimResult> run_indexed(
       std::size_t count,
       const std::function<SweepJob(std::size_t)>& make) const;
+
+  /// Owning metrics mode: like run(), but the driver attaches one
+  /// sim::Tracer per job and returns each job's SimResult together with
+  /// its obs::MetricsReport, in job order (same determinism guarantee —
+  /// the output is byte-for-byte identical for any worker count).  Jobs
+  /// must not carry their own tracer (std::invalid_argument otherwise;
+  /// use run() for caller-owned tracers).
+  /// @param trace_capacity per-job event/span log capacity.  The default
+  ///   0 retains no event/span log — the per-phase counters feeding the
+  ///   report stay exact regardless (see docs/TRACING.md §1) and large
+  ///   sweeps do not pay a log allocation per concurrent job.
+  std::vector<MeteredRun> run_with_metrics(const std::vector<SweepJob>& jobs,
+                                           std::size_t trace_capacity = 0) const;
 
  private:
   int workers_;

@@ -4,10 +4,16 @@
 1. Every bench binary declared in bench/CMakeLists.txt must be mentioned
    in EXPERIMENTS.md -- the file claims to map binaries to paper
    artifacts, so an unmapped binary is documentation drift.
-2. Every relative markdown link in the repo's *.md files must point at a
+2. Every example binary declared in examples/CMakeLists.txt must be
+   mentioned in EXPERIMENTS.md, README.md, or docs/*.md.
+3. Every user-facing flag the example binaries advertise in their --help
+   text (the ``--flag`` lines of examples/*.cpp) that this script tracks
+   as documentation-worthy must appear in the docs (currently: the
+   observability/tuning flags of sweep_cli and autotune_explain).
+4. Every relative markdown link in the repo's *.md files must point at a
    file (or directory) that exists.
 
-Exit status 0 iff both checks pass; offending items are listed on stderr.
+Exit status 0 iff all checks pass; offending items are listed on stderr.
 """
 
 import re
@@ -32,6 +38,60 @@ def check_bench_coverage(errors):
             errors.append(
                 "EXPERIMENTS.md does not mention bench target '%s'" % target
             )
+
+
+def example_targets():
+    text = (REPO / "examples" / "CMakeLists.txt").read_text()
+    return re.findall(r"armbar_add_example\(\s*(\w+)", text)
+
+
+def doc_corpus():
+    """EXPERIMENTS.md + README.md + docs/*.md, concatenated."""
+    parts = []
+    for path in (REPO / "EXPERIMENTS.md", REPO / "README.md"):
+        if path.exists():
+            parts.append(path.read_text())
+    for path in sorted((REPO / "docs").glob("*.md")):
+        parts.append(path.read_text())
+    return "\n".join(parts)
+
+
+def check_example_coverage(errors):
+    corpus = doc_corpus()
+    for target in example_targets():
+        if not re.search(r"\b%s\b" % re.escape(target), corpus):
+            errors.append(
+                "no doc (EXPERIMENTS.md/README.md/docs/*.md) mentions "
+                "example binary '%s'" % target
+            )
+
+
+# Observability/tuning flags that must stay documented: binary -> flags.
+DOCUMENTED_FLAGS = {
+    "sweep_cli": ["--metrics", "--autotune", "--prune", "--trace"],
+    "autotune_explain": ["--prune"],
+}
+
+
+def check_flag_coverage(errors):
+    corpus = doc_corpus()
+    for binary, flags in DOCUMENTED_FLAGS.items():
+        source = REPO / "examples" / ("%s.cpp" % binary)
+        if not source.exists():
+            errors.append("examples/%s.cpp missing but its flags are "
+                          "tracked by check_docs" % binary)
+            continue
+        text = source.read_text()
+        for flag in flags:
+            if flag not in text:
+                errors.append(
+                    "examples/%s.cpp no longer implements tracked flag "
+                    "'%s' (update DOCUMENTED_FLAGS?)" % (binary, flag)
+                )
+            if flag not in corpus:
+                errors.append(
+                    "no doc mentions %s flag '%s'" % (binary, flag)
+                )
 
 
 # [text](target) -- excluding images and ``-quoted code spans; nested
@@ -65,16 +125,19 @@ def check_links(errors):
 def main():
     errors = []
     check_bench_coverage(errors)
+    check_example_coverage(errors)
+    check_flag_coverage(errors)
     check_links(errors)
     if errors:
         for err in errors:
             print("check_docs: %s" % err, file=sys.stderr)
         return 1
     n_targets = len(bench_targets())
+    n_examples = len(example_targets())
     n_files = len(list(markdown_files()))
     print(
-        "check_docs: OK (%d bench targets mapped, %d markdown files linked)"
-        % (n_targets, n_files)
+        "check_docs: OK (%d bench + %d example targets mapped, "
+        "%d markdown files linked)" % (n_targets, n_examples, n_files)
     )
     return 0
 

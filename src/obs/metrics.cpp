@@ -4,27 +4,14 @@
 #include <sstream>
 
 #include "armbar/util/table.hpp"
+#include "json_util.hpp"
 
 namespace armbar::obs {
 
 namespace {
 
-/// JSON string escaping for the small set of characters our names can
-/// plausibly contain.
-std::string escaped(const std::string& s) {
-  std::string out;
-  out.reserve(s.size());
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      case '\t': out += "\\t"; break;
-      default: out += c; break;
-    }
-  }
-  return out;
-}
+using detail::escaped;
+using detail::json_num;
 
 void emit_u64_array(std::ostringstream& os, const std::vector<std::uint64_t>& v) {
   os << '[';
@@ -77,6 +64,18 @@ MetricsReport make_metrics(const topo::Machine& machine,
     m.remote_transfers = c.remote_transfers();
     m.busy_ns = static_cast<double>(c.busy_ps) / 1e3;
     m.span_ns = static_cast<double>(c.span_ps) / 1e3;
+    // Mean per-episode critical span over post-warmup episodes; when the
+    // warmup covers every recorded episode, fall back to all of them.
+    const auto& eps = c.episode_max_span_ps;
+    if (!eps.empty()) {
+      std::size_t skip = static_cast<std::size_t>(std::max(cfg.warmup, 0));
+      if (skip >= eps.size()) skip = 0;
+      double sum_ps = 0.0;
+      for (std::size_t k = skip; k < eps.size(); ++k)
+        sum_ps += static_cast<double>(eps[k]);
+      m.critical_span_ns =
+          sum_ps / static_cast<double>(eps.size() - skip) / 1e3;
+    }
     report.phases.push_back(std::move(m));
   }
 
@@ -88,13 +87,16 @@ MetricsReport make_metrics(const topo::Machine& machine,
 }
 
 std::string to_json(const MetricsReport& r) {
-  std::ostringstream os;
+  // Classic-locale stream + json_num: the output is valid JSON under any
+  // global locale, and non-finite doubles (empty phases divide by zero
+  // upstream) become null instead of bare nan/inf tokens.
+  std::ostringstream os = detail::json_stream();
   os << "{\n";
   os << "  \"machine\": \"" << escaped(r.machine_name) << "\",\n";
   os << "  \"barrier\": \"" << escaped(r.barrier_name) << "\",\n";
   os << "  \"threads\": " << r.threads << ",\n";
   os << "  \"iterations\": " << r.iterations << ",\n";
-  os << "  \"mean_overhead_ns\": " << r.mean_overhead_ns << ",\n";
+  os << "  \"mean_overhead_ns\": " << json_num(r.mean_overhead_ns) << ",\n";
   os << "  \"events_processed\": " << r.events_processed << ",\n";
   os << "  \"totals\": {\n";
   os << "    \"local_reads\": " << r.totals.local_reads << ",\n";
@@ -129,8 +131,10 @@ std::string to_json(const MetricsReport& r) {
     os << "      \"layer_transfers\": ";
     emit_u64_array(os, m.layer_transfers);
     os << ",\n";
-    os << "      \"busy_ns\": " << m.busy_ns << ",\n";
-    os << "      \"span_ns\": " << m.span_ns << "\n";
+    os << "      \"busy_ns\": " << json_num(m.busy_ns) << ",\n";
+    os << "      \"span_ns\": " << json_num(m.span_ns) << ",\n";
+    os << "      \"critical_span_ns\": " << json_num(m.critical_span_ns)
+       << "\n";
     os << "    }";
   }
   os << "\n  ],\n";
@@ -152,12 +156,13 @@ std::string to_table(const MetricsReport& r) {
      << " ns\n\n";
 
   util::Table phases("Per-phase breakdown");
-  phases.set_header({"phase", "span us", "busy us", "reads", "writes", "rmws",
-                     "polls", "local", "remote", "rfo"});
+  phases.set_header({"phase", "span us", "crit us", "busy us", "reads",
+                     "writes", "rmws", "polls", "local", "remote", "rfo"});
   for (const PhaseMetrics& m : r.phases) {
     if (m.phase == Phase::kNone && m.reads + m.writes + m.rmws + m.polls == 0)
       continue;  // nothing ran unattributed: keep the table tight
     phases.add_row({to_string(m.phase), util::Table::num(m.span_ns / 1e3, 2),
+                    util::Table::num(m.critical_span_ns / 1e3, 2),
                     util::Table::num(m.busy_ns / 1e3, 2),
                     std::to_string(m.reads), std::to_string(m.writes),
                     std::to_string(m.rmws), std::to_string(m.polls),
@@ -168,7 +173,11 @@ std::string to_table(const MetricsReport& r) {
   os << phases.to_text() << '\n';
 
   util::Table layers("Remote transfers by latency layer");
-  layers.set_header({"layer", "name", "arrival", "notification", "total"});
+  // "other" carries unattributed (Phase::kNone) transfers so each row's
+  // phase columns reconcile with the total column exactly (asserted in
+  // tests/test_obs.cpp).
+  layers.set_header(
+      {"layer", "name", "arrival", "notification", "other", "total"});
   for (std::size_t l = 0; l < r.layer_names.size(); ++l) {
     const auto at = [&](Phase p) -> std::uint64_t {
       const auto& v =
@@ -180,6 +189,7 @@ std::string to_table(const MetricsReport& r) {
     layers.add_row({"L" + std::to_string(l), r.layer_names[l],
                     std::to_string(at(Phase::kArrival)),
                     std::to_string(at(Phase::kNotification)),
+                    std::to_string(at(Phase::kNone)),
                     std::to_string(total)});
   }
   os << layers.to_text();

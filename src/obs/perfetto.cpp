@@ -4,6 +4,8 @@
 #include <sstream>
 #include <string>
 
+#include "json_util.hpp"
+
 namespace armbar::obs {
 
 namespace {
@@ -11,7 +13,11 @@ namespace {
 constexpr int kMemPid = 0;
 constexpr int kPhasePid = 1;
 
-double us(util::Picos ps) { return static_cast<double>(ps) / 1e6; }
+/// Microsecond timestamp as a JSON-safe token (ts/dur must be numbers, so
+/// a hypothetical non-finite value clamps to 0 rather than emitting nan).
+std::string us(util::Picos ps) {
+  return detail::json_num_or_zero(static_cast<double>(ps) / 1e6);
+}
 
 void emit_process_name(std::ostringstream& os, bool& first, int pid,
                        const char* name) {
@@ -44,7 +50,9 @@ std::string to_perfetto_json(const sim::Tracer& tracer,
     for (const sim::Tracer::PhaseSpan& sp : tracer.spans())
       max_span_core = std::max(max_span_core, sp.core);
 
-  std::ostringstream os;
+  // Classic locale: `ts`/`dur` doubles must keep '.' decimals whatever
+  // the process-global locale says (a comma would corrupt the JSON).
+  std::ostringstream os = detail::json_stream();
   os << "{\"traceEvents\":[";
   bool first = true;
 

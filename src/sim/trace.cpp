@@ -64,8 +64,11 @@ void Tracer::add_rfo(int core, std::uint64_t n) {
 void Tracer::begin_phase(int core, obs::Phase phase, int round,
                          util::Picos now) {
   if (core < 0) return;
-  if (static_cast<std::size_t>(core) >= open_.size())
+  if (static_cast<std::size_t>(core) >= open_.size()) {
     open_.resize(static_cast<std::size_t>(core) + 1);
+    span_seq_.resize(static_cast<std::size_t>(core) + 1,
+                     std::array<std::uint32_t, obs::kNumPhases>{});
+  }
   open_[static_cast<std::size_t>(core)].push_back(
       OpenSpan{now, phase, static_cast<std::int16_t>(round)});
 }
@@ -76,8 +79,22 @@ void Tracer::end_phase(int core, util::Picos now) {
   if (stack.empty()) return;
   const OpenSpan top = stack.back();
   stack.pop_back();
-  if (stack.empty())
-    counters_[static_cast<std::size_t>(top.phase)].span_ps += now - top.start;
+  if (stack.empty()) {
+    // Outermost-span accounting (before any capacity check, like the
+    // other counters): total span time plus the per-episode critical
+    // path — the k-th outermost span of a phase on a core is that core's
+    // k-th episode, so the max over cores per k is the phase's serial
+    // floor for that episode.
+    PhaseCounters& c = counters_[static_cast<std::size_t>(top.phase)];
+    const util::Picos dur = now - top.start;
+    c.span_ps += dur;
+    auto& seq = span_seq_[static_cast<std::size_t>(core)]
+                         [static_cast<std::size_t>(top.phase)];
+    const std::uint32_t k = seq++;
+    if (c.episode_max_span_ps.size() <= k)
+      c.episode_max_span_ps.resize(k + 1, 0);
+    c.episode_max_span_ps[k] = std::max(c.episode_max_span_ps[k], dur);
+  }
   if (spans_.size() >= capacity_) {
     ++dropped_spans_;
     return;
@@ -97,6 +114,7 @@ void Tracer::clear() {
   events_.clear();
   spans_.clear();
   open_.clear();
+  span_seq_.clear();
   for (PhaseCounters& c : counters_) c = PhaseCounters{};
   dropped_ = 0;
   dropped_spans_ = 0;

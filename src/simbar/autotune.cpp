@@ -1,11 +1,54 @@
 #include "armbar/simbar/autotune.hpp"
 
 #include <algorithm>
+#include <cstdio>
+#include <stdexcept>
 
 #include "armbar/simbar/sim_barriers.hpp"
 #include "armbar/simbar/sweep.hpp"
 
 namespace armbar::simbar {
+
+namespace {
+
+SimRunConfig tune_cfg(int threads, int iterations) {
+  SimRunConfig cfg;
+  cfg.threads = threads;
+  cfg.iterations = iterations;
+  // Clamp: iterations == 1 leaves no room for discarded episodes, and a
+  // negative warmup would silently poison the mean (the pre-fix bug).
+  cfg.warmup = std::max(0, std::min(4, iterations - 1));
+  return cfg;
+}
+
+TuneCandidate make_candidate(Algo algo, const MakeOptions& options,
+                             const MeteredRun& run, double threshold) {
+  TuneCandidate c;
+  c.algo = algo;
+  c.options = options;
+  c.name = run.result.barrier_name;
+  c.overhead_us = run.result.mean_overhead_ns / 1000.0;
+  c.shares = obs::span_shares(run.report);
+  c.bound = obs::classify(c.shares, threshold);
+  c.explanation = obs::explain(run.report, threshold);
+  return c;
+}
+
+/// Grid-entry label for prune records (before a barrier name exists).
+std::string describe(Algo algo, const MakeOptions& o) {
+  std::string s = to_string(algo);
+  if (algo == Algo::kOptimized)
+    s += "(f=" + std::to_string(o.fanin) + "," + to_string(o.notify) + ")";
+  return s;
+}
+
+std::string us_str(double us) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.3f", us);
+  return std::string(buf) + "us";
+}
+
+}  // namespace
 
 std::vector<std::pair<Algo, MakeOptions>> default_tune_candidates(
     const topo::Machine& machine) {
@@ -30,37 +73,121 @@ std::vector<std::pair<Algo, MakeOptions>> default_tune_candidates(
 }
 
 TuneResult autotune(const topo::Machine& machine, int threads,
-                    int iterations) {
-  SimRunConfig cfg;
-  cfg.threads = threads;
-  cfg.iterations = iterations;
-  cfg.warmup = std::min(4, iterations - 1);
+                    const TuneOptions& options) {
+  if (threads < 1)
+    throw std::invalid_argument("autotune: threads must be >= 1, got " +
+                                std::to_string(threads));
+  if (options.iterations < 1)
+    throw std::invalid_argument("autotune: iterations must be >= 1, got " +
+                                std::to_string(options.iterations));
 
-  // Candidates are independent simulations: fan them out over the worker
-  // pool; results come back in candidate order, so the ranking (and its
-  // stable sort) is identical to the sequential evaluation.
-  const auto candidates = default_tune_candidates(machine);
-  std::vector<SweepJob> jobs;
-  jobs.reserve(candidates.size());
-  for (const auto& [algo, options] : candidates)
-    jobs.push_back(SweepJob{&machine, sim_factory(algo, options), cfg});
-  const std::vector<SimResult> measured = SweepDriver().run(jobs);
+  const SimRunConfig cfg = tune_cfg(threads, options.iterations);
+  const auto grid = default_tune_candidates(machine);
 
   TuneResult result;
-  for (std::size_t i = 0; i < candidates.size(); ++i) {
-    TuneCandidate c;
-    c.algo = candidates[i].first;
-    c.options = candidates[i].second;
-    c.name = measured[i].barrier_name;
-    c.overhead_us = measured[i].mean_overhead_ns / 1000.0;
-    result.ranking.push_back(std::move(c));
+  result.grid_size = static_cast<int>(grid.size());
+
+  // Candidates are independent simulations: fan them out over the worker
+  // pool with per-job metrics attached; results come back in submission
+  // order, so the ranking (and its stable sort) is identical for any
+  // worker count.
+  const SweepDriver driver;
+  const auto run_batch = [&](const std::vector<std::size_t>& indices) {
+    std::vector<SweepJob> jobs;
+    jobs.reserve(indices.size());
+    for (const std::size_t i : indices)
+      jobs.push_back(
+          SweepJob{&machine, sim_factory(grid[i].first, grid[i].second), cfg});
+    const std::vector<MeteredRun> runs = driver.run_with_metrics(jobs);
+    for (std::size_t j = 0; j < indices.size(); ++j)
+      result.ranking.push_back(make_candidate(grid[indices[j]].first,
+                                              grid[indices[j]].second, runs[j],
+                                              options.bound_threshold));
+    result.evaluated += static_cast<int>(indices.size());
+    return runs;
+  };
+
+  if (!options.prune) {
+    std::vector<std::size_t> all(grid.size());
+    for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+    run_batch(all);
+  } else {
+    // Stage 1: every non-optimized algorithm plus one representative per
+    // fan-in (the grid lists the global-sense variant first).  The
+    // representative's metrics report carries the fan-in's arrival
+    // critical span — the per-episode gather time no wake-up policy can
+    // beat, since the notify policy only changes the notification tree.
+    std::vector<std::size_t> stage1;
+    struct FaninGroup {
+      int fanin;
+      std::size_t representative;      // index into stage1's batch order
+      std::vector<std::size_t> rest;   // grid indices of other variants
+    };
+    std::vector<FaninGroup> groups;
+    for (std::size_t i = 0; i < grid.size(); ++i) {
+      if (grid[i].first != Algo::kOptimized) {
+        stage1.push_back(i);
+        continue;
+      }
+      const int fanin = grid[i].second.fanin;
+      auto g = std::find_if(groups.begin(), groups.end(),
+                            [&](const FaninGroup& fg) {
+                              return fg.fanin == fanin;
+                            });
+      if (g == groups.end()) {
+        groups.push_back(FaninGroup{fanin, stage1.size(), {}});
+        stage1.push_back(i);
+      } else {
+        g->rest.push_back(i);
+      }
+    }
+    const std::vector<MeteredRun> measured = run_batch(stage1);
+
+    double best_us = measured.front().result.mean_overhead_ns / 1000.0;
+    for (const MeteredRun& r : measured)
+      best_us = std::min(best_us, r.result.mean_overhead_ns / 1000.0);
+
+    // Branch-and-bound by phase: a fan-in whose arrival floor alone is
+    // already dominated (>= the best overhead seen) cannot produce a new
+    // winner under any notify policy, so its remaining variants are
+    // skipped.  The margin discounts the floor for cross-episode overlap
+    // slop; shrinking it only makes the prune more conservative.
+    std::vector<std::size_t> stage2;
+    for (const FaninGroup& g : groups) {
+      const MeteredRun& rep = measured[g.representative];
+      const double arrival_floor_us =
+          rep.report.phases[static_cast<std::size_t>(obs::Phase::kArrival)]
+              .critical_span_ns /
+          1000.0;
+      const double discounted = arrival_floor_us * options.prune_margin;
+      if (arrival_floor_us > 0.0 && discounted >= best_us) {
+        for (const std::size_t i : g.rest)
+          result.pruned.push_back(
+              describe(grid[i].first, grid[i].second) +
+              ": pruned, f=" + std::to_string(g.fanin) + " arrival floor " +
+              us_str(arrival_floor_us) + " (x" +
+              std::to_string(options.prune_margin).substr(0, 4) +
+              " margin) >= best " + us_str(best_us));
+      } else {
+        for (const std::size_t i : g.rest) stage2.push_back(i);
+      }
+    }
+    if (!stage2.empty()) run_batch(stage2);
   }
+
   std::stable_sort(result.ranking.begin(), result.ranking.end(),
                    [](const TuneCandidate& a, const TuneCandidate& b) {
                      return a.overhead_us < b.overhead_us;
                    });
   result.best = result.ranking.front();
   return result;
+}
+
+TuneResult autotune(const topo::Machine& machine, int threads,
+                    int iterations) {
+  TuneOptions options;
+  options.iterations = iterations;
+  return autotune(machine, threads, options);
 }
 
 }  // namespace armbar::simbar

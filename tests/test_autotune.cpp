@@ -2,6 +2,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <stdexcept>
+
 #include "armbar/core/optimized.hpp"
 #include "armbar/simbar/autotune.hpp"
 #include "armbar/topo/platforms.hpp"
@@ -77,6 +80,94 @@ TEST(DefaultCandidates, CoverAlgorithmsAndPolicies) {
   EXPECT_EQ(optimized, 9);  // 3 fan-ins x 3 policies
   EXPECT_TRUE(has_hybrid);
   EXPECT_TRUE(has_sense);
+}
+
+TEST(Autotune, RejectsInvalidThreadAndIterationCounts) {
+  // Regression: iterations < 5 used to drive cfg.warmup negative via
+  // std::min(4, iterations - 1); invalid inputs now fail loudly instead.
+  const auto m = topo::phytium2000();
+  EXPECT_THROW(autotune(m, 0, 8), std::invalid_argument);
+  EXPECT_THROW(autotune(m, -3, 8), std::invalid_argument);
+  EXPECT_THROW(autotune(m, 8, 0), std::invalid_argument);
+  EXPECT_THROW(autotune(m, 8, -1), std::invalid_argument);
+  TuneOptions opts;
+  opts.iterations = 0;
+  EXPECT_THROW(autotune(m, 8, opts), std::invalid_argument);
+}
+
+TEST(Autotune, SingleIterationClampsWarmupToZero) {
+  // iterations == 1 leaves no room for a warmup; the clamp must produce a
+  // usable run (warmup 0), not a negative value poisoning the mean.
+  const auto m = topo::kunpeng920();
+  const auto result = autotune(m, 8, /*iterations=*/1);
+  ASSERT_FALSE(result.ranking.empty());
+  for (const auto& c : result.ranking) {
+    EXPECT_GT(c.overhead_us, 0.0) << c.name;
+    EXPECT_TRUE(std::isfinite(c.overhead_us)) << c.name;
+  }
+}
+
+TEST(Autotune, EveryCandidateCarriesAnExplanation) {
+  const auto result = autotune(topo::thunderx2(), 32, 8);
+  ASSERT_FALSE(result.ranking.empty());
+  for (const auto& c : result.ranking) {
+    EXPECT_FALSE(c.explanation.empty()) << c.name;
+    // The explanation names the classification it is derived from.
+    EXPECT_NE(c.explanation.find(obs::to_string(c.bound)), std::string::npos)
+        << c.name << ": " << c.explanation;
+    EXPECT_GE(c.shares.arrival, 0.0);
+    EXPECT_GE(c.shares.notification, 0.0);
+    EXPECT_LE(c.shares.arrival + c.shares.notification + c.shares.other,
+              1.0 + 1e-9);
+  }
+}
+
+TEST(Autotune, PrunedGridReturnsTheExhaustiveWinner) {
+  // The issue's acceptance bar: on every paper machine at 64 threads, the
+  // phase-pruned search must return the identical best candidate (name and
+  // options) as the exhaustive grid, while evaluating strictly fewer
+  // candidates on at least one machine.
+  bool pruned_somewhere = false;
+  for (const auto& m : topo::armv8_machines()) {
+    TuneOptions exhaustive;
+    exhaustive.iterations = 10;
+    TuneOptions pruning = exhaustive;
+    pruning.prune = true;
+    const auto full = autotune(m, 64, exhaustive);
+    const auto pruned = autotune(m, 64, pruning);
+    EXPECT_EQ(pruned.best.name, full.best.name) << m.name();
+    EXPECT_EQ(pruned.best.algo, full.best.algo) << m.name();
+    EXPECT_EQ(pruned.best.options.fanin, full.best.options.fanin) << m.name();
+    EXPECT_EQ(pruned.best.options.notify, full.best.options.notify)
+        << m.name();
+    EXPECT_DOUBLE_EQ(pruned.best.overhead_us, full.best.overhead_us)
+        << m.name();
+    EXPECT_EQ(full.evaluated, full.grid_size) << m.name();
+    EXPECT_LE(pruned.evaluated, pruned.grid_size) << m.name();
+    EXPECT_EQ(pruned.evaluated + static_cast<int>(pruned.pruned.size()),
+              pruned.grid_size)
+        << m.name();
+    if (pruned.evaluated < pruned.grid_size) pruned_somewhere = true;
+  }
+  EXPECT_TRUE(pruned_somewhere)
+      << "the prune never fired on any paper machine";
+}
+
+TEST(Autotune, PruneRecordsSkippedCandidatesWithEvidence) {
+  TuneOptions opts;
+  opts.iterations = 10;
+  opts.prune = true;
+  const auto result = autotune(topo::phytium2000(), 64, opts);
+  ASSERT_FALSE(result.pruned.empty());
+  for (const auto& p : result.pruned) {
+    EXPECT_NE(p.find("arrival floor"), std::string::npos) << p;
+    EXPECT_NE(p.find("best"), std::string::npos) << p;
+  }
+  // Pruned candidates never appear in the ranking.
+  for (const auto& c : result.ranking)
+    for (const auto& p : result.pruned)
+      EXPECT_EQ(p.rfind(c.name + ":", 0), std::string::npos)
+          << c.name << " both ranked and pruned";
 }
 
 }  // namespace

@@ -3,6 +3,9 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
+#include <locale>
 #include <string>
 
 #include "armbar/obs/metrics.hpp"
@@ -128,6 +131,114 @@ TEST(Metrics, JsonAndTableRender) {
   EXPECT_NE(table.find("arrival"), std::string::npos);
   EXPECT_NE(table.find("notification"), std::string::npos);
   EXPECT_NE(table.find("L0"), std::string::npos);
+}
+
+TEST(Metrics, CriticalSpanIsPositiveAndBelowTotalSpan) {
+  // The per-episode critical span (the prune floor the autotuner keys on)
+  // must exist for both phases of an annotated barrier and sit strictly
+  // below the all-cores/all-episodes span sum.
+  TracedRun run(Algo::kStaticFway, 16, topo::phytium2000());
+  const MetricsReport r =
+      make_metrics(run.machine, run.cfg, run.result, run.tracer);
+  for (const Phase p : {Phase::kArrival, Phase::kNotification}) {
+    const PhaseMetrics& m = r.phases[static_cast<std::size_t>(p)];
+    EXPECT_GT(m.critical_span_ns, 0.0) << to_string(p);
+    EXPECT_LT(m.critical_span_ns, m.span_ns) << to_string(p);
+  }
+}
+
+TEST(Metrics, LayersTableRowsReconcile) {
+  // The layers table carries an "other" column for unattributed
+  // (Phase::kNone) transfers precisely so each row reconciles:
+  // arrival + notification + other == total, per layer.
+  TracedRun run(Algo::kOptimized, 16, topo::kunpeng920());
+  const MetricsReport r =
+      make_metrics(run.machine, run.cfg, run.result, run.tracer);
+  const std::string table = to_table(r);
+  EXPECT_NE(table.find("other"), std::string::npos);
+  EXPECT_NE(table.find("crit us"), std::string::npos);
+  const auto at = [&](Phase p, std::size_t l) -> std::uint64_t {
+    const auto& v = r.phases[static_cast<std::size_t>(p)].layer_transfers;
+    return l < v.size() ? v[l] : 0;
+  };
+  for (std::size_t l = 0; l < r.totals.layer_transfers.size(); ++l)
+    EXPECT_EQ(at(Phase::kArrival, l) + at(Phase::kNotification, l) +
+                  at(Phase::kNone, l),
+              r.totals.layer_transfers[l])
+        << "layer " << l;
+}
+
+/// Locale whose numeric formatting would corrupt JSON if it leaked in:
+/// comma decimal point, dot thousands separator, 3-digit grouping.
+struct CommaDecimalPunct : std::numpunct<char> {
+  char do_decimal_point() const override { return ','; }
+  char do_thousands_sep() const override { return '.'; }
+  std::string do_grouping() const override { return "\3"; }
+};
+
+/// Swaps in the hostile locale for the duration of a test.
+struct GlobalLocaleGuard {
+  std::locale previous;
+  GlobalLocaleGuard()
+      : previous(std::locale::global(
+            std::locale(std::locale::classic(), new CommaDecimalPunct))) {}
+  ~GlobalLocaleGuard() { std::locale::global(previous); }
+};
+
+TEST(Metrics, JsonIsLocaleIndependent) {
+  TracedRun run(Algo::kSense, 8, topo::kunpeng920());
+  const MetricsReport r =
+      make_metrics(run.machine, run.cfg, run.result, run.tracer);
+  const std::string reference = to_json(r);
+  {
+    GlobalLocaleGuard guard;
+    EXPECT_EQ(to_json(r), reference);
+  }
+  // The overhead value itself is a plain JSON number: digits, dot,
+  // exponent — no grouped thousands, no comma decimal point.
+  const std::string key = "\"mean_overhead_ns\": ";
+  const std::size_t at = reference.find(key);
+  ASSERT_NE(at, std::string::npos);
+  const std::size_t end = reference.find_first_of(",\n", at + key.size());
+  const std::string value =
+      reference.substr(at + key.size(), end - at - key.size());
+  EXPECT_EQ(value.find_first_not_of("0123456789.eE+-"), std::string::npos)
+      << value;
+}
+
+TEST(Metrics, NonFiniteValuesSerializeAsNull) {
+  MetricsReport r;
+  r.machine_name = "m";
+  r.barrier_name = "b";
+  r.mean_overhead_ns = std::numeric_limits<double>::quiet_NaN();
+  PhaseMetrics pm;
+  pm.phase = Phase::kArrival;
+  pm.busy_ns = std::numeric_limits<double>::infinity();
+  pm.span_ns = -std::numeric_limits<double>::infinity();
+  r.phases.push_back(pm);
+  const std::string json = to_json(r);
+  EXPECT_NE(json.find("\"mean_overhead_ns\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"busy_ns\": null"), std::string::npos);
+  EXPECT_NE(json.find("\"span_ns\": null"), std::string::npos);
+  EXPECT_EQ(json.find("nan"), std::string::npos);
+  EXPECT_EQ(json.find("inf"), std::string::npos);
+}
+
+TEST(Metrics, ControlCharactersAreEscaped) {
+  MetricsReport r;
+  r.machine_name = std::string("bad\x01name\x1f") + "\ttab";
+  r.barrier_name = "quote\"back\\slash\nnewline";
+  const std::string json = to_json(r);
+  EXPECT_NE(json.find("\\u0001"), std::string::npos);
+  EXPECT_NE(json.find("\\u001f"), std::string::npos);
+  EXPECT_NE(json.find("\\t"), std::string::npos);
+  EXPECT_NE(json.find("\\\""), std::string::npos);
+  EXPECT_NE(json.find("\\\\"), std::string::npos);
+  EXPECT_NE(json.find("\\n"), std::string::npos);
+  // No raw control character survives into the output.
+  for (const char ch : json)
+    EXPECT_TRUE(static_cast<unsigned char>(ch) >= 0x20 || ch == '\n')
+        << "raw control char " << static_cast<int>(ch);
 }
 
 TEST(Perfetto, EmitsPhaseAndMemTracksWithMetadata) {

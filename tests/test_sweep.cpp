@@ -5,8 +5,11 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <string>
 #include <vector>
 
+#include "armbar/obs/aggregate.hpp"
+#include "armbar/sim/trace.hpp"
 #include "armbar/simbar/sim_barriers.hpp"
 #include "armbar/simbar/sweep.hpp"
 #include "armbar/topo/platforms.hpp"
@@ -128,6 +131,78 @@ TEST(SweepDriver, PropagatesFirstJobExceptionByIndex) {
       EXPECT_NE(std::string(e.what()).find("threads"), std::string::npos);
     }
   }
+}
+
+TEST(SweepDriverMetrics, ResultsMatchPlainRunAndCarryReports) {
+  const auto m = topo::phytium2000();
+  const auto jobs = sample_jobs(m);
+  const SweepDriver driver(4);
+  const auto plain = driver.run(jobs);
+  const auto metered = driver.run_with_metrics(jobs);
+  ASSERT_EQ(metered.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    // Attaching a tracer must not perturb the simulation itself.
+    expect_identical(metered[i].result, plain[i]);
+    const obs::MetricsReport& r = metered[i].report;
+    EXPECT_EQ(r.barrier_name, plain[i].barrier_name);
+    EXPECT_EQ(r.threads, jobs[i].cfg.threads);
+    EXPECT_GT(r.total_remote_transfers(), 0u);
+    // Per-phase layer histograms reconcile with the run's own MemStats.
+    const auto& totals = r.totals.layer_transfers;
+    for (std::size_t l = 0; l < totals.size(); ++l) {
+      std::uint64_t phase_sum = 0;
+      for (const auto& pm : r.phases)
+        if (l < pm.layer_transfers.size()) phase_sum += pm.layer_transfers[l];
+      EXPECT_EQ(phase_sum, totals[l]) << r.barrier_name << " layer " << l;
+    }
+  }
+}
+
+TEST(SweepDriverMetrics, AggregatedJsonIdenticalForAnyWorkerCount) {
+  // The acceptance bar from the issue: the aggregated sweep JSON must be
+  // byte-for-byte identical for a serial driver and any pool size.
+  const auto m = topo::kunpeng920();
+  const auto jobs = sample_jobs(m);
+  const std::string serial =
+      obs::to_json(obs::aggregate(SweepDriver(1).run_with_metrics(jobs)));
+  EXPECT_FALSE(serial.empty());
+  for (const int workers : {2, 4, 8}) {
+    const std::string pooled =
+        obs::to_json(obs::aggregate(SweepDriver(workers).run_with_metrics(jobs)));
+    EXPECT_EQ(pooled, serial) << workers << " workers";
+  }
+}
+
+TEST(SweepDriverMetrics, CountersExactWithZeroTraceCapacity) {
+  // trace_capacity 0 keeps no event/span log, but the counters feeding the
+  // report must be exact: compare against a full-capacity run.
+  const auto m = topo::thunderx2();
+  std::vector<SweepJob> jobs{
+      {&m, sim_factory(Algo::kStaticFway, {}), cfg_for(16)}};
+  const SweepDriver driver(1);
+  const auto lean = driver.run_with_metrics(jobs, 0);
+  const auto full = driver.run_with_metrics(jobs, sim::Tracer::kDefaultCapacity);
+  ASSERT_EQ(lean.size(), 1u);
+  EXPECT_EQ(lean[0].report.trace_events, 0u);
+  EXPECT_GT(full[0].report.trace_events, 0u);
+  for (std::size_t p = 0; p < lean[0].report.phases.size(); ++p) {
+    const auto& a = lean[0].report.phases[p];
+    const auto& b = full[0].report.phases[p];
+    EXPECT_EQ(a.reads, b.reads);
+    EXPECT_EQ(a.writes, b.writes);
+    EXPECT_EQ(a.polls, b.polls);
+    EXPECT_EQ(a.layer_transfers, b.layer_transfers);
+    EXPECT_DOUBLE_EQ(a.span_ns, b.span_ns);
+    EXPECT_DOUBLE_EQ(a.critical_span_ns, b.critical_span_ns);
+  }
+}
+
+TEST(SweepDriverMetrics, RejectsCallerOwnedTracer) {
+  const auto m = topo::phytium2000();
+  sim::Tracer tracer;
+  std::vector<SweepJob> jobs{
+      {&m, sim_factory(Algo::kSense, {}), cfg_for(4), &tracer}};
+  EXPECT_THROW(SweepDriver(2).run_with_metrics(jobs), std::invalid_argument);
 }
 
 }  // namespace
