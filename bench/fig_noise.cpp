@@ -1,0 +1,238 @@
+// fig_noise: barrier overhead degradation under injected faults.
+//
+// Sweeps the armbar::fault knobs — straggler slowdown and OS-noise duty
+// cycle — over representative barrier algorithms on the three ARMv8
+// machines at 64 threads, and reports mean and p99 episode overhead per
+// intensity (the degradation table).  Every simulation is seeded and
+// deterministic: --json output is byte-identical across reruns and for
+// any --workers count, which CI exploits as a regression check.
+
+#include <deque>
+#include <iomanip>
+#include <locale>
+
+#include "armbar/fault/plan.hpp"
+#include "armbar/util/stats.hpp"
+#include "common.hpp"
+
+namespace {
+
+using namespace armbar;
+
+constexpr int kThreads = 64;
+constexpr std::uint64_t kSeed = 7;
+constexpr double kStragglerFraction = 0.125;  // 8 of 64 cores
+
+// Straggler intensity: cost multiplier on the slowed cores.  1.0 is the
+// fault-free baseline; the straggler set is identical across intensities
+// (same seed, same fraction), so overhead is monotone in the slowdown.
+const std::vector<double> kSlowdowns = {1.0, 1.5, 2.0, 3.0, 4.0};
+
+// Noise intensity: pulse duration at a fixed 50us period (duty cycle
+// 0 / 1 / 5 / 10%).  0 disables noise (baseline).
+constexpr double kNoisePeriodUs = 50.0;
+const std::vector<double> kNoiseDurationsUs = {0.0, 0.5, 2.5, 5.0};
+
+// Distributed algorithms only: the centralized SENSE barrier's 64-thread
+// overhead is a contention storm that stragglers partially *relieve* (they
+// desynchronize arrivals), so its degradation is deliberately out of scope
+// for the monotonicity table.
+const std::vector<Algo> kAlgos = {Algo::kDissemination, Algo::kCombiningTree,
+                                  Algo::kTournament, Algo::kStaticFway};
+
+struct Cell {
+  double mean_us = 0.0;
+  double p99_us = 0.0;
+};
+
+struct Row {
+  std::string machine;
+  std::string algo;
+  std::string fault;  ///< "straggler" | "noise"
+  double intensity = 0.0;
+  Cell cell;
+};
+
+fault::FaultSpec straggler_spec(double slowdown) {
+  fault::FaultSpec spec;
+  spec.seed = kSeed;
+  spec.straggler.fraction = kStragglerFraction;
+  spec.straggler.slowdown = slowdown;
+  return spec;
+}
+
+fault::FaultSpec noise_spec(double duration_us) {
+  fault::FaultSpec spec;
+  spec.seed = kSeed;
+  spec.noise.period_us = kNoisePeriodUs;
+  spec.noise.duration_us = duration_us;
+  return spec;
+}
+
+Cell to_cell(const simbar::SimResult& r, const simbar::SimRunConfig& cfg) {
+  Cell c;
+  c.mean_us = r.mean_overhead_ns / 1000.0;
+  const std::span<const double> tail(
+      r.per_episode_ns.data() + cfg.warmup,
+      r.per_episode_ns.size() - static_cast<std::size_t>(cfg.warmup));
+  c.p99_us = util::quantile(tail, 0.99) / 1000.0;
+  return c;
+}
+
+std::string fmt_cell(const Cell& c) {
+  return util::Table::num(c.mean_us, 3) + " (" + util::Table::num(c.p99_us, 3) +
+         ")";
+}
+
+std::string to_json(const std::vector<Row>& rows,
+                    const std::vector<simbar::JobError>& errors) {
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  os << std::setprecision(17);
+  os << "{\n  \"benchmark\": \"fig_noise\",\n  \"threads\": " << kThreads
+     << ",\n  \"seed\": " << kSeed << ",\n  \"results\": [";
+  bool first = true;
+  for (const Row& r : rows) {
+    os << (first ? "\n" : ",\n") << "    {\"machine\": \"" << r.machine
+       << "\", \"algo\": \"" << r.algo << "\", \"fault\": \"" << r.fault
+       << "\", \"intensity\": " << r.intensity
+       << ", \"mean_us\": " << r.cell.mean_us
+       << ", \"p99_us\": " << r.cell.p99_us << "}";
+    first = false;
+  }
+  os << "\n  ],\n  \"errors\": " << simbar::errors_to_json(errors) << "\n}\n";
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace armbar;
+  const util::Args args(argc, argv);
+
+  std::cout << "== fig_noise: overhead degradation under injected faults "
+               "(mean (p99), us, "
+            << kThreads << " threads) ==\n\n";
+
+  const auto machines = topo::armv8_machines();
+  const simbar::SimRunConfig base_cfg = bench::sim_cfg(kThreads);
+
+  // Materialize one Plan per (machine, spec): plans are immutable and
+  // shared by const pointer with the concurrently running jobs, so they
+  // live in a deque (stable addresses) until the sweep returns.
+  std::deque<fault::Plan> plans;
+  std::vector<simbar::SweepJob> jobs;
+  std::vector<Row> rows;  // parallel to jobs
+  const auto queue = [&](const topo::Machine& m, Algo a, const char* kind,
+                         double intensity, const fault::FaultSpec& spec) {
+    simbar::SimRunConfig cfg = base_cfg;
+    if (spec.any()) {
+      plans.emplace_back(spec, m.num_cores(), m.num_layers());
+      cfg.fault = &plans.back();
+    }
+    jobs.push_back(simbar::SweepJob{
+        &m, simbar::sim_factory(a, {.cluster_size = m.cluster_size()}), cfg});
+    rows.push_back(Row{m.name(), to_string(a), kind, intensity, {}});
+  };
+
+  for (const auto& m : machines)
+    for (Algo a : kAlgos) {
+      for (double s : kSlowdowns)
+        queue(m, a, "straggler", s, straggler_spec(s));
+      for (double d : kNoiseDurationsUs)
+        queue(m, a, "noise", d / kNoisePeriodUs, noise_spec(d));
+    }
+
+  const simbar::SweepDriver driver(
+      static_cast<int>(args.get_int_or("workers", 0)));
+  const auto outcome = driver.run_with_metrics_isolated(jobs);
+  for (std::size_t i = 0; i < jobs.size(); ++i)
+    if (outcome.results[i])
+      rows[i].cell = to_cell(outcome.results[i]->result, jobs[i].cfg);
+
+  // One straggler table and one noise table per machine: rows are
+  // intensities, columns are algorithms, cells are "mean (p99)".
+  const auto lookup = [&](const std::string& machine, const std::string& algo,
+                          const char* kind, double intensity) {
+    for (const Row& r : rows)
+      if (r.machine == machine && r.algo == algo && r.fault == kind &&
+          r.intensity == intensity)
+        return r.cell;
+    return Cell{};
+  };
+  for (const auto& m : machines) {
+    {
+      util::Table t("Stragglers on " + m.name() + " (fraction " +
+                    util::Table::num(kStragglerFraction, 3) + ")");
+      std::vector<std::string> header{"slowdown"};
+      for (Algo a : kAlgos) header.push_back(to_string(a));
+      t.set_header(std::move(header));
+      for (double s : kSlowdowns) {
+        std::vector<std::string> row{util::Table::num(s, 1)};
+        for (Algo a : kAlgos)
+          row.push_back(fmt_cell(lookup(m.name(), to_string(a), "straggler", s)));
+        t.add_row(std::move(row));
+      }
+      bench::emit(t, args);
+    }
+    {
+      util::Table t("OS noise on " + m.name() + " (period " +
+                    util::Table::num(kNoisePeriodUs, 0) + "us)");
+      std::vector<std::string> header{"duty"};
+      for (Algo a : kAlgos) header.push_back(to_string(a));
+      t.set_header(std::move(header));
+      for (double d : kNoiseDurationsUs) {
+        std::vector<std::string> row{util::Table::num(d / kNoisePeriodUs, 2)};
+        for (Algo a : kAlgos)
+          row.push_back(fmt_cell(
+              lookup(m.name(), to_string(a), "noise", d / kNoisePeriodUs)));
+        t.add_row(std::move(row));
+      }
+      bench::emit(t, args);
+    }
+  }
+
+  // Degradation must be monotone in straggler intensity (same straggler
+  // set at every slowdown) and noise must cost more than no noise.  The
+  // 2% tolerance absorbs second-order contention effects.
+  std::vector<bench::ShapeCheck> checks;
+  checks.push_back({"sweep completed without job errors",
+                    outcome.ok() && outcome.results.size() == jobs.size()});
+  for (const auto& m : machines)
+    for (Algo a : kAlgos) {
+      bool monotone = true;
+      for (std::size_t i = 1; i < kSlowdowns.size(); ++i) {
+        const double prev =
+            lookup(m.name(), to_string(a), "straggler", kSlowdowns[i - 1])
+                .mean_us;
+        const double cur =
+            lookup(m.name(), to_string(a), "straggler", kSlowdowns[i]).mean_us;
+        if (cur < prev * 0.98) monotone = false;
+      }
+      checks.push_back({m.name() + "/" + to_string(a) +
+                            ": mean overhead monotone in straggler slowdown",
+                        monotone});
+      const double quiet =
+          lookup(m.name(), to_string(a), "noise", 0.0).mean_us;
+      const double noisy =
+          lookup(m.name(), to_string(a), "noise",
+                 kNoiseDurationsUs.back() / kNoisePeriodUs)
+              .mean_us;
+      checks.push_back(
+          {m.name() + "/" + to_string(a) + ": 10% noise duty costs more "
+                                           "than noise-free",
+           noisy > quiet});
+    }
+  const int failures = bench::report_checks(checks);
+
+  if (const auto path = args.get("json")) {
+    std::ofstream out(*path);
+    if (out) {
+      out << to_json(rows, outcome.errors);
+      std::cout << "(wrote degradation JSON to " << *path << ")\n";
+    } else {
+      std::cerr << "warning: cannot write --json file '" << *path << "'\n";
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}

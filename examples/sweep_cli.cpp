@@ -12,6 +12,7 @@
 #include <iostream>
 #include <sstream>
 
+#include "armbar/fault/plan.hpp"
 #include "armbar/obs/aggregate.hpp"
 #include "armbar/obs/perfetto.hpp"
 #include "armbar/simbar/autotune.hpp"
@@ -37,6 +38,22 @@ std::vector<int> parse_thread_list(const std::string& spec, int max_cores) {
   }
   if (out.empty()) throw std::invalid_argument("--threads list is empty");
   return out;
+}
+
+/// Parse "A:B" into a pair of doubles (for --noise P:D and --straggler F:S).
+std::pair<double, double> parse_pair(const std::string& flag,
+                                     const std::string& spec) {
+  const auto colon = spec.find(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 == spec.size())
+    throw std::invalid_argument("--" + flag + " expects A:B, got '" + spec +
+                                "'");
+  std::size_t pos_a = 0, pos_b = 0;
+  const std::string a = spec.substr(0, colon), b = spec.substr(colon + 1);
+  const double va = std::stod(a, &pos_a), vb = std::stod(b, &pos_b);
+  if (pos_a != a.size() || pos_b != b.size())
+    throw std::invalid_argument("--" + flag + " expects A:B, got '" + spec +
+                                "'");
+  return {va, vb};
 }
 
 }  // namespace
@@ -69,6 +86,10 @@ int main(int argc, char** argv) {
           << "  --metrics [F]  run the sweep with per-job metrics and print\n"
           << "                 the aggregated phase/layer summary; with a\n"
           << "                 value, also write the summary JSON to F\n"
+          << "  --noise P:D    inject OS-noise pulses of D us every P us\n"
+          << "                 (seeded, deterministic; see docs/FAULTS.md)\n"
+          << "  --straggler F:S slow a seeded fraction F of cores by Sx\n"
+          << "  --fault-seed N seed for the fault plan (default 42)\n"
           << "  --csv          machine-readable output\n";
       return 0;
     }
@@ -79,6 +100,27 @@ int main(int argc, char** argv) {
             : topo::machine_by_name(args.get_or("machine", "kunpeng920"));
     const auto thread_list = parse_thread_list(
         args.get_or("threads", "64"), machine.num_cores());
+
+    // Optional fault plan, shared by every run of the sweep.
+    fault::FaultSpec fault_spec;
+    fault_spec.seed =
+        static_cast<std::uint64_t>(args.get_int_or("fault-seed", 42));
+    if (const auto noise = args.get("noise")) {
+      const auto [period, duration] = parse_pair("noise", *noise);
+      fault_spec.noise.period_us = period;
+      fault_spec.noise.duration_us = duration;
+    }
+    if (const auto straggler = args.get("straggler")) {
+      const auto [fraction, slowdown] = parse_pair("straggler", *straggler);
+      fault_spec.straggler.fraction = fraction;
+      fault_spec.straggler.slowdown = slowdown;
+    }
+    const fault::Plan fault_plan =
+        fault_spec.any()
+            ? fault::Plan(fault_spec, machine.num_cores(), machine.num_layers())
+            : fault::Plan();
+    if (fault_plan.active())
+      std::cout << "fault plan: " << fault_plan.describe() << "\n";
 
     if (args.has("autotune")) {
       simbar::TuneOptions opts;
@@ -136,6 +178,7 @@ int main(int argc, char** argv) {
         cfg.core_of_thread = topo::random_placement(machine, p);
       else if (placement != "compact")
         throw std::invalid_argument("unknown placement " + placement);
+      if (fault_plan.active()) cfg.fault = &fault_plan;
       return cfg;
     };
 

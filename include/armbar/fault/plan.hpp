@@ -1,0 +1,149 @@
+#pragma once
+// Deterministic fault injection for the simulator (armbar::fault).
+//
+// The cost model assumes idealized, noise-free cores, but barrier
+// algorithms are exactly the primitive whose real-world behaviour is
+// dominated by stragglers, OS preemption, and saturated links.  A
+// fault::Plan is a fully materialized, seeded perturbation schedule that
+// the memory system consults on every costed operation:
+//
+//  * OS-noise pulses   — per-core periodic preemption windows; an
+//    operation issued inside a pulse is held until the pulse ends
+//    (release()).  Period/duration/offset are drawn per core from the
+//    configured distributions at build time, so queries are O(1),
+//    stateless, and bit-reproducible.
+//  * straggler cores   — a seeded subset of cores executes every
+//    operation slower by a fixed-point factor (scale()).
+//  * degraded links    — remote transfers crossing layer >= min_layer pay
+//    a latency surcharge (link_extra()).
+//
+// Determinism contract: a Plan is a pure function of (FaultSpec, machine
+// shape).  Two plans built from the same spec for the same machine
+// perturb identically; the simulation stays a pure function of its
+// inputs, so seeded noisy runs replay bit-for-bit and sweep results are
+// independent of worker count.  An inert (default-constructed or
+// all-disabled) plan is never consulted: MemSystem guards every hook with
+// one null/active check, preserving the zero-overhead guarantee of
+// unperturbed runs.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "armbar/util/vtime.hpp"
+
+namespace armbar::fault {
+
+using util::Picos;
+
+/// Periodic per-core preemption pulses (OS noise / timer ticks).
+struct NoiseSpec {
+  double period_us = 0.0;    ///< mean pulse period; <= 0 disables noise
+  double duration_us = 0.0;  ///< mean pulse duration (must be < period)
+  /// Relative spread of the per-core period/duration draws: each core's
+  /// values are uniform in mean * [1 - jitter, 1 + jitter].  0 gives every
+  /// core the identical cadence (offsets still differ).
+  double jitter = 0.5;
+};
+
+/// Per-core slowdown (the load-imbalance / straggler model).
+struct StragglerSpec {
+  double fraction = 0.0;  ///< fraction of cores slowed, in [0, 1]
+  double slowdown = 1.0;  ///< cost multiplier on slow cores, >= 1
+};
+
+/// Degraded cross-cluster interconnect.
+struct LinkSpec {
+  int min_layer = 1;    ///< cheapest machine layer that is degraded
+  double factor = 1.0;  ///< latency multiplier on degraded layers, >= 1
+};
+
+/// Everything a Plan is built from.  Default-constructed spec = no faults.
+struct FaultSpec {
+  std::uint64_t seed = 42;
+  NoiseSpec noise;
+  StragglerSpec straggler;
+  LinkSpec link;
+
+  bool any() const noexcept {
+    return (noise.period_us > 0.0 && noise.duration_us > 0.0) ||
+           (straggler.fraction > 0.0 && straggler.slowdown > 1.0) ||
+           link.factor > 1.0;
+  }
+};
+
+/// Materialized per-core/per-layer perturbation schedule.  Immutable after
+/// construction; safe to share (by const pointer) across concurrently
+/// running sweep jobs.
+class Plan {
+ public:
+  /// Inert plan: active() is false, never consulted.
+  Plan() = default;
+
+  /// Build for a machine shape.  Validates the spec (finite, in-range
+  /// parameters; throws std::invalid_argument otherwise) and draws every
+  /// per-core value from a util::Xoshiro256 seeded with spec.seed.
+  Plan(const FaultSpec& spec, int num_cores, int num_layers);
+
+  /// False for the inert plan and for specs with all faults disabled.
+  bool active() const noexcept { return active_; }
+  int num_cores() const noexcept { return static_cast<int>(cores_.size()); }
+  int num_layers() const noexcept {
+    return static_cast<int>(link_milli_.size());
+  }
+  const FaultSpec& spec() const noexcept { return spec_; }
+  bool is_straggler(int core) const {
+    return cores_.at(static_cast<std::size_t>(core)).slow_milli > 1000;
+  }
+
+  // -- hot-path queries (inline; called once per costed operation) ----------
+
+  /// Earliest instant >= t at which @p core is not preempted: t itself
+  /// outside a noise pulse, the pulse's end inside one.
+  Picos release(int core, Picos t) const noexcept {
+    const CoreFault& c = cores_[static_cast<std::size_t>(core)];
+    if (c.period == 0) return t;
+    if (t < c.offset) return t;
+    const Picos into = (t - c.offset) % c.period;
+    return into < c.duration ? t + (c.duration - into) : t;
+  }
+
+  /// Operation cost after the core's straggler slowdown (fixed-point
+  /// per-mille factor; exact integer arithmetic, monotone in @p cost).
+  Picos scale(int core, Picos cost) const noexcept {
+    const std::uint64_t m = cores_[static_cast<std::size_t>(core)].slow_milli;
+    return static_cast<Picos>(
+        (static_cast<std::uint64_t>(cost) * m) / 1000u);
+  }
+
+  /// Extra latency a remote transfer of base cost @p base pays for
+  /// crossing a degraded layer (0 on undegraded layers).
+  Picos link_extra(int layer, Picos base) const noexcept {
+    const std::uint64_t m = link_milli_[static_cast<std::size_t>(layer)];
+    return static_cast<Picos>(
+        (static_cast<std::uint64_t>(base) * (m - 1000u)) / 1000u);
+  }
+
+  /// True when any layer is degraded (lets the memory system skip the
+  /// per-destination layer lookups of the RFO loop otherwise).
+  bool degrades_links() const noexcept { return any_link_; }
+
+  /// One-line human-readable summary of the active perturbations.
+  std::string describe() const;
+
+ private:
+  struct CoreFault {
+    Picos period = 0;    ///< 0 = no noise pulses on this core
+    Picos duration = 0;
+    Picos offset = 0;    ///< start of this core's pulse 0
+    std::uint32_t slow_milli = 1000;  ///< cost multiplier, per-mille
+  };
+
+  std::vector<CoreFault> cores_;
+  std::vector<std::uint32_t> link_milli_;  ///< per layer; 1000 = undegraded
+  FaultSpec spec_{};
+  bool active_ = false;
+  bool any_link_ = false;
+};
+
+}  // namespace armbar::fault

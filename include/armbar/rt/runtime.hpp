@@ -21,6 +21,8 @@
 #include <functional>
 #include <mutex>
 #include <stdexcept>
+#include <string>
+#include <vector>
 
 #include "armbar/barriers/factory.hpp"
 #include "armbar/barriers/team.hpp"
@@ -31,6 +33,22 @@
 namespace armbar::rt {
 
 enum class ReduceOp { kSum, kMin, kMax };
+
+/// A parallel region exceeded Options::hang_timeout_ms: some worker never
+/// reached the end of the region (typically a thread stuck inside a buggy
+/// barrier).  The region is still running when this is thrown — see
+/// Runtime::parallel for the recovery contract.
+class HangError : public std::runtime_error {
+ public:
+  HangError(const std::string& what, std::vector<int> stuck_tids)
+      : std::runtime_error(what), stuck_(std::move(stuck_tids)) {}
+
+  /// Worker ids that had not finished the region at the deadline.
+  const std::vector<int>& stuck() const noexcept { return stuck_; }
+
+ private:
+  std::vector<int> stuck_;
+};
 
 class Runtime;
 
@@ -96,6 +114,11 @@ class Runtime {
     /// parallel regions.  Null (the default) keeps the barrier fast path
     /// to a single predictable branch.
     obs::NativePhaseLog* phase_log = nullptr;
+    /// Hung-thread detector: parallel() throws HangError if the region
+    /// has not completed after this many milliseconds.  0 (the default)
+    /// disables the detector entirely — no timer, no extra
+    /// synchronization, the region blocks indefinitely as before.
+    int hang_timeout_ms = 0;
   };
 
   explicit Runtime(Options options);
@@ -107,6 +130,12 @@ class Runtime {
   /// Run one parallel region: body(team_handle) on every worker; returns
   /// when all workers finished.  Reusable; exceptions from the body
   /// propagate (first one wins).
+  ///
+  /// With Options::hang_timeout_ms set, throws HangError (with the stuck
+  /// worker ids) once the deadline passes.  The stuck workers keep
+  /// running: the caller must make their region completable (release
+  /// whatever they block on) before destroying the Runtime — teardown
+  /// joins them exception-safely but cannot cancel them.
   void parallel(const std::function<void(Team&)>& body);
 
  private:

@@ -58,8 +58,20 @@ class Engine {
   /// exception of any simulated thread.  Returns true if every spawned
   /// thread ran to completion; false indicates a deadlock (some thread is
   /// still suspended with no pending event — e.g. a spin that can never be
-  /// satisfied).
+  /// satisfied).  Throws sim::DeadlockError when a watchdog budget trips:
+  /// kEventBudget once @p max_events events retired without draining the
+  /// queue (livelock / runaway episode), kTimeBudget before processing any
+  /// event scheduled past the simulated-time budget.
   bool run(std::uint64_t max_events = kDefaultMaxEvents);
+
+  /// Simulated-time watchdog for run(): abort (sim::DeadlockError) before
+  /// processing any event later than @p t picoseconds.  0 restores the
+  /// default (unlimited).  One predictable compare per event; healthy runs
+  /// are bit-identical with any budget they fit inside.
+  void set_time_budget(Picos t) noexcept {
+    time_budget_ = t == 0 ? kNoTimeBudget : t;
+  }
+  Picos time_budget() const noexcept { return time_budget_; }
 
   /// True once the thread returned (valid after run()).
   bool finished(std::size_t thread_id) const;
@@ -73,6 +85,7 @@ class Engine {
   void reserve(std::size_t threads, std::size_t events);
 
   static constexpr std::uint64_t kDefaultMaxEvents = 200'000'000;
+  static constexpr Picos kNoTimeBudget = ~Picos{0};
 
  private:
   struct Event {
@@ -118,6 +131,7 @@ class Engine {
   bool root_hole_ = false;
   std::vector<SimThread::handle_type> threads_;
   Picos now_ = 0;
+  Picos time_budget_ = kNoTimeBudget;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_ = 0;
 };

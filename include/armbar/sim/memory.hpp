@@ -41,6 +41,10 @@
 #include "armbar/util/bits.hpp"
 #include "armbar/util/vtime.hpp"
 
+namespace armbar::fault {
+class Plan;  // armbar/fault/plan.hpp
+}
+
 namespace armbar::sim {
 
 using VarId = std::int32_t;
@@ -184,6 +188,16 @@ class MemSystem {
   /// phase spans (sim::PhaseScope) against the run's tracer.
   Tracer* tracer() const noexcept { return tracer_; }
 
+  /// Attach a fault-injection plan (nullptr detaches).  Not owned; must
+  /// outlive the run and must have been built for at least this machine's
+  /// core and layer counts (checked).  Every costed operation then pays
+  /// the plan's perturbations: issue deferred past noise pulses, cost
+  /// scaled by the core's straggler factor, degraded-layer surcharges on
+  /// remote transfers.  With no plan the hot path is a single null check,
+  /// so unperturbed runs stay bit-identical to a build without faults.
+  void set_fault_plan(const fault::Plan* plan);
+  const fault::Plan* fault_plan() const noexcept { return fault_; }
+
   /// Contention report: the @p top_n busiest cachelines by transaction
   /// count (reads + writes + polls), busiest first.  The hot line of a
   /// centralized barrier is its counter line; a well-padded tree barrier
@@ -315,6 +329,8 @@ class MemSystem {
   /// wake-ups; wake_waiters never re-enters itself).
   std::vector<WaiterBase*> wake_scratch_;
   Tracer* tracer_ = nullptr;
+  /// Fault-injection plan; nullptr (the default) = unperturbed.
+  const fault::Plan* fault_ = nullptr;
   MemStats stats_;
 };
 

@@ -92,6 +92,17 @@ class Tracer {
   void end_phase(int core, util::Picos now);
   /// Phase of the innermost open span on @p core (kNone if none).
   obs::Phase current_phase(int core) const noexcept;
+  /// Round / tree level of the innermost open span on @p core (-1 if none).
+  int current_round(int core) const noexcept;
+
+  /// Last recorded operation of a core — like the per-phase counters this
+  /// is never capacity-bounded, so it stays valid after the event log
+  /// overflows.  Feeds sim::CoreDiagnostic when a watchdog aborts a run.
+  struct LastOp {
+    std::int32_t line = -1;       ///< cacheline touched, -1 = none yet
+    util::Picos finish_ps = 0;    ///< finish instant of that operation
+  };
+  LastOp last_op(int core) const noexcept;
 
   const std::vector<TraceEvent>& events() const noexcept { return events_; }
   const std::vector<PhaseSpan>& spans() const noexcept { return spans_; }
@@ -177,6 +188,8 @@ class Tracer {
   /// Per-core count of closed outermost spans per phase (the episode
   /// index feeding PhaseCounters::episode_max_span_ps).
   std::vector<std::array<std::uint32_t, obs::kNumPhases>> span_seq_;
+  /// Per-core last recorded operation (lazily grown, never bounded).
+  std::vector<LastOp> last_op_;
   PhaseCounters counters_[obs::kNumPhases];
   std::size_t capacity_;
   std::size_t dropped_ = 0;

@@ -15,6 +15,10 @@
 #include "armbar/topo/machine.hpp"
 #include "armbar/util/vtime.hpp"
 
+namespace armbar::fault {
+class Plan;
+}  // namespace armbar::fault
+
 namespace armbar::simbar {
 
 using util::Picos;
@@ -31,6 +35,16 @@ struct SimRunConfig {
   /// paper's pinning).  Must hold `threads` distinct core indices
   /// otherwise.  See topo::scatter_placement for the round-robin layout.
   std::vector<int> core_of_thread;
+  /// Optional fault-injection plan (docs/FAULTS.md).  Not owned; must
+  /// outlive the run.  An inert plan (or nullptr) is never consulted —
+  /// fault-free runs are bit-identical with and without this field.
+  const fault::Plan* fault = nullptr;
+  /// Watchdog: abort with sim::DeadlockError once the engine retires this
+  /// many events.  0 = Engine::kDefaultMaxEvents.
+  std::uint64_t max_events = 0;
+  /// Watchdog: abort with sim::DeadlockError before processing any event
+  /// past this simulated time.  0 = unlimited.
+  Picos time_budget_ps = 0;
 
   int core_of(int tid) const {
     return core_of_thread.empty()
@@ -146,7 +160,9 @@ struct SimResult {
 
 /// Build engine + memory for @p machine, instantiate the barrier, run
 /// cfg.threads simulated threads for cfg.iterations episodes, and report.
-/// Throws std::runtime_error on simulated deadlock (a barrier bug).
+/// Throws sim::DeadlockError (a std::runtime_error) on simulated deadlock
+/// or when a cfg watchdog budget trips, carrying per-core diagnostics
+/// (phase/round/last-op from @p tracer when one is attached).
 /// @param tracer optional operation tracer attached for the whole run.
 SimResult measure_barrier(const topo::Machine& machine,
                           const SimBarrierFactory& factory,

@@ -15,6 +15,8 @@
 
 #include <cstddef>
 #include <functional>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include "armbar/obs/metrics.hpp"
@@ -43,6 +45,44 @@ struct MeteredRun {
   SimResult result;
   obs::MetricsReport report;
 };
+
+/// One failed job of an isolated sweep (run_isolated /
+/// run_with_metrics_isolated): which job, what it threw, and — for
+/// watchdog aborts — the per-core diagnostics.  docs/FAULTS.md documents
+/// the JSON rendering (errors_to_json).
+struct JobError {
+  std::size_t job_index = 0;
+  /// Job spec snapshot, so a failure is identifiable without the job list.
+  std::string machine_name;
+  int threads = 0;
+  /// Failure class: a sim::DeadlockError kind name ("deadlock" /
+  /// "event-budget" / "time-budget"), "invalid-argument", or "error".
+  std::string kind;
+  std::string message;      ///< exception what()
+  std::string diagnostics;  ///< sim::describe() for watchdog aborts, else ""
+  int attempts = 1;         ///< total tries (1 = no retry)
+};
+
+/// Partial results of a fault-isolated sweep: results[i] is engaged iff
+/// jobs[i] succeeded; every failure appears in errors, ascending by
+/// job_index.  Both vectors are identical for any worker count.
+struct SweepOutcome {
+  std::vector<std::optional<SimResult>> results;
+  std::vector<JobError> errors;
+  bool ok() const noexcept { return errors.empty(); }
+};
+
+/// run_with_metrics_isolated's counterpart of SweepOutcome.
+struct MeteredOutcome {
+  std::vector<std::optional<MeteredRun>> results;
+  std::vector<JobError> errors;
+  bool ok() const noexcept { return errors.empty(); }
+};
+
+/// Render an isolated sweep's error section as a JSON array (stable field
+/// order; "[]" when empty).  Follows the obs JSON hardening rules:
+/// classic-locale numbers, full control-character escaping.
+std::string errors_to_json(const std::vector<JobError>& errors);
 
 class SweepDriver {
  public:
@@ -79,6 +119,23 @@ class SweepDriver {
   ///   sweeps do not pay a log allocation per concurrent job.
   std::vector<MeteredRun> run_with_metrics(const std::vector<SweepJob>& jobs,
                                            std::size_t trace_capacity = 0) const;
+
+  /// Fault-isolated run(): a failing job becomes a JobError instead of
+  /// aborting the sweep, and every other job's result is still returned.
+  /// Deterministic failures (sim::DeadlockError, std::invalid_argument,
+  /// std::logic_error — rerunning an identical deterministic simulation
+  /// reproduces them exactly) are never retried; any other exception is
+  /// treated as transient and retried up to @p max_attempts total tries.
+  /// Job-list validation errors (null machine / empty factory) still throw
+  /// before any worker starts, as in run().
+  SweepOutcome run_isolated(const std::vector<SweepJob>& jobs,
+                            int max_attempts = 1) const;
+
+  /// Fault-isolated run_with_metrics(): same isolation and retry policy
+  /// as run_isolated.
+  MeteredOutcome run_with_metrics_isolated(const std::vector<SweepJob>& jobs,
+                                           std::size_t trace_capacity = 0,
+                                           int max_attempts = 1) const;
 
  private:
   int workers_;

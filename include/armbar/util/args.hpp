@@ -14,6 +14,9 @@ namespace armbar::util {
 
 class Args {
  public:
+  /// Parses argv.  Throws std::invalid_argument on a duplicate option
+  /// (`--x 1 --x 2` is a typo, not an override) or an empty option name
+  /// (`--` / `--=v`).
   Args(int argc, const char* const* argv);
 
   /// True if "--name" was present (with or without a value).
@@ -23,6 +26,10 @@ class Args {
   std::optional<std::string> get(const std::string& name) const;
 
   std::string get_or(const std::string& name, std::string fallback) const;
+  /// Typed getters: fallback when the flag is absent; std::invalid_argument
+  /// when it is present without a value ("--iterations" alone) or with one
+  /// that does not parse.  (get/get_or treat a valueless flag as absent —
+  /// string options like a bare "--trace" legitimately default their value.)
   long get_int_or(const std::string& name, long fallback) const;
   double get_double_or(const std::string& name, double fallback) const;
 

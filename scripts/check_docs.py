@@ -68,7 +68,8 @@ def check_example_coverage(errors):
 
 # Observability/tuning flags that must stay documented: binary -> flags.
 DOCUMENTED_FLAGS = {
-    "sweep_cli": ["--metrics", "--autotune", "--prune", "--trace"],
+    "sweep_cli": ["--metrics", "--autotune", "--prune", "--trace",
+                  "--noise", "--straggler", "--fault-seed"],
     "autotune_explain": ["--prune"],
 }
 

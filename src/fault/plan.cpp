@@ -1,0 +1,132 @@
+#include "armbar/fault/plan.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "armbar/util/prng.hpp"
+
+namespace armbar::fault {
+
+namespace {
+
+void require(bool ok, const char* what) {
+  if (!ok) throw std::invalid_argument(std::string("fault::Plan: ") + what);
+}
+
+/// Uniform draw from mean * [1 - jitter, 1 + jitter], in integer picos.
+Picos jittered_ps(util::Xoshiro256& rng, double mean_us, double jitter) {
+  const double lo = mean_us * (1.0 - jitter);
+  const double hi = mean_us * (1.0 + jitter);
+  const double us = lo + (hi - lo) * rng.uniform01();
+  return util::ns_to_ps(us * 1000.0);
+}
+
+}  // namespace
+
+Plan::Plan(const FaultSpec& spec, int num_cores, int num_layers)
+    : spec_(spec) {
+  require(num_cores > 0, "num_cores must be > 0");
+  require(num_layers >= 0, "num_layers must be >= 0");
+  const NoiseSpec& n = spec.noise;
+  require(std::isfinite(n.period_us) && std::isfinite(n.duration_us) &&
+              std::isfinite(n.jitter),
+          "noise parameters must be finite");
+  require(n.period_us >= 0.0 && n.duration_us >= 0.0,
+          "noise period/duration must be >= 0");
+  require(n.jitter >= 0.0 && n.jitter < 1.0, "noise jitter must be in [0, 1)");
+  const bool noise_on = n.period_us > 0.0 && n.duration_us > 0.0;
+  if (noise_on)
+    require(n.duration_us * (1.0 + n.jitter) <
+                n.period_us * (1.0 - n.jitter),
+            "noise duration must be < period (including jitter spread)");
+  const StragglerSpec& s = spec.straggler;
+  require(std::isfinite(s.fraction) && std::isfinite(s.slowdown),
+          "straggler parameters must be finite");
+  require(s.fraction >= 0.0 && s.fraction <= 1.0,
+          "straggler fraction must be in [0, 1]");
+  require(s.slowdown >= 1.0 && s.slowdown <= 1000.0,
+          "straggler slowdown must be in [1, 1000]");
+  const LinkSpec& l = spec.link;
+  require(std::isfinite(l.factor), "link factor must be finite");
+  require(l.factor >= 1.0 && l.factor <= 1000.0,
+          "link factor must be in [1, 1000]");
+  require(l.min_layer >= 0, "link min_layer must be >= 0");
+
+  cores_.assign(static_cast<std::size_t>(num_cores), CoreFault{});
+  link_milli_.assign(static_cast<std::size_t>(num_layers), 1000u);
+  active_ = spec.any();
+  if (!active_) return;
+
+  util::Xoshiro256 rng(spec.seed);
+
+  // Noise: every core gets its own period/duration draw plus a phase
+  // offset uniform in [0, period), so pulses across cores are decorrelated
+  // (correlated noise would just look like a slower clock).
+  if (noise_on) {
+    for (CoreFault& c : cores_) {
+      c.period = std::max<Picos>(1, jittered_ps(rng, n.period_us, n.jitter));
+      c.duration =
+          std::min<Picos>(c.period - 1,
+                          std::max<Picos>(1, jittered_ps(rng, n.duration_us,
+                                                         n.jitter)));
+      c.offset = static_cast<Picos>(
+          rng.below(static_cast<std::uint64_t>(c.period)));
+    }
+  }
+
+  // Stragglers: a seeded Fisher-Yates prefix picks which cores straggle;
+  // the slowdown itself is uniform across them (the sweep's intensity
+  // knob).  ceil() so any fraction > 0 slows at least one core.
+  const int slow_count = std::min(
+      num_cores,
+      static_cast<int>(
+          std::ceil(s.fraction * static_cast<double>(num_cores))));
+  if (slow_count > 0 && s.slowdown > 1.0) {
+    std::vector<int> order(static_cast<std::size_t>(num_cores));
+    std::iota(order.begin(), order.end(), 0);
+    for (std::size_t i = order.size() - 1; i > 0; --i)
+      std::swap(order[i], order[rng.below(i + 1)]);
+    const auto milli = static_cast<std::uint32_t>(
+        std::llround(s.slowdown * 1000.0));
+    for (int i = 0; i < slow_count; ++i)
+      cores_[static_cast<std::size_t>(order[static_cast<std::size_t>(i)])]
+          .slow_milli = milli;
+  }
+
+  if (l.factor > 1.0 && l.min_layer < num_layers) {
+    const auto milli =
+        static_cast<std::uint32_t>(std::llround(l.factor * 1000.0));
+    for (int i = l.min_layer; i < num_layers; ++i)
+      link_milli_[static_cast<std::size_t>(i)] = milli;
+    any_link_ = true;
+  }
+}
+
+std::string Plan::describe() const {
+  if (!active_) return "no faults";
+  std::ostringstream os;
+  const char* sep = "";
+  if (spec_.noise.period_us > 0.0 && spec_.noise.duration_us > 0.0) {
+    os << "noise pulses " << spec_.noise.duration_us << "us every "
+       << spec_.noise.period_us << "us (jitter " << spec_.noise.jitter << ")";
+    sep = "; ";
+  }
+  int slow = 0;
+  for (const CoreFault& c : cores_)
+    if (c.slow_milli > 1000) ++slow;
+  if (slow > 0) {
+    os << sep << slow << " straggler core(s) at " << spec_.straggler.slowdown
+       << "x";
+    sep = "; ";
+  }
+  if (any_link_)
+    os << sep << "layers >= " << spec_.link.min_layer << " degraded "
+       << spec_.link.factor << "x";
+  os << " [seed " << spec_.seed << "]";
+  return os.str();
+}
+
+}  // namespace armbar::fault

@@ -1,6 +1,8 @@
 #include "armbar/rt/runtime.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <sstream>
 
 namespace armbar::rt {
 
@@ -35,11 +37,28 @@ Runtime::Runtime(Options options)
 
 void Runtime::parallel(const std::function<void(Team&)>& body) {
   const bool pin = options_.pin_threads && !pinned_;
-  workers_.run([&](int tid) {
+  // Captures by value (body included): after a hang timeout the stuck
+  // workers keep executing this closure beyond parallel()'s frame.
+  const std::function<void(int)> region = [this, pin, body](int tid) {
     if (pin) util::pin_current_thread(tid % util::online_cpus());
     Team team(*this, tid);
     body(team);
-  });
+  };
+  if (options_.hang_timeout_ms <= 0) {
+    workers_.run(region);
+  } else {
+    std::vector<int> stuck;
+    if (!workers_.run_for(region,
+                          std::chrono::milliseconds(options_.hang_timeout_ms),
+                          &stuck)) {
+      std::ostringstream os;
+      os << "Runtime::parallel: region not complete after "
+         << options_.hang_timeout_ms << " ms in barrier '" << barrier_name_
+         << "'; stuck worker(s):";
+      for (const int tid : stuck) os << ' ' << tid;
+      throw HangError(os.str(), std::move(stuck));
+    }
+  }
   if (pin) pinned_ = true;
 }
 

@@ -2,6 +2,9 @@
 
 #include <algorithm>
 #include <stdexcept>
+#include <string>
+
+#include "armbar/sim/error.hpp"
 
 namespace armbar::sim {
 
@@ -54,8 +57,21 @@ bool Engine::run(std::uint64_t max_events) {
     }
     if (heap_.empty()) break;
     if (events_ >= max_events)
-      throw std::runtime_error("Engine::run: event budget exhausted");
+      throw DeadlockError(
+          DeadlockError::Kind::kEventBudget,
+          "Engine::run: event budget exhausted (" +
+              std::to_string(max_events) +
+              " events retired without draining the queue — livelock or "
+              "runaway episode)",
+          now_, events_);
     const Event ev = heap_.front();
+    if (ev.t > time_budget_)
+      throw DeadlockError(
+          DeadlockError::Kind::kTimeBudget,
+          "Engine::run: simulated-time budget exhausted (next event at " +
+              std::to_string(ev.t) + " ps exceeds the " +
+              std::to_string(time_budget_) + " ps watchdog budget)",
+          now_, events_);
     root_hole_ = true;
     now_ = ev.t;
     ++events_;

@@ -1,0 +1,28 @@
+#include "armbar/sim/error.hpp"
+
+#include <sstream>
+
+namespace armbar::sim {
+
+std::string describe(const DeadlockError& e) {
+  std::ostringstream os;
+  os << "[" << DeadlockError::kind_name(e.kind()) << "] " << e.what()
+     << "\n  simulated time " << util::ps_to_ns(e.sim_time_ps()) << " ns, "
+     << e.events() << " events retired";
+  for (const CoreDiagnostic& c : e.cores()) {
+    if (c.finished) continue;  // only the stuck cores are interesting
+    os << "\n  core " << c.core << ": stuck";
+    if (c.phase != obs::Phase::kNone) {
+      os << " in " << obs::to_string(c.phase);
+      if (c.round >= 0) os << " round " << c.round;
+    }
+    if (c.last_line >= 0)
+      os << ", last op on line " << c.last_line << " at "
+         << util::ps_to_ns(c.last_op_ps) << " ns";
+    else if (c.phase == obs::Phase::kNone)
+      os << " (no traced activity; attach a tracer for phase diagnostics)";
+  }
+  return os.str();
+}
+
+}  // namespace armbar::sim

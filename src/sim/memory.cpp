@@ -4,6 +4,8 @@
 #include <limits>
 #include <stdexcept>
 
+#include "armbar/fault/plan.hpp"
+
 namespace armbar::sim {
 
 MemSystem::MemSystem(Engine& engine, topo::Machine machine)
@@ -80,6 +82,26 @@ void MemSystem::poke(VarId v, std::uint64_t value) {
   vars_.at(static_cast<std::size_t>(v)).value = value;
 }
 
+void MemSystem::set_fault_plan(const fault::Plan* plan) {
+  if (plan != nullptr && plan->active()) {
+    if (plan->num_cores() < machine_.num_cores())
+      throw std::invalid_argument(
+          "MemSystem::set_fault_plan: plan built for " +
+          std::to_string(plan->num_cores()) + " cores, machine has " +
+          std::to_string(machine_.num_cores()));
+    if (plan->num_layers() < machine_.num_layers())
+      throw std::invalid_argument(
+          "MemSystem::set_fault_plan: plan built for " +
+          std::to_string(plan->num_layers()) + " layers, machine has " +
+          std::to_string(machine_.num_layers()));
+    fault_ = plan;
+  } else {
+    // Inert plans are not attached at all: the hot path's null check is
+    // the whole cost of the feature when nothing is injected.
+    fault_ = nullptr;
+  }
+}
+
 void MemSystem::reset_stats() {
   stats_ = MemStats{};
   stats_.layer_transfers.assign(
@@ -121,6 +143,9 @@ int MemSystem::pick_source(const std::uint64_t* sharer, int owner,
 Picos MemSystem::read_at(int core, LineId line, Picos issue, bool is_poll) {
   Line& l = lines_[static_cast<std::size_t>(line)];
   std::uint64_t* const sharer = sharer_of(line);
+  // Fault injection: a core preempted by an OS-noise pulse cannot issue
+  // until the pulse ends.
+  if (fault_) issue = fault_->release(core, issue);
   const Picos start = std::max(issue, l.busy_until);
 
   if (is_poll) ++stats_.poll_reads;
@@ -147,6 +172,7 @@ Picos MemSystem::read_at(int core, LineId line, Picos issue, bool is_poll) {
     cost = topo::Machine::entry_ps(e);
     layer = static_cast<std::int8_t>(topo::Machine::entry_layer(e));
     ++stats_.layer_transfers[static_cast<std::size_t>(layer)];
+    if (fault_) cost += fault_->link_extra(layer, cost);
   }
   // Reader contention (eq. 3's c term): pay c per other read of this line
   // still in flight when ours starts.
@@ -163,6 +189,8 @@ Picos MemSystem::read_at(int core, LineId line, Picos issue, bool is_poll) {
   if (is_remote_transfer)
     cost += machine_.net_contention_ps() *
             static_cast<Picos>(net_inflight_.count_at(start));
+  // Straggler model: a slowed core executes the whole operation slower.
+  if (fault_) cost = fault_->scale(core, cost);
 
   const Picos finish = start + cost;
   l.read_finish.add(finish);
@@ -182,6 +210,9 @@ Picos MemSystem::read_at(int core, LineId line, Picos issue, bool is_poll) {
 Picos MemSystem::write_at(int core, LineId line, Picos issue, bool is_rmw) {
   Line& l = lines_[static_cast<std::size_t>(line)];
   std::uint64_t* const sharer = sharer_of(line);
+  // Fault injection: a core preempted by an OS-noise pulse cannot issue
+  // until the pulse ends.
+  if (fault_) issue = fault_->release(core, issue);
   // Exclusive transactions on a line serialize (packed-flag effect).
   const Picos start = std::max(issue, l.busy_until);
 
@@ -202,6 +233,7 @@ Picos MemSystem::write_at(int core, LineId line, Picos issue, bool is_rmw) {
       fetched_remotely = true;
       layer = static_cast<std::int8_t>(topo::Machine::entry_layer(e));
       ++stats_.layer_transfers[static_cast<std::size_t>(layer)];
+      if (fault_) base += fault_->link_extra(layer, base);
     }
     ++(is_rmw ? stats_.rmws : stats_.remote_writes);
   }
@@ -219,10 +251,19 @@ Picos MemSystem::write_at(int core, LineId line, Picos issue, bool is_rmw) {
   for (const WaiterBase* w : l.waiters) {
     holder.set(static_cast<std::size_t>(w->core_));
   }
+  // Degraded links also slow the invalidation round-trips; the layer
+  // lookup per destination is only paid when a link fault is active.
+  const bool degraded_links = fault_ && fault_->degrades_links();
   holder.for_each_set([&](std::size_t s) {
     const int si = static_cast<int>(s);
     if (si == core) return;
-    rfo += machine_.rfo_ps_fast(core, si);
+    Picos inv = machine_.rfo_ps_fast(core, si);
+    if (degraded_links)
+      inv += fault_->link_extra(
+          static_cast<int>(
+              topo::Machine::entry_layer(machine_.comm_entry_fast(core, si))),
+          inv);
+    rfo += inv;
     ++invalidated;
     util::bit_clear(sharer, s);
   });
@@ -242,6 +283,12 @@ Picos MemSystem::write_at(int core, LineId line, Picos issue, bool is_rmw) {
   if (is_remote_transfer)
     cost += machine_.net_contention_ps() *
             static_cast<Picos>(net_inflight_.count_at(start));
+  // Straggler model: a slowed core executes the whole transaction slower,
+  // including the ownership migration a plain store occupies the line for.
+  if (fault_) {
+    cost = fault_->scale(core, cost);
+    base = fault_->scale(core, base);
+  }
 
   const Picos finish = start + cost;
   if (is_remote_transfer) net_inflight_.add(finish);

@@ -49,6 +49,12 @@ void Tracer::record(TraceEvent ev) {
     ++c.local_ops;
   }
 
+  if (ev.core >= 0) {
+    if (static_cast<std::size_t>(ev.core) >= last_op_.size())
+      last_op_.resize(static_cast<std::size_t>(ev.core) + 1);
+    last_op_[static_cast<std::size_t>(ev.core)] = LastOp{ev.line, ev.finish};
+  }
+
   if (events_.size() >= capacity_) {
     ++dropped_;
     return;
@@ -110,11 +116,24 @@ obs::Phase Tracer::current_phase(int core) const noexcept {
   return stack.empty() ? obs::Phase::kNone : stack.back().phase;
 }
 
+int Tracer::current_round(int core) const noexcept {
+  if (core < 0 || static_cast<std::size_t>(core) >= open_.size()) return -1;
+  const auto& stack = open_[static_cast<std::size_t>(core)];
+  return stack.empty() ? -1 : stack.back().round;
+}
+
+Tracer::LastOp Tracer::last_op(int core) const noexcept {
+  if (core < 0 || static_cast<std::size_t>(core) >= last_op_.size())
+    return LastOp{};
+  return last_op_[static_cast<std::size_t>(core)];
+}
+
 void Tracer::clear() {
   events_.clear();
   spans_.clear();
   open_.clear();
   span_seq_.clear();
+  last_op_.clear();
   for (PhaseCounters& c : counters_) c = PhaseCounters{};
   dropped_ = 0;
   dropped_spans_ = 0;

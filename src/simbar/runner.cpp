@@ -1,6 +1,11 @@
 #include "armbar/simbar/runner.hpp"
 
 #include <stdexcept>
+#include <utility>
+
+#include "armbar/fault/plan.hpp"
+#include "armbar/sim/error.hpp"
+#include "armbar/sim/trace.hpp"
 
 namespace armbar::simbar {
 
@@ -120,17 +125,52 @@ SimResult measure_barrier(const topo::Machine& machine,
   // per simulated thread are pending (resume + parked polls).
   engine.reserve(static_cast<std::size_t>(cfg.threads),
                  static_cast<std::size_t>(cfg.threads) * 8);
+  if (cfg.time_budget_ps > 0) engine.set_time_budget(cfg.time_budget_ps);
   sim::MemSystem mem(engine, machine);
   mem.set_tracer(tracer);
+  if (cfg.fault) mem.set_fault_plan(cfg.fault);
   const auto barrier = factory(engine, mem, cfg.threads);
   Recorder rec(cfg.threads, cfg.iterations);
   for (int t = 0; t < cfg.threads; ++t)
     engine.spawn(barrier->run_thread(t, cfg, rec));
-  if (!engine.run())
-    throw std::runtime_error("simulated deadlock in barrier '" +
-                             barrier->name() + "' with " +
-                             std::to_string(cfg.threads) + " threads on " +
-                             machine.name());
+
+  // Collect per-core state of the stuck run for the structured error.
+  const auto diagnose = [&](int threads) {
+    std::vector<sim::CoreDiagnostic> cores;
+    cores.reserve(static_cast<std::size_t>(threads));
+    for (int t = 0; t < threads; ++t) {
+      sim::CoreDiagnostic d;
+      d.core = cfg.core_of(t);
+      d.finished = engine.finished(static_cast<std::size_t>(t));
+      if (tracer) {
+        d.phase = tracer->current_phase(d.core);
+        d.round = tracer->current_round(d.core);
+        const sim::Tracer::LastOp op = tracer->last_op(d.core);
+        d.last_line = op.line;
+        d.last_op_ps = op.finish_ps;
+      }
+      cores.push_back(d);
+    }
+    return cores;
+  };
+
+  const std::uint64_t max_events =
+      cfg.max_events > 0 ? cfg.max_events : sim::Engine::kDefaultMaxEvents;
+  try {
+    if (!engine.run(max_events))
+      throw sim::DeadlockError(
+          sim::DeadlockError::Kind::kDeadlock,
+          "simulated deadlock in barrier '" + barrier->name() + "' with " +
+              std::to_string(cfg.threads) + " threads on " + machine.name(),
+          engine.now(), engine.events_processed(), diagnose(cfg.threads));
+  } catch (const sim::DeadlockError& e) {
+    if (!e.cores().empty()) throw;  // already enriched above
+    throw sim::DeadlockError(e.kind(),
+                             std::string(e.what()) + " in barrier '" +
+                                 barrier->name() + "' on " + machine.name(),
+                             e.sim_time_ps(), e.events(),
+                             diagnose(cfg.threads));
+  }
   if (cfg.warmup >= cfg.iterations)
     throw std::invalid_argument("Recorder: warmup must be < iterations");
   SimResult result;

@@ -4,7 +4,10 @@
 #include <exception>
 #include <stdexcept>
 #include <thread>
+#include <utility>
 
+#include "../obs/json_util.hpp"
+#include "armbar/sim/error.hpp"
 #include "armbar/sim/trace.hpp"
 
 namespace armbar::simbar {
@@ -52,7 +55,69 @@ void rethrow_first(std::vector<std::exception_ptr>& errors) {
     if (e) std::rethrow_exception(e);
 }
 
+/// Run one isolated job attempt loop: call @p body until it succeeds, a
+/// deterministic failure is seen, or @p max_attempts tries are spent.
+/// Returns an engaged JobError on failure.  Deterministic failures
+/// (watchdog aborts, precondition violations) are not retried — an
+/// identical deterministic simulation reproduces them bit-for-bit — while
+/// anything else (e.g. allocation failure under memory pressure) gets the
+/// bounded retry.
+template <typename Body>
+std::optional<JobError> attempt_isolated(const SweepJob& job, std::size_t i,
+                                         int max_attempts, Body&& body) {
+  JobError err;
+  err.job_index = i;
+  err.machine_name = job.machine->name();
+  err.threads = job.cfg.threads;
+  for (int attempt = 1;; ++attempt) {
+    err.attempts = attempt;
+    try {
+      body();
+      return std::nullopt;
+    } catch (const sim::DeadlockError& e) {
+      err.kind = sim::DeadlockError::kind_name(e.kind());
+      err.message = e.what();
+      err.diagnostics = sim::describe(e);
+      return err;
+    } catch (const std::invalid_argument& e) {
+      err.kind = "invalid-argument";
+      err.message = e.what();
+      return err;
+    } catch (const std::logic_error& e) {
+      err.kind = "invalid-argument";
+      err.message = e.what();
+      return err;
+    } catch (const std::exception& e) {
+      err.kind = "error";
+      err.message = e.what();
+      if (attempt >= max_attempts) return err;
+    } catch (...) {
+      err.kind = "error";
+      err.message = "unknown exception";
+      if (attempt >= max_attempts) return err;
+    }
+  }
+}
+
 }  // namespace
+
+std::string errors_to_json(const std::vector<JobError>& errors) {
+  namespace d = obs::detail;
+  std::ostringstream os = d::json_stream();
+  os << "[";
+  bool first = true;
+  for (const JobError& e : errors) {
+    os << (first ? "\n" : ",\n") << "  {\"job_index\": " << e.job_index
+       << ", \"machine\": \"" << d::escaped(e.machine_name)
+       << "\", \"threads\": " << e.threads << ", \"kind\": \""
+       << d::escaped(e.kind) << "\", \"message\": \"" << d::escaped(e.message)
+       << "\", \"diagnostics\": \"" << d::escaped(e.diagnostics)
+       << "\", \"attempts\": " << e.attempts << "}";
+    first = false;
+  }
+  os << (first ? "]" : "\n]");
+  return os.str();
+}
 
 SweepDriver::SweepDriver(int workers)
     : workers_(workers > 0 ? workers : default_workers()) {}
@@ -107,6 +172,64 @@ std::vector<MeteredRun> SweepDriver::run_with_metrics(
   });
   rethrow_first(errors);
   return results;
+}
+
+SweepOutcome SweepDriver::run_isolated(const std::vector<SweepJob>& jobs,
+                                       int max_attempts) const {
+  validate_jobs(jobs);
+  if (max_attempts < 1)
+    throw std::invalid_argument(
+        "SweepDriver::run_isolated: max_attempts must be >= 1");
+
+  SweepOutcome out;
+  out.results.resize(jobs.size());
+  std::vector<std::optional<JobError>> errors(jobs.size());
+  run_pool(jobs.size(), workers_, [&](std::size_t i) {
+    errors[i] = attempt_isolated(jobs[i], i, max_attempts, [&] {
+      out.results[i] = measure_barrier(*jobs[i].machine, jobs[i].factory,
+                                       jobs[i].cfg, jobs[i].tracer);
+    });
+    if (errors[i]) out.results[i].reset();
+  });
+  // Assemble the error section by scanning slots in job order after the
+  // pool joins — identical for any worker count or claim interleaving.
+  for (std::optional<JobError>& e : errors)
+    if (e) out.errors.push_back(std::move(*e));
+  return out;
+}
+
+MeteredOutcome SweepDriver::run_with_metrics_isolated(
+    const std::vector<SweepJob>& jobs, std::size_t trace_capacity,
+    int max_attempts) const {
+  validate_jobs(jobs);
+  if (max_attempts < 1)
+    throw std::invalid_argument(
+        "SweepDriver::run_with_metrics_isolated: max_attempts must be >= 1");
+  for (const SweepJob& j : jobs)
+    if (j.tracer != nullptr)
+      throw std::invalid_argument(
+          "SweepDriver::run_with_metrics_isolated: the driver owns the "
+          "tracers; jobs must not carry one (use run_isolated() for "
+          "caller-owned tracers)");
+
+  MeteredOutcome out;
+  out.results.resize(jobs.size());
+  std::vector<std::optional<JobError>> errors(jobs.size());
+  run_pool(jobs.size(), workers_, [&](std::size_t i) {
+    errors[i] = attempt_isolated(jobs[i], i, max_attempts, [&] {
+      sim::Tracer tracer(trace_capacity);
+      MeteredRun run;
+      run.result = measure_barrier(*jobs[i].machine, jobs[i].factory,
+                                   jobs[i].cfg, &tracer);
+      run.report =
+          obs::make_metrics(*jobs[i].machine, jobs[i].cfg, run.result, tracer);
+      out.results[i] = std::move(run);
+    });
+    if (errors[i]) out.results[i].reset();
+  });
+  for (std::optional<JobError>& e : errors)
+    if (e) out.errors.push_back(std::move(*e));
+  return out;
 }
 
 std::vector<SimResult> SweepDriver::run_indexed(

@@ -1,5 +1,6 @@
 #include "armbar/topo/machine_file.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <map>
 #include <set>
@@ -11,6 +12,14 @@
 namespace armbar::topo {
 
 namespace {
+
+// Hard limits on parsed topologies.  The format describes single SoCs /
+// small NUMA systems; anything past these bounds is a malformed or
+// hostile input, and the dense core x core latency tables make absurd
+// core counts an out-of-memory, not just a slow run.
+constexpr long long kMaxCores = 4096;
+constexpr double kMaxGroupSize = 1024;
+constexpr double kMaxLatencyNs = 1e9;  // 1 s; far beyond any cache latency
 
 std::string trim(const std::string& s) {
   const auto b = s.find_first_not_of(" \t\r");
@@ -40,6 +49,12 @@ std::vector<double> parse_list(const std::string& value, int line_no) {
       throw std::invalid_argument("machine file line " +
                                   std::to_string(line_no) +
                                   ": bad number '" + item + "'");
+    // std::stod happily parses "nan" and "inf"; neither is a meaningful
+    // latency, count, or coefficient anywhere in the format.
+    if (!std::isfinite(v))
+      throw std::invalid_argument("machine file line " +
+                                  std::to_string(line_no) +
+                                  ": non-finite number '" + item + "'");
     out.push_back(v);
   }
   if (out.empty())
@@ -109,27 +124,72 @@ Machine parse_machine(const std::string& text) {
   const auto groups_d =
       parse_list(kv.at("groups").first, kv.at("groups").second);
   std::vector<int> groups;
+  long long total_cores = 1;
   for (double g : groups_d) {
-    if (g < 2 || g != static_cast<int>(g))
+    if (g < 2 || g > kMaxGroupSize || g != static_cast<int>(g))
       throw std::invalid_argument(
-          "machine file: group sizes must be integers >= 2");
+          "machine file: group sizes must be integers in [2, " +
+          std::to_string(kMaxGroupSize) + "], got " + std::to_string(g));
     groups.push_back(static_cast<int>(g));
+    total_cores *= static_cast<long long>(g);
+    // The machine materializes dense core x core tables, so an absurd
+    // core count is an allocation bomb, not a bigger model.  Check as we
+    // multiply: the product itself can overflow long long.
+    if (total_cores > kMaxCores)
+      throw std::invalid_argument(
+          "machine file: groups describe more than " +
+          std::to_string(kMaxCores) + " cores");
   }
   const auto layer_ns =
       parse_list(kv.at("layer_ns").first, kv.at("layer_ns").second);
+  if (layer_ns.size() != groups.size())
+    throw std::invalid_argument(
+        "machine file: layer_ns must have one latency per groups level "
+        "(got " +
+        std::to_string(layer_ns.size()) + " latencies for " +
+        std::to_string(groups.size()) + " levels)");
+  for (double ns : layer_ns)
+    if (ns <= 0.0 || ns > kMaxLatencyNs)
+      throw std::invalid_argument(
+          "machine file: layer_ns entries must be in (0, " +
+          std::to_string(kMaxLatencyNs) + "] ns, got " + std::to_string(ns));
 
+  const auto positive_in = [](const char* key, double v, double max) {
+    if (v <= 0.0 || v > max)
+      throw std::invalid_argument("machine file: " + std::string(key) +
+                                  " must be in (0, " + std::to_string(max) +
+                                  "], got " + std::to_string(v));
+    return v;
+  };
   const std::string name =
       kv.count("name") ? kv.at("name").first : "custom";
   const double cluster = get_num("cluster_size", groups[0]);
-  if (cluster < 1 || cluster != static_cast<int>(cluster))
+  if (cluster < 1 || cluster > static_cast<double>(total_cores) ||
+      cluster != static_cast<int>(cluster))
     throw std::invalid_argument(
-        "machine file: cluster_size must be a positive integer");
+        "machine file: cluster_size must be a positive integer <= the "
+        "core count");
+  const double cacheline = get_num("cacheline_bytes", 64);
+  if (cacheline < 8 || cacheline > 4096 ||
+      cacheline != static_cast<int>(cacheline))
+    throw std::invalid_argument(
+        "machine file: cacheline_bytes must be an integer in [8, 4096]");
+  const double alpha = get_num("alpha", 0.05);
+  if (!(alpha >= 0.0 && alpha <= 10.0))
+    throw std::invalid_argument(
+        "machine file: alpha must be in [0, 10], got " +
+        std::to_string(alpha));
+  const double contention = get_num("contention_ns", 1.0);
+  if (contention < 0.0 || contention > kMaxLatencyNs)
+    throw std::invalid_argument(
+        "machine file: contention_ns must be in [0, " +
+        std::to_string(kMaxLatencyNs) + "], got " + std::to_string(contention));
 
   return make_hierarchical(
-      name, groups, layer_ns, get_num("epsilon_ns", 1.0),
-      static_cast<int>(cluster),
-      static_cast<int>(get_num("cacheline_bytes", 64)),
-      get_num("alpha", 0.05), get_num("contention_ns", 1.0));
+      name, groups, layer_ns,
+      positive_in("epsilon_ns", get_num("epsilon_ns", 1.0), kMaxLatencyNs),
+      static_cast<int>(cluster), static_cast<int>(cacheline), alpha,
+      contention);
 }
 
 Machine load_machine_file(const std::string& path) {

@@ -7,6 +7,13 @@ namespace armbar::util {
 
 Args::Args(int argc, const char* const* argv) {
   if (argc > 0) program_ = argv[0];
+  const auto set = [this](std::string key, std::string value) {
+    if (key.empty())
+      throw std::invalid_argument("empty option name ('--' or '--=value')");
+    if (options_.count(key) != 0)
+      throw std::invalid_argument("duplicate option --" + key);
+    options_.emplace(std::move(key), std::move(value));
+  };
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
     if (a.rfind("--", 0) != 0) {
@@ -15,11 +22,11 @@ Args::Args(int argc, const char* const* argv) {
     }
     a.erase(0, 2);
     if (const auto eq = a.find('='); eq != std::string::npos) {
-      options_[a.substr(0, eq)] = a.substr(eq + 1);
+      set(a.substr(0, eq), a.substr(eq + 1));
     } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
-      options_[a] = argv[++i];
+      set(std::move(a), argv[++i]);
     } else {
-      options_[a] = "";
+      set(std::move(a), "");
     }
   }
 }
@@ -41,7 +48,11 @@ std::string Args::get_or(const std::string& name, std::string fallback) const {
 
 long Args::get_int_or(const std::string& name, long fallback) const {
   const auto v = get(name);
-  if (!v) return fallback;
+  if (!v) {
+    if (has(name))
+      throw std::invalid_argument("--" + name + " requires a value");
+    return fallback;
+  }
   char* end = nullptr;
   const long out = std::strtol(v->c_str(), &end, 10);
   if (end == v->c_str() || *end != '\0')
@@ -51,7 +62,11 @@ long Args::get_int_or(const std::string& name, long fallback) const {
 
 double Args::get_double_or(const std::string& name, double fallback) const {
   const auto v = get(name);
-  if (!v) return fallback;
+  if (!v) {
+    if (has(name))
+      throw std::invalid_argument("--" + name + " requires a value");
+    return fallback;
+  }
   char* end = nullptr;
   const double out = std::strtod(v->c_str(), &end);
   if (end == v->c_str() || *end != '\0')

@@ -1,0 +1,52 @@
+// libFuzzer harness for the command-line option parser.
+//
+// The input is split on newlines into an argv; construction and every
+// getter must either succeed or throw std::invalid_argument.  Run:
+// fuzz_args -max_total_time=30
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "armbar/util/args.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string blob(reinterpret_cast<const char*>(data), size);
+  std::vector<std::string> words{"fuzz"};
+  std::size_t start = 0;
+  while (start <= blob.size() && words.size() < 64) {
+    const std::size_t nl = blob.find('\n', start);
+    words.push_back(blob.substr(
+        start, nl == std::string::npos ? std::string::npos : nl - start));
+    if (nl == std::string::npos) break;
+    start = nl + 1;
+  }
+  std::vector<const char*> argv;
+  argv.reserve(words.size());
+  for (const std::string& w : words) argv.push_back(w.c_str());
+
+  try {
+    const armbar::util::Args args(static_cast<int>(argv.size()), argv.data());
+    // Exercise every accessor with keys that may or may not exist.
+    (void)args.has("threads");
+    (void)args.get("machine");
+    (void)args.get_or("machine", "x");
+    for (const char* key : {"threads", "iterations", "alpha", "json"}) {
+      try {
+        (void)args.get_int_or(key, 0);
+      } catch (const std::invalid_argument&) {
+      }
+      try {
+        (void)args.get_double_or(key, 0.0);
+      } catch (const std::invalid_argument&) {
+      }
+    }
+    (void)args.positional();
+  } catch (const std::invalid_argument&) {
+    // Duplicate or empty option names reject the whole command line.
+  }
+  return 0;
+}

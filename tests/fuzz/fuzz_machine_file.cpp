@@ -1,0 +1,26 @@
+// libFuzzer harness for the machine-description parser.
+//
+// The parser's contract is: any input either produces a valid Machine or
+// throws std::invalid_argument with a precise message.  Crashes, hangs,
+// unbounded allocation (absurd core counts), and other exception types
+// are bugs.  Run: fuzz_machine_file -max_total_time=30
+
+#include <cstddef>
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#include "armbar/topo/machine_file.hpp"
+
+extern "C" int LLVMFuzzerTestOneInput(const std::uint8_t* data,
+                                      std::size_t size) {
+  const std::string text(reinterpret_cast<const char*>(data), size);
+  try {
+    const armbar::topo::Machine m = armbar::topo::parse_machine(text);
+    // A machine the parser accepted must satisfy its own bounds.
+    if (m.num_cores() < 2 || m.num_cores() > 4096) __builtin_trap();
+  } catch (const std::invalid_argument&) {
+    // The documented failure mode for malformed input.
+  }
+  return 0;
+}

@@ -75,6 +75,77 @@ TEST(MachineFile, RejectsMalformedInput) {
                std::invalid_argument);
 }
 
+// Corpus of hostile/corrupted inputs: each must fail with a precise
+// std::invalid_argument, never an allocation bomb, NaN-poisoned machine,
+// or silent acceptance.
+TEST(MachineFile, RejectsNonFiniteAndOutOfRangeNumbers) {
+  const auto expect_reject = [](const std::string& text,
+                                const std::string& needle) {
+    try {
+      parse_machine(text);
+      FAIL() << "accepted: " << text;
+    } catch (const std::invalid_argument& e) {
+      EXPECT_NE(std::string(e.what()).find(needle), std::string::npos)
+          << "message '" << e.what() << "' lacks '" << needle << "'";
+    }
+  };
+  // std::stod parses these happily; the loader must not.
+  expect_reject("groups = 2, 2\nlayer_ns = nan, 2\n", "non-finite");
+  expect_reject("groups = 2, 2\nlayer_ns = inf, 2\n", "non-finite");
+  expect_reject("groups = 2, 2\nlayer_ns = 1, 2\nalpha = nan\n",
+                "non-finite");
+  expect_reject("groups = 2, 2\nlayer_ns = -1, 2\n", "layer_ns");
+  expect_reject("groups = 2, 2\nlayer_ns = 0, 2\n", "layer_ns");
+  expect_reject("groups = 2, 2\nlayer_ns = 1e12, 2\n", "layer_ns");
+  expect_reject("groups = 2, 2\nlayer_ns = 1, 2\nepsilon_ns = 0\n",
+                "epsilon_ns");
+  expect_reject("groups = 2, 2\nlayer_ns = 1, 2\nepsilon_ns = -3\n",
+                "epsilon_ns");
+  expect_reject("groups = 2, 2\nlayer_ns = 1, 2\ncontention_ns = -1\n",
+                "contention_ns");
+  expect_reject("groups = 2, 2\nlayer_ns = 1, 2\nalpha = -0.1\n", "alpha");
+  expect_reject("groups = 2, 2\nlayer_ns = 1, 2\nalpha = 11\n", "alpha");
+}
+
+TEST(MachineFile, RejectsAbsurdTopologies) {
+  // Dense core x core tables make huge core counts an OOM, not a model:
+  // the parser must bail before allocating.
+  EXPECT_THROW(parse_machine("groups = 1024, 1024\nlayer_ns = 1, 2\n"),
+               std::invalid_argument);
+  EXPECT_THROW(
+      parse_machine("groups = 1024, 1024, 1024, 1024, 1024, 1024, 1024\n"
+                    "layer_ns = 1, 2, 3, 4, 5, 6, 7\n"),
+      std::invalid_argument);  // product overflows long long
+  EXPECT_THROW(parse_machine("groups = 2048, 2\nlayer_ns = 1, 2\n"),
+               std::invalid_argument);  // group size > 1024
+  EXPECT_THROW(parse_machine("groups = 2, 2\nlayer_ns = 1, 2\n"
+                             "cluster_size = 5\n"),
+               std::invalid_argument);  // cluster larger than the machine
+  EXPECT_THROW(parse_machine("groups = 2, 2\nlayer_ns = 1, 2\n"
+                             "cluster_size = 0\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_machine("groups = 2, 2\nlayer_ns = 1, 2\n"
+                             "cacheline_bytes = 7\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_machine("groups = 2, 2\nlayer_ns = 1, 2\n"
+                             "cacheline_bytes = 65536\n"),
+               std::invalid_argument);
+  EXPECT_THROW(parse_machine("groups = 2, 2\nlayer_ns = 1, 2\n"
+                             "cacheline_bytes = 64.5\n"),
+               std::invalid_argument);
+}
+
+TEST(MachineFile, TruncatedTableMessageIsPrecise) {
+  try {
+    parse_machine("groups = 2, 4, 2\nlayer_ns = 1, 2\n");
+    FAIL() << "accepted truncated layer_ns";
+  } catch (const std::invalid_argument& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("got 2 latencies for 3 levels"), std::string::npos)
+        << msg;
+  }
+}
+
 TEST(MachineFile, LoadsFromDisk) {
   const std::string path = ::testing::TempDir() + "/armbar_test.machine";
   {

@@ -5,6 +5,7 @@
 #include <atomic>
 #include <cmath>
 #include <numeric>
+#include <thread>
 #include <vector>
 
 #include "armbar/rt/runtime.hpp"
@@ -159,6 +160,47 @@ TEST(Runtime, ConfigurableBarrierAlgorithm) {
 
 TEST(Runtime, RejectsBadThreadCount) {
   EXPECT_THROW(Runtime(0), std::invalid_argument);
+}
+
+TEST(Runtime, HangDetectorReportsStuckWorkers) {
+  Runtime::Options opts;
+  opts.threads = 3;
+  opts.hang_timeout_ms = 100;
+  Runtime runtime(opts);
+  std::atomic<bool> release{false};
+  try {
+    runtime.parallel([&](Team& t) {
+      if (t.tid() == 1)
+        while (!release.load(std::memory_order_acquire))
+          std::this_thread::yield();
+    });
+    FAIL() << "expected rt::HangError";
+  } catch (const HangError& e) {
+    ASSERT_EQ(e.stuck().size(), 1u);
+    EXPECT_EQ(e.stuck()[0], 1);
+    EXPECT_NE(std::string(e.what()).find("stuck worker(s): 1"),
+              std::string::npos);
+  }
+  // Unstick the region; the next parallel() drains the outstanding
+  // episode and the runtime is fully reusable.
+  release.store(true, std::memory_order_release);
+  std::atomic<int> n{0};
+  runtime.parallel([&](Team&) { n.fetch_add(1); });
+  EXPECT_EQ(n.load(), 3);
+}
+
+TEST(Runtime, HangDetectorQuietOnHealthyRegions) {
+  Runtime::Options opts;
+  opts.threads = 4;
+  opts.hang_timeout_ms = 10'000;
+  Runtime runtime(opts);
+  std::atomic<int> n{0};
+  for (int r = 0; r < 4; ++r)
+    runtime.parallel([&](Team& t) {
+      n.fetch_add(1);
+      t.barrier();
+    });
+  EXPECT_EQ(n.load(), 16);
 }
 
 }  // namespace

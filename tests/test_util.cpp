@@ -274,6 +274,36 @@ TEST(Args, BadIntegerThrows) {
   EXPECT_THROW(a.get_int_or("threads", 0), std::invalid_argument);
 }
 
+TEST(Args, DuplicateOptionThrows) {
+  // "--x 1 --x 2" is a typo, not an override: silently keeping the first
+  // (the old std::map::emplace behaviour) hid the mistake.
+  const char* twice[] = {"prog", "--threads", "1", "--threads", "2"};
+  EXPECT_THROW(Args(5, twice), std::invalid_argument);
+  const char* mixed[] = {"prog", "--threads=1", "--threads", "2"};
+  EXPECT_THROW(Args(4, mixed), std::invalid_argument);
+  const char* flags[] = {"prog", "--csv", "--csv"};
+  EXPECT_THROW(Args(3, flags), std::invalid_argument);
+}
+
+TEST(Args, EmptyOptionNameThrows) {
+  const char* bare[] = {"prog", "--"};
+  EXPECT_THROW(Args(2, bare), std::invalid_argument);
+  const char* eq[] = {"prog", "--=value"};
+  EXPECT_THROW(Args(2, eq), std::invalid_argument);
+}
+
+TEST(Args, ValuelessTypedFlagThrows) {
+  // A bare "--iterations" is a mistake for a numeric option (the caller
+  // meant to pass a value), but a bare string flag like "--trace" is a
+  // legitimate use-the-default request — get/get_or treat it as absent.
+  const char* argv[] = {"prog", "--iterations", "--trace"};
+  Args a(3, argv);
+  EXPECT_THROW(a.get_int_or("iterations", 5), std::invalid_argument);
+  EXPECT_THROW(a.get_double_or("iterations", 5.0), std::invalid_argument);
+  EXPECT_TRUE(a.has("trace"));
+  EXPECT_EQ(a.get_or("trace", "default.json"), "default.json");
+}
+
 // --- backoff -----------------------------------------------------------------
 
 TEST(Backoff, SpinUntilCompletes) {
