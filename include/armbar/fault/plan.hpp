@@ -85,6 +85,13 @@ class Plan {
   /// per-core value from a util::Xoshiro256 seeded with spec.seed.
   Plan(const FaultSpec& spec, int num_cores, int num_layers);
 
+  /// Semantically inert but ACTIVE plan: every query is consulted yet
+  /// perturbs nothing (no pulses, identity straggler factor, undegraded
+  /// links).  Exercises the fault-enabled code path without changing a
+  /// single simulated timestamp — the equivalence oracle for the
+  /// policy-specialized memory paths.
+  static Plan neutral(int num_cores, int num_layers);
+
   /// False for the inert plan and for specs with all faults disabled.
   bool active() const noexcept { return active_; }
   int num_cores() const noexcept { return static_cast<int>(cores_.size()); }
@@ -111,9 +118,20 @@ class Plan {
   /// Operation cost after the core's straggler slowdown (fixed-point
   /// per-mille factor; exact integer arithmetic, monotone in @p cost).
   Picos scale(int core, Picos cost) const noexcept {
-    const std::uint64_t m = cores_[static_cast<std::size_t>(core)].slow_milli;
+    return apply_milli(cost, scale_milli(core));
+  }
+
+  /// The core's raw straggler factor (per-mille; 1000 = unperturbed).
+  /// Operations that scale several cost components fetch the factor once
+  /// and apply it with apply_milli().
+  std::uint32_t scale_milli(int core) const noexcept {
+    return cores_[static_cast<std::size_t>(core)].slow_milli;
+  }
+
+  /// Apply a per-mille factor from scale_milli() to a cost.
+  static Picos apply_milli(Picos cost, std::uint32_t milli) noexcept {
     return static_cast<Picos>(
-        (static_cast<std::uint64_t>(cost) * m) / 1000u);
+        (static_cast<std::uint64_t>(cost) * milli) / 1000u);
   }
 
   /// Extra latency a remote transfer of base cost @p base pays for

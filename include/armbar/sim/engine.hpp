@@ -35,16 +35,27 @@ class Engine {
   ///
   /// Fast path: popping an event leaves a hole at the heap root, and a
   /// resumed coroutine almost always schedules exactly one successor
-  /// before the next pop — that successor slides straight into the hole
-  /// (one sift, often zero element moves) instead of paying a leaf
-  /// sift-up now and a root sift-down at the next pop.
+  /// before the next pop.  That successor is not sifted at all — it is
+  /// STAGED in a side slot, and the event loop compares it against the
+  /// live heap minimum (the cheapest of the stale root's children): when
+  /// the staged event is globally next, which it is for every serialized
+  /// chain and every same-timestamp drain, it resumes with zero heap
+  /// element moves.  Only when some heap event precedes it does it pay
+  /// the sift into the hole that scheduling used to pay unconditionally.
+  /// A second schedule before the next pop commits the staged event into
+  /// the hole and degrades gracefully to the classic push + sift-up.
   void schedule(Picos t, std::coroutine_handle<> h) {
     if (t < now_) throw std::logic_error("Engine::schedule: time in the past");
     const Event e{t, next_seq_++, h};
     if (root_hole_) {
+      if (!staged_) {
+        staged_event_ = e;
+        staged_ = true;
+        return;
+      }
       root_hole_ = false;
-      sift_down_from(0, e);
-      return;
+      sift_down_from(0, staged_event_);
+      staged_ = false;
     }
     heap_.push_back(e);
     sift_up(heap_.size() - 1);
@@ -96,9 +107,14 @@ class Engine {
 
   /// Min-heap order: earliest time first, insertion sequence breaking
   /// ties — (t, seq) keys are unique, so any correct min-heap pops events
-  /// in exactly one order (deterministic replay).
+  /// in exactly one order (deterministic replay).  The pair compare is
+  /// fused into one unsigned 128-bit compare (t in the high half): same
+  /// strict order, branchless where a two-field compare mispredicts on
+  /// the tie-heavy traffic of same-timestamp drains.
   static bool before(const Event& a, const Event& b) noexcept {
-    return a.t != b.t ? a.t < b.t : a.seq < b.seq;
+    __extension__ typedef unsigned __int128 U128;
+    return ((static_cast<U128>(a.t) << 64) | a.seq) <
+           ((static_cast<U128>(b.t) << 64) | b.seq);
   }
 
   /// Restore heap order after appending at @p i (hole-percolation: the
@@ -124,11 +140,17 @@ class Engine {
   /// share cachelines.  Unlike std::priority_queue the storage is
   /// reservable, so steady-state simulation never reallocates event nodes.
   /// When root_hole_ is set, heap_[0] is a popped (stale) slot and the
-  /// live elements are heap_[1..size): schedule() fills the hole, or the
-  /// event loop repairs it with the last leaf before the next pop.
+  /// live elements are heap_[1..size): schedule() stages into the side
+  /// slot or fills the hole, and the event loop repairs the hole with the
+  /// last leaf before the next pop.  When staged_ is set (implies
+  /// root_hole_), staged_event_ holds a scheduled event that has not been
+  /// inserted into the heap yet; the event loop resumes it directly if it
+  /// is the global minimum.
   static constexpr std::size_t kHeapArity = 4;
   std::vector<Event> heap_;
   bool root_hole_ = false;
+  bool staged_ = false;
+  Event staged_event_{};
   std::vector<SimThread::handle_type> threads_;
   Picos now_ = 0;
   Picos time_budget_ = kNoTimeBudget;

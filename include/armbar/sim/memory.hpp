@@ -27,11 +27,24 @@
 // each waiter, so waiters re-join the sharer set even when their predicate
 // fails — the re-fetch storm that makes the centralized barrier quadratic
 // on a packed counter+generation line.
+//
+// Policy specialization: the tracer and fault-plan hooks are compile-time
+// template parameters of the private access paths (read_at / write_at /
+// wake_waiters are templated on <Traced, Faulted>), not per-op runtime
+// branches.  set_tracer / set_fault_plan pick one of the four
+// instantiations by setting a 2-bit mode once at setup; every public
+// operation dispatches on that mode with a single predictable switch and
+// the entire costed transaction — including the waiter wake cascade — then
+// runs inside the chosen instantiation.  The plain instantiation contains
+// zero tracer/fault code, so unhooked runs pay nothing for either feature;
+// all four instantiations compute bit-identical timestamps when the hooks
+// are inert (asserted by tests/test_policy_paths.cpp).
 
 #include <algorithm>
 #include <coroutine>
 #include <cstdint>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -173,16 +186,37 @@ class MemSystem {
   /// together, so misses to distinct lines overlap, bounded by the
   /// machine's mlp_delay; this is how a real core's poll loop over
   /// several padded flags behaves, and it is what makes wide fan-ins
-  /// profitable (Section V-B2).  co_await yields nothing.
-  SpinAllAwaiter spin_until_all(int core, std::vector<VarId> vars,
+  /// profitable (Section V-B2).  The watched ids are copied out before
+  /// the call returns; callers with a fixed watch set (the tree barriers'
+  /// precomputed child lists) pass the same buffer every episode with no
+  /// per-call allocation.  co_await yields nothing.
+  SpinAllAwaiter spin_until_all(int core, std::span<const VarId> vars,
                                 SpinPred pred);
 
   const MemStats& stats() const noexcept { return stats_; }
   void reset_stats();
 
+  /// Which specialized access-path instantiation operations dispatch to.
+  /// Fixed by set_tracer / set_fault_plan — i.e. once per run at
+  /// measure_barrier setup — never re-examined mid-operation.
+  enum class PathMode : std::uint8_t {
+    kPlain = 0,          ///< no tracer, no fault plan (zero-overhead path)
+    kTraced = 1,         ///< tracer attached
+    kFaulted = 2,        ///< fault plan attached
+    kTracedFaulted = 3,  ///< both attached
+  };
+  PathMode path_mode() const noexcept {
+    return static_cast<PathMode>(mode_);
+  }
+
   /// Attach an operation tracer (nullptr detaches).  Not owned; must
-  /// outlive the simulation run.
-  void set_tracer(Tracer* tracer) noexcept { tracer_ = tracer; }
+  /// outlive the simulation run.  Selects the Traced instantiations of
+  /// the access paths; with no tracer the hot path contains no tracer
+  /// code at all.
+  void set_tracer(Tracer* tracer) noexcept {
+    tracer_ = tracer;
+    update_mode();
+  }
 
   /// The attached tracer, or nullptr.  Barrier programs use this to open
   /// phase spans (sim::PhaseScope) against the run's tracer.
@@ -193,8 +227,10 @@ class MemSystem {
   /// core and layer counts (checked).  Every costed operation then pays
   /// the plan's perturbations: issue deferred past noise pulses, cost
   /// scaled by the core's straggler factor, degraded-layer surcharges on
-  /// remote transfers.  With no plan the hot path is a single null check,
-  /// so unperturbed runs stay bit-identical to a build without faults.
+  /// remote transfers.  Selects the Faulted instantiations of the access
+  /// paths; with no plan (or an inert one, which is not attached) the hot
+  /// path contains no fault code at all, so unperturbed runs stay
+  /// bit-identical to a build without faults.
   void set_fault_plan(const fault::Plan* plan);
   const fault::Plan* fault_plan() const noexcept { return fault_; }
 
@@ -270,34 +306,40 @@ class MemSystem {
     }
   };
 
-  /// Per-line bookkeeping.  The sharer bitmask itself lives in the
-  /// contiguous directory array sharer_words_ (indexed by line id ×
-  /// sharer_stride_), not here: one flat allocation keeps the hot masks
-  /// densely packed instead of scattering one heap block per line.
-  struct Line {
-    int owner = -1;               ///< last writer / first reader
-    Picos busy_until = 0;         ///< end of the last exclusive transaction
-    InflightSet read_finish;      ///< in-flight read completion times
-    std::vector<WaiterBase*> waiters;
-    std::uint64_t read_count = 0;    ///< lifetime costed reads (incl. polls)
-    std::uint64_t write_count = 0;   ///< lifetime write/rmw transactions
-  };
-
   struct Var {
     LineId line;
     std::uint64_t value;
   };
 
-  /// Costed read issued at @p issue; returns its finish time.
+  /// Costed read issued at @p issue; returns its finish time.  The
+  /// <Traced, Faulted> instantiation is chosen once per run (mode_); the
+  /// plain one compiles to straight-line cost arithmetic with no hook
+  /// branches.
+  template <bool Traced, bool Faulted>
   Picos read_at(int core, LineId line, Picos issue, bool is_poll);
   /// Costed write/rmw issued at @p issue; returns its finish time and
-  /// wakes parked pollers at that time.
+  /// wakes parked pollers at that time (within the same instantiation).
+  template <bool Traced, bool Faulted>
   Picos write_at(int core, LineId line, Picos issue, bool is_rmw);
+  template <bool Traced, bool Faulted>
   void wake_waiters(LineId line, Picos when);
+
+  /// Mode-dispatched entry points: one switch on mode_, then the whole
+  /// transaction runs specialized.
+  Picos read_at_mode(int core, LineId line, Picos issue, bool is_poll);
+  Picos write_at_mode(int core, LineId line, Picos issue, bool is_rmw);
+
   /// Cheapest source core for a fetch by @p core given a sharer mask and
   /// the line's owner, or -1 when no other core holds a copy.
   int pick_source(const std::uint64_t* sharer, int owner, int core) const;
   void check_core(int core) const;
+
+  void update_mode() noexcept {
+    mode_ = static_cast<std::uint8_t>((tracer_ != nullptr ? 1u : 0u) |
+                                      (fault_ != nullptr ? 2u : 0u));
+  }
+
+  std::size_t num_lines() const noexcept { return line_owner_.size(); }
 
   /// Sharer mask of @p line: sharer_stride_ words inside the contiguous
   /// directory array.
@@ -312,9 +354,21 @@ class MemSystem {
 
   Engine& engine_;
   topo::Machine machine_;
-  std::vector<Line> lines_;
-  /// Coherence directory: all lines' sharer bitmasks, one flat word array,
-  /// sharer_stride_ = words_for_bits(num_cores) words per line.
+  /// Coherence directory, SoA: per-line metadata lives in parallel arrays
+  /// indexed by line id instead of one array-of-struct.  A transaction
+  /// touches owner/busy/read-set on its own line only, so the AoS layout
+  /// dragged a waiter-list header and two lifetime counters into cache on
+  /// every access; split out, the three hot arrays pack 8-16 lines per
+  /// cacheline each and the cold counters are only touched by writes and
+  /// the end-of-run hot_lines() report.
+  std::vector<int> line_owner_;     ///< last writer / first reader, -1 none
+  std::vector<Picos> line_busy_;    ///< end of last exclusive transaction
+  std::vector<InflightSet> line_reads_;  ///< in-flight read completions
+  std::vector<std::vector<WaiterBase*>> line_waiters_;
+  std::vector<std::uint64_t> line_read_count_;   ///< lifetime reads+polls
+  std::vector<std::uint64_t> line_write_count_;  ///< lifetime writes/rmws
+  /// All lines' sharer bitmasks, one flat word array, sharer_stride_ =
+  /// words_for_bits(num_cores) words per line.
   std::vector<std::uint64_t> sharer_words_;
   std::size_t sharer_stride_ = 1;
   std::vector<Var> vars_;
@@ -331,6 +385,9 @@ class MemSystem {
   Tracer* tracer_ = nullptr;
   /// Fault-injection plan; nullptr (the default) = unperturbed.
   const fault::Plan* fault_ = nullptr;
+  /// Bit 0: tracer attached, bit 1: fault plan attached — the PathMode
+  /// index of the access-path instantiation in use.
+  std::uint8_t mode_ = 0;
   MemStats stats_;
 };
 
@@ -365,7 +422,7 @@ class [[nodiscard]] MemSystem::SpinAwaiter final : public MemSystem::WaiterBase 
 class [[nodiscard]] MemSystem::SpinAllAwaiter final
     : public MemSystem::WaiterBase {
  public:
-  SpinAllAwaiter(MemSystem& mem, int core, std::vector<VarId> vars,
+  SpinAllAwaiter(MemSystem& mem, int core, std::span<const VarId> vars,
                  SpinPred pred);
 
   bool await_ready() const noexcept { return remaining_ == 0; }
@@ -375,21 +432,24 @@ class [[nodiscard]] MemSystem::SpinAllAwaiter final
  private:
   friend class MemSystem;
   bool on_line_write(MemSystem& mem, LineId line, Picos read_finish) override;
-  /// Drop satisfied vars of @p line's pending list; erases the entry when
-  /// it empties.  Returns true if vars remain pending on the line.
+  /// Drop satisfied vars of @p line from the pending list.  Returns true
+  /// if vars remain pending on the line.
   bool settle_line(LineId line);
 
-  /// One watched line and the watched variables on it.  Kept in a flat
-  /// vector sorted by line id (few entries, scanned linearly) — same
-  /// ascending iteration order a std::map would give.
-  struct PendingLine {
+  /// One watched (line, var) pair.  A single flat vector ordered by line
+  /// id — insertion order preserved within a line — replaces the former
+  /// line -> vector<VarId> two-level layout: the watch sets are small and
+  /// scanned linearly, so one contiguous buffer with no per-line heap
+  /// blocks settles and erases cheaper, and iteration order (ascending
+  /// line, insertion order within) is unchanged.
+  struct PendingVar {
     LineId line;
-    std::vector<VarId> vars;
+    VarId var;
   };
 
   MemSystem& mem_;
   SpinPred pred_;
-  std::vector<PendingLine> pending_;
+  std::vector<PendingVar> pending_;
   int remaining_ = 0;
   Picos latest_read_ = 0;  ///< resume no earlier than the slowest poll
   std::coroutine_handle<> handle_;

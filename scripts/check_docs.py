@@ -6,10 +6,10 @@
    artifacts, so an unmapped binary is documentation drift.
 2. Every example binary declared in examples/CMakeLists.txt must be
    mentioned in EXPERIMENTS.md, README.md, or docs/*.md.
-3. Every user-facing flag the example binaries advertise in their --help
-   text (the ``--flag`` lines of examples/*.cpp) that this script tracks
-   as documentation-worthy must appear in the docs (currently: the
-   observability/tuning flags of sweep_cli and autotune_explain).
+3. Every user-facing flag this script tracks as documentation-worthy
+   must appear in the docs and still exist in its binary's source
+   (currently: the observability/tuning flags of sweep_cli and
+   autotune_explain, and the measurement flags of bench/perf_sim).
 4. Every relative markdown link in the repo's *.md files must point at a
    file (or directory) that exists.
 
@@ -66,28 +66,34 @@ def check_example_coverage(errors):
             )
 
 
-# Observability/tuning flags that must stay documented: binary -> flags.
+# User-facing flags that must stay documented: binary -> (source dir,
+# flags).  Covers the observability/tuning flags of the examples and the
+# measurement-methodology flags of the perf bench (a perf number is only
+# reproducible if the docs say how it was taken).
 DOCUMENTED_FLAGS = {
-    "sweep_cli": ["--metrics", "--autotune", "--prune", "--trace",
-                  "--noise", "--straggler", "--fault-seed"],
-    "autotune_explain": ["--prune"],
+    "sweep_cli": ("examples", ["--metrics", "--autotune", "--prune",
+                               "--trace", "--noise", "--straggler",
+                               "--fault-seed"]),
+    "autotune_explain": ("examples", ["--prune"]),
+    "perf_sim": ("bench", ["--breakdown", "--warmup-reps", "--reps",
+                           "--json"]),
 }
 
 
 def check_flag_coverage(errors):
     corpus = doc_corpus()
-    for binary, flags in DOCUMENTED_FLAGS.items():
-        source = REPO / "examples" / ("%s.cpp" % binary)
+    for binary, (subdir, flags) in DOCUMENTED_FLAGS.items():
+        source = REPO / subdir / ("%s.cpp" % binary)
         if not source.exists():
-            errors.append("examples/%s.cpp missing but its flags are "
-                          "tracked by check_docs" % binary)
+            errors.append("%s/%s.cpp missing but its flags are "
+                          "tracked by check_docs" % (subdir, binary))
             continue
         text = source.read_text()
         for flag in flags:
             if flag not in text:
                 errors.append(
-                    "examples/%s.cpp no longer implements tracked flag "
-                    "'%s' (update DOCUMENTED_FLAGS?)" % (binary, flag)
+                    "%s/%s.cpp no longer implements tracked flag "
+                    "'%s' (update DOCUMENTED_FLAGS?)" % (subdir, binary, flag)
                 )
             if flag not in corpus:
                 errors.append(

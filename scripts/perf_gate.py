@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""Perf ratchet for bench/perf_sim: fail when throughput regresses.
+
+Compares the events/sec of a current BENCH_sim.json against a baseline
+and exits non-zero when the current run is slower than the baseline by
+more than the configured noise band.  Also verifies the determinism
+checksum when asked — a perf "win" that changes simulation results is a
+bug, not a win.
+
+Modes:
+  --baseline FILE   A/B gate: compare current vs a baseline produced by
+                    the same bench on the same hardware (CI builds the
+                    parent commit and measures both back to back).
+  (no --baseline)   history gate: compare the current top-level metric
+                    against the best PRIOR entry of the current file's
+                    own "history" array (perf_sim appends one entry per
+                    run).  Passes with a notice when there is no prior
+                    history to gate against.
+
+Self-test:
+  --inject-regression F   scale the current metric by F (e.g. 0.5) before
+                    comparing — CI uses this to assert the gate actually
+                    fails on a synthetic regression.
+
+Stdlib only; no third-party imports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def fmt_mevents(v: float) -> str:
+    return f"{v / 1e6:.2f} M events/s"
+
+
+def load(path: str) -> dict:
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            return json.load(f)
+    except FileNotFoundError:
+        sys.exit(f"perf_gate: FAIL — cannot open {path}")
+    except json.JSONDecodeError as e:
+        sys.exit(f"perf_gate: FAIL — {path} is not valid JSON: {e}")
+
+
+def main() -> int:
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("--current", required=True,
+                    help="BENCH_sim.json of the revision under test")
+    ap.add_argument("--baseline",
+                    help="BENCH_sim.json of the baseline revision; omit to "
+                         "gate against the current file's own run history")
+    ap.add_argument("--metric", default="events_per_sec",
+                    help="top-level metric to compare "
+                         "(default: events_per_sec; events_per_sec_median "
+                         "is steadier on noisy runners)")
+    ap.add_argument("--tolerance", type=float, default=0.12,
+                    help="allowed fractional slowdown before failing "
+                         "(default 0.12 = 12%% noise band)")
+    ap.add_argument("--expect-checksum", type=float, default=None,
+                    help="fail unless the current checksum_ns matches "
+                         "(determinism gate)")
+    ap.add_argument("--inject-regression", type=float, default=None,
+                    metavar="F",
+                    help="scale the current metric by F before comparing "
+                         "(self-test: the gate must fail for F well below "
+                         "1 - tolerance)")
+    args = ap.parse_args()
+
+    cur = load(args.current)
+    if args.metric not in cur:
+        sys.exit(f"perf_gate: FAIL — {args.current} has no '{args.metric}'")
+    cur_val = float(cur[args.metric])
+    if args.inject_regression is not None:
+        cur_val *= args.inject_regression
+        print(f"perf_gate: injected synthetic regression x"
+              f"{args.inject_regression} -> {fmt_mevents(cur_val)}")
+
+    if args.expect_checksum is not None:
+        got = float(cur.get("checksum_ns", float("nan")))
+        if abs(got - args.expect_checksum) > 1e-6:
+            print(f"perf_gate: FAIL — determinism checksum moved: "
+                  f"expected {args.expect_checksum:.6f} ns, "
+                  f"got {got:.6f} ns.  The simulation no longer computes "
+                  f"the same results; fix that before talking about speed.")
+            return 1
+        print(f"perf_gate: checksum OK ({got:.6f} ns)")
+
+    if args.baseline:
+        base = load(args.baseline)
+        if args.metric not in base:
+            sys.exit(
+                f"perf_gate: FAIL — {args.baseline} has no '{args.metric}'")
+        base_val = float(base[args.metric])
+        base_desc = f"baseline {args.baseline}"
+    else:
+        # History mode: best prior entry of the current file's history.
+        prior = cur.get("history", [])[:-1]  # last entry IS this run
+        vals = [float(h["events_per_sec"]) for h in prior
+                if "events_per_sec" in h]
+        if not vals:
+            print("perf_gate: PASS (no prior history to gate against; "
+                  "run perf_sim again to start ratcheting)")
+            return 0
+        base_val = max(vals)
+        base_desc = f"best of {len(vals)} prior history entr" + \
+                    ("y" if len(vals) == 1 else "ies")
+
+    floor = base_val * (1.0 - args.tolerance)
+    delta = (cur_val / base_val - 1.0) * 100.0 if base_val > 0 else 0.0
+    if cur_val < floor:
+        print(f"perf_gate: FAIL — throughput regressed beyond the "
+              f"{args.tolerance * 100:.0f}% noise band:\n"
+              f"  before: {fmt_mevents(base_val)}  ({base_desc})\n"
+              f"  after:  {fmt_mevents(cur_val)}  ({delta:+.1f}%)\n"
+              f"  floor:  {fmt_mevents(floor)}\n"
+              f"  The hot path got slower.  Profile before merging "
+              f"(docs/PERF.md, bench/perf_sim --breakdown) or, if the "
+              f"slowdown is justified, raise --tolerance explicitly in CI.")
+        return 1
+    print(f"perf_gate: PASS — {fmt_mevents(cur_val)} vs "
+          f"{fmt_mevents(base_val)} ({base_desc}, {delta:+.1f}%, "
+          f"band {args.tolerance * 100:.0f}%)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -105,8 +105,22 @@ Plan::Plan(const FaultSpec& spec, int num_cores, int num_layers)
   }
 }
 
+Plan Plan::neutral(int num_cores, int num_layers) {
+  require(num_cores > 0, "num_cores must be > 0");
+  require(num_layers >= 0, "num_layers must be >= 0");
+  Plan p;
+  // Default CoreFault{} is already inert (period 0, slow_milli 1000) and
+  // link_milli 1000 means no surcharge; only active_ differs from the
+  // default-constructed plan, so MemSystem attaches and consults it.
+  p.cores_.assign(static_cast<std::size_t>(num_cores), CoreFault{});
+  p.link_milli_.assign(static_cast<std::size_t>(num_layers), 1000u);
+  p.active_ = true;
+  return p;
+}
+
 std::string Plan::describe() const {
   if (!active_) return "no faults";
+  if (!spec_.any()) return "neutral plan (active, perturbs nothing)";
   std::ostringstream os;
   const char* sep = "";
   if (spec_.noise.period_us > 0.0 && spec_.noise.duration_us > 0.0) {

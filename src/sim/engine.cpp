@@ -47,15 +47,43 @@ void Engine::sift_down_from(std::size_t i, const Event& e) noexcept {
 
 bool Engine::run(std::uint64_t max_events) {
   for (;;) {
-    if (root_hole_) {
-      // The resumed coroutine scheduled nothing (finished or parked):
-      // repair the hole with the last leaf before the next pop.
-      root_hole_ = false;
-      const Event last = heap_.back();
-      heap_.pop_back();
-      if (!heap_.empty()) sift_down_from(0, last);
+    Event ev{};
+    if (staged_) {
+      // A resumed coroutine staged exactly one successor (the steady
+      // state).  The live heap is heap_[1..size) — the root slot is the
+      // stale hole — so the heap minimum is the cheapest of the root's
+      // children.  If the staged event precedes it, resume it with zero
+      // heap traffic: serialized chains and same-timestamp drains run
+      // entirely through this path, never re-touching the heap.
+      const std::size_t n = heap_.size();
+      const std::size_t last_child = std::min(kHeapArity + 1, n);
+      std::size_t best = 0;  // 0 = no live child
+      for (std::size_t c = 1; c < last_child; ++c)
+        if (best == 0 || before(heap_[c], heap_[best])) best = c;
+      staged_ = false;
+      if (best != 0 && before(heap_[best], staged_event_)) {
+        // A heap event precedes the staged one: commit the staged event
+        // into the hole (the sift schedule() skipped), then pop normally.
+        sift_down_from(0, staged_event_);
+        ev = heap_.front();
+        // root_hole_ stays set for the next pop's hole.
+      } else {
+        ev = staged_event_;
+        // The hole survives: the next schedule() can stage again.
+      }
+    } else {
+      if (root_hole_) {
+        // The resumed coroutine scheduled nothing (finished or parked):
+        // repair the hole with the last leaf before the next pop.
+        root_hole_ = false;
+        const Event last = heap_.back();
+        heap_.pop_back();
+        if (!heap_.empty()) sift_down_from(0, last);
+      }
+      if (heap_.empty()) break;
+      ev = heap_.front();
+      root_hole_ = true;
     }
-    if (heap_.empty()) break;
     if (events_ >= max_events)
       throw DeadlockError(
           DeadlockError::Kind::kEventBudget,
@@ -64,7 +92,6 @@ bool Engine::run(std::uint64_t max_events) {
               " events retired without draining the queue — livelock or "
               "runaway episode)",
           now_, events_);
-    const Event ev = heap_.front();
     if (ev.t > time_budget_)
       throw DeadlockError(
           DeadlockError::Kind::kTimeBudget,
@@ -72,7 +99,6 @@ bool Engine::run(std::uint64_t max_events) {
               std::to_string(ev.t) + " ps exceeds the " +
               std::to_string(time_budget_) + " ps watchdog budget)",
           now_, events_);
-    root_hole_ = true;
     now_ = ev.t;
     ++events_;
     ev.h.resume();

@@ -21,7 +21,12 @@ MemSystem::MemSystem(Engine& engine, topo::Machine machine)
   // reserving 8 lines per core covers every algorithm up to the machine
   // size without reallocation during construction.
   const auto cores = static_cast<std::size_t>(machine_.num_cores());
-  lines_.reserve(8 * cores);
+  line_owner_.reserve(8 * cores);
+  line_busy_.reserve(8 * cores);
+  line_reads_.reserve(8 * cores);
+  line_waiters_.reserve(8 * cores);
+  line_read_count_.reserve(8 * cores);
+  line_write_count_.reserve(8 * cores);
   vars_.reserve(8 * cores);
   sharer_words_.reserve(8 * cores * sharer_stride_);
 }
@@ -31,9 +36,14 @@ MemSystem::MemSystem(Engine& engine, topo::Machine machine)
 // ---------------------------------------------------------------------------
 
 LineId MemSystem::new_line() {
-  lines_.emplace_back();
+  line_owner_.push_back(-1);
+  line_busy_.push_back(0);
+  line_reads_.emplace_back();
+  line_waiters_.emplace_back();
+  line_read_count_.push_back(0);
+  line_write_count_.push_back(0);
   sharer_words_.insert(sharer_words_.end(), sharer_stride_, 0);
-  return static_cast<LineId>(lines_.size() - 1);
+  return static_cast<LineId>(num_lines() - 1);
 }
 
 VarId MemSystem::new_var(std::uint64_t init) {
@@ -41,7 +51,7 @@ VarId MemSystem::new_var(std::uint64_t init) {
 }
 
 VarId MemSystem::new_var_on(LineId line, std::uint64_t init) {
-  if (line < 0 || static_cast<std::size_t>(line) >= lines_.size())
+  if (line < 0 || static_cast<std::size_t>(line) >= num_lines())
     throw std::out_of_range("MemSystem::new_var_on: bad line");
   vars_.push_back(Var{line, init});
   return static_cast<VarId>(vars_.size() - 1);
@@ -96,10 +106,12 @@ void MemSystem::set_fault_plan(const fault::Plan* plan) {
           std::to_string(machine_.num_layers()));
     fault_ = plan;
   } else {
-    // Inert plans are not attached at all: the hot path's null check is
-    // the whole cost of the feature when nothing is injected.
+    // Inert plans are not attached at all: without a plan the dispatch
+    // selects the non-Faulted instantiations and the hot path contains no
+    // fault code whatsoever.
     fault_ = nullptr;
   }
+  update_mode();
 }
 
 void MemSystem::reset_stats() {
@@ -140,28 +152,40 @@ int MemSystem::pick_source(const std::uint64_t* sharer, int owner,
   return best;
 }
 
+// ---------------------------------------------------------------------------
+// Specialized access paths
+//
+// One instantiation per PathMode.  The Traced/Faulted hooks are compiled
+// in or out with if constexpr; the plain <false, false> bodies are the
+// exact pre-hook hot path — no tracer pointer test, no fault pointer
+// test, nothing to mispredict.  All four instantiations perform the same
+// cost arithmetic in the same order, so an inert hook (capacity-0 tracer,
+// neutral plan) changes nothing but wall-clock speed.
+// ---------------------------------------------------------------------------
+
+template <bool Traced, bool Faulted>
 Picos MemSystem::read_at(int core, LineId line, Picos issue, bool is_poll) {
-  Line& l = lines_[static_cast<std::size_t>(line)];
+  const auto li = static_cast<std::size_t>(line);
   std::uint64_t* const sharer = sharer_of(line);
   // Fault injection: a core preempted by an OS-noise pulse cannot issue
   // until the pulse ends.
-  if (fault_) issue = fault_->release(core, issue);
-  const Picos start = std::max(issue, l.busy_until);
+  if constexpr (Faulted) issue = fault_->release(core, issue);
+  const Picos start = std::max(issue, line_busy_[li]);
 
   if (is_poll) ++stats_.poll_reads;
 
-  ++l.read_count;
+  ++line_read_count_[li];
   if (util::bit_test(sharer, static_cast<std::size_t>(core))) {
     ++stats_.local_reads;
     const Picos finish = start + machine_.epsilon_ps();
-    if (tracer_)
+    if constexpr (Traced)
       tracer_->record({start, finish, core, line,
                        is_poll ? TraceEvent::Kind::kPoll
                                : TraceEvent::Kind::kRead});
     return finish;
   }
 
-  const int src = pick_source(sharer, l.owner, core);
+  const int src = pick_source(sharer, line_owner_[li], core);
   Picos cost;
   std::int8_t layer = -1;
   if (src == -1) {
@@ -172,12 +196,12 @@ Picos MemSystem::read_at(int core, LineId line, Picos issue, bool is_poll) {
     cost = topo::Machine::entry_ps(e);
     layer = static_cast<std::int8_t>(topo::Machine::entry_layer(e));
     ++stats_.layer_transfers[static_cast<std::size_t>(layer)];
-    if (fault_) cost += fault_->link_extra(layer, cost);
+    if constexpr (Faulted) cost += fault_->link_extra(layer, cost);
   }
   // Reader contention (eq. 3's c term): pay c per other read of this line
   // still in flight when ours starts.
   cost += machine_.contention_ps() *
-          static_cast<Picos>(l.read_finish.count_at(start));
+          static_cast<Picos>(line_reads_[li].count_at(start));
   // Memory-level-parallelism bound: each additional miss this core has in
   // flight delays the response delivery.
   auto& mine = core_miss_finish_[static_cast<std::size_t>(core)];
@@ -190,16 +214,16 @@ Picos MemSystem::read_at(int core, LineId line, Picos issue, bool is_poll) {
     cost += machine_.net_contention_ps() *
             static_cast<Picos>(net_inflight_.count_at(start));
   // Straggler model: a slowed core executes the whole operation slower.
-  if (fault_) cost = fault_->scale(core, cost);
+  if constexpr (Faulted) cost = fault_->scale(core, cost);
 
   const Picos finish = start + cost;
-  l.read_finish.add(finish);
+  line_reads_[li].add(finish);
   mine.add(finish);
   if (is_remote_transfer) net_inflight_.add(finish);
   util::bit_set(sharer, static_cast<std::size_t>(core));
-  if (l.owner == -1) l.owner = core;
+  if (line_owner_[li] == -1) line_owner_[li] = core;
   ++stats_.remote_reads;
-  if (tracer_)
+  if constexpr (Traced)
     tracer_->record({start, finish, core, line,
                      is_poll ? TraceEvent::Kind::kPoll
                              : TraceEvent::Kind::kRead,
@@ -207,16 +231,22 @@ Picos MemSystem::read_at(int core, LineId line, Picos issue, bool is_poll) {
   return finish;
 }
 
+template <bool Traced, bool Faulted>
 Picos MemSystem::write_at(int core, LineId line, Picos issue, bool is_rmw) {
-  Line& l = lines_[static_cast<std::size_t>(line)];
+  const auto li = static_cast<std::size_t>(line);
   std::uint64_t* const sharer = sharer_of(line);
   // Fault injection: a core preempted by an OS-noise pulse cannot issue
-  // until the pulse ends.
-  if (fault_) issue = fault_->release(core, issue);
+  // until the pulse ends; the straggler factor is fetched once and applied
+  // to every scaled component of this transaction below.
+  std::uint32_t straggle_milli = 1000;
+  if constexpr (Faulted) {
+    issue = fault_->release(core, issue);
+    straggle_milli = fault_->scale_milli(core);
+  }
   // Exclusive transactions on a line serialize (packed-flag effect).
-  const Picos start = std::max(issue, l.busy_until);
+  const Picos start = std::max(issue, line_busy_[li]);
 
-  ++l.write_count;
+  ++line_write_count_[li];
   Picos base;
   bool fetched_remotely = false;
   std::int8_t layer = -1;
@@ -224,7 +254,7 @@ Picos MemSystem::write_at(int core, LineId line, Picos issue, bool is_rmw) {
     base = machine_.epsilon_ps();
     ++(is_rmw ? stats_.rmws : stats_.local_writes);
   } else {
-    const int src = pick_source(sharer, l.owner, core);
+    const int src = pick_source(sharer, line_owner_[li], core);
     if (src == -1) {
       base = machine_.epsilon_ps();
     } else {
@@ -233,7 +263,7 @@ Picos MemSystem::write_at(int core, LineId line, Picos issue, bool is_rmw) {
       fetched_remotely = true;
       layer = static_cast<std::int8_t>(topo::Machine::entry_layer(e));
       ++stats_.layer_transfers[static_cast<std::size_t>(layer)];
-      if (fault_) base += fault_->link_extra(layer, base);
+      if constexpr (Faulted) base += fault_->link_extra(layer, base);
     }
     ++(is_rmw ? stats_.rmws : stats_.remote_writes);
   }
@@ -248,25 +278,39 @@ Picos MemSystem::write_at(int core, LineId line, Picos issue, bool is_rmw) {
   std::uint64_t invalidated = 0;
   util::BitWords& holder = holder_scratch_;
   holder.copy_from_words(sharer);
-  for (const WaiterBase* w : l.waiters) {
+  for (const WaiterBase* w : line_waiters_[li]) {
     holder.set(static_cast<std::size_t>(w->core_));
   }
-  // Degraded links also slow the invalidation round-trips; the layer
-  // lookup per destination is only paid when a link fault is active.
-  const bool degraded_links = fault_ && fault_->degrades_links();
-  holder.for_each_set([&](std::size_t s) {
+  const auto invalidate = [&](std::size_t s) {
     const int si = static_cast<int>(s);
     if (si == core) return;
-    Picos inv = machine_.rfo_ps_fast(core, si);
-    if (degraded_links)
-      inv += fault_->link_extra(
-          static_cast<int>(
-              topo::Machine::entry_layer(machine_.comm_entry_fast(core, si))),
-          inv);
-    rfo += inv;
+    rfo += machine_.rfo_ps_fast(core, si);
     ++invalidated;
     util::bit_clear(sharer, s);
-  });
+  };
+  if constexpr (Faulted) {
+    // Degraded links also slow the invalidation round-trips.  The check is
+    // hoisted out of the scan: the per-destination layer lookup is only
+    // paid inside the degraded-link loop, never per set bit otherwise.
+    if (fault_->degrades_links()) {
+      holder.for_each_set([&](std::size_t s) {
+        const int si = static_cast<int>(s);
+        if (si == core) return;
+        Picos inv = machine_.rfo_ps_fast(core, si);
+        inv += fault_->link_extra(
+            static_cast<int>(topo::Machine::entry_layer(
+                machine_.comm_entry_fast(core, si))),
+            inv);
+        rfo += inv;
+        ++invalidated;
+        util::bit_clear(sharer, s);
+      });
+    } else {
+      holder.for_each_set(invalidate);
+    }
+  } else {
+    holder.for_each_set(invalidate);
+  }
   stats_.invalidations += invalidated;
 
   // Poll pressure: an invalidating transaction on a line that many cores
@@ -277,7 +321,7 @@ Picos MemSystem::write_at(int core, LineId line, Picos issue, bool is_rmw) {
   Picos cost =
       base + rfo +
       machine_.contention_ps() *
-          static_cast<Picos>(l.read_finish.count_at(start));
+          static_cast<Picos>(line_reads_[li].count_at(start));
   // Machine-wide network contention for the fetch and the invalidations.
   const bool is_remote_transfer = fetched_remotely || rfo > 0;
   if (is_remote_transfer)
@@ -285,9 +329,10 @@ Picos MemSystem::write_at(int core, LineId line, Picos issue, bool is_rmw) {
             static_cast<Picos>(net_inflight_.count_at(start));
   // Straggler model: a slowed core executes the whole transaction slower,
   // including the ownership migration a plain store occupies the line for.
-  if (fault_) {
-    cost = fault_->scale(core, cost);
-    base = fault_->scale(core, base);
+  // One shared factor, applied once per component.
+  if constexpr (Faulted) {
+    cost = fault::Plan::apply_milli(cost, straggle_milli);
+    base = fault::Plan::apply_milli(base, straggle_milli);
   }
 
   const Picos finish = start + cost;
@@ -297,49 +342,82 @@ Picos MemSystem::write_at(int core, LineId line, Picos issue, bool is_rmw) {
   // below) but a subsequent store can begin acquiring ownership meanwhile.
   // An atomic RMW holds the line exclusively for the whole transaction —
   // that is what serializes the centralized barrier's arrival chain.
-  l.busy_until = is_rmw ? finish : start + base;
+  line_busy_[li] = is_rmw ? finish : start + base;
   util::bit_set(sharer, static_cast<std::size_t>(core));
-  l.owner = core;
-  if (tracer_) {
+  line_owner_[li] = core;
+  if constexpr (Traced) {
     tracer_->record({start, finish, core, line,
                      is_rmw ? TraceEvent::Kind::kRmw
                             : TraceEvent::Kind::kWrite,
                      layer});
     if (invalidated > 0) tracer_->add_rfo(core, invalidated);
   }
-  wake_waiters(line, finish);
+  wake_waiters<Traced, Faulted>(line, finish);
   return finish;
 }
 
+template <bool Traced, bool Faulted>
 void MemSystem::wake_waiters(LineId line, Picos when) {
-  Line& l = lines_[static_cast<std::size_t>(line)];
-  if (l.waiters.empty()) return;
+  const auto li = static_cast<std::size_t>(line);
+  if (line_waiters_[li].empty()) return;
   // Reuse one scratch list so the swap keeps (and grows once) a single
   // buffer instead of reallocating per wake-up.  wake_waiters never
   // re-enters itself: read_at touches no waiter lists and on_line_write
   // only schedules deferred resumptions.
   std::vector<WaiterBase*>& pending = wake_scratch_;
   pending.clear();
-  pending.swap(l.waiters);
+  pending.swap(line_waiters_[li]);
   for (WaiterBase* w : pending) {
     // Each parked poller re-fetches the line (costed read at the write's
     // completion); on predicate failure it parks again — but it has
     // re-joined the sharer set, so the next write pays to invalidate it.
-    const Picos finish = read_at(w->core_, line, when, /*is_poll=*/true);
-    if (w->on_line_write(*this, line, finish)) l.waiters.push_back(w);
+    const Picos finish =
+        read_at<Traced, Faulted>(w->core_, line, when, /*is_poll=*/true);
+    if (w->on_line_write(*this, line, finish))
+      line_waiters_[li].push_back(w);
   }
   // The drained buffer stays in wake_scratch_ for the next wake-up; the
   // line's list took the scratch buffer's capacity in the swap above.
 }
 
+Picos MemSystem::read_at_mode(int core, LineId line, Picos issue,
+                              bool is_poll) {
+  switch (static_cast<PathMode>(mode_)) {
+    case PathMode::kTraced:
+      return read_at<true, false>(core, line, issue, is_poll);
+    case PathMode::kFaulted:
+      return read_at<false, true>(core, line, issue, is_poll);
+    case PathMode::kTracedFaulted:
+      return read_at<true, true>(core, line, issue, is_poll);
+    case PathMode::kPlain:
+      break;
+  }
+  return read_at<false, false>(core, line, issue, is_poll);
+}
+
+Picos MemSystem::write_at_mode(int core, LineId line, Picos issue,
+                               bool is_rmw) {
+  switch (static_cast<PathMode>(mode_)) {
+    case PathMode::kTraced:
+      return write_at<true, false>(core, line, issue, is_rmw);
+    case PathMode::kFaulted:
+      return write_at<false, true>(core, line, issue, is_rmw);
+    case PathMode::kTracedFaulted:
+      return write_at<true, true>(core, line, issue, is_rmw);
+    case PathMode::kPlain:
+      break;
+  }
+  return write_at<false, false>(core, line, issue, is_rmw);
+}
+
 std::vector<MemSystem::HotLine> MemSystem::hot_lines(int top_n) const {
   std::vector<HotLine> all;
-  all.reserve(lines_.size());
-  for (std::size_t i = 0; i < lines_.size(); ++i) {
+  all.reserve(num_lines());
+  for (std::size_t i = 0; i < num_lines(); ++i) {
     HotLine h;
     h.line = static_cast<LineId>(i);
-    h.reads = lines_[i].read_count;
-    h.writes = lines_[i].write_count;
+    h.reads = line_read_count_[i];
+    h.writes = line_write_count_[i];
     if (h.total() > 0) all.push_back(h);
   }
   const auto busier = [](const HotLine& a, const HotLine& b) {
@@ -365,7 +443,7 @@ std::vector<MemSystem::HotLine> MemSystem::hot_lines(int top_n) const {
 MemSystem::OpAwaiter MemSystem::read(int core, VarId v) {
   check_core(core);
   const Var& var = vars_.at(static_cast<std::size_t>(v));
-  const Picos finish = read_at(core, var.line, engine_.now(), false);
+  const Picos finish = read_at_mode(core, var.line, engine_.now(), false);
   return OpAwaiter(engine_, finish, var.value);
 }
 
@@ -373,7 +451,7 @@ MemSystem::OpAwaiter MemSystem::write(int core, VarId v, std::uint64_t value) {
   check_core(core);
   Var& var = vars_.at(static_cast<std::size_t>(v));
   var.value = value;
-  write_at(core, var.line, engine_.now(), false);
+  write_at_mode(core, var.line, engine_.now(), false);
   // Store-buffer semantics: a plain store retires immediately for the
   // writer (epsilon); the cacheline transaction — serialization,
   // invalidations, waiter wake-ups — proceeds asynchronously and is
@@ -387,7 +465,7 @@ MemSystem::OpAwaiter MemSystem::rmw(
   Var& var = vars_.at(static_cast<std::size_t>(v));
   const std::uint64_t old = var.value;
   var.value = f(old);
-  const Picos finish = write_at(core, var.line, engine_.now(), true);
+  const Picos finish = write_at_mode(core, var.line, engine_.now(), true);
   return OpAwaiter(engine_, finish, old);
 }
 
@@ -399,7 +477,7 @@ MemSystem::OpAwaiter MemSystem::fetch_add(int core, VarId v,
   Var& var = vars_.at(static_cast<std::size_t>(v));
   const std::uint64_t old = var.value;
   var.value = old + delta;
-  const Picos finish = write_at(core, var.line, engine_.now(), true);
+  const Picos finish = write_at_mode(core, var.line, engine_.now(), true);
   return OpAwaiter(engine_, finish, old);
 }
 
@@ -409,7 +487,7 @@ MemSystem::OpAwaiter MemSystem::fetch_sub(int core, VarId v,
   Var& var = vars_.at(static_cast<std::size_t>(v));
   const std::uint64_t old = var.value;
   var.value = old - delta;
-  const Picos finish = write_at(core, var.line, engine_.now(), true);
+  const Picos finish = write_at_mode(core, var.line, engine_.now(), true);
   return OpAwaiter(engine_, finish, old);
 }
 
@@ -419,18 +497,18 @@ MemSystem::SpinAwaiter MemSystem::spin_until(int core, VarId v,
   return SpinAwaiter(*this, core, v, pred);
 }
 
-MemSystem::SpinAllAwaiter MemSystem::spin_until_all(int core,
-                                                    std::vector<VarId> vars,
-                                                    SpinPred pred) {
+MemSystem::SpinAllAwaiter MemSystem::spin_until_all(
+    int core, std::span<const VarId> vars, SpinPred pred) {
   check_core(core);
-  return SpinAllAwaiter(*this, core, std::move(vars), pred);
+  return SpinAllAwaiter(*this, core, vars, pred);
 }
 
 void MemSystem::SpinAwaiter::await_suspend(std::coroutine_handle<> h) {
   handle_ = h;
   const Var& var = mem_.vars_.at(static_cast<std::size_t>(var_));
   // Initial poll: a normal costed read.
-  const Picos finish = mem_.read_at(core_, var.line, mem_.engine_.now(), false);
+  const Picos finish =
+      mem_.read_at_mode(core_, var.line, mem_.engine_.now(), false);
   const std::uint64_t v = var.value;
   if (pred_(v)) {
     result_ = v;
@@ -438,7 +516,7 @@ void MemSystem::SpinAwaiter::await_suspend(std::coroutine_handle<> h) {
     return;
   }
   // Park: the next write to the line re-polls us.
-  mem_.lines_[static_cast<std::size_t>(var.line)].waiters.push_back(this);
+  mem_.line_waiters_[static_cast<std::size_t>(var.line)].push_back(this);
 }
 
 bool MemSystem::SpinAwaiter::on_line_write(MemSystem& mem, LineId /*line*/,
@@ -453,41 +531,37 @@ bool MemSystem::SpinAwaiter::on_line_write(MemSystem& mem, LineId /*line*/,
 }
 
 MemSystem::SpinAllAwaiter::SpinAllAwaiter(MemSystem& mem, int core,
-                                          std::vector<VarId> vars,
+                                          std::span<const VarId> vars,
                                           SpinPred pred)
     : WaiterBase(core), mem_(mem), pred_(pred) {
-  for (VarId v : vars) {
+  pending_.reserve(vars.size());
+  for (const VarId v : vars) {
     const LineId line = mem_.line_of(v);
-    const auto it = std::lower_bound(
+    // Insert after existing entries of the same line: ascending line
+    // order, insertion order within a line.
+    const auto it = std::upper_bound(
         pending_.begin(), pending_.end(), line,
-        [](const PendingLine& p, LineId l) { return p.line < l; });
-    if (it != pending_.end() && it->line == line) {
-      it->vars.push_back(v);
-    } else {
-      pending_.insert(it, PendingLine{line, {v}});
-    }
+        [](LineId l, const PendingVar& p) { return l < p.line; });
+    pending_.insert(it, PendingVar{line, v});
     ++remaining_;
   }
 }
 
 bool MemSystem::SpinAllAwaiter::settle_line(LineId line) {
-  const auto it = std::find_if(
-      pending_.begin(), pending_.end(),
-      [line](const PendingLine& p) { return p.line == line; });
-  if (it == pending_.end()) return false;
-  auto& vars = it->vars;
-  vars.erase(std::remove_if(vars.begin(), vars.end(),
-                            [&](VarId v) {
-                              if (!pred_(mem_.peek(v))) return false;
-                              --remaining_;
-                              return true;
-                            }),
-             vars.end());
-  if (vars.empty()) {
-    pending_.erase(it);
-    return false;
-  }
-  return true;
+  const auto lo = std::lower_bound(
+      pending_.begin(), pending_.end(), line,
+      [](const PendingVar& p, LineId l) { return p.line < l; });
+  auto hi = lo;
+  while (hi != pending_.end() && hi->line == line) ++hi;
+  if (lo == hi) return false;
+  const auto keep_end = std::remove_if(lo, hi, [&](const PendingVar& p) {
+    if (!pred_(mem_.peek(p.var))) return false;
+    --remaining_;
+    return true;
+  });
+  const bool stay = keep_end != lo;
+  pending_.erase(keep_end, hi);
+  return stay;
 }
 
 void MemSystem::SpinAllAwaiter::await_suspend(std::coroutine_handle<> h) {
@@ -497,15 +571,25 @@ void MemSystem::SpinAllAwaiter::await_suspend(std::coroutine_handle<> h) {
   // per-core MLP bound.
   const Picos now = mem_.engine_.now();
   Picos max_finish = now;
-  std::vector<LineId> watched;
-  watched.reserve(pending_.size());
-  for (const auto& p : pending_) watched.push_back(p.line);
-  for (const LineId line : watched)
-    max_finish = std::max(max_finish, mem_.read_at(core_, line, now, false));
+  LineId prev = -1;
+  for (const PendingVar& p : pending_) {
+    if (p.line == prev) continue;
+    prev = p.line;
+    max_finish =
+        std::max(max_finish, mem_.read_at_mode(core_, p.line, now, false));
+  }
   latest_read_ = max_finish;
-  for (const LineId line : watched) {
-    if (settle_line(line))
-      mem_.lines_[static_cast<std::size_t>(line)].waiters.push_back(this);
+  // Settle each line against the just-read values; park on lines that
+  // still have pending vars.  settle_line erases satisfied entries in
+  // place, so on a false return the element at i already belongs to the
+  // next line.
+  std::size_t i = 0;
+  while (i < pending_.size()) {
+    const LineId line = pending_[i].line;
+    if (settle_line(line)) {
+      mem_.line_waiters_[static_cast<std::size_t>(line)].push_back(this);
+      while (i < pending_.size() && pending_[i].line == line) ++i;
+    }
   }
   if (remaining_ == 0) mem_.engine_.schedule(latest_read_, handle_);
 }

@@ -127,6 +127,12 @@ SimResult measure_barrier(const topo::Machine& machine,
                  static_cast<std::size_t>(cfg.threads) * 8);
   if (cfg.time_budget_ps > 0) engine.set_time_budget(cfg.time_budget_ps);
   sim::MemSystem mem(engine, machine);
+  // Policy selection happens HERE, once per run: attaching (or not) a
+  // tracer and a fault plan fixes MemSystem::path_mode(), and every costed
+  // operation of the episode loop below dispatches straight into the
+  // matching <Traced, Faulted> specialization of the access paths.  A
+  // plain run (no tracer, no faults — the benchmark configuration)
+  // executes zero tracer/fault instructions per operation.
   mem.set_tracer(tracer);
   if (cfg.fault) mem.set_fault_plan(cfg.fault);
   const auto barrier = factory(engine, mem, cfg.threads);

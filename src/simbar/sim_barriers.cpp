@@ -184,6 +184,11 @@ sim::SimThread SimMcs::run_thread(int tid, const SimRunConfig& cfg,
   const auto kids = shape::McsShape::arrival_children(tid, threads_);
   const auto wake_kids = shape::McsShape::wakeup_children(tid, threads_);
   const int have = static_cast<int>(kids.size());
+  // The watch set is episode-invariant; build it once per thread and pass
+  // the same buffer to every episode's spin (no per-episode allocation).
+  std::vector<sim::VarId> slots;
+  slots.reserve(static_cast<std::size_t>(have));
+  for (int s = 0; s < have; ++s) slots.push_back(slot_var(tid, s));
   for (int it = 0; it < cfg.iterations; ++it) {
     co_await episode_delay(tid, cfg);
     rec.enter(tid, it, eng_.now());
@@ -191,10 +196,7 @@ sim::SimThread SimMcs::run_thread(int tid, const SimRunConfig& cfg,
     {
       auto arrive = phase(core, obs::Phase::kArrival);
       if (have > 0) {
-        std::vector<sim::VarId> slots;
-        for (int s = 0; s < have; ++s) slots.push_back(slot_var(tid, s));
-        co_await mem_.spin_until_all(core, std::move(slots),
-                                     sim::SpinPred::eq(0));
+        co_await mem_.spin_until_all(core, slots, sim::SpinPred::eq(0));
       }
       for (int s = 0; s < have; ++s)
         co_await mem_.write(core, slot_var(tid, s), 1);
@@ -352,6 +354,19 @@ std::string SimStaticFway::name() const {
 sim::SimThread SimStaticFway::run_thread(int tid, const SimRunConfig& cfg,
                                          Recorder& rec) {
   const int core = cfg.core_of(tid);
+  const auto& plans = plans_[static_cast<std::size_t>(tid)];
+  // Per-round child-flag watch sets are episode-invariant: materialize
+  // them once per thread instead of allocating inside every episode.
+  std::vector<std::vector<sim::VarId>> kid_flags(plans.size());
+  for (std::size_t r = 0; r < plans.size(); ++r) {
+    const RoundPlan& p = plans[r];
+    if (p.my_pos == p.group_begin && p.group_end > p.group_begin + 1) {
+      kid_flags[r].reserve(
+          static_cast<std::size_t>(p.group_end - p.group_begin - 1));
+      for (int j = p.group_begin + 1; j < p.group_end; ++j)
+        kid_flags[r].push_back(flag(p.round, j));
+    }
+  }
   for (int it = 0; it < cfg.iterations; ++it) {
     co_await episode_delay(tid, cfg);
     rec.enter(tid, it, eng_.now());
@@ -359,16 +374,13 @@ sim::SimThread SimStaticFway::run_thread(int tid, const SimRunConfig& cfg,
     bool lost = false;
     {
       auto arrive = phase(core, obs::Phase::kArrival);
-      for (const RoundPlan& p : plans_[static_cast<std::size_t>(tid)]) {
+      for (std::size_t r = 0; r < plans.size(); ++r) {
+        const RoundPlan& p = plans[r];
         auto span = phase(core, obs::Phase::kArrival, p.round);
         if (p.my_pos == p.group_begin) {
           if (p.group_end > p.group_begin + 1) {
-            std::vector<sim::VarId> kids;
-            for (int j = p.group_begin + 1; j < p.group_end; ++j)
-              kids.push_back(flag(p.round, j));
-            co_await mem_.spin_until_all(
-                core, std::move(kids),
-                sim::SpinPred::ge(e));
+            co_await mem_.spin_until_all(core, kid_flags[r],
+                                         sim::SpinPred::ge(e));
           }
         } else {
           co_await mem_.write(core, flag(p.round, p.my_pos), e);
@@ -488,6 +500,17 @@ sim::SimThread SimHypercube::run_thread(int tid, const SimRunConfig& cfg,
                                         Recorder& rec) {
   const int core = cfg.core_of(tid);
   const int levels = report_level_[static_cast<std::size_t>(tid)];
+  // Per-level child-flag watch sets are episode-invariant: materialize
+  // them once per thread instead of allocating inside every episode.
+  std::vector<std::vector<sim::VarId>> level_flags(
+      static_cast<std::size_t>(levels));
+  for (int l = 0; l < levels; ++l) {
+    const auto& kids = children_[static_cast<std::size_t>(tid)]
+                                [static_cast<std::size_t>(l)];
+    auto& flags = level_flags[static_cast<std::size_t>(l)];
+    flags.reserve(kids.size());
+    for (int c : kids) flags.push_back(arrive_[static_cast<std::size_t>(c)]);
+  }
   for (int it = 0; it < cfg.iterations; ++it) {
     co_await episode_delay(tid, cfg);
     rec.enter(tid, it, eng_.now());
@@ -495,15 +518,10 @@ sim::SimThread SimHypercube::run_thread(int tid, const SimRunConfig& cfg,
     {
       auto arrive = phase(core, obs::Phase::kArrival);
       for (int l = 0; l < levels; ++l) {
-        const auto& kids = children_[static_cast<std::size_t>(tid)]
-                                    [static_cast<std::size_t>(l)];
-        if (kids.empty()) continue;
+        const auto& flags = level_flags[static_cast<std::size_t>(l)];
+        if (flags.empty()) continue;
         auto span = phase(core, obs::Phase::kArrival, l);
-        std::vector<sim::VarId> flags;
-        for (int c : kids)
-          flags.push_back(arrive_[static_cast<std::size_t>(c)]);
-        co_await mem_.spin_until_all(core, std::move(flags),
-                                     sim::SpinPred::ge(e));
+        co_await mem_.spin_until_all(core, flags, sim::SpinPred::ge(e));
       }
       if (tid != 0)
         co_await mem_.write(core, arrive_[static_cast<std::size_t>(tid)], e);
@@ -631,6 +649,16 @@ sim::SimThread SimNWayDissemination::run_thread(int tid,
                                                 Recorder& rec) {
   const int core = cfg.core_of(tid);
   const auto p = static_cast<std::uint64_t>(threads_);
+  // Per-round awaited-flag watch sets are episode-invariant: materialize
+  // them once per thread instead of allocating inside every episode.
+  std::vector<std::vector<sim::VarId>> awaited(
+      static_cast<std::size_t>(rounds_));
+  for (int r = 0; r < rounds_; ++r) {
+    awaited[static_cast<std::size_t>(r)].reserve(
+        static_cast<std::size_t>(ways_));
+    for (int k = 0; k < ways_; ++k)
+      awaited[static_cast<std::size_t>(r)].push_back(flag(tid, r, k));
+  }
   for (int it = 0; it < cfg.iterations; ++it) {
     co_await episode_delay(tid, cfg);
     rec.enter(tid, it, eng_.now());
@@ -647,10 +675,9 @@ sim::SimThread SimNWayDissemination::run_thread(int tid,
                            p;
           co_await mem_.write(core, flag(static_cast<int>(out), r, k - 1), e);
         }
-        std::vector<sim::VarId> awaited;
-        for (int k = 0; k < ways_; ++k) awaited.push_back(flag(tid, r, k));
         co_await mem_.spin_until_all(
-            core, std::move(awaited), sim::SpinPred::ge(e));
+            core, awaited[static_cast<std::size_t>(r)],
+            sim::SpinPred::ge(e));
         step *= static_cast<std::uint64_t>(ways_) + 1;
       }
     }

@@ -1,0 +1,202 @@
+// Policy-path equivalence: MemSystem compiles four <Traced, Faulted>
+// instantiations of its access paths and picks one per run via
+// set_tracer / set_fault_plan.  These tests pin the two contracts that
+// make that safe:
+//
+//  1. Selection — path_mode() follows exactly what is attached, and an
+//     inert fault plan is never attached at all (the plain path must not
+//     pay for a plan that cannot perturb anything).
+//  2. Equivalence — with an inert tracer (capacity 0, counters only) and
+//     a neutral-but-active fault plan, all four instantiations produce
+//     bit-identical SimResults on the three paper machines: same episode
+//     timestamps, same MemStats, same event count, same hot lines.  The
+//     hooks may only change speed, never simulation semantics.
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "armbar/fault/plan.hpp"
+#include "armbar/obs/phase.hpp"
+#include "armbar/sim/engine.hpp"
+#include "armbar/sim/memory.hpp"
+#include "armbar/sim/trace.hpp"
+#include "armbar/simbar/runner.hpp"
+#include "armbar/simbar/sim_barriers.hpp"
+#include "armbar/topo/platforms.hpp"
+
+namespace armbar::simbar {
+namespace {
+
+using sim::MemSystem;
+
+// -- selection ---------------------------------------------------------------
+
+TEST(PolicyPaths, ModeFollowsAttachedHooks) {
+  sim::Engine eng;
+  const auto machines = topo::armv8_machines();
+  MemSystem mem(eng, machines[0]);
+  EXPECT_EQ(mem.path_mode(), MemSystem::PathMode::kPlain);
+
+  sim::Tracer tracer(0);
+  mem.set_tracer(&tracer);
+  EXPECT_EQ(mem.path_mode(), MemSystem::PathMode::kTraced);
+
+  const auto plan = fault::Plan::neutral(machines[0].num_cores(),
+                                         machines[0].num_layers());
+  mem.set_fault_plan(&plan);
+  EXPECT_EQ(mem.path_mode(), MemSystem::PathMode::kTracedFaulted);
+
+  mem.set_tracer(nullptr);
+  EXPECT_EQ(mem.path_mode(), MemSystem::PathMode::kFaulted);
+
+  mem.set_fault_plan(nullptr);
+  EXPECT_EQ(mem.path_mode(), MemSystem::PathMode::kPlain);
+}
+
+TEST(PolicyPaths, InertPlanIsNeverAttached) {
+  sim::Engine eng;
+  const auto machines = topo::armv8_machines();
+  MemSystem mem(eng, machines[0]);
+
+  const fault::Plan inert;  // default-constructed: active() == false
+  ASSERT_FALSE(inert.active());
+  mem.set_fault_plan(&inert);
+  EXPECT_EQ(mem.fault_plan(), nullptr);
+  EXPECT_EQ(mem.path_mode(), MemSystem::PathMode::kPlain);
+}
+
+// -- the neutral plan itself -------------------------------------------------
+
+TEST(PolicyPaths, NeutralPlanIsActiveButPerturbsNothing) {
+  const auto plan = fault::Plan::neutral(8, 3);
+  EXPECT_TRUE(plan.active());
+  EXPECT_EQ(plan.num_cores(), 8);
+  EXPECT_EQ(plan.num_layers(), 3);
+  EXPECT_FALSE(plan.degrades_links());
+  for (int c = 0; c < 8; ++c) {
+    EXPECT_FALSE(plan.is_straggler(c));
+    EXPECT_EQ(plan.scale_milli(c), 1000u);
+    EXPECT_EQ(plan.scale(c, 12345), 12345u);
+    EXPECT_EQ(plan.release(c, 999), 999u);  // no pulses: identity
+  }
+  for (int l = 0; l < 3; ++l) EXPECT_EQ(plan.link_extra(l, 5000), 0u);
+}
+
+TEST(PolicyPaths, ApplyMilliMatchesScale) {
+  EXPECT_EQ(fault::Plan::apply_milli(12345, 1000), 12345u);  // identity
+  EXPECT_EQ(fault::Plan::apply_milli(1000, 1500), 1500u);
+  EXPECT_EQ(fault::Plan::apply_milli(0, 2000), 0u);
+  // Truncation matches the original per-operation scale(): floor division.
+  EXPECT_EQ(fault::Plan::apply_milli(3, 1500), 4u);  // 4500/1000
+}
+
+// -- four-way golden equivalence ---------------------------------------------
+
+struct Scenario {
+  int machine;  ///< index into topo::armv8_machines()
+  Algo algo;
+  MakeOptions opt;
+  int threads;
+  util::Picos skew_ps;
+};
+
+// One scenario per paper machine plus extra algorithm variety; mirrors
+// the coverage intent of test_golden_determinism.cpp (reads, writes,
+// RMWs, RFO invalidations, poll wake-ups, multi-word sharer masks).
+const std::vector<Scenario> kScenarios = {
+    {0, Algo::kSense, {}, 8, 0},
+    {0, Algo::kDissemination, {}, 16, 0},
+    {1, Algo::kMcsTree, {}, 24, 2000},
+    {1, Algo::kHypercube, {}, 64, 0},
+    {2, Algo::kStaticFwayPadded, MakeOptions{.fanin = 4}, 64, 0},
+    {2, Algo::kCombiningTree, {}, 40, 0},
+};
+
+SimRunConfig config_of(const Scenario& s) {
+  SimRunConfig cfg;
+  cfg.threads = s.threads;
+  cfg.iterations = 20;
+  cfg.warmup = 5;
+  cfg.skew_ps = s.skew_ps;
+  return cfg;
+}
+
+void expect_identical(const SimResult& a, const SimResult& b,
+                      const std::string& what) {
+  // Exact double equality, deliberately: every quantity here is a
+  // deterministic function of integer picosecond timestamps, and the
+  // whole point is that inert hooks change NONE of them.
+  EXPECT_EQ(a.mean_overhead_ns, b.mean_overhead_ns) << what;
+  EXPECT_EQ(a.per_episode_ns, b.per_episode_ns) << what;
+  EXPECT_EQ(a.events_processed, b.events_processed) << what;
+  EXPECT_EQ(a.stats.local_reads, b.stats.local_reads) << what;
+  EXPECT_EQ(a.stats.remote_reads, b.stats.remote_reads) << what;
+  EXPECT_EQ(a.stats.local_writes, b.stats.local_writes) << what;
+  EXPECT_EQ(a.stats.remote_writes, b.stats.remote_writes) << what;
+  EXPECT_EQ(a.stats.rmws, b.stats.rmws) << what;
+  EXPECT_EQ(a.stats.invalidations, b.stats.invalidations) << what;
+  EXPECT_EQ(a.stats.poll_reads, b.stats.poll_reads) << what;
+  EXPECT_EQ(a.stats.layer_transfers, b.stats.layer_transfers) << what;
+  ASSERT_EQ(a.hot_lines.size(), b.hot_lines.size()) << what;
+  for (std::size_t i = 0; i < a.hot_lines.size(); ++i) {
+    EXPECT_EQ(a.hot_lines[i].line, b.hot_lines[i].line) << what << " #" << i;
+    EXPECT_EQ(a.hot_lines[i].reads, b.hot_lines[i].reads) << what << " #" << i;
+    EXPECT_EQ(a.hot_lines[i].writes, b.hot_lines[i].writes)
+        << what << " #" << i;
+  }
+}
+
+TEST(PolicyPaths, FourInstantiationsAreBitIdentical) {
+  const auto machines = topo::armv8_machines();
+  for (std::size_t i = 0; i < kScenarios.size(); ++i) {
+    const auto& s = kScenarios[i];
+    const auto& machine = machines[static_cast<std::size_t>(s.machine)];
+    const auto factory = sim_factory(s.algo, s.opt);
+    const SimRunConfig cfg = config_of(s);
+    const auto plan =
+        fault::Plan::neutral(machine.num_cores(), machine.num_layers());
+    SimRunConfig faulted_cfg = cfg;
+    faulted_cfg.fault = &plan;
+    const std::string tag = "scenario " + std::to_string(i);
+
+    // <Traced=false, Faulted=false>: the reference.
+    const SimResult plain = measure_barrier(machine, factory, cfg);
+
+    // <Traced=true, Faulted=false>: counters-only tracer (capacity 0).
+    sim::Tracer t1(0);
+    expect_identical(measure_barrier(machine, factory, cfg, &t1), plain,
+                     tag + " traced");
+
+    // <Traced=false, Faulted=true>: neutral-but-active plan.
+    expect_identical(measure_barrier(machine, factory, faulted_cfg), plain,
+                     tag + " faulted");
+
+    // <Traced=true, Faulted=true>.
+    sim::Tracer t2(0);
+    expect_identical(measure_barrier(machine, factory, faulted_cfg, &t2),
+                     plain, tag + " traced+faulted");
+  }
+}
+
+// The traced runs above must actually have gone down the traced path:
+// a counters-only tracer still counts operations.
+TEST(PolicyPaths, TracedPathFeedsTheTracer) {
+  const auto machines = topo::armv8_machines();
+  sim::Tracer tracer(0);
+  const SimResult r =
+      measure_barrier(machines[0], sim_factory(Algo::kSense, {}),
+                      config_of(kScenarios[0]), &tracer);
+  EXPECT_GT(r.events_processed, 0u);
+  std::uint64_t traced_ops = 0;
+  for (int p = 0; p < obs::kNumPhases; ++p)
+    traced_ops +=
+        tracer.phase_counters(static_cast<obs::Phase>(p)).total_ops();
+  EXPECT_GT(traced_ops, 0u);
+}
+
+}  // namespace
+}  // namespace armbar::simbar

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <stdexcept>
+#include <utility>
 #include <vector>
 
 #include "armbar/sim/engine.hpp"
@@ -105,6 +106,68 @@ TEST(Engine, ZeroDelayRunsInInsertionOrder) {
   eng.spawn(quick(eng, order, 2));
   EXPECT_TRUE(eng.run());
   EXPECT_EQ(order, (std::vector<int>{1, 2, 11, 12}));
+}
+
+// Events scheduled AT the current timestamp while a same-timestamp batch
+// is draining must join the back of that batch, in schedule order.  Each
+// resume here stages its zero-delay successor while older same-t events
+// are still in the heap, so the staged event must lose the comparison
+// against the live heap minimum and be committed, not resumed early.
+TEST(Engine, MidDrainSchedulesJoinBackOfSameTimestampBatch) {
+  Engine eng;
+  std::vector<int> order;
+  auto two_step = [](Engine& e, std::vector<int>& out, int tag) -> SimThread {
+    co_await delay(e, 10);
+    out.push_back(tag);
+    co_await delay(e, 0);  // scheduled at now, mid-drain of the t=10 batch
+    out.push_back(tag + 100);
+  };
+  eng.spawn(two_step(eng, order, 1));
+  eng.spawn(two_step(eng, order, 2));
+  eng.spawn(two_step(eng, order, 3));
+  EXPECT_TRUE(eng.run());
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3, 101, 102, 103}));
+  EXPECT_EQ(eng.now(), 10u);
+  EXPECT_EQ(eng.events_processed(), 9u);  // 3 spawns + 3 wakes + 3 successors
+}
+
+// A serialized chain (each resume schedules exactly one successor that is
+// the global minimum) with a far-future sleeper parked in the heap: the
+// staged successor must win against the sleeper every step and the
+// sleeper must still run last.
+TEST(Engine, SerializedChainRunsPastParkedSleeper) {
+  Engine eng;
+  std::vector<Picos> log;
+  eng.spawn(record_wakeups(eng, log, {1, 1, 1, 1, 1}));
+  eng.spawn(record_wakeups(eng, log, {1000}));
+  EXPECT_TRUE(eng.run());
+  EXPECT_EQ(log, (std::vector<Picos>{1, 2, 3, 4, 5, 1000}));
+}
+
+// Tie-heavy stress: 16 threads whose delays cycle through {0..3} collide
+// on the same timestamps constantly.  Two identical engines must replay
+// the exact same wake-up sequence (determinism survives any heap/staging
+// layout), and simulated time must never move backwards.
+TEST(Engine, HeavyTieCollisionsReplayIdentically) {
+  using Wake = std::pair<Picos, int>;
+  auto run_once = [](std::vector<Wake>& log) {
+    Engine eng;
+    auto worker = [](Engine& e, std::vector<Wake>& out, int tag) -> SimThread {
+      for (int i = 0; i < 50; ++i) {
+        co_await delay(e, static_cast<Picos>((tag * 7 + i * 3) % 4));
+        out.push_back({e.now(), tag});
+      }
+    };
+    for (int t = 0; t < 16; ++t) eng.spawn(worker(eng, log, t));
+    EXPECT_TRUE(eng.run());
+  };
+  std::vector<Wake> a, b;
+  run_once(a);
+  run_once(b);
+  ASSERT_EQ(a.size(), 16u * 50u);
+  EXPECT_EQ(a, b);
+  for (std::size_t i = 1; i < a.size(); ++i)
+    ASSERT_LE(a[i - 1].first, a[i].first) << i;
 }
 
 }  // namespace
