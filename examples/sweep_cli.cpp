@@ -1,12 +1,15 @@
 // sweep_cli: general-purpose simulation driver.
 //
 // Run any barrier on any modeled machine across a thread sweep, export
-// CSV, dump an operation trace for chrome://tracing, or auto-tune:
+// CSV, dump an operation trace for chrome://tracing, auto-tune, or serve
+// JSONL job streams (one-shot or as a long-running daemon):
 //
 //   $ ./sweep_cli --machine kunpeng920 --algo opt --threads 1,2,4,8,16,64
 //   $ ./sweep_cli --machine tx2 --algo gcc-sense --threads 64 --trace t.json
 //   $ ./sweep_cli --machine phytium --autotune --prune
 //   $ ./sweep_cli --machine kp920 --algo all --threads 64 --metrics sum.json
+//   $ ./sweep_cli --jobs grid.jsonl > results.jsonl
+//   $ ./sweep_cli --daemon --workers 8 < grid.jsonl > results.jsonl
 
 #include <fstream>
 #include <iostream>
@@ -14,10 +17,12 @@
 
 #include "armbar/fault/plan.hpp"
 #include "armbar/obs/aggregate.hpp"
+#include "armbar/obs/heatmap.hpp"
 #include "armbar/obs/perfetto.hpp"
 #include "armbar/simbar/autotune.hpp"
 #include "armbar/simbar/sim_barriers.hpp"
 #include "armbar/simbar/sweep.hpp"
+#include "armbar/svc/service.hpp"
 #include "armbar/topo/machine_file.hpp"
 #include "armbar/topo/placement.hpp"
 #include "armbar/topo/platforms.hpp"
@@ -90,7 +95,49 @@ int main(int argc, char** argv) {
           << "                 (seeded, deterministic; see docs/FAULTS.md)\n"
           << "  --straggler F:S slow a seeded fraction F of cores by Sx\n"
           << "  --fault-seed N seed for the fault plan (default 42)\n"
-          << "  --csv          machine-readable output\n";
+          << "  --heatmap [F]  print a core x cacheline contention heatmap\n"
+          << "                 (ASCII; with a value, write CSV to F)\n"
+          << "  --csv          machine-readable output\n"
+          << "service modes (JSONL job streams; see docs/SERVICE.md):\n"
+          << "  --jobs FILE    run a JSONL job file one-shot ('-' = stdin)\n"
+          << "  --daemon       serve the job stream through the pooled\n"
+          << "                 barrier-lab service (implies stdin without\n"
+          << "                 --jobs; byte-identical output to --jobs)\n"
+          << "  --workers N    worker threads (0 = hardware concurrency)\n"
+          << "  --no-cache     daemon: recompute every cell (no result cache)\n";
+      return 0;
+    }
+
+    // Service modes bypass the sweep-table machinery entirely: results go
+    // to stdout (the comparable stream), accounting to stderr.
+    if (args.has("jobs") || args.has("daemon")) {
+      const std::string jobs_path = args.get_or("jobs", "-");
+      std::ifstream jobs_file;
+      std::istream* in = &std::cin;
+      if (jobs_path != "-") {
+        jobs_file.open(jobs_path);
+        if (!jobs_file)
+          throw std::invalid_argument("cannot open jobs file " + jobs_path);
+        in = &jobs_file;
+      }
+      const int workers = static_cast<int>(args.get_int_or("workers", 0));
+      svc::ServiceStats stats;
+      if (args.has("daemon")) {
+        svc::ServiceOptions opts;
+        opts.workers = workers;
+        opts.use_cache = !args.has("no-cache");
+        svc::SweepService service(opts);
+        stats = service.serve(*in, std::cout);
+        std::cerr << "daemon: " << stats.jobs << " job(s), " << stats.failed
+                  << " failed, cache " << stats.cache_hits << " hit(s) / "
+                  << stats.cache_misses << " miss(es), "
+                  << stats.jobs_per_sec() << " jobs/s ("
+                  << service.workers() << " workers)\n";
+      } else {
+        stats = svc::SweepService::run_oneshot(*in, std::cout, workers);
+        std::cerr << "one-shot: " << stats.jobs << " job(s), " << stats.failed
+                  << " failed, " << stats.jobs_per_sec() << " jobs/s\n";
+      }
       return 0;
     }
 
@@ -161,11 +208,12 @@ int main(int argc, char** argv) {
 
     sim::Tracer tracer;
     const bool tracing = args.has("trace");
+    const bool heatmap = args.has("heatmap");
     const bool metrics = args.has("metrics");
-    if (tracing && metrics)
+    if ((tracing || heatmap) && metrics)
       throw std::invalid_argument(
-          "--trace and --metrics are exclusive: metrics mode attaches one "
-          "driver-owned tracer per job");
+          "--trace/--heatmap and --metrics are exclusive: metrics mode "
+          "attaches one driver-owned tracer per job");
 
     const auto make_cfg = [&](int p) {
       simbar::SimRunConfig cfg;
@@ -220,7 +268,7 @@ int main(int argc, char** argv) {
         const auto cfg = make_cfg(p);
         const auto r = simbar::measure_barrier(
             machine, simbar::sim_factory(a, {.cluster_size = machine.cluster_size()}),
-            cfg, tracing ? &tracer : nullptr);
+            cfg, (tracing || heatmap) ? &tracer : nullptr);
         row.push_back(util::Table::num(r.mean_overhead_ns / 1000.0, 3));
         if (args.has("hot-lines")) {
           std::cout << to_string(a) << " @" << p
@@ -244,6 +292,18 @@ int main(int argc, char** argv) {
       if (tracer.dropped() > 0)
         std::cout << " (" << tracer.dropped() << " events dropped)";
       std::cout << "\n";
+    }
+
+    if (heatmap) {
+      const auto hm = obs::contention_heatmap(tracer, machine.num_cores());
+      if (const auto path = args.get("heatmap"); path && !path->empty()) {
+        std::ofstream out(*path);
+        out << obs::to_csv(hm);
+        std::cout << "\nwrote contention heatmap CSV (" << hm.rows.size()
+                  << " cacheline rows) to " << *path << "\n";
+      } else {
+        std::cout << '\n' << obs::to_ascii(hm);
+      }
     }
     return 0;
   } catch (const std::exception& e) {

@@ -1,0 +1,56 @@
+#pragma once
+// Core × cacheline contention heatmap.
+//
+// Folds a run's tracer event log into a matrix: one row per touched
+// cacheline, one column per core, each cell the number of costed memory
+// operations that core issued against that line.  This is the spatial
+// complement of the per-phase counters — MetricsReport says *when* a
+// barrier pays for coherence, the heatmap says *where*: a centralized
+// barrier shows one white-hot row every core hammers, MCS shows a
+// diagonal band of thread-private lines.
+//
+// Built from Tracer::events(), so it is capacity-bounded like every
+// event-log product: `dropped_events` carries Tracer::dropped() and must
+// be surfaced next to the matrix (docs/TRACING.md §4.5).  Rows are sorted
+// hottest-first (descending total, ascending line id on ties) so the
+// interesting rows survive any top-N cut.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "armbar/sim/trace.hpp"
+
+namespace armbar::obs {
+
+struct ContentionHeatmap {
+  struct Row {
+    std::int32_t line = -1;                ///< cacheline id
+    std::uint64_t total = 0;               ///< sum of per_core
+    std::vector<std::uint64_t> per_core;   ///< ops by core, size num_cores
+  };
+
+  int num_cores = 0;
+  std::vector<Row> rows;           ///< descending total, ascending line
+  std::uint64_t total_ops = 0;     ///< sum over all rows
+  std::uint64_t dropped_events = 0;  ///< tracer events that did not fit
+};
+
+/// Fold @p tracer's event log into a heatmap for @p num_cores cores.
+/// Events from cores outside [0, num_cores) are counted in the row total
+/// but no column (they still heat the line).  @p max_lines > 0 keeps only
+/// the hottest rows (the cut is reported by comparing rows.size() against
+/// the uncut call); 0 keeps every touched line.
+ContentionHeatmap contention_heatmap(const sim::Tracer& tracer, int num_cores,
+                                     std::size_t max_lines = 0);
+
+/// CSV: header "line,total,core_0,...,core_{N-1}", one row per line.
+std::string to_csv(const ContentionHeatmap& heatmap);
+
+/// Terminal rendering: one glyph per cell on a " .:-=+*#%@" ramp scaled
+/// to the hottest cell, hottest @p max_lines rows only.  Ends with a
+/// total/dropped summary line.
+std::string to_ascii(const ContentionHeatmap& heatmap,
+                     std::size_t max_lines = 16);
+
+}  // namespace armbar::obs

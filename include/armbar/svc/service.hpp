@@ -1,0 +1,85 @@
+#pragma once
+// armbar::svc — the long-running "barrier lab" sweep service.
+//
+// sweep_cli's one-shot path answers one job list and exits; this module
+// is the sustained-throughput counterpart (the ROADMAP's
+// millions-of-requests path): a pool of persistent workers fed through
+// lock-free SPSC rings by one intake thread, machine/topology/latency
+// tables resolved once per worker and reused across jobs, and a sharded
+// result cache keyed on every simulation input so a repeated cell costs a
+// hash lookup instead of a simulation.
+//
+// Streaming contract (docs/SERVICE.md): intake reads JSONL job lines
+// (blank lines and '#' comments skipped), emits one JSONL result line per
+// job *in job order*, then one aggregated SweepSummary JSON object.  The
+// stream is byte-identical to SweepService::run_oneshot (the
+// SweepDriver-based batch path) for any worker count and any cache state
+// — the determinism guarantee the sweep layer established, extended to
+// the service.  bench/perf_service reports sustained jobs/sec on top of
+// serve(); scripts/perf_gate.py ratchets it via BENCH_service.json.
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <string>
+
+#include "armbar/svc/cache.hpp"
+#include "armbar/svc/job.hpp"
+
+namespace armbar::svc {
+
+struct ServiceOptions {
+  /// Worker threads; 0 = hardware concurrency.
+  int workers = 0;
+  /// Per-worker SPSC ring slots (rounded up to a power of two).
+  std::size_t ring_capacity = 256;
+  /// Result-cache lock shards.
+  std::size_t cache_shards = 16;
+  /// Disable to force every occurrence of a cell to simulate (the
+  /// cold-path configuration bench/perf_service measures against).
+  bool use_cache = true;
+};
+
+/// Per-serve() batch accounting.  Cache counters are deltas over the
+/// batch, not process totals.
+struct ServiceStats {
+  std::uint64_t jobs = 0;        ///< job lines consumed (parse errors incl.)
+  std::uint64_t failed = 0;      ///< jobs that emitted an error line
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  double wall_s = 0.0;
+  double jobs_per_sec() const noexcept {
+    return wall_s > 0.0 ? static_cast<double>(jobs) / wall_s : 0.0;
+  }
+};
+
+class SweepService {
+ public:
+  explicit SweepService(ServiceOptions opts = {});
+  ~SweepService();
+
+  SweepService(const SweepService&) = delete;
+  SweepService& operator=(const SweepService&) = delete;
+
+  /// Stream jobs from @p in until EOF: per-job JSONL result lines plus a
+  /// trailing SweepSummary JSON object are written to @p out.  May be
+  /// called repeatedly on one service (the cache persists across calls —
+  /// that is the warm path).  Not reentrant: one serve() at a time.
+  ServiceStats serve(std::istream& in, std::ostream& out);
+
+  /// The batch reference path: read ALL job lines, run them through
+  /// simbar::SweepDriver::run_with_metrics_isolated, and render the same
+  /// stream serve() produces — byte-identical, no cache, no rings.
+  /// @param workers SweepDriver pool width; 0 = hardware concurrency.
+  static ServiceStats run_oneshot(std::istream& in, std::ostream& out,
+                                  int workers = 0);
+
+  int workers() const noexcept;
+  const ResultCache& cache() const noexcept;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace armbar::svc

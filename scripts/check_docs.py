@@ -73,11 +73,34 @@ def check_example_coverage(errors):
 DOCUMENTED_FLAGS = {
     "sweep_cli": ("examples", ["--metrics", "--autotune", "--prune",
                                "--trace", "--noise", "--straggler",
-                               "--fault-seed"]),
+                               "--fault-seed", "--jobs", "--daemon",
+                               "--workers", "--no-cache", "--heatmap"]),
     "autotune_explain": ("examples", ["--prune"]),
     "perf_sim": ("bench", ["--breakdown", "--warmup-reps", "--reps",
                            "--json"]),
+    "perf_service": ("bench", ["--jobs", "--distinct", "--workers",
+                               "--reps", "--json", "--emit-jobs"]),
 }
+
+
+def check_service_examples(errors):
+    """docs/SERVICE.md must keep worked examples for both service modes
+    and define the cache key — the service contract is only a contract
+    while the doc shows how to invoke it."""
+    path = REPO / "docs" / "SERVICE.md"
+    if not path.exists():
+        errors.append("docs/SERVICE.md missing (service contract doc)")
+        return
+    text = path.read_text()
+    for needle, why in [
+        ("sweep_cli --daemon", "a worked --daemon example"),
+        ("sweep_cli --jobs", "a worked one-shot --jobs example"),
+        ("cache key", "the cache-key definition"),
+        ("kCacheSchemaVersion", "the cache-invalidation rule"),
+        ("byte-identical", "the byte-identity guarantee"),
+    ]:
+        if needle not in text:
+            errors.append("docs/SERVICE.md lost %s ('%s')" % (why, needle))
 
 
 def check_flag_coverage(errors):
@@ -134,6 +157,7 @@ def main():
     check_bench_coverage(errors)
     check_example_coverage(errors)
     check_flag_coverage(errors)
+    check_service_examples(errors)
     check_links(errors)
     if errors:
         for err in errors:

@@ -1,11 +1,14 @@
 #!/usr/bin/env python3
-"""Perf ratchet for bench/perf_sim: fail when throughput regresses.
+"""Perf ratchet for the BENCH_*.json benches: fail on regression.
 
-Compares the events/sec of a current BENCH_sim.json against a baseline
-and exits non-zero when the current run is slower than the baseline by
-more than the configured noise band.  Also verifies the determinism
-checksum when asked — a perf "win" that changes simulation results is a
-bug, not a win.
+Compares the throughput metric of a current BENCH_sim.json /
+BENCH_service.json against a baseline and exits non-zero when the current
+run is slower than the baseline by more than the configured noise band.
+Also verifies the determinism checksum when asked — a perf "win" that
+changes simulation results is a bug, not a win.  --metric selects the
+top-level field to ratchet (events_per_sec for perf_sim,
+warm_jobs_per_sec / cold_jobs_per_sec for perf_service); the same field
+name is looked up in history entries.
 
 Modes:
   --baseline FILE   A/B gate: compare current vs a baseline produced by
@@ -32,8 +35,13 @@ import json
 import sys
 
 
-def fmt_mevents(v: float) -> str:
-    return f"{v / 1e6:.2f} M events/s"
+def make_fmt(metric: str):
+    """Unit-aware value formatting keyed on the metric's name."""
+    if "events" in metric:
+        return lambda v: f"{v / 1e6:.2f} M events/s"
+    if "jobs_per_sec" in metric:
+        return lambda v: f"{v:.1f} jobs/s"
+    return lambda v: f"{v:g}"
 
 
 def load(path: str) -> dict:
@@ -68,16 +76,35 @@ def main() -> int:
                     help="scale the current metric by F before comparing "
                          "(self-test: the gate must fail for F well below "
                          "1 - tolerance)")
+    ap.add_argument("--require-min", action="append", default=[],
+                    metavar="KEY=VAL",
+                    help="additionally fail unless top-level KEY >= VAL "
+                         "(repeatable; e.g. warm_vs_cold=5 enforces the "
+                         "service cache-leverage floor)")
     args = ap.parse_args()
+    fmt = make_fmt(args.metric)
 
     cur = load(args.current)
+    for spec in args.require_min:
+        key, _, val = spec.partition("=")
+        if not val:
+            sys.exit(f"perf_gate: FAIL — bad --require-min '{spec}' "
+                     f"(expected KEY=VAL)")
+        if key not in cur:
+            sys.exit(f"perf_gate: FAIL — {args.current} has no '{key}'")
+        got, floor = float(cur[key]), float(val)
+        if got < floor:
+            print(f"perf_gate: FAIL — {key} = {got:g} is below the "
+                  f"required floor {floor:g}")
+            return 1
+        print(f"perf_gate: {key} = {got:g} >= {floor:g} OK")
     if args.metric not in cur:
         sys.exit(f"perf_gate: FAIL — {args.current} has no '{args.metric}'")
     cur_val = float(cur[args.metric])
     if args.inject_regression is not None:
         cur_val *= args.inject_regression
         print(f"perf_gate: injected synthetic regression x"
-              f"{args.inject_regression} -> {fmt_mevents(cur_val)}")
+              f"{args.inject_regression} -> {fmt(cur_val)}")
 
     if args.expect_checksum is not None:
         got = float(cur.get("checksum_ns", float("nan")))
@@ -99,8 +126,8 @@ def main() -> int:
     else:
         # History mode: best prior entry of the current file's history.
         prior = cur.get("history", [])[:-1]  # last entry IS this run
-        vals = [float(h["events_per_sec"]) for h in prior
-                if "events_per_sec" in h]
+        vals = [float(h[args.metric]) for h in prior
+                if args.metric in h]
         if not vals:
             print("perf_gate: PASS (no prior history to gate against; "
                   "run perf_sim again to start ratcheting)")
@@ -114,15 +141,15 @@ def main() -> int:
     if cur_val < floor:
         print(f"perf_gate: FAIL — throughput regressed beyond the "
               f"{args.tolerance * 100:.0f}% noise band:\n"
-              f"  before: {fmt_mevents(base_val)}  ({base_desc})\n"
-              f"  after:  {fmt_mevents(cur_val)}  ({delta:+.1f}%)\n"
-              f"  floor:  {fmt_mevents(floor)}\n"
+              f"  before: {fmt(base_val)}  ({base_desc})\n"
+              f"  after:  {fmt(cur_val)}  ({delta:+.1f}%)\n"
+              f"  floor:  {fmt(floor)}\n"
               f"  The hot path got slower.  Profile before merging "
               f"(docs/PERF.md, bench/perf_sim --breakdown) or, if the "
               f"slowdown is justified, raise --tolerance explicitly in CI.")
         return 1
-    print(f"perf_gate: PASS — {fmt_mevents(cur_val)} vs "
-          f"{fmt_mevents(base_val)} ({base_desc}, {delta:+.1f}%, "
+    print(f"perf_gate: PASS — {fmt(cur_val)} vs "
+          f"{fmt(base_val)} ({base_desc}, {delta:+.1f}%, "
           f"band {args.tolerance * 100:.0f}%)")
     return 0
 

@@ -1,0 +1,97 @@
+#include "armbar/obs/heatmap.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <utility>
+
+namespace armbar::obs {
+
+ContentionHeatmap contention_heatmap(const sim::Tracer& tracer, int num_cores,
+                                     std::size_t max_lines) {
+  ContentionHeatmap hm;
+  hm.num_cores = num_cores < 0 ? 0 : num_cores;
+  hm.dropped_events = tracer.dropped();
+
+  // Ordered map keyed by line id gives deterministic iteration and the
+  // ascending-line tiebreak for free.
+  std::map<std::int32_t, ContentionHeatmap::Row> by_line;
+  for (const sim::TraceEvent& ev : tracer.events()) {
+    if (ev.line < 0) continue;
+    ContentionHeatmap::Row& row = by_line[ev.line];
+    if (row.per_core.empty()) {
+      row.line = ev.line;
+      row.per_core.assign(static_cast<std::size_t>(hm.num_cores), 0);
+    }
+    ++row.total;
+    if (ev.core >= 0 && ev.core < hm.num_cores)
+      ++row.per_core[static_cast<std::size_t>(ev.core)];
+  }
+
+  hm.rows.reserve(by_line.size());
+  for (auto& [line, row] : by_line) {
+    hm.total_ops += row.total;
+    hm.rows.push_back(std::move(row));
+  }
+  std::stable_sort(hm.rows.begin(), hm.rows.end(),
+                   [](const ContentionHeatmap::Row& a,
+                      const ContentionHeatmap::Row& b) {
+                     return a.total > b.total;  // stable keeps line order
+                   });
+  if (max_lines > 0 && hm.rows.size() > max_lines) hm.rows.resize(max_lines);
+  return hm;
+}
+
+std::string to_csv(const ContentionHeatmap& heatmap) {
+  std::ostringstream os;
+  os << "line,total";
+  for (int c = 0; c < heatmap.num_cores; ++c) os << ",core_" << c;
+  os << '\n';
+  for (const ContentionHeatmap::Row& row : heatmap.rows) {
+    os << row.line << ',' << row.total;
+    for (const std::uint64_t n : row.per_core) os << ',' << n;
+    os << '\n';
+  }
+  return os.str();
+}
+
+std::string to_ascii(const ContentionHeatmap& heatmap,
+                     std::size_t max_lines) {
+  static const char kRamp[] = " .:-=+*#%@";
+  constexpr std::size_t kSteps = sizeof(kRamp) - 2;  // last printable index
+
+  const std::size_t nrows =
+      max_lines > 0 ? std::min(max_lines, heatmap.rows.size())
+                    : heatmap.rows.size();
+  std::uint64_t peak = 0;
+  for (std::size_t r = 0; r < nrows; ++r)
+    for (const std::uint64_t n : heatmap.rows[r].per_core)
+      peak = std::max(peak, n);
+
+  std::ostringstream os;
+  os << "contention heatmap: " << heatmap.rows.size() << " line(s) x "
+     << heatmap.num_cores << " core(s), cell = ops, peak " << peak << '\n';
+  for (std::size_t r = 0; r < nrows; ++r) {
+    const ContentionHeatmap::Row& row = heatmap.rows[r];
+    os.width(8);
+    os << row.line;
+    os << " |";
+    for (const std::uint64_t n : row.per_core) {
+      std::size_t step = 0;
+      if (n > 0 && peak > 0) {
+        // Any nonzero cell gets at least the faintest glyph.
+        step = 1 + (n - 1) * (kSteps - 1) / peak;
+        if (step > kSteps) step = kSteps;
+      }
+      os << kRamp[step];
+    }
+    os << "| " << row.total << '\n';
+  }
+  if (heatmap.rows.size() > nrows)
+    os << "  ... " << (heatmap.rows.size() - nrows) << " cooler line(s) cut\n";
+  os << "total ops " << heatmap.total_ops << ", dropped events "
+     << heatmap.dropped_events << '\n';
+  return os.str();
+}
+
+}  // namespace armbar::obs

@@ -1,0 +1,55 @@
+#include "armbar/svc/cache.hpp"
+
+#include <functional>
+#include <utility>
+
+namespace armbar::svc {
+
+ResultCache::ResultCache(std::size_t shards) {
+  std::size_t pow2 = 1;
+  while (pow2 < shards) pow2 <<= 1;
+  shards_ = std::vector<Shard>(pow2);
+  mask_ = pow2 - 1;
+}
+
+ResultCache::Shard& ResultCache::shard_of(const std::string& key) const {
+  return shards_[std::hash<std::string>{}(key)&mask_];
+}
+
+std::shared_ptr<const CachedResult> ResultCache::find(
+    const std::string& key) const {
+  Shard& s = shard_of(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  const auto it = s.map.find(key);
+  if (it == s.map.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return it->second;
+}
+
+void ResultCache::insert(const std::string& key,
+                         std::shared_ptr<const CachedResult> entry) {
+  Shard& s = shard_of(key);
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.map.emplace(key, std::move(entry));  // first insert wins
+}
+
+std::size_t ResultCache::size() const {
+  std::size_t n = 0;
+  for (const Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    n += s.map.size();
+  }
+  return n;
+}
+
+void ResultCache::clear() {
+  for (Shard& s : shards_) {
+    std::lock_guard<std::mutex> lock(s.mu);
+    s.map.clear();
+  }
+}
+
+}  // namespace armbar::svc

@@ -1,0 +1,273 @@
+#include "armbar/svc/job.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+#include <string>
+
+namespace armbar::svc {
+
+namespace {
+
+/// Minimal strict parser for one flat JSON object.  The job schema is
+/// deliberately flat (no nesting, no arrays), so a hand-rolled tokenizer
+/// stays small, dependency-free, and easy to fuzz; anything outside the
+/// subset is rejected with a position-precise message.
+class FlatJsonParser {
+ public:
+  explicit FlatJsonParser(const std::string& text) : s_(text) {}
+
+  /// Calls @p field(key, string_value, number_value, is_string) per pair.
+  template <typename FieldFn>
+  void parse_object(FieldFn&& field) {
+    skip_ws();
+    expect('{');
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      finish();
+      return;
+    }
+    for (;;) {
+      skip_ws();
+      const std::string key = parse_string("field name");
+      skip_ws();
+      expect(':');
+      skip_ws();
+      if (peek() == '"') {
+        field(key, parse_string("value of '" + key + "'"), 0.0, true);
+      } else {
+        field(key, std::string(), parse_number(key), false);
+      }
+      skip_ws();
+      const char c = peek();
+      if (c == ',') {
+        ++pos_;
+        continue;
+      }
+      if (c == '}') {
+        ++pos_;
+        finish();
+        return;
+      }
+      fail("expected ',' or '}'");
+    }
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) const {
+    throw std::invalid_argument("job line: " + what + " at offset " +
+                                std::to_string(pos_));
+  }
+
+  char peek() const { return pos_ < s_.size() ? s_[pos_] : '\0'; }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  void skip_ws() {
+    while (pos_ < s_.size() &&
+           (s_[pos_] == ' ' || s_[pos_] == '\t' || s_[pos_] == '\r'))
+      ++pos_;
+  }
+
+  void finish() {
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters after object");
+  }
+
+  std::string parse_string(const std::string& what) {
+    if (peek() != '"') fail("expected string for " + what);
+    ++pos_;
+    std::string out;
+    while (pos_ < s_.size()) {
+      const char c = s_[pos_++];
+      if (c == '"') return out;
+      if (static_cast<unsigned char>(c) < 0x20)
+        fail("raw control character inside " + what);
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) break;
+      const char esc = s_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'b': out += '\b'; break;
+        case 'f': out += '\f'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f')
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F')
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad hex digit in \\u escape");
+          }
+          if (code > 0x7f) fail("non-ASCII \\u escape (unsupported)");
+          out += static_cast<char>(code);
+          break;
+        }
+        default: fail(std::string("unknown escape '\\") + esc + "'");
+      }
+    }
+    fail("unterminated string in " + what);
+  }
+
+  double parse_number(const std::string& key) {
+    // true/false are accepted nowhere in the schema; reject with a
+    // field-precise message rather than a generic parse error.
+    if (s_.compare(pos_, 4, "true") == 0 || s_.compare(pos_, 5, "false") == 0 ||
+        s_.compare(pos_, 4, "null") == 0)
+      fail("field '" + key + "' must be a number or string");
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    if (peek() == '.') {
+      ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (peek() == 'e' || peek() == 'E') {
+      ++pos_;
+      if (peek() == '+' || peek() == '-') ++pos_;
+      while (std::isdigit(static_cast<unsigned char>(peek()))) ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && s_[start] == '-'))
+      fail("expected value for field '" + key + "'");
+    std::size_t used = 0;
+    const std::string tok = s_.substr(start, pos_ - start);
+    double v = 0.0;
+    try {
+      v = std::stod(tok, &used);
+    } catch (const std::exception&) {
+      fail("unparseable number '" + tok + "' for field '" + key + "'");
+    }
+    if (used != tok.size() || !std::isfinite(v))
+      fail("unparseable number '" + tok + "' for field '" + key + "'");
+    return v;
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+int require_int(const std::string& key, double v, long lo, long hi) {
+  if (v != std::floor(v) || v < static_cast<double>(lo) ||
+      v > static_cast<double>(hi))
+    throw std::invalid_argument("job line: field '" + key +
+                                "' must be an integer in [" +
+                                std::to_string(lo) + ", " +
+                                std::to_string(hi) + "]");
+  return static_cast<int>(v);
+}
+
+/// Canonical shortest-roundtrip rendering for doubles in cache keys
+/// (locale-independent: %g never consults the global locale's grouping,
+/// and the decimal point is forced to '.' by construction below).
+std::string key_num(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  for (char& c : buf)
+    if (c == ',') c = '.';  // comma-decimal C locale hardening
+  return buf;
+}
+
+}  // namespace
+
+JobSpec parse_job_line(const std::string& line) {
+  JobSpec spec;
+  FlatJsonParser parser(line);
+  parser.parse_object([&](const std::string& key, const std::string& sval,
+                          double nval, bool is_string) {
+    const auto want_string = [&]() -> const std::string& {
+      if (!is_string)
+        throw std::invalid_argument("job line: field '" + key +
+                                    "' must be a string");
+      return sval;
+    };
+    const auto want_number = [&]() -> double {
+      if (is_string)
+        throw std::invalid_argument("job line: field '" + key +
+                                    "' must be a number");
+      return nval;
+    };
+    if (key == "machine") spec.machine = want_string();
+    else if (key == "algo") spec.algo = want_string();
+    else if (key == "placement") spec.placement = want_string();
+    else if (key == "threads")
+      spec.threads = require_int(key, want_number(), 1, 1 << 20);
+    else if (key == "iterations")
+      spec.iterations = require_int(key, want_number(), 1, 1 << 20);
+    else if (key == "warmup")
+      spec.warmup = require_int(key, want_number(), 0, 1 << 20);
+    else if (key == "noise_period_us")
+      spec.fault.noise.period_us = want_number();
+    else if (key == "noise_duration_us")
+      spec.fault.noise.duration_us = want_number();
+    else if (key == "straggler_fraction")
+      spec.fault.straggler.fraction = want_number();
+    else if (key == "straggler_slowdown")
+      spec.fault.straggler.slowdown = want_number();
+    else if (key == "link_min_layer")
+      spec.fault.link.min_layer = require_int(key, want_number(), 0, 64);
+    else if (key == "link_factor")
+      spec.fault.link.factor = want_number();
+    else if (key == "fault_seed")
+      spec.fault.seed = static_cast<std::uint64_t>(
+          require_int(key, want_number(), 0, 1L << 62));
+    else
+      throw std::invalid_argument("job line: unknown field '" + key + "'");
+  });
+  return spec;
+}
+
+std::string cache_key(const JobSpec& spec) {
+  // Fixed field order; '|' never occurs in machine/algo/placement names
+  // that resolve, and even if it did the positional layout keeps keys of
+  // different specs distinct (every field is always present).
+  std::string key;
+  key.reserve(128);
+  key += "v";
+  key += std::to_string(kCacheSchemaVersion);
+  key += "|m=";
+  key += spec.machine;
+  key += "|a=";
+  key += spec.algo;
+  key += "|t=";
+  key += std::to_string(spec.threads);
+  key += "|i=";
+  key += std::to_string(spec.iterations);
+  key += "|w=";
+  key += std::to_string(spec.effective_warmup());
+  key += "|p=";
+  key += spec.placement;
+  key += "|np=";
+  key += key_num(spec.fault.noise.period_us);
+  key += "|nd=";
+  key += key_num(spec.fault.noise.duration_us);
+  key += "|sf=";
+  key += key_num(spec.fault.straggler.fraction);
+  key += "|ss=";
+  key += key_num(spec.fault.straggler.slowdown);
+  key += "|ll=";
+  key += std::to_string(spec.fault.link.min_layer);
+  key += "|lf=";
+  key += key_num(spec.fault.link.factor);
+  key += "|fs=";
+  key += std::to_string(spec.fault.seed);
+  return key;
+}
+
+}  // namespace armbar::svc

@@ -1,0 +1,486 @@
+#include "armbar/svc/service.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <istream>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <ostream>
+#include <stdexcept>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "../obs/json_util.hpp"
+#include "armbar/fault/plan.hpp"
+#include "armbar/obs/aggregate.hpp"
+#include "armbar/obs/metrics.hpp"
+#include "armbar/sim/error.hpp"
+#include "armbar/sim/trace.hpp"
+#include "armbar/simbar/sim_barriers.hpp"
+#include "armbar/simbar/sweep.hpp"
+#include "armbar/svc/spsc_ring.hpp"
+#include "armbar/topo/placement.hpp"
+#include "armbar/topo/platforms.hpp"
+#include "armbar/util/backoff.hpp"
+
+namespace armbar::svc {
+
+namespace {
+
+// -- rendering (shared by the daemon and one-shot paths; the
+// byte-identity guarantee is exactly "both paths call these") ------------
+
+/// Result-line tail (everything after the per-occurrence job index).
+std::string render_result_tail(const JobSpec& spec,
+                               const simbar::SimResult& result) {
+  namespace d = obs::detail;
+  std::ostringstream os = d::json_stream();
+  os << ", \"machine\": \"" << d::escaped(spec.machine) << "\", \"barrier\": \""
+     << d::escaped(result.barrier_name) << "\", \"threads\": " << spec.threads
+     << ", \"iterations\": " << spec.iterations << ", \"mean_overhead_ns\": "
+     << d::json_num(result.mean_overhead_ns)
+     << ", \"events\": " << result.events_processed << "}";
+  return os.str();
+}
+
+std::string render_error_tail(const std::string& kind,
+                              const std::string& message,
+                              const std::string& diagnostics) {
+  namespace d = obs::detail;
+  std::ostringstream os = d::json_stream();
+  os << ", \"error\": {\"kind\": \"" << d::escaped(kind)
+     << "\", \"message\": \"" << d::escaped(message)
+     << "\", \"diagnostics\": \"" << d::escaped(diagnostics) << "\"}}";
+  return os.str();
+}
+
+void emit_line(std::ostream& out, std::uint64_t seq, const std::string& tail) {
+  out << "{\"job\": " << seq << tail << '\n';
+}
+
+/// Run @p fn under the sweep layer's error taxonomy: on failure, @p out
+/// becomes an error entry whose kind/message/diagnostics match what
+/// SweepDriver::run_*_isolated reports for the same exception (so the
+/// daemon and the driver-based one-shot path classify identically).
+template <typename Fn>
+bool classify_into(CachedResult& out, Fn&& fn) {
+  try {
+    fn();
+    return true;
+  } catch (const sim::DeadlockError& e) {
+    out.failed = true;
+    out.tail = render_error_tail(sim::DeadlockError::kind_name(e.kind()),
+                                 e.what(), sim::describe(e));
+  } catch (const std::invalid_argument& e) {
+    out.failed = true;
+    out.tail = render_error_tail("invalid-argument", e.what(), "");
+  } catch (const std::logic_error& e) {
+    out.failed = true;
+    out.tail = render_error_tail("invalid-argument", e.what(), "");
+  } catch (const std::exception& e) {
+    out.failed = true;
+    out.tail = render_error_tail("error", e.what(), "");
+  } catch (...) {
+    out.failed = true;
+    out.tail = render_error_tail("error", "unknown exception", "");
+  }
+  return false;
+}
+
+// -- job preparation -------------------------------------------------------
+
+simbar::SimRunConfig make_cfg(const JobSpec& spec,
+                              const topo::Machine& machine) {
+  simbar::SimRunConfig cfg;
+  cfg.threads = spec.threads;
+  cfg.iterations = spec.iterations;
+  cfg.warmup = spec.effective_warmup();
+  if (spec.placement == "scatter")
+    cfg.core_of_thread = topo::scatter_placement(machine, spec.threads);
+  else if (spec.placement == "random")
+    cfg.core_of_thread = topo::random_placement(machine, spec.threads);
+  else if (spec.placement != "compact")
+    throw std::invalid_argument("unknown placement " + spec.placement);
+  return cfg;
+}
+
+simbar::SimBarrierFactory make_factory(const JobSpec& spec,
+                                       const topo::Machine& machine) {
+  return simbar::sim_factory(algo_from_string(spec.algo),
+                             {.cluster_size = machine.cluster_size()});
+}
+
+/// Machine pool: every named topology (and its fused latency/layer
+/// tables, the expensive part of engine setup) is constructed once per
+/// service and served by stable const reference for the rest of the
+/// process.  Workers keep a private pointer cache in front of this, so
+/// the mutex is touched once per (worker, machine), not once per job.
+class MachineRegistry {
+ public:
+  const topo::Machine& get(const std::string& name) {
+    std::lock_guard<std::mutex> lock(mu_);
+    const auto it = machines_.find(name);
+    if (it != machines_.end()) return *it->second;
+    auto m = std::make_unique<topo::Machine>(topo::machine_by_name(name));
+    const topo::Machine& ref = *m;
+    machines_.emplace(name, std::move(m));
+    return ref;
+  }
+
+ private:
+  std::mutex mu_;
+  std::unordered_map<std::string, std::unique_ptr<const topo::Machine>>
+      machines_;
+};
+
+/// Compute one cell end to end (resolve, simulate, render).  Never
+/// throws: failures become error entries via classify_into.
+std::shared_ptr<CachedResult> compute_cell(const JobSpec& spec,
+                                           MachineRegistry& registry) {
+  auto entry = std::make_shared<CachedResult>();
+  classify_into(*entry, [&] {
+    const topo::Machine& machine = registry.get(spec.machine);
+    const simbar::SimRunConfig base_cfg = make_cfg(spec, machine);
+    const simbar::SimBarrierFactory factory = make_factory(spec, machine);
+    const fault::Plan plan =
+        spec.fault.any() ? fault::Plan(spec.fault, machine.num_cores(),
+                                       machine.num_layers())
+                         : fault::Plan();
+    simbar::SimRunConfig cfg = base_cfg;
+    if (plan.active()) cfg.fault = &plan;
+    sim::Tracer tracer(0);  // exact counters, no event log — as the
+                            // driver's metrics mode defaults
+    const simbar::SimResult result =
+        simbar::measure_barrier(machine, factory, cfg, &tracer);
+    entry->report = obs::make_metrics(machine, cfg, result, tracer);
+    entry->tail = render_result_tail(spec, result);
+  });
+  return entry;
+}
+
+}  // namespace
+
+// -- the daemon pipeline ---------------------------------------------------
+
+struct SweepService::Impl {
+  struct Request {
+    std::uint64_t seq = 0;
+    std::string line;
+  };
+
+  /// One reorder-window slot: a worker publishes the finished entry with
+  /// a release store on `ready`; the intake/emitter thread consumes it
+  /// and recycles the slot.  Intake admits job seq only once seq - W has
+  /// been emitted, so a slot is never written before it was drained.
+  struct Slot {
+    std::atomic<bool> ready{false};
+    std::shared_ptr<const CachedResult> entry;
+  };
+
+  struct Worker {
+    explicit Worker(std::size_t ring_capacity) : ring(ring_capacity) {}
+    SpscRing<std::unique_ptr<Request>> ring;
+    std::thread thread;
+  };
+
+  explicit Impl(ServiceOptions o)
+      : opts(o),
+        nworkers(o.workers > 0
+                     ? o.workers
+                     : static_cast<int>(std::max(
+                           1u, std::thread::hardware_concurrency()))),
+        cache(o.cache_shards) {
+    std::size_t window = 1;
+    const std::size_t want =
+        static_cast<std::size_t>(nworkers) * std::max<std::size_t>(
+                                                 opts.ring_capacity, 2) *
+        2;
+    while (window < want) window <<= 1;
+    slots = std::vector<Slot>(window);
+    workers.reserve(static_cast<std::size_t>(nworkers));
+    for (int w = 0; w < nworkers; ++w)
+      workers.push_back(std::make_unique<Worker>(opts.ring_capacity));
+    for (int w = 0; w < nworkers; ++w)
+      workers[static_cast<std::size_t>(w)]->thread =
+          std::thread([this, w] { worker_loop(*workers[
+              static_cast<std::size_t>(w)]); });
+  }
+
+  ~Impl() {
+    stop.store(true, std::memory_order_release);
+    for (auto& w : workers)
+      if (w->thread.joinable()) w->thread.join();
+  }
+
+  void worker_loop(Worker& self) {
+    // Worker-private pointer cache in front of the shared registry.
+    std::unordered_map<std::string, const topo::Machine*> local_machines;
+    int idle = 0;
+    for (;;) {
+      std::unique_ptr<Request> req;
+      while (!self.ring.try_pop(req)) {
+        if (stop.load(std::memory_order_acquire)) return;
+        // Spin briefly, then yield, then sleep: a daemon waiting for the
+        // next job batch must not burn a core.
+        if (idle < 64) {
+          ++idle;
+          util::cpu_relax();
+        } else if (idle < 256) {
+          ++idle;
+          std::this_thread::yield();
+        } else {
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+        }
+      }
+      idle = 0;
+      process(*req, local_machines);
+    }
+  }
+
+  void process(const Request& req,
+               std::unordered_map<std::string, const topo::Machine*>&
+                   local_machines) {
+    std::shared_ptr<const CachedResult> entry;
+    try {
+      const JobSpec spec = parse_job_line(req.line);
+      const std::string key = cache_key(spec);
+      if (opts.use_cache) entry = cache.find(key);
+      if (!entry) {
+        // Warm the worker-local machine cache as a side effect so the
+        // shared registry mutex is off the steady-state path.
+        const auto it = local_machines.find(spec.machine);
+        if (it == local_machines.end()) {
+          // May throw for an unknown machine: compute_cell repeats the
+          // lookup under its own classification, so just probe.
+          try {
+            local_machines.emplace(spec.machine, &registry.get(spec.machine));
+          } catch (const std::exception&) {
+            // Leave resolution (and the error entry) to compute_cell.
+          }
+        }
+        auto computed = compute_cell(spec, registry);
+        if (opts.use_cache) cache.insert(key, computed);
+        entry = std::move(computed);
+      }
+    } catch (const std::exception& e) {
+      // Only parse_job_line throws to here; everything later is
+      // classified inside compute_cell.
+      auto err = std::make_shared<CachedResult>();
+      err->failed = true;
+      err->tail = render_error_tail("parse-error", e.what(), "");
+      entry = std::move(err);
+    }
+    Slot& slot = slots[req.seq & (slots.size() - 1)];
+    slot.entry = std::move(entry);
+    slot.ready.store(true, std::memory_order_release);
+  }
+
+  ServiceOptions opts;
+  int nworkers;
+  ResultCache cache;
+  MachineRegistry registry;
+  std::vector<Slot> slots;
+  std::vector<std::unique_ptr<Worker>> workers;
+  std::atomic<bool> stop{false};
+};
+
+SweepService::SweepService(ServiceOptions opts)
+    : impl_(std::make_unique<Impl>(opts)) {}
+
+SweepService::~SweepService() = default;
+
+int SweepService::workers() const noexcept { return impl_->nworkers; }
+
+const ResultCache& SweepService::cache() const noexcept {
+  return impl_->cache;
+}
+
+namespace {
+
+/// Skip the non-job stream lines the service contract allows: blank
+/// lines and '#' comments.
+bool is_job_line(const std::string& line) {
+  const auto first = line.find_first_not_of(" \t\r");
+  return first != std::string::npos && line[first] != '#';
+}
+
+}  // namespace
+
+ServiceStats SweepService::serve(std::istream& in, std::ostream& out) {
+  Impl& impl = *impl_;
+  const auto t0 = std::chrono::steady_clock::now();
+  const std::uint64_t hits0 = impl.cache.hits();
+  const std::uint64_t misses0 = impl.cache.misses();
+  const std::size_t window = impl.slots.size();
+
+  std::uint64_t submitted = 0;
+  std::uint64_t emitted = 0;
+  std::uint64_t failed = 0;
+  std::vector<obs::MetricsReport> reports;
+
+  // Emit every completed result whose turn has come (in-order drain).
+  const auto drain_ready = [&] {
+    while (emitted < submitted) {
+      Impl::Slot& slot = impl.slots[emitted & (window - 1)];
+      if (!slot.ready.load(std::memory_order_acquire)) return;
+      emit_line(out, emitted, slot.entry->tail);
+      if (slot.entry->failed)
+        ++failed;
+      else
+        reports.push_back(slot.entry->report);
+      slot.entry.reset();
+      slot.ready.store(false, std::memory_order_relaxed);
+      ++emitted;
+    }
+  };
+
+  util::SpinWait waiter;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!is_job_line(line)) continue;
+    // Backpressure: never have more than one reorder window in flight.
+    while (submitted - emitted >= window) {
+      drain_ready();
+      waiter.step();
+    }
+    auto req = std::make_unique<Impl::Request>();
+    req->seq = submitted;
+    req->line = std::move(line);
+    auto& ring =
+        impl.workers[submitted % static_cast<std::uint64_t>(impl.nworkers)]
+            ->ring;
+    while (!ring.try_push(std::move(req))) {
+      drain_ready();
+      waiter.step();
+    }
+    waiter.reset();
+    ++submitted;
+    drain_ready();
+  }
+  while (emitted < submitted) {
+    drain_ready();
+    waiter.step();
+  }
+
+  const obs::SweepSummary summary = obs::aggregate(reports);
+  out << obs::to_json(summary) << '\n';
+
+  ServiceStats stats;
+  stats.jobs = submitted;
+  stats.failed = failed;
+  stats.cache_hits = impl.cache.hits() - hits0;
+  stats.cache_misses = impl.cache.misses() - misses0;
+  stats.wall_s = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+  return stats;
+}
+
+// -- the batch reference path ----------------------------------------------
+
+ServiceStats SweepService::run_oneshot(std::istream& in, std::ostream& out,
+                                       int workers) {
+  const auto t0 = std::chrono::steady_clock::now();
+
+  struct LineSlot {
+    std::optional<JobSpec> spec;       // engaged iff prepare succeeded
+    std::string tail;                  // pre-filled for parse/prepare errors
+    bool failed = false;
+    std::size_t driver_index = 0;      // into the SweepJob list
+  };
+
+  MachineRegistry registry;
+  std::deque<fault::Plan> plans;  // stable addresses for cfg.fault
+  std::vector<LineSlot> lines;
+  std::vector<simbar::SweepJob> jobs;
+
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!is_job_line(line)) continue;
+    LineSlot slot;
+    JobSpec spec;
+    CachedResult scratch;
+    bool parsed = false;
+    try {
+      spec = parse_job_line(line);
+      parsed = true;
+    } catch (const std::exception& e) {
+      slot.failed = true;
+      slot.tail = render_error_tail("parse-error", e.what(), "");
+    }
+    if (parsed) {
+      const bool prepared = classify_into(scratch, [&] {
+        const topo::Machine& machine = registry.get(spec.machine);
+        simbar::SimRunConfig cfg = make_cfg(spec, machine);
+        const simbar::SimBarrierFactory factory = make_factory(spec, machine);
+        plans.push_back(spec.fault.any()
+                            ? fault::Plan(spec.fault, machine.num_cores(),
+                                          machine.num_layers())
+                            : fault::Plan());
+        if (plans.back().active()) cfg.fault = &plans.back();
+        slot.driver_index = jobs.size();
+        jobs.push_back(simbar::SweepJob{&machine, factory, cfg});
+        slot.spec = spec;
+      });
+      if (!prepared) {
+        slot.failed = true;
+        slot.tail = std::move(scratch.tail);
+      }
+    }
+    lines.push_back(std::move(slot));
+  }
+
+  const simbar::SweepDriver driver(workers);
+  const simbar::MeteredOutcome outcome =
+      driver.run_with_metrics_isolated(jobs, /*trace_capacity=*/0,
+                                       /*max_attempts=*/1);
+  // JobErrors arrive ascending by job index; walk them with a cursor.
+  std::size_t err_cursor = 0;
+
+  std::uint64_t failed = 0;
+  std::vector<obs::MetricsReport> reports;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    LineSlot& slot = lines[i];
+    if (slot.spec) {
+      const auto& run = outcome.results[slot.driver_index];
+      if (run) {
+        slot.tail = render_result_tail(*slot.spec, run->result);
+        reports.push_back(run->report);
+      } else {
+        while (err_cursor < outcome.errors.size() &&
+               outcome.errors[err_cursor].job_index < slot.driver_index)
+          ++err_cursor;
+        slot.failed = true;
+        if (err_cursor < outcome.errors.size() &&
+            outcome.errors[err_cursor].job_index == slot.driver_index) {
+          const simbar::JobError& e = outcome.errors[err_cursor];
+          slot.tail = render_error_tail(e.kind, e.message, e.diagnostics);
+        } else {
+          slot.tail = render_error_tail("error", "missing sweep result", "");
+        }
+      }
+    }
+    if (slot.failed) ++failed;
+    emit_line(out, i, slot.tail);
+  }
+
+  const obs::SweepSummary summary = obs::aggregate(reports);
+  out << obs::to_json(summary) << '\n';
+
+  ServiceStats stats;
+  stats.jobs = lines.size();
+  stats.failed = failed;
+  stats.wall_s = std::chrono::duration<double>(
+                     std::chrono::steady_clock::now() - t0)
+                     .count();
+  return stats;
+}
+
+}  // namespace armbar::svc

@@ -1,0 +1,432 @@
+// Sweep-service tests: SPSC ring, JSONL job parsing, cache-key
+// semantics, the result cache, heatmap folding, and the service's core
+// contract — daemon output byte-identical to the one-shot path for any
+// worker count and any cache state (docs/SERVICE.md §4).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "armbar/obs/heatmap.hpp"
+#include "armbar/sim/trace.hpp"
+#include "armbar/svc/cache.hpp"
+#include "armbar/svc/job.hpp"
+#include "armbar/svc/service.hpp"
+#include "armbar/svc/spsc_ring.hpp"
+
+namespace {
+
+using namespace armbar;
+
+// -- SpscRing ---------------------------------------------------------------
+
+TEST(SpscRing, FifoSingleThread) {
+  svc::SpscRing<int> ring(4);
+  EXPECT_TRUE(ring.empty());
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(ring.try_push(int(i)));
+  EXPECT_FALSE(ring.try_push(99));  // full
+  int v = -1;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(ring.try_pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(ring.try_pop(v));  // empty
+  EXPECT_TRUE(ring.empty());
+}
+
+TEST(SpscRing, CapacityRoundsUpToPowerOfTwo) {
+  svc::SpscRing<int> ring(5);  // rounds to 8
+  int pushed = 0;
+  while (ring.try_push(int(pushed))) ++pushed;
+  EXPECT_EQ(pushed, 8);
+}
+
+TEST(SpscRing, MovesUniquePtrs) {
+  svc::SpscRing<std::unique_ptr<int>> ring(2);
+  auto p = std::make_unique<int>(7);
+  EXPECT_TRUE(ring.try_push(std::move(p)));
+  std::unique_ptr<int> q;
+  ASSERT_TRUE(ring.try_pop(q));
+  ASSERT_TRUE(q);
+  EXPECT_EQ(*q, 7);
+}
+
+TEST(SpscRing, FailedPushKeepsValue) {
+  svc::SpscRing<std::unique_ptr<int>> ring(2);
+  ASSERT_TRUE(ring.try_push(std::make_unique<int>(1)));
+  ASSERT_TRUE(ring.try_push(std::make_unique<int>(2)));
+  auto p = std::make_unique<int>(3);
+  EXPECT_FALSE(ring.try_push(std::move(p)));
+  ASSERT_TRUE(p);  // a rejected push must not consume the value
+  EXPECT_EQ(*p, 3);
+}
+
+TEST(SpscRing, TwoThreadStream) {
+  constexpr int kItems = 100000;
+  svc::SpscRing<int> ring(64);
+  std::atomic<bool> fail{false};
+  std::thread consumer([&] {
+    int expected = 0;
+    int v = -1;
+    while (expected < kItems) {
+      if (ring.try_pop(v)) {
+        if (v != expected) {
+          fail.store(true);
+          return;
+        }
+        ++expected;
+      }
+    }
+  });
+  for (int i = 0; i < kItems; ++i)
+    while (!ring.try_push(int(i))) std::this_thread::yield();
+  consumer.join();
+  EXPECT_FALSE(fail.load()) << "ring reordered or corrupted the stream";
+  EXPECT_TRUE(ring.empty());
+}
+
+// -- job parsing ------------------------------------------------------------
+
+TEST(JobParse, DefaultsAndFields) {
+  const auto spec = svc::parse_job_line(
+      R"({"machine": "thunderx2", "algo": "mcs", "threads": 32,)"
+      R"( "iterations": 10, "placement": "scatter"})");
+  EXPECT_EQ(spec.machine, "thunderx2");
+  EXPECT_EQ(spec.algo, "mcs");
+  EXPECT_EQ(spec.threads, 32);
+  EXPECT_EQ(spec.iterations, 10);
+  EXPECT_EQ(spec.placement, "scatter");
+  EXPECT_EQ(spec.effective_warmup(), 5);  // derived: min(5, iterations-1)
+
+  const auto defaults = svc::parse_job_line("{}");
+  EXPECT_EQ(defaults.machine, "kunpeng920");
+  EXPECT_EQ(defaults.algo, "opt");
+  EXPECT_EQ(defaults.threads, 64);
+  EXPECT_FALSE(defaults.fault.any());
+}
+
+TEST(JobParse, WarmupDerivation) {
+  EXPECT_EQ(svc::parse_job_line(R"({"iterations": 3})").effective_warmup(), 2);
+  EXPECT_EQ(svc::parse_job_line(R"({"iterations": 1})").effective_warmup(), 0);
+  EXPECT_EQ(
+      svc::parse_job_line(R"({"iterations": 20, "warmup": 7})")
+          .effective_warmup(),
+      7);
+}
+
+TEST(JobParse, FaultFields) {
+  const auto spec = svc::parse_job_line(
+      R"({"noise_period_us": 50.5, "noise_duration_us": 2.5,)"
+      R"( "straggler_fraction": 0.1, "straggler_slowdown": 4,)"
+      R"( "link_min_layer": 2, "link_factor": 1.5, "fault_seed": 7})");
+  EXPECT_TRUE(spec.fault.any());
+  EXPECT_DOUBLE_EQ(spec.fault.noise.period_us, 50.5);
+  EXPECT_DOUBLE_EQ(spec.fault.straggler.fraction, 0.1);
+  EXPECT_EQ(spec.fault.link.min_layer, 2);
+  EXPECT_EQ(spec.fault.seed, 7u);
+}
+
+TEST(JobParse, StringEscapes) {
+  const auto spec =
+      svc::parse_job_line(R"({"machine": "a\"b\\cA", "algo": "opt"})");
+  EXPECT_EQ(spec.machine, "a\"b\\cA");
+}
+
+TEST(JobParse, RejectsMalformedLines) {
+  EXPECT_THROW(svc::parse_job_line(""), std::invalid_argument);
+  EXPECT_THROW(svc::parse_job_line("not json"), std::invalid_argument);
+  EXPECT_THROW(svc::parse_job_line(R"({"threads": 4} trailing)"),
+               std::invalid_argument);
+  EXPECT_THROW(svc::parse_job_line(R"({"unknown_field": 1})"),
+               std::invalid_argument);
+  EXPECT_THROW(svc::parse_job_line(R"({"threads": "four"})"),
+               std::invalid_argument);
+  EXPECT_THROW(svc::parse_job_line(R"({"machine": 3})"),
+               std::invalid_argument);
+  EXPECT_THROW(svc::parse_job_line(R"({"threads": 1.5})"),
+               std::invalid_argument);
+  EXPECT_THROW(svc::parse_job_line(R"({"threads": 0})"),
+               std::invalid_argument);
+  EXPECT_THROW(svc::parse_job_line(R"({"threads": true})"),
+               std::invalid_argument);
+  EXPECT_THROW(svc::parse_job_line(R"({"machine": "unterminated)"),
+               std::invalid_argument);
+  EXPECT_THROW(svc::parse_job_line(R"({"nested": {"x": 1}})"),
+               std::invalid_argument);
+}
+
+// -- cache keys -------------------------------------------------------------
+
+TEST(CacheKey, EqualSpecsEqualKeys) {
+  const auto a = svc::parse_job_line(
+      R"({"machine": "kunpeng920", "algo": "opt", "threads": 16})");
+  const auto b = svc::parse_job_line(
+      R"({"threads": 16, "algo": "opt", "machine": "kunpeng920"})");
+  EXPECT_EQ(svc::cache_key(a), svc::cache_key(b))
+      << "field order must not matter";
+}
+
+TEST(CacheKey, EverySimulationInputMisses) {
+  const svc::JobSpec base;
+  // Each mutation flips exactly one simulation input; every one must
+  // produce a distinct key (a collision would serve wrong results).
+  std::vector<svc::JobSpec> variants(9, base);
+  variants[0].machine = "thunderx2";
+  variants[1].algo = "mcs";
+  variants[2].threads = 32;
+  variants[3].iterations = 21;
+  variants[4].warmup = 2;
+  variants[5].placement = "scatter";
+  variants[6].fault.noise.period_us = 100.0;
+  variants[7].fault.straggler.fraction = 0.25;
+  variants[8].fault.seed = 43;
+  const std::string base_key = svc::cache_key(base);
+  for (std::size_t i = 0; i < variants.size(); ++i)
+    EXPECT_NE(svc::cache_key(variants[i]), base_key) << "variant " << i;
+}
+
+TEST(CacheKey, ExplicitWarmupEqualsDerivedWarmup) {
+  // warmup 5 explicit vs derived-from-iterations-20 are the same
+  // simulation, so they must share a cache entry.
+  const auto derived = svc::parse_job_line(R"({"iterations": 20})");
+  const auto expl = svc::parse_job_line(R"({"iterations": 20, "warmup": 5})");
+  EXPECT_EQ(svc::cache_key(derived), svc::cache_key(expl));
+}
+
+TEST(CacheKey, CarriesSchemaVersion) {
+  EXPECT_EQ(svc::cache_key(svc::JobSpec{}).rfind(
+                "v" + std::to_string(svc::kCacheSchemaVersion) + "|", 0),
+            0u);
+}
+
+// -- ResultCache ------------------------------------------------------------
+
+TEST(ResultCache, HitMissCountersAndFirstInsertWins) {
+  svc::ResultCache cache(4);
+  EXPECT_EQ(cache.find("k"), nullptr);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  auto first = std::make_shared<svc::CachedResult>();
+  first->tail = "first";
+  cache.insert("k", first);
+  auto second = std::make_shared<svc::CachedResult>();
+  second->tail = "second";
+  cache.insert("k", second);  // duplicate: must not replace
+
+  const auto got = cache.find("k");
+  ASSERT_NE(got, nullptr);
+  EXPECT_EQ(got->tail, "first");
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.find("k"), nullptr);
+}
+
+// -- daemon vs one-shot byte identity ---------------------------------------
+
+std::string oneshot_output(const std::string& jobs, int workers) {
+  std::istringstream in(jobs);
+  std::ostringstream out;
+  svc::SweepService::run_oneshot(in, out, workers);
+  return out.str();
+}
+
+std::string daemon_output(const std::string& jobs, svc::ServiceOptions opts) {
+  std::istringstream in(jobs);
+  std::ostringstream out;
+  svc::SweepService service(opts);
+  service.serve(in, out);
+  return out.str();
+}
+
+/// A workload exercising every line class: distinct cells, repeated
+/// cells, comments/blanks, a parse error, an unknown machine, an unknown
+/// algorithm, and a bad placement.
+std::string mixed_workload() {
+  std::string jobs;
+  jobs += "# comment line\n";
+  jobs += "\n";
+  for (const char* algo : {"opt", "sense", "dis", "mcs"})
+    for (int threads : {8, 16})
+      jobs += std::string("{\"machine\": \"kunpeng920\", \"algo\": \"") +
+              algo + "\", \"threads\": " + std::to_string(threads) +
+              ", \"iterations\": 5}\n";
+  jobs += "{\"algo\": \"sense\", \"threads\": 8, \"iterations\": 5}\n";  // dup
+  jobs += "{\"machine\": \"kunpeng920\", \"algo\": \"sense\", \"threads\": 8, "
+          "\"iterations\": 5}\n";  // dup again, different spelling
+  jobs += "garbage that is not JSON\n";
+  jobs += "{\"machine\": \"atari2600\"}\n";
+  jobs += "{\"algo\": \"definitely-not-a-barrier\", \"iterations\": 3}\n";
+  jobs += "{\"placement\": \"diagonal\", \"iterations\": 3}\n";
+  jobs += "{\"machine\": \"thunderx2\", \"algo\": \"opt\", \"threads\": 16, "
+          "\"iterations\": 5, \"straggler_fraction\": 0.1, "
+          "\"straggler_slowdown\": 3.0}\n";
+  return jobs;
+}
+
+TEST(ServiceIdentity, DaemonMatchesOneshotAtEveryWorkerCount) {
+  const std::string jobs = mixed_workload();
+  const std::string reference = oneshot_output(jobs, /*workers=*/1);
+
+  // The reference stream itself: one "{"job": N, ..." line per job (the
+  // summary is pretty-printed and never starts with that token).
+  std::size_t job_lines = 0, pos = 0;
+  while ((pos = reference.find("{\"job\": ", pos)) != std::string::npos) {
+    ++job_lines;
+    pos += 8;
+  }
+  EXPECT_EQ(job_lines, 15u);
+  EXPECT_NE(reference.find("\"runs\": 11"), std::string::npos)
+      << "summary must aggregate the successful jobs";
+  EXPECT_NE(reference.find("\"kind\": \"parse-error\""), std::string::npos);
+  EXPECT_NE(reference.find("\"kind\": \"invalid-argument\""),
+            std::string::npos);
+
+  EXPECT_EQ(oneshot_output(jobs, 4), reference)
+      << "one-shot output depends on worker count";
+  for (const int workers : {1, 4, 0}) {  // 0 = hardware concurrency
+    svc::ServiceOptions opts;
+    opts.workers = workers;
+    EXPECT_EQ(daemon_output(jobs, opts), reference)
+        << "daemon diverged at workers=" << workers;
+    opts.use_cache = false;
+    EXPECT_EQ(daemon_output(jobs, opts), reference)
+        << "uncached daemon diverged at workers=" << workers;
+  }
+}
+
+TEST(ServiceIdentity, TinyRingStillOrdersCorrectly) {
+  // A 2-slot ring forces constant backpressure through the reorder
+  // window; ordering must survive.
+  svc::ServiceOptions opts;
+  opts.workers = 4;
+  opts.ring_capacity = 2;
+  const std::string jobs = mixed_workload();
+  EXPECT_EQ(daemon_output(jobs, opts), oneshot_output(jobs, 1));
+}
+
+TEST(ServiceIdentity, WarmCacheServesIdenticalBytes) {
+  const std::string jobs = mixed_workload();
+  svc::ServiceOptions opts;
+  opts.workers = 2;
+  svc::SweepService service(opts);
+
+  std::istringstream in1(jobs);
+  std::ostringstream out1;
+  const auto cold = service.serve(in1, out1);
+  std::istringstream in2(jobs);
+  std::ostringstream out2;
+  const auto warm = service.serve(in2, out2);
+
+  EXPECT_EQ(out1.str(), out2.str()) << "cache changed the output bytes";
+  EXPECT_EQ(out1.str(), oneshot_output(jobs, 1));
+  EXPECT_GT(cold.cache_misses, 0u);
+  EXPECT_EQ(warm.cache_misses, 0u) << "second pass must be all hits";
+  // Parse errors are never cached; everything else (including
+  // deterministic error cells) hits.
+  EXPECT_EQ(warm.cache_hits, warm.jobs - 1);
+  EXPECT_EQ(cold.jobs, warm.jobs);
+}
+
+TEST(ServiceIdentity, EmptyStream) {
+  for (const int workers : {1, 3}) {
+    svc::ServiceOptions opts;
+    opts.workers = workers;
+    const std::string daemon = daemon_output("", opts);
+    EXPECT_EQ(daemon, oneshot_output("", 1));
+    EXPECT_NE(daemon.find("\"runs\": 0"), std::string::npos);  // summary only
+  }
+}
+
+TEST(ServiceStatsCheck, AccountingMatchesStream) {
+  const std::string jobs = mixed_workload();
+  svc::ServiceOptions opts;
+  opts.workers = 2;
+  svc::SweepService service(opts);
+  std::istringstream in(jobs);
+  std::ostringstream out;
+  const auto stats = service.serve(in, out);
+  EXPECT_EQ(stats.jobs, 15u);
+  EXPECT_EQ(stats.failed, 4u);
+  EXPECT_EQ(stats.cache_hits + stats.cache_misses + /*parse errors=*/1,
+            stats.jobs);
+}
+
+// -- heatmap ----------------------------------------------------------------
+
+TEST(Heatmap, FoldsEventsAndSortsHottestFirst) {
+  sim::Tracer tracer(64);
+  const auto ev = [](int core, int line) {
+    sim::TraceEvent e;
+    e.core = core;
+    e.line = line;
+    e.start = 0;
+    e.finish = 10;
+    return e;
+  };
+  tracer.record(ev(0, 7));
+  tracer.record(ev(1, 7));
+  tracer.record(ev(1, 7));
+  tracer.record(ev(0, 3));
+  tracer.record(ev(9, 3));   // core outside the matrix: row total only
+  tracer.record(ev(2, -1));  // no line: ignored entirely
+
+  const auto hm = obs::contention_heatmap(tracer, /*num_cores=*/4);
+  ASSERT_EQ(hm.rows.size(), 2u);
+  EXPECT_EQ(hm.num_cores, 4);
+  EXPECT_EQ(hm.total_ops, 5u);
+  EXPECT_EQ(hm.rows[0].line, 7);
+  EXPECT_EQ(hm.rows[0].total, 3u);
+  EXPECT_EQ(hm.rows[0].per_core, (std::vector<std::uint64_t>{1, 2, 0, 0}));
+  EXPECT_EQ(hm.rows[1].line, 3);
+  EXPECT_EQ(hm.rows[1].total, 2u);
+  EXPECT_EQ(hm.rows[1].per_core, (std::vector<std::uint64_t>{1, 0, 0, 0}));
+
+  const std::string csv = obs::to_csv(hm);
+  EXPECT_EQ(csv.rfind("line,total,core_0,core_1,core_2,core_3\n", 0), 0u);
+  EXPECT_NE(csv.find("7,3,1,2,0,0\n"), std::string::npos);
+  EXPECT_NE(csv.find("3,2,1,0,0,0\n"), std::string::npos);
+
+  const std::string ascii = obs::to_ascii(hm);
+  EXPECT_NE(ascii.find("total ops 5"), std::string::npos);
+}
+
+TEST(Heatmap, MaxLinesCutsCoolestRows) {
+  sim::Tracer tracer(64);
+  for (int line = 0; line < 5; ++line)
+    for (int rep = 0; rep <= line; ++rep) {
+      sim::TraceEvent e;
+      e.core = 0;
+      e.line = line;
+      tracer.record(e);
+    }
+  const auto hm = obs::contention_heatmap(tracer, 1, /*max_lines=*/2);
+  ASSERT_EQ(hm.rows.size(), 2u);
+  EXPECT_EQ(hm.rows[0].line, 4);  // hottest
+  EXPECT_EQ(hm.rows[1].line, 3);
+  EXPECT_EQ(hm.total_ops, 15u);  // total counts pre-cut traffic
+}
+
+TEST(Heatmap, TiesBreakByAscendingLine) {
+  sim::Tracer tracer(64);
+  for (const int line : {9, 4}) {
+    sim::TraceEvent e;
+    e.core = 0;
+    e.line = line;
+    tracer.record(e);
+  }
+  const auto hm = obs::contention_heatmap(tracer, 1);
+  ASSERT_EQ(hm.rows.size(), 2u);
+  EXPECT_EQ(hm.rows[0].line, 4);
+  EXPECT_EQ(hm.rows[1].line, 9);
+}
+
+}  // namespace
