@@ -1,0 +1,209 @@
+// fig_hier: central-vs-hybrid crossover on synthetic hierarchical
+// machines (cluster-of-clusters geometry, topo/hier.hpp).
+//
+// Extends the paper's central-vs-tree crossover to depth-2 hierarchies:
+// on the 256- and 1024-core machines it sweeps the flat centralized
+// barrier (SENSE), the depth-2 hierarchical central barrier (CENTRAL2),
+// the hybrid cluster barrier (HYBRID), the cluster-local amo-add arrival
+// feeding the NUMA wake-up tree (AMO), and the paper's optimized barrier
+// (OPT) across thread counts, and reports where each design takes over.
+// The expectation this figure pins down: flat designs stop scaling past
+// one die, and at >= 1024 cores the amo+tree hybrid wins.
+//
+// Every simulation is deterministic: --json output is byte-identical
+// across reruns and for any --workers count, which CI exploits as a
+// regression check (hier-smoke job).
+
+#include <iomanip>
+#include <locale>
+
+#include "armbar/topo/hier.hpp"
+#include "armbar/util/stats.hpp"
+#include "common.hpp"
+
+namespace {
+
+using namespace armbar;
+
+// 12 episodes, 3 warm-up: the 1024-thread centralized cells are poll
+// storms (~1M costed polls per episode); the reduced episode count keeps
+// the figure a smoke-test, not a coffee break.
+constexpr int kIterations = 12;
+constexpr int kWarmup = 3;
+
+// Flat SENSE is capped at one die's worth of threads: past that its
+// cells cost more wall time than the rest of the figure combined and
+// the outcome (contention collapse) is already unambiguous at 256.
+constexpr int kSenseThreadCap = 256;
+
+const std::vector<Algo> kAlgos = {Algo::kSense, Algo::kCentral2,
+                                  Algo::kHybrid, Algo::kClusterAmo,
+                                  Algo::kOptimized};
+
+std::vector<int> threads_for(const topo::Machine& m) {
+  std::vector<int> out;
+  for (int p : {4, 16, 64, 256, 1024})
+    if (p <= m.num_cores()) out.push_back(p);
+  return out;
+}
+
+struct Row {
+  std::string machine;
+  std::string algo;
+  int threads = 0;
+  double mean_us = 0.0;
+  double p99_us = 0.0;
+};
+
+MakeOptions options_for(Algo a, const topo::Machine& m) {
+  MakeOptions opt;
+  opt.cluster_size = m.cluster_size();
+  if (a == Algo::kOptimized) {
+    opt.fanin = 4;
+    opt.notify = NotifyPolicy::kNumaTree;
+  }
+  return opt;
+}
+
+std::string to_json(const std::vector<Row>& rows,
+                    const std::vector<simbar::JobError>& errors) {
+  std::ostringstream os;
+  os.imbue(std::locale::classic());
+  os << std::setprecision(17);
+  os << "{\n  \"benchmark\": \"fig_hier\",\n  \"iterations\": " << kIterations
+     << ",\n  \"results\": [";
+  bool first = true;
+  for (const Row& r : rows) {
+    os << (first ? "\n" : ",\n") << "    {\"machine\": \"" << r.machine
+       << "\", \"algo\": \"" << r.algo << "\", \"threads\": " << r.threads
+       << ", \"mean_us\": " << r.mean_us << ", \"p99_us\": " << r.p99_us
+       << "}";
+    first = false;
+  }
+  os << "\n  ],\n  \"errors\": " << simbar::errors_to_json(errors) << "\n}\n";
+  return os.str();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace armbar;
+  const util::Args args(argc, argv);
+
+  std::cout << "== fig_hier: central vs hybrid barriers on hierarchical "
+               "machines (mean us) ==\n\n";
+
+  std::vector<topo::Machine> machines;
+  machines.push_back(topo::hier256());
+  machines.push_back(topo::hier1024());
+  if (args.has("big")) machines.push_back(topo::hier4096());
+
+  std::vector<simbar::SweepJob> jobs;
+  std::vector<Row> rows;  // parallel to jobs
+  for (const auto& m : machines)
+    for (Algo a : kAlgos)
+      for (int p : threads_for(m)) {
+        if (a == Algo::kSense && p > kSenseThreadCap) continue;
+        simbar::SimRunConfig cfg;
+        cfg.threads = p;
+        cfg.iterations = kIterations;
+        cfg.warmup = kWarmup;
+        jobs.push_back(simbar::SweepJob{
+            &m, simbar::sim_factory(a, options_for(a, m)), cfg});
+        rows.push_back(Row{m.name(), to_string(a), p, 0.0, 0.0});
+      }
+
+  const simbar::SweepDriver driver(
+      static_cast<int>(args.get_int_or("workers", 0)));
+  const auto outcome = driver.run_with_metrics_isolated(jobs);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    if (!outcome.results[i]) continue;
+    const auto& r = outcome.results[i]->result;
+    rows[i].mean_us = r.mean_overhead_ns / 1000.0;
+    const std::span<const double> tail(
+        r.per_episode_ns.data() + kWarmup,
+        r.per_episode_ns.size() - static_cast<std::size_t>(kWarmup));
+    rows[i].p99_us = util::quantile(tail, 0.99) / 1000.0;
+  }
+
+  const auto lookup = [&](const std::string& machine, Algo a,
+                          int threads) -> const Row* {
+    for (const Row& r : rows)
+      if (r.machine == machine && r.algo == to_string(a) &&
+          r.threads == threads)
+        return &r;
+    return nullptr;
+  };
+
+  for (const auto& m : machines) {
+    util::Table t("Hierarchical crossover on " + m.name() + " (" +
+                  std::to_string(m.num_cores()) + " cores, Nc=" +
+                  std::to_string(m.cluster_size()) + ")");
+    std::vector<std::string> header{"threads"};
+    for (Algo a : kAlgos) header.push_back(to_string(a));
+    header.push_back("winner");
+    t.set_header(std::move(header));
+    for (int p : threads_for(m)) {
+      std::vector<std::string> row{std::to_string(p)};
+      const Row* best = nullptr;
+      for (Algo a : kAlgos) {
+        const Row* r = lookup(m.name(), a, p);
+        row.push_back(r ? util::Table::num(r->mean_us, 3) : "-");
+        if (r && (!best || r->mean_us < best->mean_us)) best = r;
+      }
+      row.push_back(best ? best->algo : "-");
+      t.add_row(std::move(row));
+    }
+    bench::emit(t, args);
+  }
+
+  // The claims this figure exists to pin down: hierarchy beats flat past
+  // one cluster diameter, and at the 1024-core scale the amo+tree hybrid
+  // beats the depth-2 central broadcast (the bsg_barrier_amoadd regime).
+  std::vector<bench::ShapeCheck> checks;
+  checks.push_back({"sweep completed without job errors",
+                    outcome.ok() && outcome.results.size() == jobs.size()});
+  for (const auto& m : machines) {
+    const int top = threads_for(m).back();
+    const Row* central2 = lookup(m.name(), Algo::kCentral2, top);
+    const Row* amo = lookup(m.name(), Algo::kClusterAmo, top);
+    const Row* hybrid = lookup(m.name(), Algo::kHybrid, top);
+    const Row* sense_cap = lookup(
+        m.name(), Algo::kSense, std::min(top, kSenseThreadCap));
+    const Row* amo_cap = lookup(
+        m.name(), Algo::kClusterAmo, std::min(top, kSenseThreadCap));
+    checks.push_back(
+        {m.name() + ": amo+tree beats flat SENSE at " +
+             std::to_string(std::min(top, kSenseThreadCap)) + " threads",
+         sense_cap && amo_cap && amo_cap->mean_us < sense_cap->mean_us});
+    checks.push_back(
+        {m.name() + ": amo+tree beats depth-2 central at " +
+             std::to_string(top) + " threads",
+         central2 && amo && amo->mean_us < central2->mean_us});
+    // The crossover itself: the dissemination-across-clusters hybrid is
+    // still ahead at 256 cores, the amo combine tree takes over at 1024.
+    if (top >= 1024) {
+      checks.push_back(
+          {m.name() + ": amo+tree overtakes hybrid dissemination at " +
+               std::to_string(top) + " threads (past the crossover)",
+           hybrid && amo && amo->mean_us < hybrid->mean_us});
+    } else {
+      checks.push_back(
+          {m.name() + ": hybrid dissemination still ahead of amo+tree at " +
+               std::to_string(top) + " threads (below the crossover)",
+           hybrid && amo && hybrid->mean_us < amo->mean_us});
+    }
+  }
+  const int failures = bench::report_checks(checks);
+
+  if (const auto path = args.get("json")) {
+    std::ofstream out(*path);
+    if (out) {
+      out << to_json(rows, outcome.errors);
+      std::cout << "(wrote crossover JSON to " << *path << ")\n";
+    } else {
+      std::cerr << "warning: cannot write --json file '" << *path << "'\n";
+    }
+  }
+  return failures == 0 ? 0 : 1;
+}

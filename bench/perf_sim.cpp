@@ -24,6 +24,13 @@
 //                     attributable to the heap, the directory, or a hook
 //                     at a glance.  Also asserts the four configurations
 //                     are bit-identical (inert hooks change speed only).
+//   --hier            additionally time a 1024-core hierarchical sweep
+//                     (topo::hier1024 x {amo, central2, hybrid, opt} x
+//                     {256, 1024} threads) — the many-core regime runs
+//                     the multi-word bitmask directory path the Figure 7
+//                     sweep never touches.  Adds hier_wall_s_min,
+//                     hier_events_per_sec, and hier_checksum_ns to the
+//                     JSON and the history entry.
 
 #include <algorithm>
 #include <chrono>
@@ -37,6 +44,7 @@
 #include <vector>
 
 #include "armbar/fault/plan.hpp"
+#include "armbar/topo/hier.hpp"
 #include "common.hpp"
 
 namespace {
@@ -89,17 +97,27 @@ std::vector<std::string> read_history(const std::string& path) {
 
 std::string history_entry(double wall_min, double wall_median,
                           double events_per_sec, double checksum_ns,
-                          int reps, int workers, double speedup) {
+                          int reps, int workers, double speedup,
+                          bool hier, double hier_events_per_sec,
+                          double hier_checksum_ns) {
   std::ostringstream os;
   char buf[256];
   std::snprintf(buf, sizeof buf,
                 "{\"utc\": \"%s\", \"reps\": %d, \"workers\": %d, "
                 "\"wall_s_min\": %.6f, \"wall_s_median\": %.6f, "
                 "\"events_per_sec\": %.1f, \"checksum_ns\": %.6f, "
-                "\"speedup_vs_seed\": %.3f}",
+                "\"speedup_vs_seed\": %.3f",
                 utc_now().c_str(), reps, workers, wall_min, wall_median,
                 events_per_sec, checksum_ns, speedup);
   os << buf;
+  if (hier) {
+    std::snprintf(buf, sizeof buf,
+                  ", \"hier_events_per_sec\": %.1f, "
+                  "\"hier_checksum_ns\": %.6f",
+                  hier_events_per_sec, hier_checksum_ns);
+    os << buf;
+  }
+  os << "}";
   return os.str();
 }
 
@@ -204,6 +222,7 @@ int main(int argc, char** argv) {
   }
   const int workers = static_cast<int>(args.get_int_or("workers", 1));
   const bool breakdown = args.has("breakdown");
+  const bool hier = args.has("hier");
   const std::string out_path =
       args.get("json").value_or("BENCH_sim.json");
 
@@ -320,11 +339,44 @@ int main(int argc, char** argv) {
         static_cast<unsigned long long>(plain.events_per_rep));
   }
 
+  // -- optional 1024-core hierarchical sweep --------------------------------
+  double hier_wall_min = 0.0, hier_events_per_sec = 0.0,
+         hier_checksum_ns = 0.0;
+  std::uint64_t hier_events_per_rep = 0;
+  if (hier) {
+    const topo::Machine hm = topo::hier1024();
+    std::vector<simbar::SweepJob> hier_jobs;
+    for (Algo a : {Algo::kClusterAmo, Algo::kCentral2, Algo::kHybrid,
+                   Algo::kOptimized}) {
+      for (int p : {256, 1024}) {
+        simbar::SimRunConfig cfg;
+        cfg.threads = p;
+        cfg.iterations = 10;
+        cfg.warmup = 2;
+        hier_jobs.push_back({&hm, simbar::sim_factory(a, {}), cfg});
+      }
+    }
+    std::printf("perf_sim: hier sweep on %s, %zu sims/rep\n",
+                hm.name().c_str(), hier_jobs.size());
+    const TimedSweep hs = time_sweep(driver, hier_jobs, reps,
+                                     /*verbose=*/false);
+    if (!hs.deterministic) return 1;
+    hier_wall_min = hs.wall_min();
+    hier_events_per_sec = hs.events_per_sec();
+    hier_checksum_ns = hs.checksum_ns;
+    hier_events_per_rep = hs.events_per_rep;
+    std::printf(
+        "perf_sim: hier best %.3f s/rep, %.2f M events/s, "
+        "checksum %.6f ns\n",
+        hier_wall_min, hier_events_per_sec / 1e6, hier_checksum_ns);
+  }
+
   // -- JSON output, with carried-over run history ---------------------------
   std::vector<std::string> history = read_history(out_path);
   history.push_back(history_entry(wall_min, wall_median, events_per_sec,
                                   plain.checksum_ns, reps, driver.workers(),
-                                  speedup));
+                                  speedup, hier, hier_events_per_sec,
+                                  hier_checksum_ns));
 
   std::FILE* f = std::fopen(out_path.c_str(), "w");
   if (!f) {
@@ -354,6 +406,14 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  \"checksum_ns\": %.6f,\n", plain.checksum_ns);
   std::fprintf(f, "  \"seed_wall_s_per_rep\": %.6f,\n", kSeedWallSecPerRep);
   std::fprintf(f, "  \"speedup_vs_seed\": %.3f,\n", speedup);
+  if (hier) {
+    std::fprintf(f, "  \"hier_wall_s_min\": %.6f,\n", hier_wall_min);
+    std::fprintf(f, "  \"hier_events_processed_per_rep\": %llu,\n",
+                 static_cast<unsigned long long>(hier_events_per_rep));
+    std::fprintf(f, "  \"hier_events_per_sec\": %.1f,\n",
+                 hier_events_per_sec);
+    std::fprintf(f, "  \"hier_checksum_ns\": %.6f,\n", hier_checksum_ns);
+  }
   if (breakdown) {
     std::fprintf(f, "  \"breakdown\": {\n");
     std::fprintf(f, "    \"engine_only_events_per_sec\": %.1f,\n",

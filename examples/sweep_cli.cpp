@@ -23,6 +23,7 @@
 #include "armbar/simbar/sim_barriers.hpp"
 #include "armbar/simbar/sweep.hpp"
 #include "armbar/svc/service.hpp"
+#include "armbar/topo/hier.hpp"
 #include "armbar/topo/machine_file.hpp"
 #include "armbar/topo/placement.hpp"
 #include "armbar/topo/platforms.hpp"
@@ -71,13 +72,21 @@ int main(int argc, char** argv) {
       std::cout
           << "usage: " << args.program() << " [options]\n"
           << "  --machine M    phytium2000+ | thunderx2 | kunpeng920 | "
-             "xeongold (default kunpeng920)\n"
+             "xeongold |\n"
+          << "                 hier256 | hier1024 | hier4096 (default "
+             "kunpeng920)\n"
           << "  --machine-file F  load a custom topology (key=value "
              "format; see docs)\n"
+          << "  --hier-geometry C,K,D  synthetic hierarchical machine: C\n"
+          << "                 cores/cluster, K clusters/die, D dies (see\n"
+          << "                 docs/MODEL.md; overrides --machine)\n"
+          << "  --hier-ratios A:B  with --hier-geometry: cross-cluster and\n"
+          << "                 cross-die latency ratios (default 3.1:1.7)\n"
           << "  --algo A       algorithm id (sense, gcc-sense, dis, cmb, "
              "mcs,\n"
           << "                 tour, stour, stour-pad, stour-pad4, dtour,\n"
-          << "                 hyper, opt, hybrid, nway-dis, ring) or 'all'\n"
+          << "                 hyper, opt, hybrid, nway-dis, ring, amo,\n"
+          << "                 central2) or 'all'\n"
           << "  --threads L    comma list, e.g. 1,2,4,8,16,32,64\n"
           << "  --placement P  compact | scatter | random (default compact)\n"
           << "  --iterations N episodes per run (default 20)\n"
@@ -141,10 +150,35 @@ int main(int argc, char** argv) {
       return 0;
     }
 
-    const auto machine =
-        args.has("machine-file")
-            ? topo::load_machine_file(args.get_or("machine-file", ""))
-            : topo::machine_by_name(args.get_or("machine", "kunpeng920"));
+    if (args.has("hier-ratios") && !args.has("hier-geometry"))
+      throw std::invalid_argument(
+          "--hier-ratios requires --hier-geometry C,K,D");
+    const auto make_machine = [&]() -> topo::Machine {
+      if (args.has("hier-geometry")) {
+        topo::HierSpec spec;
+        const auto geo = args.get_or("hier-geometry", "");
+        std::stringstream ss(geo);
+        std::string item;
+        std::vector<int> dims;
+        while (std::getline(ss, item, ',')) dims.push_back(std::stoi(item));
+        if (dims.size() != 3)
+          throw std::invalid_argument("--hier-geometry expects C,K,D, got '" +
+                                      geo + "'");
+        spec.cores_per_cluster = dims[0];
+        spec.clusters_per_die = dims[1];
+        spec.dies = dims[2];
+        if (const auto ratios = args.get("hier-ratios")) {
+          const auto [cluster_r, die_r] = parse_pair("hier-ratios", *ratios);
+          spec.cluster_ratio = cluster_r;
+          spec.die_ratio = die_r;
+        }
+        return topo::make_hier_machine(spec);
+      }
+      return args.has("machine-file")
+                 ? topo::load_machine_file(args.get_or("machine-file", ""))
+                 : topo::machine_by_name(args.get_or("machine", "kunpeng920"));
+    };
+    const auto machine = make_machine();
     const auto thread_list = parse_thread_list(
         args.get_or("threads", "64"), machine.num_cores());
 

@@ -14,6 +14,14 @@
 //    core, which is intra-cluster for all but one hop per cluster) and
 //    the last thread performs a global release.  Minimal remote
 //    references, O(P) critical path.
+//  - ClusterAmoBarrier (cf. bsg_barrier_amoadd, 1024-core RISC-V
+//    manycore): cluster-local atomic-add arrival, one atomic-add per
+//    cluster champion on a root counter, and a NUMA-aware wake-up TREE
+//    release — the hybrid the >64-core hierarchical regime rewards.
+//  - CentralTwoLevelBarrier: the depth-2 hierarchical CENTRAL barrier
+//    (per-cluster counter + root counter, two-level generation
+//    broadcast), the crossover foil for ClusterAmoBarrier in
+//    bench/fig_hier.
 
 #include <atomic>
 #include <cstdint>
@@ -228,6 +236,167 @@ class RingBarrier {
   int num_threads_;
   std::vector<util::Padded<std::atomic<std::uint64_t>>> token_;
   util::Padded<std::atomic<std::uint64_t>> gen_;
+  std::vector<util::Padded<std::uint64_t>> epoch_;
+};
+
+/// Cluster-local atomic-add arrival feeding a NUMA-aware wake-up tree.
+///
+/// Arrival mirrors the manycore amo-add idiom, one level per topology
+/// tier: every thread adds 1 to its cluster's counter; the arrival that
+/// completes the cluster adds 1 to its supergroup's counter (a supergroup
+/// is Nc consecutive clusters — the die tier on the synthetic
+/// hierarchical machines); the arrival that completes the supergroup adds
+/// 1 to the root.  Counters are cumulative — epoch e is complete at
+/// e * population arrivals, so they are never reset and there is no
+/// re-arm race.  A flat root would serialize every cluster champion on
+/// one line (P/Nc contenders at 1024 cores); the supergroup tier caps
+/// contention at Nc adds per counter at every level.  The root completion
+/// releases thread 0's wake flag, and release fans out over
+/// shape::numa_wakeup_children: cluster masters first (remote hops start
+/// early), then the local binary tree.
+class ClusterAmoBarrier {
+ public:
+  ClusterAmoBarrier(int num_threads, int cluster_size)
+      : num_threads_(checked(num_threads)),
+        cluster_size_(checked_cluster(cluster_size)),
+        num_clusters_((num_threads + cluster_size - 1) / cluster_size),
+        num_supergroups_((num_clusters_ + cluster_size - 1) / cluster_size),
+        counters_(static_cast<std::size_t>(num_clusters_)),
+        supers_(static_cast<std::size_t>(num_supergroups_)),
+        wake_(static_cast<std::size_t>(num_threads)),
+        epoch_(static_cast<std::size_t>(num_threads)),
+        children_(static_cast<std::size_t>(num_threads)) {
+    for (int t = 0; t < num_threads; ++t)
+      children_[static_cast<std::size_t>(t)] =
+          shape::numa_wakeup_children(t, num_threads, cluster_size_);
+  }
+
+  void wait(int tid) {
+    const std::uint64_t e = ++epoch_[static_cast<std::size_t>(tid)].value;
+    const int cl = tid / cluster_size_;
+    auto& counter = counters_[static_cast<std::size_t>(cl)].value;
+    if (counter.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        e * static_cast<std::uint64_t>(cluster_members(cl))) {
+      // Cluster champion: one amo-add on the supergroup counter.
+      const int sg = cl / cluster_size_;
+      auto& super = supers_[static_cast<std::size_t>(sg)].value;
+      if (super.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          e * static_cast<std::uint64_t>(super_members(sg))) {
+        // Supergroup champion: one amo-add on the root.
+        if (root_.value.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+            e * static_cast<std::uint64_t>(num_supergroups_))
+          wake_[0].value.store(e, std::memory_order_release);
+      }
+    }
+    auto& mine = wake_[static_cast<std::size_t>(tid)].value;
+    util::spin_until(
+        [&] { return mine.load(std::memory_order_acquire) >= e; });
+    for (int c : children_[static_cast<std::size_t>(tid)])
+      wake_[static_cast<std::size_t>(c)].value.store(
+          e, std::memory_order_release);
+  }
+
+  int num_threads() const noexcept { return num_threads_; }
+  std::string name() const {
+    return "AMO(Nc=" + std::to_string(cluster_size_) + ")+numa-tree";
+  }
+
+ private:
+  static int checked(int n) {
+    if (n < 1)
+      throw std::invalid_argument("ClusterAmoBarrier: num_threads >= 1");
+    return n;
+  }
+  static int checked_cluster(int n) {
+    if (n < 1)
+      throw std::invalid_argument("ClusterAmoBarrier: cluster_size >= 1");
+    return n;
+  }
+  int cluster_members(int cluster) const {
+    return std::min(cluster_size_, num_threads_ - cluster * cluster_size_);
+  }
+  int super_members(int sg) const {
+    return std::min(cluster_size_, num_clusters_ - sg * cluster_size_);
+  }
+
+  int num_threads_;
+  int cluster_size_;
+  int num_clusters_;
+  int num_supergroups_;
+  std::vector<util::Padded<std::atomic<std::uint64_t>>> counters_;
+  std::vector<util::Padded<std::atomic<std::uint64_t>>> supers_;
+  util::Padded<std::atomic<std::uint64_t>> root_;
+  std::vector<util::Padded<std::atomic<std::uint64_t>>> wake_;
+  std::vector<util::Padded<std::uint64_t>> epoch_;
+  std::vector<std::vector<int>> children_;
+};
+
+/// Depth-2 hierarchical central barrier: the centralized design scaled one
+/// level — per-cluster counters gather members, a root counter gathers
+/// cluster champions, and release is a two-level generation broadcast
+/// (root gen polled by champions only, per-cluster gens polled by
+/// members only).  Counters are cumulative (see ClusterAmoBarrier).
+class CentralTwoLevelBarrier {
+ public:
+  CentralTwoLevelBarrier(int num_threads, int cluster_size)
+      : num_threads_(checked(num_threads)),
+        cluster_size_(checked_cluster(cluster_size)),
+        num_clusters_((num_threads + cluster_size - 1) / cluster_size),
+        counters_(static_cast<std::size_t>(num_clusters_)),
+        gens_(static_cast<std::size_t>(num_clusters_)),
+        epoch_(static_cast<std::size_t>(num_threads)) {}
+
+  void wait(int tid) {
+    const std::uint64_t e = ++epoch_[static_cast<std::size_t>(tid)].value;
+    const int cl = tid / cluster_size_;
+    const auto members = static_cast<std::uint64_t>(members_of(cl));
+    auto& counter = counters_[static_cast<std::size_t>(cl)].value;
+    auto& gen = gens_[static_cast<std::size_t>(cl)].value;
+    if (counter.fetch_add(1, std::memory_order_acq_rel) + 1 == e * members) {
+      // Cluster champion: arrive at the root, await the root release,
+      // then release the cluster.
+      if (root_.value.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+          e * static_cast<std::uint64_t>(num_clusters_)) {
+        root_gen_.value.store(e, std::memory_order_release);
+      } else {
+        util::spin_until([&] {
+          return root_gen_.value.load(std::memory_order_acquire) >= e;
+        });
+      }
+      gen.store(e, std::memory_order_release);
+    } else {
+      util::spin_until(
+          [&] { return gen.load(std::memory_order_acquire) >= e; });
+    }
+  }
+
+  int num_threads() const noexcept { return num_threads_; }
+  std::string name() const {
+    return "CENTRAL2(Nc=" + std::to_string(cluster_size_) + ")";
+  }
+
+ private:
+  static int checked(int n) {
+    if (n < 1)
+      throw std::invalid_argument("CentralTwoLevelBarrier: num_threads >= 1");
+    return n;
+  }
+  static int checked_cluster(int n) {
+    if (n < 1)
+      throw std::invalid_argument("CentralTwoLevelBarrier: cluster_size >= 1");
+    return n;
+  }
+  int members_of(int cluster) const {
+    return std::min(cluster_size_, num_threads_ - cluster * cluster_size_);
+  }
+
+  int num_threads_;
+  int cluster_size_;
+  int num_clusters_;
+  std::vector<util::Padded<std::atomic<std::uint64_t>>> counters_;
+  std::vector<util::Padded<std::atomic<std::uint64_t>>> gens_;
+  util::Padded<std::atomic<std::uint64_t>> root_;
+  util::Padded<std::atomic<std::uint64_t>> root_gen_;
   std::vector<util::Padded<std::uint64_t>> epoch_;
 };
 

@@ -31,6 +31,10 @@ enum class Algo {
   kHybrid,           ///< centralized-in-cluster + dissemination-across
   kNWayDissemination,///< n-way dissemination (default 3-way)
   kRing,             ///< neighbour-only ring barrier
+  // Hierarchical hybrids for the >64-core synthetic machines
+  // (topo/hier.hpp; cf. the 1024-core RISC-V cluster regime):
+  kClusterAmo,       ///< cluster-local amo-add arrival + NUMA wake-up tree
+  kCentral2,         ///< depth-2 hierarchical central barrier
 };
 
 struct MakeOptions {

@@ -50,7 +50,13 @@ std::string to_csv(const ContentionHeatmap& heatmap);
 /// Terminal rendering: one glyph per cell on a " .:-=+*#%@" ramp scaled
 /// to the hottest cell, hottest @p max_lines rows only.  Ends with a
 /// total/dropped summary line.
+///
+/// Machines wider than @p max_cols (the hierarchical 256-4096-core
+/// machines of topo/hier.hpp) are downsampled: consecutive cores fold
+/// into one column holding the bucket MAX, so a single white-hot core
+/// survives the fold instead of averaging away; the header reports the
+/// bucket width.  @p max_cols = 0 disables folding.
 std::string to_ascii(const ContentionHeatmap& heatmap,
-                     std::size_t max_lines = 16);
+                     std::size_t max_lines = 16, std::size_t max_cols = 128);
 
 }  // namespace armbar::obs

@@ -206,6 +206,61 @@ class SimNWayDissemination final : public SimBarrier {
   std::vector<sim::VarId> flags_;
 };
 
+/// Cluster-local atomic-add arrival feeding a NUMA-aware wake-up tree
+/// (barriers/extensions.hpp ClusterAmoBarrier).  Counters are cumulative —
+/// epoch e is complete at e * population arrivals — so there is no reset
+/// write on the critical path.  The combine is one amo counter per
+/// topology tier (cluster -> supergroup of Nc clusters -> root), capping
+/// contention at Nc adds per counter; the root completion releases
+/// thread 0's wake flag and the release fans out over
+/// shape::numa_wakeup_children.
+class SimClusterAmo final : public SimBarrier {
+ public:
+  SimClusterAmo(sim::Engine& engine, sim::MemSystem& mem, int threads,
+                int cluster_size);
+  sim::SimThread run_thread(int tid, const SimRunConfig& cfg,
+                            Recorder& rec) override;
+  std::string name() const override {
+    return "AMO(Nc=" + std::to_string(cluster_size_) + ")+numa-tree";
+  }
+
+ private:
+  int cluster_members(int cluster) const;
+  int super_members(int sg) const;
+  int cluster_size_;
+  int num_clusters_;
+  int num_supergroups_;
+  std::vector<sim::VarId> counters_;  // per cluster, cumulative
+  std::vector<sim::VarId> supers_;    // per supergroup, cumulative
+  sim::VarId root_;                   // cumulative, supergroup champions only
+  std::vector<sim::VarId> wake_;      // per-thread wake generation
+  std::vector<std::vector<int>> wake_children_;
+};
+
+/// Depth-2 hierarchical central barrier (barriers/extensions.hpp
+/// CentralTwoLevelBarrier): per-cluster counter + root counter on
+/// arrival, two-level generation broadcast on release.  The crossover
+/// foil for SimClusterAmo in bench/fig_hier.
+class SimCentralTwo final : public SimBarrier {
+ public:
+  SimCentralTwo(sim::Engine& engine, sim::MemSystem& mem, int threads,
+                int cluster_size);
+  sim::SimThread run_thread(int tid, const SimRunConfig& cfg,
+                            Recorder& rec) override;
+  std::string name() const override {
+    return "CENTRAL2(Nc=" + std::to_string(cluster_size_) + ")";
+  }
+
+ private:
+  int members_of(int cluster) const;
+  int cluster_size_;
+  int num_clusters_;
+  std::vector<sim::VarId> counters_;  // per cluster, cumulative
+  std::vector<sim::VarId> gens_;      // per cluster release generation
+  sim::VarId root_;                   // cumulative, cluster champions only
+  sim::VarId root_gen_;               // root release generation
+};
+
 /// Ring barrier: neighbour-only arrival token plus a global release.
 class SimRing final : public SimBarrier {
  public:

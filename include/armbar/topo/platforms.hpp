@@ -40,8 +40,9 @@ std::vector<Machine> all_machines();
 std::vector<Machine> armv8_machines();
 
 /// Lookup by case-insensitive name ("phytium2000+", "thunderx2",
-/// "kunpeng920", "xeongold"; hyphens/plus signs ignored).  Throws
-/// std::invalid_argument for unknown names.
+/// "kunpeng920", "xeongold", and the synthetic hierarchical machines
+/// "hier256" / "hier1024" / "hier4096" of topo/hier.hpp; hyphens/plus
+/// signs ignored).  Throws std::invalid_argument for unknown names.
 Machine machine_by_name(const std::string& name);
 
 /// Build a custom machine with a regular hierarchy, for the topology

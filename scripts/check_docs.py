@@ -74,10 +74,11 @@ DOCUMENTED_FLAGS = {
     "sweep_cli": ("examples", ["--metrics", "--autotune", "--prune",
                                "--trace", "--noise", "--straggler",
                                "--fault-seed", "--jobs", "--daemon",
-                               "--workers", "--no-cache", "--heatmap"]),
+                               "--workers", "--no-cache", "--heatmap",
+                               "--hier-geometry", "--hier-ratios"]),
     "autotune_explain": ("examples", ["--prune"]),
     "perf_sim": ("bench", ["--breakdown", "--warmup-reps", "--reps",
-                           "--json"]),
+                           "--json", "--hier"]),
     "perf_service": ("bench", ["--jobs", "--distinct", "--workers",
                                "--reps", "--json", "--emit-jobs"]),
 }

@@ -81,6 +81,11 @@ def main() -> int:
                     help="additionally fail unless top-level KEY >= VAL "
                          "(repeatable; e.g. warm_vs_cold=5 enforces the "
                          "service cache-leverage floor)")
+    ap.add_argument("--expect-equal", action="append", default=[],
+                    metavar="KEY=VAL",
+                    help="additionally fail unless top-level KEY == VAL "
+                         "to within 1e-6 (repeatable; determinism gate for "
+                         "secondary checksums like hier_checksum_ns)")
     args = ap.parse_args()
     fmt = make_fmt(args.metric)
 
@@ -98,6 +103,20 @@ def main() -> int:
                   f"required floor {floor:g}")
             return 1
         print(f"perf_gate: {key} = {got:g} >= {floor:g} OK")
+    for spec in args.expect_equal:
+        key, _, val = spec.partition("=")
+        if not val:
+            sys.exit(f"perf_gate: FAIL — bad --expect-equal '{spec}' "
+                     f"(expected KEY=VAL)")
+        if key not in cur:
+            sys.exit(f"perf_gate: FAIL — {args.current} has no '{key}'")
+        got, want = float(cur[key]), float(val)
+        if abs(got - want) > 1e-6:
+            print(f"perf_gate: FAIL — {key} moved: expected {want:.6f}, "
+                  f"got {got:.6f}.  The simulation no longer computes the "
+                  f"same results; fix that before talking about speed.")
+            return 1
+        print(f"perf_gate: {key} = {got:.6f} OK")
     if args.metric not in cur:
         sys.exit(f"perf_gate: FAIL — {args.current} has no '{args.metric}'")
     cur_val = float(cur[args.metric])

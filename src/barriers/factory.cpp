@@ -78,6 +78,14 @@ Barrier make_barrier(Algo algo, int num_threads, const MakeOptions& options) {
           num_threads, options.fanin > 0 ? options.fanin : 3);
     case Algo::kRing:
       return Barrier::make<RingBarrier>(num_threads);
+    case Algo::kClusterAmo:
+      return Barrier::make<ClusterAmoBarrier>(
+          num_threads,
+          options.cluster_size > 0 ? options.cluster_size : 4);
+    case Algo::kCentral2:
+      return Barrier::make<CentralTwoLevelBarrier>(
+          num_threads,
+          options.cluster_size > 0 ? options.cluster_size : 4);
   }
   throw std::invalid_argument("make_barrier: unknown algorithm");
 }
@@ -101,6 +109,8 @@ std::string to_string(Algo algo) {
     case Algo::kHybrid: return "hybrid";
     case Algo::kNWayDissemination: return "nway-dis";
     case Algo::kRing: return "ring";
+    case Algo::kClusterAmo: return "amo";
+    case Algo::kCentral2: return "central2";
   }
   return "?";
 }
@@ -126,7 +136,8 @@ std::vector<Algo> all_algos() {
           Algo::kHypercube,       Algo::kOptimized,
           Algo::kStdBarrier,      Algo::kPthread,
           Algo::kHybrid,          Algo::kNWayDissemination,
-          Algo::kRing};
+          Algo::kRing,            Algo::kClusterAmo,
+          Algo::kCentral2};
 }
 
 }  // namespace armbar

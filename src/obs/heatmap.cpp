@@ -56,13 +56,23 @@ std::string to_csv(const ContentionHeatmap& heatmap) {
 }
 
 std::string to_ascii(const ContentionHeatmap& heatmap,
-                     std::size_t max_lines) {
+                     std::size_t max_lines, std::size_t max_cols) {
   static const char kRamp[] = " .:-=+*#%@";
   constexpr std::size_t kSteps = sizeof(kRamp) - 2;  // last printable index
 
   const std::size_t nrows =
       max_lines > 0 ? std::min(max_lines, heatmap.rows.size())
                     : heatmap.rows.size();
+  // Column fold for many-core machines: `bucket` consecutive cores per
+  // glyph, cell = bucket max (an averaging fold would wash out the one
+  // hammering core a contention plot exists to expose).
+  const std::size_t ncores = static_cast<std::size_t>(
+      heatmap.num_cores < 0 ? 0 : heatmap.num_cores);
+  const std::size_t bucket = (max_cols > 0 && ncores > max_cols)
+                                 ? (ncores + max_cols - 1) / max_cols
+                                 : 1;
+  const std::size_t ncols = bucket > 1 ? (ncores + bucket - 1) / bucket
+                                       : ncores;
   std::uint64_t peak = 0;
   for (std::size_t r = 0; r < nrows; ++r)
     for (const std::uint64_t n : heatmap.rows[r].per_core)
@@ -70,13 +80,20 @@ std::string to_ascii(const ContentionHeatmap& heatmap,
 
   std::ostringstream os;
   os << "contention heatmap: " << heatmap.rows.size() << " line(s) x "
-     << heatmap.num_cores << " core(s), cell = ops, peak " << peak << '\n';
+     << heatmap.num_cores << " core(s), cell = ops, peak " << peak;
+  if (bucket > 1)
+    os << ", col = max of " << bucket << " cores";
+  os << '\n';
   for (std::size_t r = 0; r < nrows; ++r) {
     const ContentionHeatmap::Row& row = heatmap.rows[r];
     os.width(8);
     os << row.line;
     os << " |";
-    for (const std::uint64_t n : row.per_core) {
+    for (std::size_t c = 0; c < ncols; ++c) {
+      std::uint64_t n = 0;
+      const std::size_t end = std::min(ncores, (c + 1) * bucket);
+      for (std::size_t i = c * bucket; i < end; ++i)
+        n = std::max(n, row.per_core[i]);
       std::size_t step = 0;
       if (n > 0 && peak > 0) {
         // Any nonzero cell gets at least the faintest glyph.

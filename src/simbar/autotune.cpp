@@ -57,7 +57,8 @@ std::vector<std::pair<Algo, MakeOptions>> default_tune_candidates(
   for (Algo a : {Algo::kSense, Algo::kDissemination, Algo::kCombiningTree,
                  Algo::kMcsTree, Algo::kTournament, Algo::kStaticFway,
                  Algo::kStaticFwayPadded, Algo::kDynamicFway, Algo::kHybrid,
-                 Algo::kNWayDissemination, Algo::kRing}) {
+                 Algo::kNWayDissemination, Algo::kRing, Algo::kClusterAmo,
+                 Algo::kCentral2}) {
     out.emplace_back(a, MakeOptions{.cluster_size = nc});
   }
   for (int fanin : {2, 4, 8}) {

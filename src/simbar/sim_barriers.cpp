@@ -686,6 +686,150 @@ sim::SimThread SimNWayDissemination::run_thread(int tid,
 }
 
 // ---------------------------------------------------------------------------
+// SimClusterAmo
+// ---------------------------------------------------------------------------
+
+SimClusterAmo::SimClusterAmo(sim::Engine& engine, sim::MemSystem& mem,
+                             int threads, int cluster_size)
+    : SimBarrier(engine, mem, threads),
+      cluster_size_(cluster_size),
+      num_clusters_((threads + cluster_size - 1) / cluster_size),
+      num_supergroups_((num_clusters_ + cluster_size - 1) / cluster_size) {
+  if (cluster_size < 1)
+    throw std::invalid_argument("SimClusterAmo: cluster_size >= 1");
+  counters_ = mem.new_padded_array(num_clusters_);
+  supers_ = mem.new_padded_array(num_supergroups_);
+  root_ = mem.new_var(0);
+  wake_ = mem.new_padded_array(threads);
+  wake_children_.resize(static_cast<std::size_t>(threads));
+  for (int t = 0; t < threads; ++t)
+    wake_children_[static_cast<std::size_t>(t)] =
+        shape::numa_wakeup_children(t, threads, cluster_size_);
+}
+
+int SimClusterAmo::cluster_members(int cluster) const {
+  return std::min(cluster_size_, threads_ - cluster * cluster_size_);
+}
+
+int SimClusterAmo::super_members(int sg) const {
+  return std::min(cluster_size_, num_clusters_ - sg * cluster_size_);
+}
+
+sim::SimThread SimClusterAmo::run_thread(int tid, const SimRunConfig& cfg,
+                                         Recorder& rec) {
+  const int core = cfg.core_of(tid);
+  const int cl = tid / cluster_size_;
+  const int sg = cl / cluster_size_;
+  const auto members = static_cast<std::uint64_t>(cluster_members(cl));
+  const auto supers = static_cast<std::uint64_t>(super_members(sg));
+  const auto& wake_kids = wake_children_[static_cast<std::size_t>(tid)];
+  for (int it = 0; it < cfg.iterations; ++it) {
+    co_await episode_delay(tid, cfg);
+    rec.enter(tid, it, eng_.now());
+    const std::uint64_t e = epoch_of(it);
+    {
+      auto arrive = phase(core, obs::Phase::kArrival);
+      const std::uint64_t arrivals =
+          (co_await mem_.fetch_add(
+              core, counters_[static_cast<std::size_t>(cl)], 1)) +
+          1;
+      if (arrivals == e * members) {
+        // Cluster champion: one amo-add on the supergroup counter.
+        auto span = phase(core, obs::Phase::kArrival, 1);
+        const std::uint64_t super_arrivals =
+            (co_await mem_.fetch_add(
+                core, supers_[static_cast<std::size_t>(sg)], 1)) +
+            1;
+        if (super_arrivals == e * supers) {
+          // Supergroup champion: one amo-add on the root.
+          auto root_span = phase(core, obs::Phase::kArrival, 2);
+          const std::uint64_t root_arrivals =
+              (co_await mem_.fetch_add(core, root_, 1)) + 1;
+          if (root_arrivals ==
+              e * static_cast<std::uint64_t>(num_supergroups_))
+            co_await mem_.write(core, wake_[0], e);
+        }
+      }
+    }
+    {
+      auto notify = phase(core, obs::Phase::kNotification);
+      co_await mem_.spin_until(
+          core, wake_[static_cast<std::size_t>(tid)],
+          sim::SpinPred::ge(e));
+      for (int c : wake_kids)
+        co_await mem_.write(core, wake_[static_cast<std::size_t>(c)], e);
+    }
+    rec.exit(tid, it, eng_.now());
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SimCentralTwo
+// ---------------------------------------------------------------------------
+
+SimCentralTwo::SimCentralTwo(sim::Engine& engine, sim::MemSystem& mem,
+                             int threads, int cluster_size)
+    : SimBarrier(engine, mem, threads),
+      cluster_size_(cluster_size),
+      num_clusters_((threads + cluster_size - 1) / cluster_size) {
+  if (cluster_size < 1)
+    throw std::invalid_argument("SimCentralTwo: cluster_size >= 1");
+  counters_ = mem.new_padded_array(num_clusters_);
+  gens_ = mem.new_padded_array(num_clusters_);
+  root_ = mem.new_var(0);
+  root_gen_ = mem.new_var(0);
+}
+
+int SimCentralTwo::members_of(int cluster) const {
+  return std::min(cluster_size_, threads_ - cluster * cluster_size_);
+}
+
+sim::SimThread SimCentralTwo::run_thread(int tid, const SimRunConfig& cfg,
+                                         Recorder& rec) {
+  const int core = cfg.core_of(tid);
+  const int cl = tid / cluster_size_;
+  const auto members = static_cast<std::uint64_t>(members_of(cl));
+  for (int it = 0; it < cfg.iterations; ++it) {
+    co_await episode_delay(tid, cfg);
+    rec.enter(tid, it, eng_.now());
+    const std::uint64_t e = epoch_of(it);
+    bool champion = false;
+    bool root_champion = false;
+    {
+      auto arrive = phase(core, obs::Phase::kArrival);
+      const std::uint64_t arrivals =
+          (co_await mem_.fetch_add(
+              core, counters_[static_cast<std::size_t>(cl)], 1)) +
+          1;
+      if (arrivals == e * members) {
+        champion = true;
+        auto span = phase(core, obs::Phase::kArrival, 1);
+        const std::uint64_t root_arrivals =
+            (co_await mem_.fetch_add(core, root_, 1)) + 1;
+        root_champion =
+            root_arrivals == e * static_cast<std::uint64_t>(num_clusters_);
+      }
+    }
+    {
+      auto notify = phase(core, obs::Phase::kNotification);
+      if (champion) {
+        if (root_champion)
+          co_await mem_.write(core, root_gen_, e);
+        else
+          co_await mem_.spin_until(
+              core, root_gen_, sim::SpinPred::ge(e));
+        co_await mem_.write(core, gens_[static_cast<std::size_t>(cl)], e);
+      } else {
+        co_await mem_.spin_until(
+            core, gens_[static_cast<std::size_t>(cl)],
+            sim::SpinPred::ge(e));
+      }
+    }
+    rec.exit(tid, it, eng_.now());
+  }
+}
+
+// ---------------------------------------------------------------------------
 // SimRing
 // ---------------------------------------------------------------------------
 
@@ -798,6 +942,10 @@ std::unique_ptr<SimBarrier> make_sim_barrier(Algo algo, sim::Engine& engine,
           engine, mem, threads, options.fanin > 0 ? options.fanin : 3);
     case Algo::kRing:
       return std::make_unique<SimRing>(engine, mem, threads);
+    case Algo::kClusterAmo:
+      return std::make_unique<SimClusterAmo>(engine, mem, threads, nc);
+    case Algo::kCentral2:
+      return std::make_unique<SimCentralTwo>(engine, mem, threads, nc);
     case Algo::kStdBarrier:
     case Algo::kPthread:
       throw std::invalid_argument(

@@ -137,8 +137,11 @@ Machine parse_machine(const std::string& text) {
     // multiply: the product itself can overflow long long.
     if (total_cores > kMaxCores)
       throw std::invalid_argument(
-          "machine file: groups describe more than " +
-          std::to_string(kMaxCores) + " cores");
+          "machine file: groups describe at least " +
+          std::to_string(total_cores) + " cores, above the cap of " +
+          std::to_string(kMaxCores) +
+          " (the machine materializes dense core x core latency tables; "
+          "shrink the group sizes or drop a level)");
   }
   const auto layer_ns =
       parse_list(kv.at("layer_ns").first, kv.at("layer_ns").second);

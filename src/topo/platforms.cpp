@@ -6,6 +6,8 @@
 #include <cstdlib>
 #include <stdexcept>
 
+#include "armbar/topo/hier.hpp"
+
 namespace armbar::topo {
 
 namespace {
@@ -136,9 +138,16 @@ Machine machine_by_name(const std::string& name) {
   if (key == "kunpeng920" || key == "kp920" || key == "kunpeng")
     return kunpeng920();
   if (key == "xeongold" || key == "xeon" || key == "intel") return xeon_gold();
+  // Synthetic hierarchical machines (topo/hier.hpp): resolvable by name so
+  // the sweep service's machine registry — and every cache key derived
+  // from the machine name — covers them with no extra plumbing.
+  if (key == "hier256") return hier256();
+  if (key == "hier1024") return hier1024();
+  if (key == "hier4096") return hier4096();
   throw std::invalid_argument("unknown machine '" + name +
                               "' (expected phytium2000+, thunderx2, "
-                              "kunpeng920, or xeongold)");
+                              "kunpeng920, xeongold, hier256, hier1024, "
+                              "or hier4096)");
 }
 
 Machine make_hierarchical(std::string name, std::vector<int> group_sizes,

@@ -415,6 +415,37 @@ TEST(Heatmap, MaxLinesCutsCoolestRows) {
   EXPECT_EQ(hm.total_ops, 15u);  // total counts pre-cut traffic
 }
 
+TEST(Heatmap, AsciiFoldsColumnsOnManyCoreMachines) {
+  // 1024 cores, one hot line: core 1000 hammers it, core 0 touches it
+  // once.  At the default 128-column cap each glyph covers 8 cores; the
+  // max-fold must keep both nonzero cells visible and say so in the
+  // header.
+  sim::Tracer tracer(64);
+  const auto ev = [](int core) {
+    sim::TraceEvent e;
+    e.core = core;
+    e.line = 5;
+    return e;
+  };
+  tracer.record(ev(0));
+  for (int rep = 0; rep < 9; ++rep) tracer.record(ev(1000));
+
+  const auto hm = obs::contention_heatmap(tracer, /*num_cores=*/1024);
+  const std::string ascii = obs::to_ascii(hm);
+  EXPECT_NE(ascii.find("col = max of 8 cores"), std::string::npos) << ascii;
+  const std::size_t bar = ascii.find('|');
+  ASSERT_NE(bar, std::string::npos);
+  const std::size_t end = ascii.find('|', bar + 1);
+  ASSERT_NE(end, std::string::npos);
+  EXPECT_EQ(end - bar - 1, 128u);  // 1024 cores folded into 128 columns
+  const std::string cells = ascii.substr(bar + 1, end - bar - 1);
+  EXPECT_EQ(cells[0], '.');    // core 0's single op, faintest glyph
+  EXPECT_EQ(cells[125], '%');  // core 1000 -> bucket 125, hottest cell
+  // Unfolded rendering is unchanged when the cap is disabled.
+  const std::string wide = obs::to_ascii(hm, 16, 0);
+  EXPECT_EQ(wide.find("col = max of"), std::string::npos);
+}
+
 TEST(Heatmap, TiesBreakByAscendingLine) {
   sim::Tracer tracer(64);
   for (const int line : {9, 4}) {
