@@ -59,8 +59,15 @@ class CentralSenseBarrier {
   void do_wait(std::atomic<int>& count, std::atomic<std::uint32_t>& gen) {
     const std::uint32_t g = gen.load(std::memory_order_acquire);
     if (count.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-      // Last arrival: re-arm the counter before releasing the waiters; no
-      // thread can re-enter until it observes the new generation.
+      // Last arrival: re-arm the counter before releasing the waiters.
+      // The relaxed re-arm is safe: it is program-order before the gen
+      // release below, and waiters acquire gen before re-entering, so the
+      // re-arm happens-before every episode-e+1 fetch_sub; a re-entering
+      // RMW also reads the latest modification-order value, so it can
+      // never observe the pre-reset count.  The acq_rel on the fetch_sub
+      // chain is what makes the final release publish *every* arrival,
+      // not just the last thread's.  (wmc certifies both: weakening
+      // central.arrive or central.gen_release to relaxed is caught.)
       count.store(num_threads_, std::memory_order_relaxed);
       gen.store(g + 1, std::memory_order_release);
     } else {

@@ -42,8 +42,16 @@ class CombiningTreeBarrier {
             [&] { return gen_->load(std::memory_order_acquire) != g; });
         return;
       }
-      // Last at this node: re-arm it for the next episode (safe: peers of
-      // this node are already spinning on gen_) and combine upward.
+      // Last at this node: re-arm it for the next episode and combine
+      // upward.  The relaxed re-arm is safe even though this thread is
+      // not (in general) the one that releases gen_: the re-arm is
+      // program-order before our fetch_sub on the parent node, each
+      // acq_rel fetch_sub up the tree joins its predecessors, so the
+      // root winner's gen_ release transitively publishes every node's
+      // re-arm; peers acquire gen_ before re-entering, giving re-arm
+      // happens-before every episode-e+1 decrement of this node.
+      // (wmc: weakening cmb.arrive or cmb.gen_release to relaxed is
+      // caught as a barrier escape.)
       counter.store(tree_.nodes[static_cast<std::size_t>(node)].fanin,
                     std::memory_order_relaxed);
       if (node == tree_.root()) {

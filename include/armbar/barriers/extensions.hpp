@@ -33,6 +33,7 @@
 #include "armbar/barriers/shape.hpp"
 #include "armbar/util/backoff.hpp"
 #include "armbar/util/cacheline.hpp"
+#include "armbar/util/generation.hpp"
 
 namespace armbar {
 
@@ -66,20 +67,29 @@ class HybridBarrier {
     auto& gen = gens_[static_cast<std::size_t>(cl)].value;
     if (counter.fetch_sub(1, std::memory_order_acq_rel) == 1) {
       // Cluster representative: re-arm, synchronize across clusters,
-      // release the cluster.
+      // release the cluster.  The relaxed re-arm is safe: cluster mates
+      // can only re-enter (and decrement again) after observing the
+      // episode-e gen release below, which is program-order after the
+      // re-arm on this thread, so re-arm happens-before every episode-e+1
+      // decrement; and the representative's own acq_rel fetch_sub reads
+      // the latest modification-order value, so a pre-re-arm count can
+      // never complete an episode early.  (wmc: mutating
+      // hybrid.gen_release to relaxed is caught as a barrier escape.)
       counter.store(members_of(cl), std::memory_order_relaxed);
       for (int r = 0; r < rounds_; ++r) {
         const int out =
             shape::DisseminationShape::signal_partner(cl, r, num_clusters_);
         flag(out, r).store(e, std::memory_order_release);
         auto& mine = flag(cl, r);
-        util::spin_until(
-            [&] { return mine.load(std::memory_order_acquire) >= e; });
+        util::spin_until([&] {
+          return util::gen_reached(mine.load(std::memory_order_acquire), e);
+        });
       }
       gen.store(e, std::memory_order_release);
     } else {
-      util::spin_until(
-          [&] { return gen.load(std::memory_order_acquire) >= e; });
+      util::spin_until([&] {
+        return util::gen_reached(gen.load(std::memory_order_acquire), e);
+      });
     }
   }
 
@@ -158,7 +168,9 @@ class NWayDisseminationBarrier {
       for (;;) {
         bool all = true;
         for (int k = 0; k < ways_; ++k)
-          all = (flag(tid, r, k).load(std::memory_order_acquire) >= e) && all;
+          all = util::gen_reached(
+                    flag(tid, r, k).load(std::memory_order_acquire), e) &&
+                all;
         if (all) break;
         w.step();
       }
@@ -211,14 +223,16 @@ class RingBarrier {
     if (tid != 0) {
       // Wait for the token: all threads 0..tid-1 have arrived.
       auto& mine = token_[static_cast<std::size_t>(tid)].value;
-      util::spin_until(
-          [&] { return mine.load(std::memory_order_acquire) >= e; });
+      util::spin_until([&] {
+        return util::gen_reached(mine.load(std::memory_order_acquire), e);
+      });
     }
     if (tid + 1 < num_threads_) {
       token_[static_cast<std::size_t>(tid) + 1].value.store(
           e, std::memory_order_release);
-      util::spin_until(
-          [&] { return gen_->load(std::memory_order_acquire) >= e; });
+      util::spin_until([&] {
+        return util::gen_reached(gen_->load(std::memory_order_acquire), e);
+      });
     } else {
       gen_->store(e, std::memory_order_release);
     }
@@ -289,8 +303,9 @@ class ClusterAmoBarrier {
       }
     }
     auto& mine = wake_[static_cast<std::size_t>(tid)].value;
-    util::spin_until(
-        [&] { return mine.load(std::memory_order_acquire) >= e; });
+    util::spin_until([&] {
+      return util::gen_reached(mine.load(std::memory_order_acquire), e);
+    });
     for (int c : children_[static_cast<std::size_t>(tid)])
       wake_[static_cast<std::size_t>(c)].value.store(
           e, std::memory_order_release);
@@ -360,13 +375,15 @@ class CentralTwoLevelBarrier {
         root_gen_.value.store(e, std::memory_order_release);
       } else {
         util::spin_until([&] {
-          return root_gen_.value.load(std::memory_order_acquire) >= e;
+          return util::gen_reached(
+              root_gen_.value.load(std::memory_order_acquire), e);
         });
       }
       gen.store(e, std::memory_order_release);
     } else {
-      util::spin_until(
-          [&] { return gen.load(std::memory_order_acquire) >= e; });
+      util::spin_until([&] {
+        return util::gen_reached(gen.load(std::memory_order_acquire), e);
+      });
     }
   }
 

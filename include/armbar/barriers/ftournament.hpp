@@ -29,6 +29,7 @@
 #include "armbar/barriers/shape.hpp"
 #include "armbar/util/backoff.hpp"
 #include "armbar/util/cacheline.hpp"
+#include "armbar/util/generation.hpp"
 
 namespace armbar {
 
@@ -161,11 +162,15 @@ class StaticFwayBarrier {
 
   bool flag_ready(int round, int pos, std::uint64_t e) {
     if (options_.layout == FlagLayout::kPacked32) {
+      // Equality is wrap-safe: a child's flag is always e-1 or e (mod
+      // 2^32) relative to the polling winner's epoch, so truncating e to
+      // 32 bits cannot alias a stale value onto the expected one.
       return packed_flags_[slot(round, pos)].load(std::memory_order_acquire) ==
              static_cast<std::uint32_t>(e);
     }
-    return padded_flags_[slot(round, pos)].value.load(
-               std::memory_order_acquire) >= e;
+    return util::gen_reached(
+        padded_flags_[slot(round, pos)].value.load(std::memory_order_acquire),
+        e);
   }
 
   int num_threads_;
@@ -221,6 +226,9 @@ class DynamicFwayBarrier {
           counters_[group_offset_[static_cast<std::size_t>(r)] +
                     static_cast<std::size_t>(g)]
               .value;
+      // Cumulative counter: epoch e is complete at exactly e * group_size
+      // arrivals.  The equality is exact mod 2^64, so wrap-around is
+      // harmless (unlike an ordered >= comparison).
       const std::uint64_t arrivals =
           counter.fetch_add(1, std::memory_order_acq_rel) + 1;
       if (arrivals != e * group_size) {

@@ -16,6 +16,7 @@
 #include "armbar/barriers/shape.hpp"
 #include "armbar/util/backoff.hpp"
 #include "armbar/util/cacheline.hpp"
+#include "armbar/util/generation.hpp"
 
 namespace armbar {
 
@@ -54,8 +55,9 @@ class HypercubeBarrier {
       for (;;) {
         bool all = true;
         for (int c : kids)
-          all = (arrive_[static_cast<std::size_t>(c)].value.load(
-                     std::memory_order_acquire) >= e) &&
+          all = util::gen_reached(arrive_[static_cast<std::size_t>(c)]
+                                      .value.load(std::memory_order_acquire),
+                                  e) &&
                 all;
         if (all) break;
         w.step();
@@ -65,8 +67,10 @@ class HypercubeBarrier {
       arrive_[static_cast<std::size_t>(tid)].value.store(
           e, std::memory_order_release);
       auto& my_release = release_[static_cast<std::size_t>(tid)].value;
-      util::spin_until(
-          [&] { return my_release.load(std::memory_order_acquire) >= e; });
+      util::spin_until([&] {
+        return util::gen_reached(my_release.load(std::memory_order_acquire),
+                                 e);
+      });
     }
     // Release: wake our gathered children, highest level first so remote
     // sub-trees start waking earliest.

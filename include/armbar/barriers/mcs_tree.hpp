@@ -22,6 +22,7 @@
 #include "armbar/barriers/shape.hpp"
 #include "armbar/util/backoff.hpp"
 #include "armbar/util/cacheline.hpp"
+#include "armbar/util/generation.hpp"
 
 namespace armbar {
 
@@ -61,6 +62,14 @@ class McsTreeBarrier {
       if (all) break;
       w.step();
     }
+    // Re-arm may be relaxed: a child can only clear this slot again after
+    // observing this episode's wake-up, and the re-arm is ordered before
+    // that wake-up — it sits program-order before our release store (the
+    // parent notification below, or wake_ fan-out for the root), every
+    // arrival hop up the tree is a release/acquire pair, and so is every
+    // wake_ hop back down, so the re-arm happens-before the child's next
+    // episode-e+1 clear.  (wmc certifies this: mutating mcs.child_clear
+    // or mcs.wake_set to relaxed is caught as a barrier escape.)
     for (int s = 0; s < shape::McsShape::kArrivalFanin; ++s) {
       if (n.have_child[s])
         n.child_not_ready[static_cast<std::size_t>(s)].store(
@@ -76,8 +85,9 @@ class McsTreeBarrier {
           .store(0, std::memory_order_release);
       // Wake-up: wait on our own flag in the binary tree.
       auto& my_wake = wake_[static_cast<std::size_t>(tid)].value;
-      util::spin_until(
-          [&] { return my_wake.load(std::memory_order_acquire) >= e; });
+      util::spin_until([&] {
+        return util::gen_reached(my_wake.load(std::memory_order_acquire), e);
+      });
     }
     for (int c : shape::McsShape::wakeup_children(tid, num_threads_))
       wake_[static_cast<std::size_t>(c)].value.store(

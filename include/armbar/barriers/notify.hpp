@@ -19,6 +19,7 @@
 #include "armbar/barriers/shape.hpp"
 #include "armbar/util/backoff.hpp"
 #include "armbar/util/cacheline.hpp"
+#include "armbar/util/generation.hpp"
 
 namespace armbar {
 
@@ -75,14 +76,16 @@ class Notifier {
   /// Tree policies forward the wake-up to the caller's children.
   void wait_release(int tid, std::uint64_t gen) {
     if (policy_ == NotifyPolicy::kGlobalSense) {
-      util::spin_until(
-          [&] { return gen_->load(std::memory_order_acquire) >= gen; });
+      util::spin_until([&] {
+        return util::gen_reached(gen_->load(std::memory_order_acquire), gen);
+      });
       return;
     }
     if (tid != 0) {
       auto& flag = wake_[static_cast<std::size_t>(tid)].value;
-      util::spin_until(
-          [&] { return flag.load(std::memory_order_acquire) >= gen; });
+      util::spin_until([&] {
+        return util::gen_reached(flag.load(std::memory_order_acquire), gen);
+      });
       forward(tid, gen);
     }
     // Thread 0 already forwarded in release().

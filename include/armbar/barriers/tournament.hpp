@@ -15,6 +15,7 @@
 #include "armbar/barriers/shape.hpp"
 #include "armbar/util/backoff.hpp"
 #include "armbar/util/cacheline.hpp"
+#include "armbar/util/generation.hpp"
 
 namespace armbar {
 
@@ -39,8 +40,9 @@ class TournamentBarrier {
       switch (step.role) {
         case shape::TourRole::kWinner: {
           auto& f = flag(tid, r);
-          util::spin_until(
-              [&] { return f.load(std::memory_order_acquire) >= e; });
+          util::spin_until([&] {
+            return util::gen_reached(f.load(std::memory_order_acquire), e);
+          });
           break;
         }
         case shape::TourRole::kLoser:

@@ -1,0 +1,38 @@
+#pragma once
+// Wrap-safe generation-counter comparisons.
+//
+// The barriers identify episodes with monotonically increasing generation
+// counters and spin on `current >= target`.  A plain unsigned >= breaks
+// when the counter wraps: after 2^64 (or 2^32) episodes `current`
+// restarts near zero, the comparison goes false for every in-flight
+// target, and all waiters deadlock.  The signed-difference idiom —
+// compute `current - target` in unsigned arithmetic (well-defined
+// mod 2^w) and test the sign of its two's-complement reinterpretation —
+// stays correct across the wrap as long as the true distance between the
+// two values is below 2^(w-1), which barrier episodes (distance <= 1
+// between any waiter's target and the released generation) satisfy by
+// construction.
+//
+// Equality tests on generations (`gen != g`, cumulative-counter
+// `arrivals == e * size`) are exact mod 2^w and need no idiom; this
+// header exists for the ordered (`>=`) spin sites.
+
+#include <cstdint>
+
+namespace armbar::util {
+
+/// True iff @p current has reached @p target on a monotonically
+/// increasing 64-bit generation counter, tolerating wrap-around
+/// (valid while the true distance is < 2^63).
+constexpr bool gen_reached(std::uint64_t current,
+                           std::uint64_t target) noexcept {
+  return static_cast<std::int64_t>(current - target) >= 0;
+}
+
+/// 32-bit variant (valid while the true distance is < 2^31).
+constexpr bool gen_reached32(std::uint32_t current,
+                             std::uint32_t target) noexcept {
+  return static_cast<std::int32_t>(current - target) >= 0;
+}
+
+}  // namespace armbar::util

@@ -1,0 +1,48 @@
+#pragma once
+// Litmus harness: run a reduced barrier model against the barrier
+// postconditions under exhaustive interleaving.
+//
+// Per episode ep (1-based), every thread t does
+//     arrived[t].store(ep, relaxed);   // side-band, no ordering of its own
+//     model.wait(t);
+//     for every other j: assert arrived[j] >= ep;
+// The relaxed side-band stores/loads carry no synchronization, so the
+// *barrier's* release/acquire edges are the only thing that can exclude
+// the stale value: if any edge is missing, some interleaving lets a
+// post-wait load return an episode-(ep-1) value and the checker reports a
+// "barrier-escape" violation with the schedule.  Lost-wakeup /
+// reset-misordering bugs surface as "deadlock" (no admissible step while
+// threads are still blocked).
+
+#include <string>
+#include <vector>
+
+#include "armbar/wmc/engine.hpp"
+#include "armbar/wmc/models.hpp"
+
+namespace armbar::wmc {
+
+struct CheckConfig {
+  int threads = 0;   ///< 0 = model default
+  int episodes = 0;  ///< 0 = model default
+  Options engine;    ///< exploration budget / seed / etc.
+};
+
+/// Explore the model under the litmus harness.  @p mutation, if non-null,
+/// downgrades the named site to relaxed (sensitivity runs).
+Result check_barrier(const ModelInfo& info, const CheckConfig& config = {},
+                     const Mutation* mutation = nullptr);
+
+struct MutationOutcome {
+  std::string site;
+  bool detected = false;   ///< exploration reported a violation
+  bool exercised = false;  ///< the model consulted the mutated site
+  std::uint64_t executions = 0;
+};
+
+/// Run one mutation per registered site of @p info.  A healthy model
+/// detects (and exercises) every one.
+std::vector<MutationOutcome> mutation_suite(const ModelInfo& info,
+                                            const CheckConfig& config = {});
+
+}  // namespace armbar::wmc

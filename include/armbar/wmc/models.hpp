@@ -1,0 +1,85 @@
+#pragma once
+// Reduced wmc models of the native barriers.
+//
+// Each model mirrors one native barrier's algorithm — same shape:: helper,
+// same access sequence, same memory orders — with std::atomic replaced by
+// wmc::Atomic and every spin loop replaced by wmc::await.  Every
+// load-bearing memory order is a *named site*: building the model with a
+// Mutation downgrades that one site to memory_order_relaxed, which is how
+// the sensitivity suite proves the checker would notice a regression at
+// that exact access.  Orders that are deliberately stronger than required
+// (e.g. the initial acquire load of a generation word) are not sites; they
+// are documented in docs/MEMORY_ORDERS.md instead.
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "armbar/wmc/engine.hpp"
+
+namespace armbar::wmc {
+
+/// A seeded weakening: the named site's order is downgraded to relaxed.
+/// `hit` records whether the model actually consulted the site, so the
+/// sensitivity suite can distinguish "not detected" from "not exercised".
+struct Mutation {
+  std::string site;
+  mutable bool hit = false;
+};
+
+/// Resolves each named site's memory order, downgrading the mutated one.
+class Orders {
+ public:
+  explicit Orders(const Mutation* mutation) : mutation_(mutation) {}
+
+  std::memory_order rel(const char* site) const {
+    return pick(site, std::memory_order_release);
+  }
+  std::memory_order acq(const char* site) const {
+    return pick(site, std::memory_order_acquire);
+  }
+  std::memory_order acq_rel(const char* site) const {
+    return pick(site, std::memory_order_acq_rel);
+  }
+
+ private:
+  std::memory_order pick(const char* site, std::memory_order strong) const {
+    if (mutation_ != nullptr && mutation_->site == site) {
+      mutation_->hit = true;
+      return std::memory_order_relaxed;
+    }
+    return strong;
+  }
+  const Mutation* mutation_;
+};
+
+/// One reduced barrier instance living inside an exploration.
+class BarrierModel {
+ public:
+  virtual ~BarrierModel() = default;
+  virtual void wait(int tid) = 0;
+};
+
+/// Builds a model inside the (reset) Env.  Called once per execution.
+using ModelFactory = std::function<std::unique_ptr<BarrierModel>(
+    Env& env, int num_threads, const Mutation* mutation)>;
+
+struct ModelInfo {
+  std::string name;     ///< short algorithm id ("sense", "cmb", ...)
+  std::string summary;  ///< one-line description for --list
+  int threads;          ///< default reduced-instance thread count (2..4)
+  int episodes;         ///< default episodes per execution (>= 2 where
+                        ///< feasible, to exercise re-arm / sense reuse)
+  std::vector<std::string> sites;  ///< load-bearing order sites
+  ModelFactory factory;
+};
+
+/// Registry of all reduced barrier models, in stable order.
+const std::vector<ModelInfo>& all_models();
+
+/// Lookup by name; nullptr if unknown.
+const ModelInfo* find_model(std::string_view name);
+
+}  // namespace armbar::wmc

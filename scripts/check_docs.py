@@ -81,6 +81,10 @@ DOCUMENTED_FLAGS = {
                            "--json", "--hier"]),
     "perf_service": ("bench", ["--jobs", "--distinct", "--workers",
                                "--reps", "--json", "--emit-jobs"]),
+    "wmc_check": ("examples", ["--list", "--algo", "--all",
+                               "--mutation-suite", "--mutate", "--threads",
+                               "--episodes", "--budget", "--seed",
+                               "--no-sleep-sets"]),
 }
 
 
@@ -125,6 +129,45 @@ def check_flag_coverage(errors):
                 )
 
 
+# Dotted wmc site names ("central.arrive") as they appear in the model
+# source; the doc lists each certified site as a `site` table row.
+SITE_RE = re.compile(r'"([a-z0-9]+\.[a-z0-9_]+)"')
+MODEL_RE = re.compile(r'ModelInfo\{\s*"([a-z0-9-]+)"')
+DOC_SITE_ROW_RE = re.compile(r"^\| `([a-z0-9]+\.[a-z0-9_]+)` \|",
+                             re.MULTILINE)
+
+
+def check_memory_orders(errors):
+    """docs/MEMORY_ORDERS.md must stay in lockstep with the wmc barrier
+    models: every registered model and every named atomic-access site in
+    src/wmc/models.cpp needs a row, and no row may name a site the
+    models no longer have.  The memory-order audit is only durable while
+    the table is complete."""
+    doc_path = REPO / "docs" / "MEMORY_ORDERS.md"
+    src_path = REPO / "src" / "wmc" / "models.cpp"
+    if not doc_path.exists():
+        errors.append("docs/MEMORY_ORDERS.md missing (memory-order audit)")
+        return
+    if not src_path.exists():
+        errors.append("src/wmc/models.cpp missing but docs/MEMORY_ORDERS.md "
+                      "documents its sites")
+        return
+    doc = doc_path.read_text()
+    src = src_path.read_text()
+    src_sites = set(SITE_RE.findall(src))
+    for site in sorted(src_sites):
+        if ("`%s`" % site) not in doc:
+            errors.append("docs/MEMORY_ORDERS.md has no row for wmc site "
+                          "'%s'" % site)
+    for site in sorted(set(DOC_SITE_ROW_RE.findall(doc)) - src_sites):
+        errors.append("docs/MEMORY_ORDERS.md documents '%s' but "
+                      "src/wmc/models.cpp no longer names it" % site)
+    for model in sorted(set(MODEL_RE.findall(src))):
+        if ("model `%s`" % model) not in doc:
+            errors.append("docs/MEMORY_ORDERS.md has no section for wmc "
+                          "model '%s'" % model)
+
+
 # [text](target) -- excluding images and ``-quoted code spans; nested
 # parens don't occur in our links.
 LINK_RE = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
@@ -159,6 +202,7 @@ def main():
     check_example_coverage(errors)
     check_flag_coverage(errors)
     check_service_examples(errors)
+    check_memory_orders(errors)
     check_links(errors)
     if errors:
         for err in errors:

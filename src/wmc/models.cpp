@@ -1,0 +1,1095 @@
+// Reduced wmc models of the native barriers.  Each class mirrors its
+// native counterpart in include/armbar/barriers/ access-for-access: same
+// shape:: schedule, same order of stores and polls, same memory orders.
+// If you change a native barrier's protocol, change its model here and
+// docs/MEMORY_ORDERS.md in the same commit — the wmc-check CI job runs
+// these models exhaustively.
+
+#include "armbar/wmc/models.hpp"
+
+#include <deque>
+#include <stdexcept>
+#include <utility>
+
+#include "armbar/barriers/shape.hpp"
+#include "armbar/util/generation.hpp"
+
+namespace armbar::wmc {
+namespace {
+
+using util::gen_reached;
+
+/// Owns the strings behind per-index location names (Env keeps only the
+/// const char*; a deque never relocates, so the pointers stay valid for
+/// the model's lifetime).
+class NamePool {
+ public:
+  const char* add(std::string s) {
+    pool_.push_back(std::move(s));
+    return pool_.back().c_str();
+  }
+
+ private:
+  std::deque<std::string> pool_;
+};
+
+// ---------------------------------------------------------------------------
+// sense — CentralSenseBarrier
+// ---------------------------------------------------------------------------
+
+class CentralModel final : public BarrierModel {
+ public:
+  CentralModel(Env& env, int n, const Mutation* m)
+      : env_(env), ord_(m), n_(n), count_(env, "count"), gen_(env, "gen") {
+    count_.store(n, std::memory_order_relaxed);
+  }
+
+  void wait(int /*tid*/) override {
+    // The initial acquire load mirrors the native code; it is stronger
+    // than required (g is pinned by the episode structure) and is
+    // therefore not a mutation site.
+    const std::uint32_t g =
+        gen_.load(std::memory_order_acquire, "central.gen_load");
+    if (count_.fetch_sub(1, ord_.acq_rel("central.arrive"),
+                         "central.arrive") == 1) {
+      count_.store(n_, std::memory_order_relaxed, "central.rearm");
+      gen_.store(g + 1, ord_.rel("central.gen_release"),
+                 "central.gen_release");
+    } else {
+      await(
+          env_, gen_, ord_.acq("central.gen_poll"),
+          [g](std::uint32_t v) { return v != g; }, "central.gen_poll");
+    }
+  }
+
+ private:
+  Env& env_;
+  Orders ord_;
+  int n_;
+  Atomic<int> count_;
+  Atomic<std::uint32_t> gen_;
+};
+
+// ---------------------------------------------------------------------------
+// cmb — CombiningTreeBarrier (fanin 2)
+// ---------------------------------------------------------------------------
+
+class CmbModel final : public BarrierModel {
+ public:
+  CmbModel(Env& env, int n, const Mutation* m)
+      : env_(env),
+        ord_(m),
+        tree_(shape::CombiningTree::build(n, 2)),
+        gen_(env, "gen") {
+    counters_.reserve(tree_.nodes.size());
+    for (std::size_t i = 0; i < tree_.nodes.size(); ++i) {
+      counters_.emplace_back(env, names_.add("node" + std::to_string(i)));
+      counters_.back().store(tree_.nodes[i].fanin, std::memory_order_relaxed);
+    }
+  }
+
+  void wait(int tid) override {
+    const std::uint32_t g =
+        gen_.load(std::memory_order_acquire, "cmb.gen_load");
+    int node = tree_.leaf_of_thread[static_cast<std::size_t>(tid)];
+    for (;;) {
+      auto& counter = counters_[static_cast<std::size_t>(node)];
+      if (counter.fetch_sub(1, ord_.acq_rel("cmb.arrive"), "cmb.arrive") !=
+          1) {
+        await(
+            env_, gen_, ord_.acq("cmb.gen_poll"),
+            [g](std::uint32_t v) { return v != g; }, "cmb.gen_poll");
+        return;
+      }
+      counter.store(tree_.nodes[static_cast<std::size_t>(node)].fanin,
+                    std::memory_order_relaxed, "cmb.rearm");
+      if (node == tree_.root()) {
+        gen_.store(g + 1, ord_.rel("cmb.gen_release"), "cmb.gen_release");
+        return;
+      }
+      node = tree_.nodes[static_cast<std::size_t>(node)].parent;
+    }
+  }
+
+ private:
+  Env& env_;
+  Orders ord_;
+  shape::CombiningTree tree_;
+  Atomic<std::uint32_t> gen_;
+  std::vector<Atomic<int>> counters_;
+  NamePool names_;
+};
+
+// ---------------------------------------------------------------------------
+// dis — DisseminationBarrier (parity + sense reuse)
+// ---------------------------------------------------------------------------
+
+class DisModel final : public BarrierModel {
+ public:
+  DisModel(Env& env, int n, const Mutation* m)
+      : env_(env),
+        ord_(m),
+        n_(n),
+        rounds_(shape::DisseminationShape::num_rounds(n)) {
+    const int r = rounds_ == 0 ? 1 : rounds_;
+    flags_.reserve(static_cast<std::size_t>(n) * 2 *
+                   static_cast<std::size_t>(r));
+    for (int t = 0; t < n; ++t)
+      for (int parity = 0; parity < 2; ++parity)
+        for (int round = 0; round < r; ++round)
+          flags_.emplace_back(
+              env, names_.add("f" + std::to_string(t) + "p" +
+                              std::to_string(parity) + "r" +
+                              std::to_string(round)));
+    state_.resize(static_cast<std::size_t>(n));
+  }
+
+  void wait(int tid) override {
+    ThreadState& st = state_[static_cast<std::size_t>(tid)];
+    for (int r = 0; r < rounds_; ++r) {
+      const int out = shape::DisseminationShape::signal_partner(tid, r, n_);
+      flag(out, st.parity, r)
+          .store(st.sense, ord_.rel("dis.signal"), "dis.signal");
+      const std::uint32_t want = st.sense;
+      await(
+          env_, flag(tid, st.parity, r), ord_.acq("dis.poll"),
+          [want](std::uint32_t v) { return v == want; }, "dis.poll");
+    }
+    if (st.parity == 1) st.sense ^= 1u;
+    st.parity ^= 1;
+  }
+
+ private:
+  struct ThreadState {
+    int parity = 0;
+    std::uint32_t sense = 1;
+  };
+
+  Atomic<std::uint32_t>& flag(int tid, int parity, int round) {
+    const int r = rounds_ == 0 ? 1 : rounds_;
+    return flags_[static_cast<std::size_t>((tid * 2 + parity) * r + round)];
+  }
+
+  Env& env_;
+  Orders ord_;
+  int n_;
+  int rounds_;
+  std::vector<Atomic<std::uint32_t>> flags_;
+  std::vector<ThreadState> state_;
+  NamePool names_;
+};
+
+// ---------------------------------------------------------------------------
+// tour — TournamentBarrier (pairwise + global-sense notify)
+// ---------------------------------------------------------------------------
+
+class TourModel final : public BarrierModel {
+ public:
+  TourModel(Env& env, int n, const Mutation* m)
+      : env_(env),
+        ord_(m),
+        sched_(shape::PairTournamentSchedule::build(n)),
+        ngen_(env, "ngen") {
+    const int r = sched_.num_rounds() == 0 ? 1 : sched_.num_rounds();
+    flags_.reserve(static_cast<std::size_t>(n) * static_cast<std::size_t>(r));
+    for (int t = 0; t < n; ++t)
+      for (int round = 0; round < r; ++round)
+        flags_.emplace_back(env, names_.add("f" + std::to_string(t) + "r" +
+                                            std::to_string(round)));
+    epoch_.assign(static_cast<std::size_t>(n), 0);
+  }
+
+  void wait(int tid) override {
+    const std::uint64_t e = ++epoch_[static_cast<std::size_t>(tid)];
+    bool lost = false;
+    for (int r = 0; r < sched_.num_rounds() && !lost; ++r) {
+      const shape::TourStep& step =
+          sched_.steps[static_cast<std::size_t>(r)]
+                      [static_cast<std::size_t>(tid)];
+      switch (step.role) {
+        case shape::TourRole::kWinner:
+          await(
+              env_, flag(tid, r), ord_.acq("tour.flag_poll"),
+              [e](std::uint64_t v) { return gen_reached(v, e); },
+              "tour.flag_poll");
+          break;
+        case shape::TourRole::kLoser:
+          flag(step.partner, r)
+              .store(e, ord_.rel("tour.flag_set"), "tour.flag_set");
+          lost = true;
+          break;
+        case shape::TourRole::kBye:
+        case shape::TourRole::kIdle:
+          break;
+      }
+    }
+    if (!lost)
+      ngen_.store(e, ord_.rel("tour.notify_release"), "tour.notify_release");
+    await(
+        env_, ngen_, ord_.acq("tour.notify_poll"),
+        [e](std::uint64_t v) { return gen_reached(v, e); },
+        "tour.notify_poll");
+  }
+
+ private:
+  Atomic<std::uint64_t>& flag(int tid, int round) {
+    const int r = sched_.num_rounds() == 0 ? 1 : sched_.num_rounds();
+    return flags_[static_cast<std::size_t>(tid * r + round)];
+  }
+
+  Env& env_;
+  Orders ord_;
+  shape::PairTournamentSchedule sched_;
+  Atomic<std::uint64_t> ngen_;
+  std::vector<Atomic<std::uint64_t>> flags_;
+  std::vector<std::uint64_t> epoch_;
+  NamePool names_;
+};
+
+// ---------------------------------------------------------------------------
+// stour / stour-tree — StaticFwayBarrier (fixed fanin 2)
+//
+// stour mirrors the kPacked32 layout (32-bit flags, == compare) with the
+// global-sense notifier; stour-tree mirrors kPaddedLine (64-bit flags,
+// wrap-safe >= compare) with the binary-tree notifier.
+// ---------------------------------------------------------------------------
+
+struct FwayPlanBase {
+  struct RoundPlan {
+    int round;
+    int my_pos;
+    int group_begin;
+    int group_end;
+  };
+
+  explicit FwayPlanBase(int n)
+      : sched(shape::TournamentSchedule::fixed(n, 2)) {
+    plans.resize(static_cast<std::size_t>(n));
+    round_offset.resize(static_cast<std::size_t>(sched.num_rounds()));
+    std::size_t offset = 0;
+    for (int r = 0; r < sched.num_rounds(); ++r) {
+      round_offset[static_cast<std::size_t>(r)] = offset;
+      const shape::TournamentRound& round =
+          sched.rounds[static_cast<std::size_t>(r)];
+      for (int pos = 0; pos < static_cast<int>(round.participants.size());
+           ++pos) {
+        const int t = round.participants[static_cast<std::size_t>(pos)];
+        const int g = round.group_of_position(pos);
+        const auto [begin, end] = round.group_range(g);
+        plans[static_cast<std::size_t>(t)].push_back(
+            RoundPlan{r, pos, begin, end});
+      }
+      offset += round.participants.size();
+    }
+    total_positions = offset;
+  }
+
+  std::size_t slot(int round, int pos) const {
+    return round_offset[static_cast<std::size_t>(round)] +
+           static_cast<std::size_t>(pos);
+  }
+
+  shape::TournamentSchedule sched;
+  std::vector<std::vector<RoundPlan>> plans;
+  std::vector<std::size_t> round_offset;
+  std::size_t total_positions = 0;
+};
+
+class StourModel final : public BarrierModel {
+ public:
+  StourModel(Env& env, int n, const Mutation* m)
+      : env_(env), ord_(m), plan_(n), ngen_(env, "ngen") {
+    flags_.reserve(plan_.total_positions);
+    for (std::size_t i = 0; i < plan_.total_positions; ++i)
+      flags_.emplace_back(env, names_.add("f" + std::to_string(i)));
+    epoch_.assign(static_cast<std::size_t>(n), 0);
+  }
+
+  void wait(int tid) override {
+    const std::uint64_t e = ++epoch_[static_cast<std::size_t>(tid)];
+    const auto want = static_cast<std::uint32_t>(e);
+    bool lost = false;
+    for (const FwayPlanBase::RoundPlan& p :
+         plan_.plans[static_cast<std::size_t>(tid)]) {
+      if (p.my_pos == p.group_begin) {
+        for (int j = p.group_begin + 1; j < p.group_end; ++j)
+          await(
+              env_, flags_[plan_.slot(p.round, j)],
+              ord_.acq("stour.flag_poll"),
+              [want](std::uint32_t v) { return v == want; },
+              "stour.flag_poll");
+      } else {
+        flags_[plan_.slot(p.round, p.my_pos)].store(
+            want, ord_.rel("stour.flag_set"), "stour.flag_set");
+        lost = true;
+        break;
+      }
+    }
+    if (!lost)
+      ngen_.store(e, ord_.rel("stour.notify_release"),
+                  "stour.notify_release");
+    await(
+        env_, ngen_, ord_.acq("stour.notify_poll"),
+        [e](std::uint64_t v) { return gen_reached(v, e); },
+        "stour.notify_poll");
+  }
+
+ private:
+  Env& env_;
+  Orders ord_;
+  FwayPlanBase plan_;
+  Atomic<std::uint64_t> ngen_;
+  std::vector<Atomic<std::uint32_t>> flags_;
+  std::vector<std::uint64_t> epoch_;
+  NamePool names_;
+};
+
+class StourTreeModel final : public BarrierModel {
+ public:
+  StourTreeModel(Env& env, int n, const Mutation* m)
+      : env_(env), ord_(m), n_(n), plan_(n) {
+    flags_.reserve(plan_.total_positions);
+    for (std::size_t i = 0; i < plan_.total_positions; ++i)
+      flags_.emplace_back(env, names_.add("f" + std::to_string(i)));
+    wake_.reserve(static_cast<std::size_t>(n));
+    children_.resize(static_cast<std::size_t>(n));
+    for (int t = 0; t < n; ++t) {
+      wake_.emplace_back(env, names_.add("wake" + std::to_string(t)));
+      children_[static_cast<std::size_t>(t)] =
+          shape::binary_wakeup_children(t, n);
+    }
+    epoch_.assign(static_cast<std::size_t>(n), 0);
+  }
+
+  void wait(int tid) override {
+    const std::uint64_t e = ++epoch_[static_cast<std::size_t>(tid)];
+    bool lost = false;
+    for (const FwayPlanBase::RoundPlan& p :
+         plan_.plans[static_cast<std::size_t>(tid)]) {
+      if (p.my_pos == p.group_begin) {
+        for (int j = p.group_begin + 1; j < p.group_end; ++j)
+          await(
+              env_, flags_[plan_.slot(p.round, j)],
+              ord_.acq("stree.flag_poll"),
+              [e](std::uint64_t v) { return gen_reached(v, e); },
+              "stree.flag_poll");
+      } else {
+        flags_[plan_.slot(p.round, p.my_pos)].store(
+            e, ord_.rel("stree.flag_set"), "stree.flag_set");
+        lost = true;
+        break;
+      }
+    }
+    // The fixed-fanin champion is thread 0, which seeds the binary
+    // wake-up tree; every other thread forwards after waking.
+    if (!lost) forward(0, e);
+    if (tid != 0) {
+      await(
+          env_, wake_[static_cast<std::size_t>(tid)],
+          ord_.acq("stree.wake_poll"),
+          [e](std::uint64_t v) { return gen_reached(v, e); },
+          "stree.wake_poll");
+      forward(tid, e);
+    }
+  }
+
+ private:
+  void forward(int tid, std::uint64_t e) {
+    for (int c : children_[static_cast<std::size_t>(tid)])
+      wake_[static_cast<std::size_t>(c)].store(
+          e, ord_.rel("stree.wake_set"), "stree.wake_set");
+  }
+
+  Env& env_;
+  Orders ord_;
+  int n_;
+  FwayPlanBase plan_;
+  std::vector<Atomic<std::uint64_t>> flags_;
+  std::vector<Atomic<std::uint64_t>> wake_;
+  std::vector<std::vector<int>> children_;
+  std::vector<std::uint64_t> epoch_;
+  NamePool names_;
+};
+
+// ---------------------------------------------------------------------------
+// dtour — DynamicFwayBarrier (fixed fanin 2, cumulative group counters)
+// ---------------------------------------------------------------------------
+
+class DtourModel final : public BarrierModel {
+ public:
+  DtourModel(Env& env, int n, const Mutation* m)
+      : env_(env),
+        ord_(m),
+        sched_(shape::TournamentSchedule::fixed(n, 2)),
+        ngen_(env, "ngen") {
+    group_offset_.resize(static_cast<std::size_t>(sched_.num_rounds()));
+    std::size_t total = 0;
+    for (int r = 0; r < sched_.num_rounds(); ++r) {
+      group_offset_[static_cast<std::size_t>(r)] = total;
+      total += static_cast<std::size_t>(
+          sched_.rounds[static_cast<std::size_t>(r)].num_groups());
+    }
+    counters_.reserve(total);
+    for (std::size_t i = 0; i < total; ++i)
+      counters_.emplace_back(env, names_.add("c" + std::to_string(i)));
+    epoch_.assign(static_cast<std::size_t>(n), 0);
+  }
+
+  void wait(int tid) override {
+    const std::uint64_t e = ++epoch_[static_cast<std::size_t>(tid)];
+    int pos = tid;
+    bool champion = true;
+    for (int r = 0; r < sched_.num_rounds(); ++r) {
+      const shape::TournamentRound& round =
+          sched_.rounds[static_cast<std::size_t>(r)];
+      const int g = round.group_of_position(pos);
+      const auto [begin, end] = round.group_range(g);
+      const auto group_size = static_cast<std::uint64_t>(end - begin);
+      auto& counter = counters_[group_offset_[static_cast<std::size_t>(r)] +
+                                static_cast<std::size_t>(g)];
+      const std::uint64_t arrivals =
+          counter.fetch_add(1, ord_.acq_rel("dtour.arrive"), "dtour.arrive") +
+          1;
+      if (arrivals != e * group_size) {
+        champion = false;
+        break;
+      }
+      pos = g;
+    }
+    if (champion)
+      ngen_.store(e, ord_.rel("dtour.notify_release"),
+                  "dtour.notify_release");
+    await(
+        env_, ngen_, ord_.acq("dtour.notify_poll"),
+        [e](std::uint64_t v) { return gen_reached(v, e); },
+        "dtour.notify_poll");
+  }
+
+ private:
+  Env& env_;
+  Orders ord_;
+  shape::TournamentSchedule sched_;
+  Atomic<std::uint64_t> ngen_;
+  std::vector<Atomic<std::uint64_t>> counters_;
+  std::vector<std::size_t> group_offset_;
+  std::vector<std::uint64_t> epoch_;
+  NamePool names_;
+};
+
+// ---------------------------------------------------------------------------
+// mcs — McsTreeBarrier (4-ary arrival, binary wake-up)
+// ---------------------------------------------------------------------------
+
+class McsModel final : public BarrierModel {
+ public:
+  McsModel(Env& env, int n, const Mutation* m) : env_(env), ord_(m), n_(n) {
+    cnr_.reserve(static_cast<std::size_t>(n) * kFanin);
+    have_child_.resize(static_cast<std::size_t>(n) * kFanin, false);
+    for (int t = 0; t < n; ++t) {
+      const auto kids = shape::McsShape::arrival_children(t, n);
+      for (int s = 0; s < static_cast<int>(kFanin); ++s) {
+        const bool have = s < static_cast<int>(kids.size());
+        have_child_[idx(t, s)] = have;
+        cnr_.emplace_back(env, names_.add("cnr" + std::to_string(t) + "_" +
+                                          std::to_string(s)));
+        cnr_.back().store(have ? 1u : 0u, std::memory_order_relaxed);
+      }
+    }
+    wake_.reserve(static_cast<std::size_t>(n));
+    for (int t = 0; t < n; ++t)
+      wake_.emplace_back(env, names_.add("wake" + std::to_string(t)));
+    epoch_.assign(static_cast<std::size_t>(n), 0);
+  }
+
+  void wait(int tid) override {
+    const std::uint64_t e = ++epoch_[static_cast<std::size_t>(tid)];
+    for (int s = 0; s < static_cast<int>(kFanin); ++s) {
+      if (!have_child_[idx(tid, s)]) continue;
+      await(
+          env_, cnr_[idx(tid, s)], ord_.acq("mcs.child_poll"),
+          [](std::uint32_t v) { return v == 0; }, "mcs.child_poll");
+    }
+    for (int s = 0; s < static_cast<int>(kFanin); ++s) {
+      if (have_child_[idx(tid, s)])
+        cnr_[idx(tid, s)].store(1, std::memory_order_relaxed, "mcs.rearm");
+    }
+    if (tid != 0) {
+      cnr_[idx(shape::McsShape::arrival_parent(tid),
+               shape::McsShape::arrival_slot(tid))]
+          .store(0, ord_.rel("mcs.child_clear"), "mcs.child_clear");
+      await(
+          env_, wake_[static_cast<std::size_t>(tid)],
+          ord_.acq("mcs.wake_poll"),
+          [e](std::uint64_t v) { return gen_reached(v, e); },
+          "mcs.wake_poll");
+    }
+    for (int c : shape::McsShape::wakeup_children(tid, n_))
+      wake_[static_cast<std::size_t>(c)].store(e, ord_.rel("mcs.wake_set"),
+                                               "mcs.wake_set");
+  }
+
+ private:
+  static constexpr std::size_t kFanin =
+      static_cast<std::size_t>(shape::McsShape::kArrivalFanin);
+
+  std::size_t idx(int t, int s) const {
+    return static_cast<std::size_t>(t) * kFanin + static_cast<std::size_t>(s);
+  }
+
+  Env& env_;
+  Orders ord_;
+  int n_;
+  std::vector<Atomic<std::uint32_t>> cnr_;
+  std::vector<bool> have_child_;
+  std::vector<Atomic<std::uint64_t>> wake_;
+  std::vector<std::uint64_t> epoch_;
+  NamePool names_;
+};
+
+// ---------------------------------------------------------------------------
+// hyper — HypercubeBarrier (branch factor 2)
+// ---------------------------------------------------------------------------
+
+class HyperModel final : public BarrierModel {
+ public:
+  HyperModel(Env& env, int n, const Mutation* m)
+      : env_(env), ord_(m), shape_(n, 2) {
+    arrive_.reserve(static_cast<std::size_t>(n));
+    release_.reserve(static_cast<std::size_t>(n));
+    children_.resize(static_cast<std::size_t>(n));
+    report_level_.resize(static_cast<std::size_t>(n));
+    for (int t = 0; t < n; ++t) {
+      arrive_.emplace_back(env, names_.add("arr" + std::to_string(t)));
+      release_.emplace_back(env, names_.add("rel" + std::to_string(t)));
+      report_level_[static_cast<std::size_t>(t)] = shape_.report_level(t);
+      auto& per_level = children_[static_cast<std::size_t>(t)];
+      per_level.resize(static_cast<std::size_t>(
+          report_level_[static_cast<std::size_t>(t)]));
+      for (int l = 0; l < report_level_[static_cast<std::size_t>(t)]; ++l)
+        per_level[static_cast<std::size_t>(l)] = shape_.children_at(t, l);
+    }
+    epoch_.assign(static_cast<std::size_t>(n), 0);
+  }
+
+  void wait(int tid) override {
+    const std::uint64_t e = ++epoch_[static_cast<std::size_t>(tid)];
+    const int levels = report_level_[static_cast<std::size_t>(tid)];
+    for (int l = 0; l < levels; ++l) {
+      for (int c : children_[static_cast<std::size_t>(tid)]
+                            [static_cast<std::size_t>(l)])
+        await(
+            env_, arrive_[static_cast<std::size_t>(c)],
+            ord_.acq("hyper.arrive_poll"),
+            [e](std::uint64_t v) { return gen_reached(v, e); },
+            "hyper.arrive_poll");
+    }
+    if (tid != 0) {
+      arrive_[static_cast<std::size_t>(tid)].store(
+          e, ord_.rel("hyper.arrive_set"), "hyper.arrive_set");
+      await(
+          env_, release_[static_cast<std::size_t>(tid)],
+          ord_.acq("hyper.release_poll"),
+          [e](std::uint64_t v) { return gen_reached(v, e); },
+          "hyper.release_poll");
+    }
+    for (int l = levels - 1; l >= 0; --l) {
+      for (int c : children_[static_cast<std::size_t>(tid)]
+                            [static_cast<std::size_t>(l)])
+        release_[static_cast<std::size_t>(c)].store(
+            e, ord_.rel("hyper.release_set"), "hyper.release_set");
+    }
+  }
+
+ private:
+  Env& env_;
+  Orders ord_;
+  shape::HypercubeShape shape_;
+  std::vector<Atomic<std::uint64_t>> arrive_;
+  std::vector<Atomic<std::uint64_t>> release_;
+  std::vector<std::vector<std::vector<int>>> children_;
+  std::vector<int> report_level_;
+  std::vector<std::uint64_t> epoch_;
+  NamePool names_;
+};
+
+// ---------------------------------------------------------------------------
+// ring — RingBarrier
+// ---------------------------------------------------------------------------
+
+class RingModel final : public BarrierModel {
+ public:
+  RingModel(Env& env, int n, const Mutation* m)
+      : env_(env), ord_(m), n_(n), gen_(env, "gen") {
+    token_.reserve(static_cast<std::size_t>(n));
+    for (int t = 0; t < n; ++t)
+      token_.emplace_back(env, names_.add("tok" + std::to_string(t)));
+    epoch_.assign(static_cast<std::size_t>(n), 0);
+  }
+
+  void wait(int tid) override {
+    const std::uint64_t e = ++epoch_[static_cast<std::size_t>(tid)];
+    if (tid != 0)
+      await(
+          env_, token_[static_cast<std::size_t>(tid)],
+          ord_.acq("ring.token_poll"),
+          [e](std::uint64_t v) { return gen_reached(v, e); },
+          "ring.token_poll");
+    if (tid + 1 < n_) {
+      token_[static_cast<std::size_t>(tid) + 1].store(
+          e, ord_.rel("ring.token_set"), "ring.token_set");
+      await(
+          env_, gen_, ord_.acq("ring.gen_poll"),
+          [e](std::uint64_t v) { return gen_reached(v, e); },
+          "ring.gen_poll");
+    } else {
+      gen_.store(e, ord_.rel("ring.gen_release"), "ring.gen_release");
+    }
+  }
+
+ private:
+  Env& env_;
+  Orders ord_;
+  int n_;
+  Atomic<std::uint64_t> gen_;
+  std::vector<Atomic<std::uint64_t>> token_;
+  std::vector<std::uint64_t> epoch_;
+  NamePool names_;
+};
+
+// ---------------------------------------------------------------------------
+// nway — NWayDisseminationBarrier (2 ways)
+// ---------------------------------------------------------------------------
+
+class NwayModel final : public BarrierModel {
+ public:
+  NwayModel(Env& env, int n, const Mutation* m)
+      : env_(env), ord_(m), n_(n), ways_(2) {
+    rounds_ = 0;
+    std::uint64_t reach = 1;
+    while (reach < static_cast<std::uint64_t>(n)) {
+      reach *= static_cast<std::uint64_t>(ways_) + 1;
+      ++rounds_;
+    }
+    const int r = rounds_ == 0 ? 1 : rounds_;
+    flags_.reserve(static_cast<std::size_t>(n * r * ways_));
+    for (int t = 0; t < n; ++t)
+      for (int round = 0; round < r; ++round)
+        for (int k = 0; k < ways_; ++k)
+          flags_.emplace_back(
+              env, names_.add("f" + std::to_string(t) + "r" +
+                              std::to_string(round) + "k" +
+                              std::to_string(k)));
+    epoch_.assign(static_cast<std::size_t>(n), 0);
+  }
+
+  void wait(int tid) override {
+    const std::uint64_t e = ++epoch_[static_cast<std::size_t>(tid)];
+    const auto p = static_cast<std::uint64_t>(n_);
+    std::uint64_t step = 1;
+    for (int r = 0; r < rounds_; ++r) {
+      for (int k = 1; k <= ways_; ++k) {
+        const auto out = (static_cast<std::uint64_t>(tid) +
+                          static_cast<std::uint64_t>(k) * step) %
+                         p;
+        flag(static_cast<int>(out), r, k - 1)
+            .store(e, ord_.rel("nway.signal"), "nway.signal");
+      }
+      for (int k = 0; k < ways_; ++k)
+        await(
+            env_, flag(tid, r, k), ord_.acq("nway.poll"),
+            [e](std::uint64_t v) { return gen_reached(v, e); }, "nway.poll");
+      step *= static_cast<std::uint64_t>(ways_) + 1;
+    }
+  }
+
+ private:
+  Atomic<std::uint64_t>& flag(int tid, int round, int slot) {
+    const int r = rounds_ == 0 ? 1 : rounds_;
+    return flags_[static_cast<std::size_t>((tid * r + round) * ways_ + slot)];
+  }
+
+  Env& env_;
+  Orders ord_;
+  int n_;
+  int ways_;
+  int rounds_;
+  std::vector<Atomic<std::uint64_t>> flags_;
+  std::vector<std::uint64_t> epoch_;
+  NamePool names_;
+};
+
+// ---------------------------------------------------------------------------
+// hybrid — HybridBarrier (cluster_size 2)
+// ---------------------------------------------------------------------------
+
+class HybridModel final : public BarrierModel {
+ public:
+  HybridModel(Env& env, int n, const Mutation* m)
+      : env_(env),
+        ord_(m),
+        n_(n),
+        nc_(2),
+        num_clusters_((n + nc_ - 1) / nc_),
+        rounds_(shape::DisseminationShape::num_rounds(num_clusters_)) {
+    const int r = rounds_ == 0 ? 1 : rounds_;
+    counters_.reserve(static_cast<std::size_t>(num_clusters_));
+    gens_.reserve(static_cast<std::size_t>(num_clusters_));
+    flags_.reserve(static_cast<std::size_t>(num_clusters_ * r));
+    for (int cl = 0; cl < num_clusters_; ++cl) {
+      counters_.emplace_back(env, names_.add("cnt" + std::to_string(cl)));
+      counters_.back().store(members_of(cl), std::memory_order_relaxed);
+      gens_.emplace_back(env, names_.add("gen" + std::to_string(cl)));
+      for (int round = 0; round < r; ++round)
+        flags_.emplace_back(env, names_.add("f" + std::to_string(cl) + "r" +
+                                            std::to_string(round)));
+    }
+    epoch_.assign(static_cast<std::size_t>(n), 0);
+  }
+
+  void wait(int tid) override {
+    const std::uint64_t e = ++epoch_[static_cast<std::size_t>(tid)];
+    const int cl = tid / nc_;
+    auto& counter = counters_[static_cast<std::size_t>(cl)];
+    auto& gen = gens_[static_cast<std::size_t>(cl)];
+    if (counter.fetch_sub(1, ord_.acq_rel("hybrid.arrive"),
+                          "hybrid.arrive") == 1) {
+      counter.store(members_of(cl), std::memory_order_relaxed,
+                    "hybrid.rearm");
+      for (int r = 0; r < rounds_; ++r) {
+        const int out =
+            shape::DisseminationShape::signal_partner(cl, r, num_clusters_);
+        flag(out, r).store(e, ord_.rel("hybrid.flag_set"), "hybrid.flag_set");
+        await(
+            env_, flag(cl, r), ord_.acq("hybrid.flag_poll"),
+            [e](std::uint64_t v) { return gen_reached(v, e); },
+            "hybrid.flag_poll");
+      }
+      gen.store(e, ord_.rel("hybrid.gen_release"), "hybrid.gen_release");
+    } else {
+      await(
+          env_, gen, ord_.acq("hybrid.gen_poll"),
+          [e](std::uint64_t v) { return gen_reached(v, e); },
+          "hybrid.gen_poll");
+    }
+  }
+
+ private:
+  int members_of(int cluster) const {
+    const int lo = cluster * nc_;
+    return n_ - lo < nc_ ? n_ - lo : nc_;
+  }
+  Atomic<std::uint64_t>& flag(int cluster, int round) {
+    const int r = rounds_ == 0 ? 1 : rounds_;
+    return flags_[static_cast<std::size_t>(cluster * r + round)];
+  }
+
+  Env& env_;
+  Orders ord_;
+  int n_;
+  int nc_;
+  int num_clusters_;
+  int rounds_;
+  std::vector<Atomic<int>> counters_;
+  std::vector<Atomic<std::uint64_t>> gens_;
+  std::vector<Atomic<std::uint64_t>> flags_;
+  std::vector<std::uint64_t> epoch_;
+  NamePool names_;
+};
+
+// ---------------------------------------------------------------------------
+// amo — ClusterAmoBarrier (cluster_size 2, numa wake-up tree)
+// ---------------------------------------------------------------------------
+
+class AmoModel final : public BarrierModel {
+ public:
+  AmoModel(Env& env, int n, const Mutation* m)
+      : env_(env),
+        ord_(m),
+        n_(n),
+        nc_(2),
+        num_clusters_((n + nc_ - 1) / nc_),
+        num_supergroups_((num_clusters_ + nc_ - 1) / nc_),
+        root_(env, "root") {
+    counters_.reserve(static_cast<std::size_t>(num_clusters_));
+    for (int cl = 0; cl < num_clusters_; ++cl)
+      counters_.emplace_back(env, names_.add("cnt" + std::to_string(cl)));
+    supers_.reserve(static_cast<std::size_t>(num_supergroups_));
+    for (int sg = 0; sg < num_supergroups_; ++sg)
+      supers_.emplace_back(env, names_.add("sup" + std::to_string(sg)));
+    wake_.reserve(static_cast<std::size_t>(n));
+    children_.resize(static_cast<std::size_t>(n));
+    for (int t = 0; t < n; ++t) {
+      wake_.emplace_back(env, names_.add("wake" + std::to_string(t)));
+      children_[static_cast<std::size_t>(t)] =
+          shape::numa_wakeup_children(t, n, nc_);
+    }
+    epoch_.assign(static_cast<std::size_t>(n), 0);
+  }
+
+  void wait(int tid) override {
+    const std::uint64_t e = ++epoch_[static_cast<std::size_t>(tid)];
+    const int cl = tid / nc_;
+    auto& counter = counters_[static_cast<std::size_t>(cl)];
+    if (counter.fetch_add(1, ord_.acq_rel("amo.cluster_add"),
+                          "amo.cluster_add") +
+            1 ==
+        e * static_cast<std::uint64_t>(cluster_members(cl))) {
+      const int sg = cl / nc_;
+      auto& super = supers_[static_cast<std::size_t>(sg)];
+      if (super.fetch_add(1, ord_.acq_rel("amo.super_add"),
+                          "amo.super_add") +
+              1 ==
+          e * static_cast<std::uint64_t>(super_members(sg))) {
+        // The root add keeps the native acq_rel but is not a mutation
+        // site: at this reduced geometry there is a single supergroup,
+        // so the root sees one add per episode and the hb chain is
+        // already complete through amo.super_add.
+        if (root_.fetch_add(1, std::memory_order_acq_rel, "amo.root_add") +
+                1 ==
+            e * static_cast<std::uint64_t>(num_supergroups_))
+          wake_[0].store(e, ord_.rel("amo.wake_root"), "amo.wake_root");
+      }
+    }
+    await(
+        env_, wake_[static_cast<std::size_t>(tid)], ord_.acq("amo.wake_poll"),
+        [e](std::uint64_t v) { return gen_reached(v, e); }, "amo.wake_poll");
+    for (int c : children_[static_cast<std::size_t>(tid)])
+      wake_[static_cast<std::size_t>(c)].store(e, ord_.rel("amo.wake_set"),
+                                               "amo.wake_set");
+  }
+
+ private:
+  int cluster_members(int cluster) const {
+    const int lo = cluster * nc_;
+    return n_ - lo < nc_ ? n_ - lo : nc_;
+  }
+  int super_members(int sg) const {
+    const int lo = sg * nc_;
+    return num_clusters_ - lo < nc_ ? num_clusters_ - lo : nc_;
+  }
+
+  Env& env_;
+  Orders ord_;
+  int n_;
+  int nc_;
+  int num_clusters_;
+  int num_supergroups_;
+  Atomic<std::uint64_t> root_;
+  std::vector<Atomic<std::uint64_t>> counters_;
+  std::vector<Atomic<std::uint64_t>> supers_;
+  std::vector<Atomic<std::uint64_t>> wake_;
+  std::vector<std::vector<int>> children_;
+  std::vector<std::uint64_t> epoch_;
+  NamePool names_;
+};
+
+// ---------------------------------------------------------------------------
+// central2 — CentralTwoLevelBarrier (cluster_size 2)
+// ---------------------------------------------------------------------------
+
+class Central2Model final : public BarrierModel {
+ public:
+  Central2Model(Env& env, int n, const Mutation* m)
+      : env_(env),
+        ord_(m),
+        n_(n),
+        nc_(2),
+        num_clusters_((n + nc_ - 1) / nc_),
+        root_(env, "root"),
+        root_gen_(env, "root_gen") {
+    counters_.reserve(static_cast<std::size_t>(num_clusters_));
+    gens_.reserve(static_cast<std::size_t>(num_clusters_));
+    for (int cl = 0; cl < num_clusters_; ++cl) {
+      counters_.emplace_back(env, names_.add("cnt" + std::to_string(cl)));
+      gens_.emplace_back(env, names_.add("gen" + std::to_string(cl)));
+    }
+    epoch_.assign(static_cast<std::size_t>(n), 0);
+  }
+
+  void wait(int tid) override {
+    const std::uint64_t e = ++epoch_[static_cast<std::size_t>(tid)];
+    const int cl = tid / nc_;
+    const auto members = static_cast<std::uint64_t>(members_of(cl));
+    auto& counter = counters_[static_cast<std::size_t>(cl)];
+    auto& gen = gens_[static_cast<std::size_t>(cl)];
+    if (counter.fetch_add(1, ord_.acq_rel("c2.cluster_add"),
+                          "c2.cluster_add") +
+            1 ==
+        e * members) {
+      if (root_.fetch_add(1, ord_.acq_rel("c2.root_add"), "c2.root_add") +
+              1 ==
+          e * static_cast<std::uint64_t>(num_clusters_)) {
+        root_gen_.store(e, ord_.rel("c2.root_gen_release"),
+                        "c2.root_gen_release");
+      } else {
+        await(
+            env_, root_gen_, ord_.acq("c2.root_gen_poll"),
+            [e](std::uint64_t v) { return gen_reached(v, e); },
+            "c2.root_gen_poll");
+      }
+      gen.store(e, ord_.rel("c2.gen_release"), "c2.gen_release");
+    } else {
+      await(
+          env_, gen, ord_.acq("c2.gen_poll"),
+          [e](std::uint64_t v) { return gen_reached(v, e); }, "c2.gen_poll");
+    }
+  }
+
+ private:
+  int members_of(int cluster) const {
+    const int lo = cluster * nc_;
+    return n_ - lo < nc_ ? n_ - lo : nc_;
+  }
+
+  Env& env_;
+  Orders ord_;
+  int n_;
+  int nc_;
+  int num_clusters_;
+  Atomic<std::uint64_t> root_;
+  Atomic<std::uint64_t> root_gen_;
+  std::vector<Atomic<std::uint64_t>> counters_;
+  std::vector<Atomic<std::uint64_t>> gens_;
+  std::vector<std::uint64_t> epoch_;
+  NamePool names_;
+};
+
+// ---------------------------------------------------------------------------
+// Registry
+// ---------------------------------------------------------------------------
+
+template <typename Model>
+ModelFactory make_factory() {
+  return [](Env& env, int n, const Mutation* m) {
+    return std::unique_ptr<BarrierModel>(new Model(env, n, m));
+  };
+}
+
+std::vector<ModelInfo> build_registry() {
+  std::vector<ModelInfo> models;
+  models.push_back(ModelInfo{
+      "sense",
+      "central sense-reversing barrier (CentralSenseBarrier)",
+      3,
+      2,
+      {"central.arrive", "central.gen_release", "central.gen_poll"},
+      make_factory<CentralModel>()});
+  models.push_back(ModelInfo{
+      "cmb",
+      "combining tree, fanin 2 (CombiningTreeBarrier)",
+      3,
+      2,
+      {"cmb.arrive", "cmb.gen_release", "cmb.gen_poll"},
+      make_factory<CmbModel>()});
+  models.push_back(ModelInfo{
+      "dis",
+      "dissemination, parity + sense reuse (DisseminationBarrier)",
+      3,
+      2,
+      {"dis.signal", "dis.poll"},
+      make_factory<DisModel>()});
+  models.push_back(ModelInfo{
+      "tour",
+      "pairwise tournament + global-sense notify (TournamentBarrier)",
+      3,
+      2,
+      {"tour.flag_set", "tour.flag_poll", "tour.notify_release",
+       "tour.notify_poll"},
+      make_factory<TourModel>()});
+  models.push_back(ModelInfo{
+      "stour",
+      "static f-way tournament, packed 32-bit flags (StaticFwayBarrier)",
+      3,
+      2,
+      {"stour.flag_set", "stour.flag_poll", "stour.notify_release",
+       "stour.notify_poll"},
+      make_factory<StourModel>()});
+  models.push_back(ModelInfo{
+      "stour-tree",
+      "static f-way tournament, padded flags + binary wake-up tree "
+      "(StaticFwayBarrier + Notifier)",
+      3,
+      2,
+      {"stree.flag_set", "stree.flag_poll", "stree.wake_set",
+       "stree.wake_poll"},
+      make_factory<StourTreeModel>()});
+  models.push_back(ModelInfo{
+      "dtour",
+      "dynamic f-way tournament, cumulative counters (DynamicFwayBarrier)",
+      3,
+      2,
+      {"dtour.arrive", "dtour.notify_release", "dtour.notify_poll"},
+      make_factory<DtourModel>()});
+  models.push_back(ModelInfo{
+      "mcs",
+      "MCS tree: 4-ary arrival, binary wake-up (McsTreeBarrier)",
+      3,
+      2,
+      {"mcs.child_clear", "mcs.child_poll", "mcs.wake_set", "mcs.wake_poll"},
+      make_factory<McsModel>()});
+  models.push_back(ModelInfo{
+      "hyper",
+      "hypercube-embedded tree, branch 2 (HypercubeBarrier)",
+      3,
+      2,
+      {"hyper.arrive_set", "hyper.arrive_poll", "hyper.release_set",
+       "hyper.release_poll"},
+      make_factory<HyperModel>()});
+  models.push_back(ModelInfo{
+      "ring",
+      "ring token + global release (RingBarrier)",
+      3,
+      2,
+      {"ring.token_set", "ring.token_poll", "ring.gen_release",
+       "ring.gen_poll"},
+      make_factory<RingModel>()});
+  models.push_back(ModelInfo{
+      "nway",
+      "n-way dissemination, 2 ways (NWayDisseminationBarrier)",
+      3,
+      2,
+      {"nway.signal", "nway.poll"},
+      make_factory<NwayModel>()});
+  models.push_back(ModelInfo{
+      "hybrid",
+      "per-cluster central + inter-cluster dissemination (HybridBarrier, "
+      "Nc=2)",
+      3,
+      2,
+      {"hybrid.arrive", "hybrid.flag_set", "hybrid.flag_poll",
+       "hybrid.gen_release", "hybrid.gen_poll"},
+      make_factory<HybridModel>()});
+  models.push_back(ModelInfo{
+      "amo",
+      "cluster amo-add arrival + numa wake-up tree (ClusterAmoBarrier, "
+      "Nc=2)",
+      3,
+      2,
+      {"amo.cluster_add", "amo.super_add", "amo.wake_root", "amo.wake_set",
+       "amo.wake_poll"},
+      make_factory<AmoModel>()});
+  models.push_back(ModelInfo{
+      "central2",
+      "depth-2 hierarchical central (CentralTwoLevelBarrier, Nc=2)",
+      3,
+      2,
+      {"c2.cluster_add", "c2.root_add", "c2.root_gen_release",
+       "c2.root_gen_poll", "c2.gen_release", "c2.gen_poll"},
+      make_factory<Central2Model>()});
+  return models;
+}
+
+}  // namespace
+
+const std::vector<ModelInfo>& all_models() {
+  static const std::vector<ModelInfo> kModels = build_registry();
+  return kModels;
+}
+
+const ModelInfo* find_model(std::string_view name) {
+  for (const ModelInfo& info : all_models())
+    if (info.name == name) return &info;
+  return nullptr;
+}
+
+}  // namespace armbar::wmc

@@ -10,6 +10,7 @@
 #include "armbar/util/backoff.hpp"
 #include "armbar/util/bits.hpp"
 #include "armbar/util/cacheline.hpp"
+#include "armbar/util/generation.hpp"
 #include "armbar/util/prng.hpp"
 #include "armbar/util/stats.hpp"
 #include "armbar/util/table.hpp"
@@ -330,6 +331,26 @@ TEST(VTime, Conversions) {
   EXPECT_EQ(ns_to_ps(140.7), 140700u);
   EXPECT_DOUBLE_EQ(ps_to_ns(1150), 1.15);
   EXPECT_DOUBLE_EQ(ps_to_us(2'000'000), 2.0);
+}
+
+// --- generation ------------------------------------------------------------
+
+TEST(Generation, ReachedIsWrapSafe) {
+  EXPECT_TRUE(gen_reached(5, 5));
+  EXPECT_TRUE(gen_reached(6, 5));
+  EXPECT_FALSE(gen_reached(4, 5));
+  // Around the 2^64 boundary: current = target and current = target + 1
+  // must still read as reached, current = target - 1 as not yet.
+  const std::uint64_t max = ~std::uint64_t{0};
+  EXPECT_TRUE(gen_reached(max, max));
+  EXPECT_TRUE(gen_reached(0, max));       // wrapped past the target
+  EXPECT_FALSE(gen_reached(max - 1, max));
+  EXPECT_FALSE(gen_reached(max, 0));      // target already wrapped ahead
+
+  const std::uint32_t max32 = ~std::uint32_t{0};
+  EXPECT_TRUE(gen_reached32(max32, max32));
+  EXPECT_TRUE(gen_reached32(0, max32));
+  EXPECT_FALSE(gen_reached32(max32 - 1, max32));
 }
 
 }  // namespace

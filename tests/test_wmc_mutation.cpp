@@ -1,0 +1,49 @@
+// Sensitivity of the checker: weakening any registered load-bearing
+// memory order to relaxed must produce a violation.  This is what makes
+// a clean run meaningful — the checker demonstrably notices the class of
+// bug it exists to catch, at the exact sites the implementations rely on.
+
+#include <gtest/gtest.h>
+
+#include "armbar/wmc/check.hpp"
+
+namespace wmc = armbar::wmc;
+
+namespace {
+
+TEST(WmcMutation, EverySeededWeakeningIsDetected) {
+  for (const wmc::ModelInfo& info : wmc::all_models()) {
+    ASSERT_FALSE(info.sites.empty()) << info.name;
+    for (const wmc::MutationOutcome& o : wmc::mutation_suite(info)) {
+      SCOPED_TRACE(info.name + " / " + o.site);
+      EXPECT_TRUE(o.exercised) << "mutated site never consulted";
+      EXPECT_TRUE(o.detected) << "weakened order survived exploration";
+    }
+  }
+}
+
+TEST(WmcMutation, UnknownSiteIsInert) {
+  // A mutation naming no real site must change nothing: clean result,
+  // and the hit flag stays false.
+  const wmc::ModelInfo* info = wmc::find_model("sense");
+  ASSERT_NE(info, nullptr);
+  wmc::Mutation m;
+  m.site = "central.not_a_site";
+  const wmc::Result r = wmc::check_barrier(*info, {}, &m);
+  EXPECT_TRUE(r.ok());
+  EXPECT_FALSE(m.hit);
+}
+
+TEST(WmcMutation, ViolationTraceNamesTheBarrier) {
+  wmc::Mutation m;
+  m.site = "central.gen_release";
+  const wmc::ModelInfo* info = wmc::find_model("sense");
+  ASSERT_NE(info, nullptr);
+  const wmc::Result r = wmc::check_barrier(*info, {}, &m);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.violations[0].kind, "barrier-escape");
+  EXPECT_NE(r.violations[0].detail.find("sense"), std::string::npos);
+  EXPECT_FALSE(r.violations[0].trace.empty());
+}
+
+}  // namespace

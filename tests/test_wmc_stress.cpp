@@ -1,0 +1,95 @@
+// Seeded-schedule stress harness for the native barriers, designed as a
+// ThreadSanitizer oracle (wired into the CI tsan job): the episode slots
+// are PLAIN (non-atomic) variables, so the only thing that can order a
+// writer's `slots[t] = ep` before a peer's post-wait read is the
+// happens-before edge the barrier itself claims to provide.  A missing
+// release/acquire pair is a TSan data-race report even when the value
+// check happens to pass.  Randomized sched_yield injection (seeded, so
+// failures replay) varies arrival order across episodes; the second
+// wait() per episode keeps episode-ep reads ordered before episode-ep+1
+// writes, so `slots[j] == ep` is exact.
+//
+// This complements tests/test_wmc_barriers.cpp: wmc proves the ordering
+// claims exhaustively on reduced instances; this harness checks the
+// full-size implementations on real hardware schedules.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <random>
+#include <string>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "armbar/barriers/factory.hpp"
+#include "armbar/barriers/team.hpp"
+
+namespace armbar {
+namespace {
+
+void stress_native(Algo algo, int threads, int episodes, std::uint64_t seed) {
+  Barrier barrier = make_barrier(algo, threads);
+  std::vector<std::uint64_t> slots(static_cast<std::size_t>(threads), 0);
+  std::atomic<int> violations{0};
+
+  parallel_run(threads, [&](int tid) {
+    std::mt19937_64 rng(seed ^
+                        (0x9e3779b97f4a7c15ULL *
+                         static_cast<std::uint64_t>(tid + 1)));
+    for (int ep = 1; ep <= episodes; ++ep) {
+      if ((rng() & 3) == 0) std::this_thread::yield();
+      slots[static_cast<std::size_t>(tid)] =
+          static_cast<std::uint64_t>(ep);  // plain write
+      barrier.wait(tid);
+      if ((rng() & 3) == 0) std::this_thread::yield();
+      for (int j = 0; j < threads; ++j) {
+        if (slots[static_cast<std::size_t>(j)] !=
+            static_cast<std::uint64_t>(ep))
+          violations.fetch_add(1, std::memory_order_relaxed);
+      }
+      barrier.wait(tid);  // orders this episode's reads before the next
+                          // episode's writes
+    }
+  });
+  EXPECT_EQ(violations.load(), 0) << barrier.name();
+}
+
+class WmcStress : public ::testing::TestWithParam<std::tuple<Algo, int>> {};
+
+TEST_P(WmcStress, NativeBarrierProvidesHappensBefore) {
+  const auto [algo, threads] = GetParam();
+  stress_native(algo, threads, /*episodes=*/30, /*seed=*/0xa11ce5u);
+}
+
+TEST_P(WmcStress, SecondSeedVariesSchedules) {
+  const auto [algo, threads] = GetParam();
+  stress_native(algo, threads, /*episodes=*/30, /*seed=*/0xb0bcafeu);
+}
+
+std::string param_name(
+    const ::testing::TestParamInfo<std::tuple<Algo, int>>& info) {
+  std::string s = to_string(std::get<0>(info.param)) + "_t" +
+                  std::to_string(std::get<1>(info.param));
+  for (char& c : s)
+    if (!(std::isalnum(static_cast<unsigned char>(c)))) c = '_';
+  return s;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllNative, WmcStress,
+    ::testing::Combine(
+        ::testing::Values(Algo::kSense, Algo::kGccSense, Algo::kDissemination,
+                          Algo::kCombiningTree, Algo::kMcsTree,
+                          Algo::kTournament, Algo::kStaticFway,
+                          Algo::kStaticFwayPadded, Algo::kStatic4WayPadded,
+                          Algo::kDynamicFway, Algo::kHypercube,
+                          Algo::kOptimized, Algo::kHybrid,
+                          Algo::kNWayDissemination, Algo::kRing,
+                          Algo::kClusterAmo, Algo::kCentral2),
+        ::testing::Values(2, 3, 4)),
+    param_name);
+
+}  // namespace
+}  // namespace armbar
