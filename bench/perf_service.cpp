@@ -129,6 +129,19 @@ int main(int argc, char** argv) {
   std::string reference;
   PassTiming oneshot, cold, warm;
   int effective_workers = 0;
+  // Robustness counters summed over every pass.  The benchmark stream is
+  // clean — no deadlines, no chaos, no overload — so each must stay zero;
+  // CI ratchets that with perf_gate --expect-equal.
+  std::uint64_t shed = 0, retries = 0, deadline_errors = 0, respawns = 0,
+                requeued = 0, worker_lost = 0;
+  const auto absorb = [&](const svc::ServiceStats& s) {
+    shed += s.shed;
+    retries += s.retries;
+    deadline_errors += s.deadline_errors;
+    respawns += s.respawns;
+    requeued += s.requeued;
+    worker_lost += s.worker_lost;
+  };
 
   for (int rep = 0; rep < reps; ++rep) {
     {
@@ -137,6 +150,7 @@ int main(int argc, char** argv) {
       const svc::ServiceStats s =
           svc::SweepService::run_oneshot(in, out, workers);
       oneshot.jps.push_back(s.jobs_per_sec());
+      absorb(s);
       if (rep == 0)
         reference = out.str();
       else if (out.str() != reference) {
@@ -157,6 +171,7 @@ int main(int argc, char** argv) {
       std::ostringstream out;
       const svc::ServiceStats s = service.serve(in, out);
       pass->jps.push_back(s.jobs_per_sec());
+      absorb(s);
       if (out.str() != reference) {
         std::fprintf(stderr,
                      "perf_service: %s daemon output differs from one-shot "
@@ -213,6 +228,18 @@ int main(int argc, char** argv) {
   std::fprintf(f, "  \"warm_jobs_per_sec_median\": %.1f,\n", warm.median());
   std::fprintf(f, "  \"warm_vs_cold\": %.3f,\n", warm_vs_cold);
   std::fprintf(f, "  \"byte_identical\": true,\n");
+  std::fprintf(f, "  \"shed\": %llu,\n",
+               static_cast<unsigned long long>(shed));
+  std::fprintf(f, "  \"retries\": %llu,\n",
+               static_cast<unsigned long long>(retries));
+  std::fprintf(f, "  \"deadline_errors\": %llu,\n",
+               static_cast<unsigned long long>(deadline_errors));
+  std::fprintf(f, "  \"respawns\": %llu,\n",
+               static_cast<unsigned long long>(respawns));
+  std::fprintf(f, "  \"requeued\": %llu,\n",
+               static_cast<unsigned long long>(requeued));
+  std::fprintf(f, "  \"worker_lost\": %llu,\n",
+               static_cast<unsigned long long>(worker_lost));
   std::fprintf(f, "  \"history\": [\n");
   for (std::size_t i = 0; i < history.size(); ++i)
     std::fprintf(f, "    %s%s\n", history[i].c_str(),

@@ -11,6 +11,7 @@
 //   $ ./sweep_cli --jobs grid.jsonl > results.jsonl
 //   $ ./sweep_cli --daemon --workers 8 < grid.jsonl > results.jsonl
 
+#include <array>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -62,6 +63,29 @@ std::pair<double, double> parse_pair(const std::string& flag,
   return {va, vb};
 }
 
+/// Parse "A:B:C" into three doubles (for --link-flap I:D:F).
+std::array<double, 3> parse_triple(const std::string& flag,
+                                   const std::string& spec) {
+  const auto c1 = spec.find(':');
+  const auto c2 = c1 == std::string::npos ? c1 : spec.find(':', c1 + 1);
+  if (c1 == std::string::npos || c2 == std::string::npos || c1 == 0 ||
+      c2 == c1 + 1 || c2 + 1 == spec.size())
+    throw std::invalid_argument("--" + flag + " expects A:B:C, got '" + spec +
+                                "'");
+  const std::string parts[3] = {spec.substr(0, c1),
+                                spec.substr(c1 + 1, c2 - c1 - 1),
+                                spec.substr(c2 + 1)};
+  std::array<double, 3> out{};
+  for (int i = 0; i < 3; ++i) {
+    std::size_t used = 0;
+    out[static_cast<std::size_t>(i)] = std::stod(parts[i], &used);
+    if (used != parts[i].size())
+      throw std::invalid_argument("--" + flag + " expects A:B:C, got '" +
+                                  spec + "'");
+  }
+  return out;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -102,7 +126,15 @@ int main(int argc, char** argv) {
           << "                 value, also write the summary JSON to F\n"
           << "  --noise P:D    inject OS-noise pulses of D us every P us\n"
           << "                 (seeded, deterministic; see docs/FAULTS.md)\n"
+          << "  --burst I:D    machine-wide correlated bursts: all cores\n"
+          << "                 stall together for D us at Poisson arrivals\n"
+          << "                 with mean gap I us\n"
           << "  --straggler F:S slow a seeded fraction F of cores by Sx\n"
+          << "  --straggler-dwell D  with --straggler: time-varying set —\n"
+          << "                 each core alternates slow/fast (Markov), mean\n"
+          << "                 slow episode D us, stationary fraction F\n"
+          << "  --link-flap I:D:F  cross-cluster link flaps: latency xF, but\n"
+          << "                 only inside D-us windows at mean gap I us\n"
           << "  --fault-seed N seed for the fault plan (default 42)\n"
           << "  --heatmap [F]  print a core x cacheline contention heatmap\n"
           << "                 (ASCII; with a value, write CSV to F)\n"
@@ -113,7 +145,15 @@ int main(int argc, char** argv) {
           << "                 barrier-lab service (implies stdin without\n"
           << "                 --jobs; byte-identical output to --jobs)\n"
           << "  --workers N    worker threads (0 = hardware concurrency)\n"
-          << "  --no-cache     daemon: recompute every cell (no result cache)\n";
+          << "  --no-cache     daemon: recompute every cell (no result cache)\n"
+          << "  --deadline-ms D  daemon: per-job wall-clock deadline; a job\n"
+          << "                 over budget becomes a JobError{kind:deadline}\n"
+          << "  --max-attempts N daemon: attempts per job for transient\n"
+          << "                 failures (default 1 = no retries)\n"
+          << "  --heartbeat-ms H daemon: supersede a worker stuck on one job\n"
+          << "                 longer than H ms and re-queue its jobs\n"
+          << "  --max-inflight N daemon: shed jobs above N in flight\n"
+          << "                 (JobError{kind:shed}; 0 = never shed)\n";
       return 0;
     }
 
@@ -135,6 +175,12 @@ int main(int argc, char** argv) {
         svc::ServiceOptions opts;
         opts.workers = workers;
         opts.use_cache = !args.has("no-cache");
+        opts.job_deadline_ms = args.get_double_or("deadline-ms", 0.0);
+        opts.max_attempts =
+            static_cast<int>(args.get_int_or("max-attempts", 1));
+        opts.heartbeat_ms = args.get_double_or("heartbeat-ms", 0.0);
+        opts.max_inflight =
+            static_cast<std::uint64_t>(args.get_int_or("max-inflight", 0));
         svc::SweepService service(opts);
         stats = service.serve(*in, std::cout);
         std::cerr << "daemon: " << stats.jobs << " job(s), " << stats.failed
@@ -142,6 +188,15 @@ int main(int argc, char** argv) {
                   << stats.cache_misses << " miss(es), "
                   << stats.jobs_per_sec() << " jobs/s ("
                   << service.workers() << " workers)\n";
+        if (stats.shed + stats.retries + stats.deadline_errors +
+                stats.respawns + stats.requeued + stats.worker_lost >
+            0)
+          std::cerr << "daemon robustness: " << stats.shed << " shed, "
+                    << stats.retries << " retrie(s), "
+                    << stats.deadline_errors << " deadline error(s), "
+                    << stats.respawns << " respawn(s), " << stats.requeued
+                    << " requeued, " << stats.worker_lost
+                    << " worker-lost\n";
       } else {
         stats = svc::SweepService::run_oneshot(*in, std::cout, workers);
         std::cerr << "one-shot: " << stats.jobs << " job(s), " << stats.failed
@@ -191,10 +246,29 @@ int main(int argc, char** argv) {
       fault_spec.noise.period_us = period;
       fault_spec.noise.duration_us = duration;
     }
+    if (const auto burst = args.get("burst")) {
+      const auto [interval, duration] = parse_pair("burst", *burst);
+      fault_spec.burst.interval_us = interval;
+      fault_spec.burst.duration_us = duration;
+    }
     if (const auto straggler = args.get("straggler")) {
       const auto [fraction, slowdown] = parse_pair("straggler", *straggler);
       fault_spec.straggler.fraction = fraction;
       fault_spec.straggler.slowdown = slowdown;
+    }
+    if (args.has("straggler-dwell")) {
+      if (!args.has("straggler"))
+        throw std::invalid_argument(
+            "--straggler-dwell requires --straggler F:S");
+      fault_spec.straggler.dwell_us =
+          args.get_double_or("straggler-dwell", 0.0);
+    }
+    if (const auto flap = args.get("link-flap")) {
+      const auto [interval, duration, factor] =
+          parse_triple("link-flap", *flap);
+      fault_spec.link.flap_interval_us = interval;
+      fault_spec.link.flap_duration_us = duration;
+      fault_spec.link.factor = factor;
     }
     const fault::Plan fault_plan =
         fault_spec.any()
@@ -207,6 +281,7 @@ int main(int argc, char** argv) {
       simbar::TuneOptions opts;
       opts.iterations = static_cast<int>(args.get_int_or("iterations", 16));
       opts.prune = args.has("prune");
+      if (fault_plan.active()) opts.fault = &fault_plan;
       const auto tuned = simbar::autotune(machine, thread_list.front(), opts);
       util::Table t("Auto-tune on " + machine.name() + " at " +
                     std::to_string(thread_list.front()) + " threads");

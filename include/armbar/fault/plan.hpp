@@ -12,20 +12,33 @@
 //    (release()).  Period/duration/offset are drawn per core from the
 //    configured distributions at build time, so queries are O(1),
 //    stateless, and bit-reproducible.
+//  * machine-wide bursts — correlated noise: fixed-length pulses at
+//    seeded Poisson arrivals stall EVERY core at once (the cluster-wide
+//    interference / daemon-storm model).  Materialized as one cyclic
+//    window schedule; release() consults it after the per-core pulses.
 //  * straggler cores   — a seeded subset of cores executes every
-//    operation slower by a fixed-point factor (scale()).
+//    operation slower by a fixed-point factor (scale()).  With a dwell
+//    configured the set is time-varying instead: every core runs a
+//    seeded two-state Markov process (slow/fast) whose stationary slow
+//    fraction matches StragglerSpec::fraction.
 //  * degraded links    — remote transfers crossing layer >= min_layer pay
-//    a latency surcharge (link_extra()).
+//    a latency surcharge (link_extra()).  With flap windows configured
+//    the surcharge only applies inside seeded flap windows (the
+//    intermittent-interconnect model).
 //
 // Determinism contract: a Plan is a pure function of (FaultSpec, machine
 // shape).  Two plans built from the same spec for the same machine
 // perturb identically; the simulation stays a pure function of its
 // inputs, so seeded noisy runs replay bit-for-bit and sweep results are
-// independent of worker count.  An inert (default-constructed or
-// all-disabled) plan is never consulted: MemSystem guards every hook with
-// one null/active check, preserving the zero-overhead guarantee of
-// unperturbed runs.
+// independent of worker count.  The RNG draw order at build time
+// (noise, bursts, stragglers, links, flaps — each consumed only when its
+// knob is on) is part of that contract: specs that leave a knob off
+// build bit-identical schedules for the knobs they do use.  An inert
+// (default-constructed or all-disabled) plan is never consulted:
+// MemSystem guards every hook with one null/active check, preserving the
+// zero-overhead guarantee of unperturbed runs.
 
+#include <algorithm>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -46,27 +59,48 @@ struct NoiseSpec {
   double jitter = 0.5;
 };
 
+/// Machine-wide correlated noise bursts: fixed-length pulses at seeded
+/// Poisson arrivals that preempt ALL cores simultaneously.  Disabled
+/// unless both parameters are > 0.  Expected duty cycle is
+/// duration_us / (interval_us + duration_us).
+struct BurstSpec {
+  double interval_us = 0.0;  ///< mean exponential gap between bursts
+  double duration_us = 0.0;  ///< fixed burst length
+};
+
 /// Per-core slowdown (the load-imbalance / straggler model).
 struct StragglerSpec {
   double fraction = 0.0;  ///< fraction of cores slowed, in [0, 1]
   double slowdown = 1.0;  ///< cost multiplier on slow cores, >= 1
+  /// 0 keeps the classic static straggler set.  > 0 makes the set
+  /// time-varying: every core alternates slow/fast via a seeded Markov
+  /// process where a slow episode lasts dwell_us on average and fast gaps
+  /// are sized so the stationary slow fraction equals `fraction`.
+  double dwell_us = 0.0;
 };
 
 /// Degraded cross-cluster interconnect.
 struct LinkSpec {
   int min_layer = 1;    ///< cheapest machine layer that is degraded
   double factor = 1.0;  ///< latency multiplier on degraded layers, >= 1
+  /// Both > 0 turn the steady degradation into link FLAPS: the surcharge
+  /// applies only inside fixed-length windows of flap_duration_us at
+  /// seeded Poisson arrivals with mean gap flap_interval_us.
+  double flap_interval_us = 0.0;
+  double flap_duration_us = 0.0;
 };
 
 /// Everything a Plan is built from.  Default-constructed spec = no faults.
 struct FaultSpec {
   std::uint64_t seed = 42;
   NoiseSpec noise;
+  BurstSpec burst;
   StragglerSpec straggler;
   LinkSpec link;
 
   bool any() const noexcept {
     return (noise.period_us > 0.0 && noise.duration_us > 0.0) ||
+           (burst.interval_us > 0.0 && burst.duration_us > 0.0) ||
            (straggler.fraction > 0.0 && straggler.slowdown > 1.0) ||
            link.factor > 1.0;
   }
@@ -86,10 +120,10 @@ class Plan {
   Plan(const FaultSpec& spec, int num_cores, int num_layers);
 
   /// Semantically inert but ACTIVE plan: every query is consulted yet
-  /// perturbs nothing (no pulses, identity straggler factor, undegraded
-  /// links).  Exercises the fault-enabled code path without changing a
-  /// single simulated timestamp — the equivalence oracle for the
-  /// policy-specialized memory paths.
+  /// perturbs nothing (no pulses, no bursts, identity straggler factor,
+  /// undegraded links, no flaps).  Exercises the fault-enabled code path
+  /// without changing a single simulated timestamp — the equivalence
+  /// oracle for the policy-specialized memory paths.
   static Plan neutral(int num_cores, int num_layers);
 
   /// False for the inert plan and for specs with all faults disabled.
@@ -99,33 +133,60 @@ class Plan {
     return static_cast<int>(link_milli_.size());
   }
   const FaultSpec& spec() const noexcept { return spec_; }
+  /// Core carries a slow factor.  Static plans: the seeded straggler
+  /// subset.  Markov (dwell) plans: every core (the SET varies in time;
+  /// query scale_milli(core, t) for the state at an instant).
   bool is_straggler(int core) const {
     return cores_.at(static_cast<std::size_t>(core)).slow_milli > 1000;
   }
+  /// True when the straggler set is time-varying (dwell configured).
+  bool time_varying_stragglers() const noexcept { return any_markov_; }
+  /// True when link degradation is confined to flap windows.
+  bool flapping_links() const noexcept { return flap_.cycle != 0; }
+  /// True when machine-wide bursts are scheduled.
+  bool bursty() const noexcept { return burst_.cycle != 0; }
 
   // -- hot-path queries (inline; called once per costed operation) ----------
 
-  /// Earliest instant >= t at which @p core is not preempted: t itself
-  /// outside a noise pulse, the pulse's end inside one.
+  /// Earliest instant >= t at which @p core is not preempted: outside its
+  /// own noise pulses AND outside any machine-wide burst.  A release out
+  /// of one can land inside the other, so the combined query iterates to
+  /// a fixed point (each step moves t forward; the cap is paranoia, two
+  /// rounds suffice for disjoint schedules).
   Picos release(int core, Picos t) const noexcept {
-    const CoreFault& c = cores_[static_cast<std::size_t>(core)];
-    if (c.period == 0) return t;
-    if (t < c.offset) return t;
-    const Picos into = (t - c.offset) % c.period;
-    return into < c.duration ? t + (c.duration - into) : t;
+    if (burst_.cycle == 0) return core_release(core, t);
+    for (int i = 0; i < 8; ++i) {
+      const Picos u = burst_release(core_release(core, t));
+      if (u == t) break;
+      t = u;
+    }
+    return t;
   }
 
-  /// Operation cost after the core's straggler slowdown (fixed-point
-  /// per-mille factor; exact integer arithmetic, monotone in @p cost).
+  /// Operation cost after the core's straggler slowdown at instant @p t
+  /// (fixed-point per-mille factor; exact integer arithmetic, monotone in
+  /// @p cost).
+  Picos scale(int core, Picos t, Picos cost) const noexcept {
+    return apply_milli(cost, scale_milli(core, t));
+  }
+
+  /// Static view: the core's slow-state factor regardless of time (for
+  /// static plans this IS the factor; Markov cores report their slow
+  /// factor even while in the fast state).
+  std::uint32_t scale_milli(int core) const noexcept {
+    return cores_[static_cast<std::size_t>(core)].slow_milli;
+  }
   Picos scale(int core, Picos cost) const noexcept {
     return apply_milli(cost, scale_milli(core));
   }
 
-  /// The core's raw straggler factor (per-mille; 1000 = unperturbed).
-  /// Operations that scale several cost components fetch the factor once
-  /// and apply it with apply_milli().
-  std::uint32_t scale_milli(int core) const noexcept {
-    return cores_[static_cast<std::size_t>(core)].slow_milli;
+  /// The core's straggler factor at instant @p t (per-mille; 1000 =
+  /// unperturbed).  Operations that scale several cost components fetch
+  /// the factor once and apply it with apply_milli().
+  std::uint32_t scale_milli(int core, Picos t) const noexcept {
+    const CoreFault& c = cores_[static_cast<std::size_t>(core)];
+    if (c.toggle_count == 0) return c.slow_milli;
+    return markov_slow(c, t) ? c.slow_milli : 1000u;
   }
 
   /// Apply a per-mille factor from scale_milli() to a cost.
@@ -135,7 +196,14 @@ class Plan {
   }
 
   /// Extra latency a remote transfer of base cost @p base pays for
-  /// crossing a degraded layer (0 on undegraded layers).
+  /// crossing a degraded layer at instant @p t (0 on undegraded layers,
+  /// and 0 outside flap windows when the link flaps).
+  Picos link_extra(int layer, Picos base, Picos t) const noexcept {
+    if (flap_.cycle != 0 && !window_inside(flap_, t)) return 0;
+    return link_extra(layer, base);
+  }
+
+  /// Static view: the configured surcharge ignoring flap windows.
   Picos link_extra(int layer, Picos base) const noexcept {
     const std::uint64_t m = link_milli_[static_cast<std::size_t>(layer)];
     return static_cast<Picos>(
@@ -143,7 +211,9 @@ class Plan {
   }
 
   /// True when any layer is degraded (lets the memory system skip the
-  /// per-destination layer lookups of the RFO loop otherwise).
+  /// per-destination layer lookups of the RFO loop otherwise).  Stays
+  /// true for flapping links even between flaps — the time gate lives in
+  /// link_extra().
   bool degrades_links() const noexcept { return any_link_; }
 
   /// One-line human-readable summary of the active perturbations.
@@ -154,14 +224,68 @@ class Plan {
     Picos period = 0;    ///< 0 = no noise pulses on this core
     Picos duration = 0;
     Picos offset = 0;    ///< start of this core's pulse 0
+    Picos markov_cycle = 0;           ///< 0 = static straggler state
+    std::uint32_t toggle_begin = 0;   ///< index into toggles_
+    std::uint32_t toggle_count = 0;   ///< 0 = static straggler state
     std::uint32_t slow_milli = 1000;  ///< cost multiplier, per-mille
+    bool start_slow = false;          ///< Markov state at phase 0
   };
 
+  /// Seeded machine-wide window schedule (bursts, link flaps): sorted
+  /// disjoint half-open windows materialized over one cycle, repeated
+  /// forever.  Windows never straddle the cycle boundary by construction
+  /// (the final gap draw pads the cycle past the last window).
+  struct WindowSchedule {
+    Picos cycle = 0;  ///< 0 = inactive
+    std::vector<Picos> begin;
+    std::vector<Picos> end;
+  };
+
+  /// End of the window containing @p phase, or 0 when outside every
+  /// window (window ends are always > 0 by construction).
+  static Picos window_end(const WindowSchedule& w, Picos phase) noexcept {
+    auto it = std::upper_bound(w.begin.begin(), w.begin.end(), phase);
+    if (it == w.begin.begin()) return 0;
+    const auto i = static_cast<std::size_t>((it - w.begin.begin()) - 1);
+    return phase < w.end[i] ? w.end[i] : 0;
+  }
+  static bool window_inside(const WindowSchedule& w, Picos t) noexcept {
+    return window_end(w, t % w.cycle) != 0;
+  }
+
+  /// Per-core pulse release (the classic independent-noise model).
+  Picos core_release(int core, Picos t) const noexcept {
+    const CoreFault& c = cores_[static_cast<std::size_t>(core)];
+    if (c.period == 0) return t;
+    if (t < c.offset) return t;
+    const Picos into = (t - c.offset) % c.period;
+    return into < c.duration ? t + (c.duration - into) : t;
+  }
+
+  /// Machine-wide burst release; only called when burst_ is active.
+  Picos burst_release(Picos t) const noexcept {
+    const Picos end = window_end(burst_, t % burst_.cycle);
+    return end != 0 ? t + (end - t % burst_.cycle) : t;
+  }
+
+  /// Markov slow/fast state of a dwell-scheduled core at instant @p t.
+  bool markov_slow(const CoreFault& c, Picos t) const noexcept {
+    const Picos phase = t % c.markov_cycle;
+    const Picos* first = toggles_.data() + c.toggle_begin;
+    const auto flips = static_cast<std::size_t>(
+        std::upper_bound(first, first + c.toggle_count, phase) - first);
+    return c.start_slow == ((flips & 1u) == 0u);
+  }
+
   std::vector<CoreFault> cores_;
+  std::vector<Picos> toggles_;  ///< concatenated per-core Markov toggles
   std::vector<std::uint32_t> link_milli_;  ///< per layer; 1000 = undegraded
+  WindowSchedule burst_;  ///< machine-wide correlated noise bursts
+  WindowSchedule flap_;   ///< link-degradation windows
   FaultSpec spec_{};
   bool active_ = false;
   bool any_link_ = false;
+  bool any_markov_ = false;
 };
 
 }  // namespace armbar::fault

@@ -6,6 +6,7 @@
 // its inputs.  Time is integer picoseconds (armbar/util/vtime.hpp).
 
 #include <algorithm>
+#include <chrono>
 #include <coroutine>
 #include <cstdint>
 #include <stdexcept>
@@ -84,6 +85,20 @@ class Engine {
   }
   Picos time_budget() const noexcept { return time_budget_; }
 
+  /// Wall-clock watchdog for run(): abort (sim::DeadlockError, kind
+  /// "deadline") once REAL elapsed time passes @p deadline.  Unlike the
+  /// simulated-time budget this is cooperative and amortized — the clock
+  /// is read once every kWallCheckEvents events, so healthy runs pay one
+  /// predictable branch per event and the abort lands within a check
+  /// interval of the deadline.  Never affects simulated timestamps:
+  /// a run that finishes is bit-identical with or without a deadline.
+  void set_wall_deadline(
+      std::chrono::steady_clock::time_point deadline) noexcept {
+    wall_deadline_ = deadline;
+    wall_armed_ = true;
+  }
+  void clear_wall_deadline() noexcept { wall_armed_ = false; }
+
   /// True once the thread returned (valid after run()).
   bool finished(std::size_t thread_id) const;
 
@@ -97,6 +112,9 @@ class Engine {
 
   static constexpr std::uint64_t kDefaultMaxEvents = 200'000'000;
   static constexpr Picos kNoTimeBudget = ~Picos{0};
+  /// Events between wall-clock reads when a deadline is armed (power of
+  /// two; ~microseconds of work per read, so deadline overshoot is tiny).
+  static constexpr std::uint64_t kWallCheckEvents = 8192;
 
  private:
   struct Event {
@@ -154,6 +172,8 @@ class Engine {
   std::vector<SimThread::handle_type> threads_;
   Picos now_ = 0;
   Picos time_budget_ = kNoTimeBudget;
+  std::chrono::steady_clock::time_point wall_deadline_{};
+  bool wall_armed_ = false;
   std::uint64_t next_seq_ = 0;
   std::uint64_t events_ = 0;
 };

@@ -38,10 +38,18 @@ struct CoreDiagnostic {
 
 /// Thrown when a simulation cannot make progress: the event queue drained
 /// with suspended threads (kDeadlock), or a watchdog budget was exhausted
-/// (kEventBudget / kTimeBudget — livelocks and runaway episodes).
+/// (kEventBudget / kTimeBudget — livelocks and runaway episodes;
+/// kWallDeadline — the run blew its real-time deadline.  Unlike the other
+/// kinds, kWallDeadline depends on host load, so job schedulers treat it
+/// as transient and retryable).
 class DeadlockError : public std::runtime_error {
  public:
-  enum class Kind : std::uint8_t { kDeadlock, kEventBudget, kTimeBudget };
+  enum class Kind : std::uint8_t {
+    kDeadlock,
+    kEventBudget,
+    kTimeBudget,
+    kWallDeadline,
+  };
 
   DeadlockError(Kind kind, const std::string& what, util::Picos sim_time_ps,
                 std::uint64_t events, std::vector<CoreDiagnostic> cores = {})
@@ -56,15 +64,22 @@ class DeadlockError : public std::runtime_error {
   std::uint64_t events() const noexcept { return events_; }
   const std::vector<CoreDiagnostic>& cores() const noexcept { return cores_; }
 
-  /// Stable name ("deadlock", "event-budget", "time-budget").
+  /// Stable name ("deadlock", "event-budget", "time-budget", "deadline").
   static const char* kind_name(Kind k) noexcept {
     switch (k) {
       case Kind::kDeadlock: return "deadlock";
       case Kind::kEventBudget: return "event-budget";
       case Kind::kTimeBudget: return "time-budget";
+      case Kind::kWallDeadline: return "deadline";
     }
     return "?";
   }
+
+  /// True for kinds that depend on the host rather than the simulation
+  /// inputs (currently only kWallDeadline): the same job may well succeed
+  /// on retry, so bounded-retry schedulers re-attempt it; the other kinds
+  /// are deterministic verdicts and are never retried.
+  static bool transient(Kind k) noexcept { return k == Kind::kWallDeadline; }
 
  private:
   Kind kind_;

@@ -25,6 +25,7 @@
 #include <vector>
 
 #include "armbar/barriers/factory.hpp"
+#include "armbar/fault/plan.hpp"
 #include "armbar/obs/aggregate.hpp"
 #include "armbar/simbar/runner.hpp"
 #include "armbar/topo/machine.hpp"
@@ -63,6 +64,12 @@ struct TuneOptions {
   /// Safety factor (<= 1) applied to the arrival-time floor before a
   /// fan-in's remaining notify variants are skipped; smaller prunes less.
   double prune_margin = 0.9;
+  /// Optional fault plan applied to every candidate run (not owned; must
+  /// outlive the call).  Tuning under the same perturbations the
+  /// deployment will see — noise, correlated bursts, time-varying
+  /// stragglers, link flaps — can rank the candidates differently than a
+  /// quiet machine does.  nullptr (or an inert plan) tunes undisturbed.
+  const fault::Plan* fault = nullptr;
 };
 
 /// The candidate set tried by default: every simulatable algorithm plus

@@ -45,6 +45,11 @@ struct SimRunConfig {
   /// Watchdog: abort with sim::DeadlockError before processing any event
   /// past this simulated time.  0 = unlimited.
   Picos time_budget_ps = 0;
+  /// Watchdog: abort with sim::DeadlockError (kind "deadline", the only
+  /// TRANSIENT kind — retryable) once the run has consumed this much REAL
+  /// time.  Cooperative and amortized (Engine::kWallCheckEvents); never
+  /// perturbs simulated timestamps of runs that finish.  0 = unlimited.
+  double wall_deadline_ms = 0.0;
 
   int core_of(int tid) const {
     return core_of_thread.empty()

@@ -27,10 +27,18 @@ namespace armbar::svc {
 
 /// One finished job, rendered.  `tail` is the result line *without* the
 /// leading job index (the index differs per occurrence; the emitter
-/// splices it in), `failed` marks a deterministic error entry, and
-/// `report` feeds the sweep-summary roll-up for successful runs.
+/// splices it in), `failed` marks an error entry, and `report` feeds the
+/// sweep-summary roll-up for successful runs.  `transient` marks a
+/// failure that depends on the host rather than the inputs (wall-clock
+/// deadline, allocation pressure): the service retries those within its
+/// attempt budget and never caches them — only deterministic entries may
+/// enter the cache, or the byte-identity guarantee would break.
+/// `deadline` narrows transient to the wall-clock-deadline kind (for the
+/// service's deadline_errors counter).
 struct CachedResult {
   bool failed = false;
+  bool transient = false;
+  bool deadline = false;
   std::string tail;
   obs::MetricsReport report;
 };

@@ -40,8 +40,10 @@ struct JobSpec {
 /// field-precise message on malformed JSON, unknown fields, or
 /// out-of-domain values.  Recognized fields:
 ///   machine, algo, threads, iterations, warmup, placement,
-///   noise_period_us, noise_duration_us, straggler_fraction,
-///   straggler_slowdown, link_min_layer, link_factor, fault_seed
+///   noise_period_us, noise_duration_us, burst_interval_us,
+///   burst_duration_us, straggler_fraction, straggler_slowdown,
+///   straggler_dwell_us, link_min_layer, link_factor,
+///   link_flap_interval_us, link_flap_duration_us, fault_seed
 JobSpec parse_job_line(const std::string& line);
 
 /// Canonical result-cache key of a job: every field that determines the
@@ -54,6 +56,8 @@ std::string cache_key(const JobSpec& spec);
 /// Bumped whenever the simulator's cost model or the result-line schema
 /// changes meaning; part of every cache key so a stale external cache
 /// dump can never alias a current one.
-inline constexpr int kCacheSchemaVersion = 1;
+/// v2: correlated fault fields (burst_*, straggler_dwell_us,
+/// link_flap_*) joined the key.
+inline constexpr int kCacheSchemaVersion = 2;
 
 }  // namespace armbar::svc

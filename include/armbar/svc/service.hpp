@@ -17,8 +17,32 @@
 // — the determinism guarantee the sweep layer established, extended to
 // the service.  bench/perf_service reports sustained jobs/sec on top of
 // serve(); scripts/perf_gate.py ratchets it via BENCH_service.json.
+//
+// Robustness envelope (all off by default; defaults preserve the
+// byte-identity contract exactly):
+//  * per-job wall-clock deadlines  — a runaway simulation aborts with a
+//    structured JobError{kind:"deadline"} record instead of hanging a
+//    worker (job_deadline_ms);
+//  * bounded retry with exponential backoff + full jitter for TRANSIENT
+//    failures only — deterministic verdicts (deadlock, budgets, bad
+//    arguments) are never retried (max_attempts);
+//  * explicit load shedding — above max_inflight, intake converts a job
+//    into a JobError{kind:"shed"} record immediately; nothing is ever
+//    silently dropped;
+//  * worker supervision — a worker that throws or stalls past
+//    heartbeat_ms is torn down and respawned and its in-flight jobs are
+//    re-queued up to max_requeues times, after which they become
+//    JobError{kind:"worker-lost"} records (epoch-guarded publication
+//    keeps a superseded worker from double-emitting);
+//  * graceful drain — request_stop() (or EOF) stops intake, finishes
+//    in-flight jobs, flushes the reorder window, and emits the final
+//    summary + stats;
+//  * bounded intake lines — a line longer than max_line_bytes becomes a
+//    JobError{kind:"parse-error"} record without buffering the tail, and
+//    EOF mid-line still yields exactly one record for the partial line.
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <string>
@@ -27,6 +51,15 @@
 #include "armbar/svc/job.hpp"
 
 namespace armbar::svc {
+
+/// Test-only fault injection for the chaos harness (tests/test_chaos.cpp):
+/// hooks run on worker threads at the named points.  A hook that throws
+/// kills its worker (supervision must recover); one that sleeps past the
+/// heartbeat stalls it.  Production configs leave these empty.
+struct ChaosHooks {
+  /// Called on the owning worker just before job @p seq is processed.
+  std::function<void(std::uint64_t seq)> before_job;
+};
 
 struct ServiceOptions {
   /// Worker threads; 0 = hardware concurrency.
@@ -38,6 +71,40 @@ struct ServiceOptions {
   /// Disable to force every occurrence of a cell to simulate (the
   /// cold-path configuration bench/perf_service measures against).
   bool use_cache = true;
+
+  // -- robustness envelope (docs/SERVICE.md §robustness) -------------------
+
+  /// Per-job wall-clock deadline; a job still simulating after this much
+  /// real time aborts with JobError{kind:"deadline"} (transient —
+  /// retried when max_attempts allows).  0 = no deadline.
+  double job_deadline_ms = 0.0;
+  /// Attempts per job for TRANSIENT failures (deadline, allocation
+  /// pressure, unclassified exceptions); deterministic failures are
+  /// never retried.  Backoff between attempts is exponential with full
+  /// jitter.  Must be >= 1; 1 = no retries (the default).
+  int max_attempts = 1;
+  /// Worker supervision: a worker busy on one job for longer than this is
+  /// presumed wedged — it is superseded (its late result discarded), its
+  /// in-flight jobs are re-queued, and a fresh worker takes over the
+  /// name.  0 disables stall detection (crashed workers are still
+  /// replaced whenever chaos hooks are installed).  Must exceed the
+  /// honest worst-case job time, or set job_deadline_ms below it.
+  double heartbeat_ms = 0.0;
+  /// Times one job may be re-queued after losing its worker before it is
+  /// reported as JobError{kind:"worker-lost"}.
+  int max_requeues = 2;
+  /// Load shedding: with more than this many jobs in flight, intake
+  /// immediately emits JobError{kind:"shed"} for new jobs instead of
+  /// queueing them.  0 = never shed (intake blocks on the reorder
+  /// window instead).  Values >= the reorder window never trigger.
+  std::uint64_t max_inflight = 0;
+  /// Longest accepted input line; longer lines become
+  /// JobError{kind:"parse-error"} records without buffering the excess.
+  std::size_t max_line_bytes = kDefaultMaxLineBytes;
+  /// Test-only chaos hooks; empty in production.
+  ChaosHooks chaos;
+
+  static constexpr std::size_t kDefaultMaxLineBytes = 64 * 1024;
 };
 
 /// Per-serve() batch accounting.  Cache counters are deltas over the
@@ -47,6 +114,12 @@ struct ServiceStats {
   std::uint64_t failed = 0;      ///< jobs that emitted an error line
   std::uint64_t cache_hits = 0;
   std::uint64_t cache_misses = 0;
+  std::uint64_t shed = 0;        ///< jobs rejected at intake (kind "shed")
+  std::uint64_t retries = 0;     ///< transient re-attempts inside workers
+  std::uint64_t deadline_errors = 0;  ///< jobs whose final record timed out
+  std::uint64_t respawns = 0;    ///< workers torn down and replaced
+  std::uint64_t requeued = 0;    ///< in-flight jobs re-queued after a respawn
+  std::uint64_t worker_lost = 0;  ///< jobs abandoned after max_requeues
   double wall_s = 0.0;
   double jobs_per_sec() const noexcept {
     return wall_s > 0.0 ? static_cast<double>(jobs) / wall_s : 0.0;
@@ -61,11 +134,18 @@ class SweepService {
   SweepService(const SweepService&) = delete;
   SweepService& operator=(const SweepService&) = delete;
 
-  /// Stream jobs from @p in until EOF: per-job JSONL result lines plus a
-  /// trailing SweepSummary JSON object are written to @p out.  May be
-  /// called repeatedly on one service (the cache persists across calls —
-  /// that is the warm path).  Not reentrant: one serve() at a time.
+  /// Stream jobs from @p in until EOF (or request_stop()): per-job JSONL
+  /// result lines plus a trailing SweepSummary JSON object are written to
+  /// @p out.  May be called repeatedly on one service (the cache persists
+  /// across calls — that is the warm path).  Not reentrant: one serve()
+  /// at a time.
   ServiceStats serve(std::istream& in, std::ostream& out);
+
+  /// Graceful drain: stop consuming new input after the current line,
+  /// finish everything in flight, flush the reorder window, emit the
+  /// summary, and return from serve().  Safe from any thread (including
+  /// signal-ish contexts: one relaxed atomic store).
+  void request_stop() noexcept;
 
   /// The batch reference path: read ALL job lines, run them through
   /// simbar::SweepDriver::run_with_metrics_isolated, and render the same

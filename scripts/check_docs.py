@@ -72,10 +72,14 @@ def check_example_coverage(errors):
 # reproducible if the docs say how it was taken).
 DOCUMENTED_FLAGS = {
     "sweep_cli": ("examples", ["--metrics", "--autotune", "--prune",
-                               "--trace", "--noise", "--straggler",
-                               "--fault-seed", "--jobs", "--daemon",
-                               "--workers", "--no-cache", "--heatmap",
-                               "--hier-geometry", "--hier-ratios"]),
+                               "--trace", "--noise", "--burst",
+                               "--straggler", "--straggler-dwell",
+                               "--link-flap", "--fault-seed", "--jobs",
+                               "--daemon", "--workers", "--no-cache",
+                               "--deadline-ms", "--max-attempts",
+                               "--heartbeat-ms", "--max-inflight",
+                               "--heatmap", "--hier-geometry",
+                               "--hier-ratios"]),
     "autotune_explain": ("examples", ["--prune"]),
     "perf_sim": ("bench", ["--breakdown", "--warmup-reps", "--reps",
                            "--json", "--hier"]),

@@ -24,6 +24,21 @@ Picos jittered_ps(util::Xoshiro256& rng, double mean_us, double jitter) {
   return util::ns_to_ps(us * 1000.0);
 }
 
+/// Exponential draw with the given mean, in integer picos (>= 1).
+Picos exponential_ps(util::Xoshiro256& rng, double mean_us) {
+  const double us = -mean_us * std::log1p(-rng.uniform01());
+  return std::max<Picos>(1, util::ns_to_ps(us * 1000.0));
+}
+
+/// Windows per materialized schedule cycle.  Enough that the repeating
+/// pattern never phase-locks with episode structure in practice while
+/// keeping schedules a few hundred bytes.
+constexpr int kBurstWindows = 64;
+constexpr int kFlapWindows = 32;
+/// Markov slow/fast dwell pairs materialized per core before the
+/// schedule repeats.
+constexpr int kMarkovPairs = 16;
+
 }  // namespace
 
 Plan::Plan(const FaultSpec& spec, int num_cores, int num_layers)
@@ -42,18 +57,31 @@ Plan::Plan(const FaultSpec& spec, int num_cores, int num_layers)
     require(n.duration_us * (1.0 + n.jitter) <
                 n.period_us * (1.0 - n.jitter),
             "noise duration must be < period (including jitter spread)");
+  const BurstSpec& b = spec.burst;
+  require(std::isfinite(b.interval_us) && std::isfinite(b.duration_us),
+          "burst parameters must be finite");
+  require(b.interval_us >= 0.0 && b.duration_us >= 0.0,
+          "burst interval/duration must be >= 0");
+  const bool burst_on = b.interval_us > 0.0 && b.duration_us > 0.0;
   const StragglerSpec& s = spec.straggler;
-  require(std::isfinite(s.fraction) && std::isfinite(s.slowdown),
+  require(std::isfinite(s.fraction) && std::isfinite(s.slowdown) &&
+              std::isfinite(s.dwell_us),
           "straggler parameters must be finite");
   require(s.fraction >= 0.0 && s.fraction <= 1.0,
           "straggler fraction must be in [0, 1]");
   require(s.slowdown >= 1.0 && s.slowdown <= 1000.0,
           "straggler slowdown must be in [1, 1000]");
+  require(s.dwell_us >= 0.0, "straggler dwell must be >= 0");
   const LinkSpec& l = spec.link;
-  require(std::isfinite(l.factor), "link factor must be finite");
+  require(std::isfinite(l.factor) && std::isfinite(l.flap_interval_us) &&
+              std::isfinite(l.flap_duration_us),
+          "link parameters must be finite");
   require(l.factor >= 1.0 && l.factor <= 1000.0,
           "link factor must be in [1, 1000]");
   require(l.min_layer >= 0, "link min_layer must be >= 0");
+  require(l.flap_interval_us >= 0.0 && l.flap_duration_us >= 0.0,
+          "link flap interval/duration must be >= 0");
+  const bool flap_on = l.flap_interval_us > 0.0 && l.flap_duration_us > 0.0;
 
   cores_.assign(static_cast<std::size_t>(num_cores), CoreFault{});
   link_milli_.assign(static_cast<std::size_t>(num_layers), 1000u);
@@ -64,7 +92,7 @@ Plan::Plan(const FaultSpec& spec, int num_cores, int num_layers)
 
   // Noise: every core gets its own period/duration draw plus a phase
   // offset uniform in [0, period), so pulses across cores are decorrelated
-  // (correlated noise would just look like a slower clock).
+  // (correlated noise is the burst model below).
   if (noise_on) {
     for (CoreFault& c : cores_) {
       c.period = std::max<Picos>(1, jittered_ps(rng, n.period_us, n.jitter));
@@ -77,14 +105,55 @@ Plan::Plan(const FaultSpec& spec, int num_cores, int num_layers)
     }
   }
 
-  // Stragglers: a seeded Fisher-Yates prefix picks which cores straggle;
-  // the slowdown itself is uniform across them (the sweep's intensity
-  // knob).  ceil() so any fraction > 0 slows at least one core.
-  const int slow_count = std::min(
-      num_cores,
-      static_cast<int>(
-          std::ceil(s.fraction * static_cast<double>(num_cores))));
-  if (slow_count > 0 && s.slowdown > 1.0) {
+  // Machine-wide bursts: fixed-length windows at Poisson arrivals
+  // (exponential gaps), materialized over one cycle that repeats forever.
+  // The final gap draw pads the cycle so no window straddles the wrap.
+  if (burst_on) {
+    const Picos len =
+        std::max<Picos>(1, util::ns_to_ps(b.duration_us * 1000.0));
+    Picos cursor = 0;
+    for (int i = 0; i < kBurstWindows; ++i) {
+      const Picos start = cursor + exponential_ps(rng, b.interval_us);
+      burst_.begin.push_back(start);
+      burst_.end.push_back(start + len);
+      cursor = start + len;
+    }
+    burst_.cycle = cursor + exponential_ps(rng, b.interval_us);
+  }
+
+  // Stragglers.  With a dwell every core runs a seeded two-state Markov
+  // process: slow episodes last dwell_us on average, fast gaps
+  // dwell_us * (1 - f) / f, so the stationary slow fraction is f and the
+  // straggler SET drifts over time instead of staying fixed.  Without a
+  // dwell (or with the degenerate f = 1) a seeded Fisher-Yates prefix
+  // picks a static subset, exactly as before.
+  const bool markov_on = s.dwell_us > 0.0 && s.fraction > 0.0 &&
+                         s.fraction < 1.0 && s.slowdown > 1.0;
+  if (markov_on) {
+    const auto milli = static_cast<std::uint32_t>(
+        std::llround(s.slowdown * 1000.0));
+    const double fast_mean_us = s.dwell_us * (1.0 - s.fraction) / s.fraction;
+    toggles_.reserve(static_cast<std::size_t>(num_cores) * 2 * kMarkovPairs);
+    for (CoreFault& c : cores_) {
+      c.slow_milli = milli;
+      c.start_slow = rng.uniform01() < s.fraction;
+      c.toggle_begin = static_cast<std::uint32_t>(toggles_.size());
+      Picos cursor = 0;
+      for (int i = 0; i < 2 * kMarkovPairs; ++i) {
+        const bool slow = c.start_slow == (i % 2 == 0);
+        cursor += exponential_ps(rng, slow ? s.dwell_us : fast_mean_us);
+        toggles_.push_back(cursor);
+      }
+      c.toggle_count = 2 * kMarkovPairs;
+      c.markov_cycle = cursor;
+    }
+    any_markov_ = true;
+  } else if (s.fraction > 0.0 && s.slowdown > 1.0) {
+    // ceil() so any fraction > 0 slows at least one core.
+    const int slow_count = std::min(
+        num_cores,
+        static_cast<int>(
+            std::ceil(s.fraction * static_cast<double>(num_cores))));
     std::vector<int> order(static_cast<std::size_t>(num_cores));
     std::iota(order.begin(), order.end(), 0);
     for (std::size_t i = order.size() - 1; i > 0; --i)
@@ -103,14 +172,30 @@ Plan::Plan(const FaultSpec& spec, int num_cores, int num_layers)
       link_milli_[static_cast<std::size_t>(i)] = milli;
     any_link_ = true;
   }
+
+  // Link flaps: same window mechanism as bursts, separate seeded
+  // schedule; only meaningful when some layer is degraded.
+  if (flap_on && any_link_) {
+    const Picos len =
+        std::max<Picos>(1, util::ns_to_ps(l.flap_duration_us * 1000.0));
+    Picos cursor = 0;
+    for (int i = 0; i < kFlapWindows; ++i) {
+      const Picos start = cursor + exponential_ps(rng, l.flap_interval_us);
+      flap_.begin.push_back(start);
+      flap_.end.push_back(start + len);
+      cursor = start + len;
+    }
+    flap_.cycle = cursor + exponential_ps(rng, l.flap_interval_us);
+  }
 }
 
 Plan Plan::neutral(int num_cores, int num_layers) {
   require(num_cores > 0, "num_cores must be > 0");
   require(num_layers >= 0, "num_layers must be >= 0");
   Plan p;
-  // Default CoreFault{} is already inert (period 0, slow_milli 1000) and
-  // link_milli 1000 means no surcharge; only active_ differs from the
+  // Default CoreFault{} is already inert (period 0, slow_milli 1000, no
+  // Markov toggles), link_milli 1000 means no surcharge, and the burst /
+  // flap schedules default to inactive; only active_ differs from the
   // default-constructed plan, so MemSystem attaches and consults it.
   p.cores_.assign(static_cast<std::size_t>(num_cores), CoreFault{});
   p.link_milli_.assign(static_cast<std::size_t>(num_layers), 1000u);
@@ -128,17 +213,33 @@ std::string Plan::describe() const {
        << spec_.noise.period_us << "us (jitter " << spec_.noise.jitter << ")";
     sep = "; ";
   }
-  int slow = 0;
-  for (const CoreFault& c : cores_)
-    if (c.slow_milli > 1000) ++slow;
-  if (slow > 0) {
-    os << sep << slow << " straggler core(s) at " << spec_.straggler.slowdown
-       << "x";
+  if (burst_.cycle != 0) {
+    os << sep << "machine-wide bursts " << spec_.burst.duration_us
+       << "us every ~" << spec_.burst.interval_us << "us";
     sep = "; ";
   }
-  if (any_link_)
+  if (any_markov_) {
+    os << sep << "Markov stragglers (fraction " << spec_.straggler.fraction
+       << ", dwell " << spec_.straggler.dwell_us << "us) at "
+       << spec_.straggler.slowdown << "x";
+    sep = "; ";
+  } else {
+    int slow = 0;
+    for (const CoreFault& c : cores_)
+      if (c.slow_milli > 1000) ++slow;
+    if (slow > 0) {
+      os << sep << slow << " straggler core(s) at "
+         << spec_.straggler.slowdown << "x";
+      sep = "; ";
+    }
+  }
+  if (any_link_) {
     os << sep << "layers >= " << spec_.link.min_layer << " degraded "
        << spec_.link.factor << "x";
+    if (flap_.cycle != 0)
+      os << " (flapping " << spec_.link.flap_duration_us << "us every ~"
+         << spec_.link.flap_interval_us << "us)";
+  }
   os << " [seed " << spec_.seed << "]";
   return os.str();
 }

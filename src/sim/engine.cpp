@@ -99,6 +99,18 @@ bool Engine::run(std::uint64_t max_events) {
               std::to_string(ev.t) + " ps exceeds the " +
               std::to_string(time_budget_) + " ps watchdog budget)",
           now_, events_);
+    // Amortized wall-clock deadline: one clock read per kWallCheckEvents
+    // events, only when armed.  Cooperative by design — the engine is the
+    // single place every simulated thread passes through, so no thread
+    // needs to be killed to enforce a real-time bound.
+    if (wall_armed_ && (events_ & (kWallCheckEvents - 1)) == 0 &&
+        std::chrono::steady_clock::now() > wall_deadline_)
+      throw DeadlockError(
+          DeadlockError::Kind::kWallDeadline,
+          "Engine::run: wall-clock deadline exceeded after " +
+              std::to_string(events_) + " events (host overload or an "
+              "underestimated job; transient — safe to retry)",
+          now_, events_);
     now_ = ev.t;
     ++events_;
     ev.h.resume();

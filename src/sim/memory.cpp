@@ -196,7 +196,7 @@ Picos MemSystem::read_at(int core, LineId line, Picos issue, bool is_poll) {
     cost = topo::Machine::entry_ps(e);
     layer = static_cast<std::int8_t>(topo::Machine::entry_layer(e));
     ++stats_.layer_transfers[static_cast<std::size_t>(layer)];
-    if constexpr (Faulted) cost += fault_->link_extra(layer, cost);
+    if constexpr (Faulted) cost += fault_->link_extra(layer, cost, start);
   }
   // Reader contention (eq. 3's c term): pay c per other read of this line
   // still in flight when ours starts.
@@ -213,8 +213,9 @@ Picos MemSystem::read_at(int core, LineId line, Picos issue, bool is_poll) {
   if (is_remote_transfer)
     cost += machine_.net_contention_ps() *
             static_cast<Picos>(net_inflight_.count_at(start));
-  // Straggler model: a slowed core executes the whole operation slower.
-  if constexpr (Faulted) cost = fault_->scale(core, cost);
+  // Straggler model: a slowed core executes the whole operation slower
+  // (Markov plans evaluate the core's state at the transaction start).
+  if constexpr (Faulted) cost = fault_->scale(core, start, cost);
 
   const Picos finish = start + cost;
   line_reads_[li].add(finish);
@@ -235,16 +236,15 @@ template <bool Traced, bool Faulted>
 Picos MemSystem::write_at(int core, LineId line, Picos issue, bool is_rmw) {
   const auto li = static_cast<std::size_t>(line);
   std::uint64_t* const sharer = sharer_of(line);
-  // Fault injection: a core preempted by an OS-noise pulse cannot issue
-  // until the pulse ends; the straggler factor is fetched once and applied
-  // to every scaled component of this transaction below.
-  std::uint32_t straggle_milli = 1000;
-  if constexpr (Faulted) {
-    issue = fault_->release(core, issue);
-    straggle_milli = fault_->scale_milli(core);
-  }
+  // Fault injection: a core preempted by an OS-noise pulse (or a
+  // machine-wide burst) cannot issue until the pulse ends; the straggler
+  // factor is fetched once at the transaction start and applied to every
+  // scaled component of this transaction below.
+  if constexpr (Faulted) issue = fault_->release(core, issue);
   // Exclusive transactions on a line serialize (packed-flag effect).
   const Picos start = std::max(issue, line_busy_[li]);
+  std::uint32_t straggle_milli = 1000;
+  if constexpr (Faulted) straggle_milli = fault_->scale_milli(core, start);
 
   ++line_write_count_[li];
   Picos base;
@@ -263,7 +263,7 @@ Picos MemSystem::write_at(int core, LineId line, Picos issue, bool is_rmw) {
       fetched_remotely = true;
       layer = static_cast<std::int8_t>(topo::Machine::entry_layer(e));
       ++stats_.layer_transfers[static_cast<std::size_t>(layer)];
-      if constexpr (Faulted) base += fault_->link_extra(layer, base);
+      if constexpr (Faulted) base += fault_->link_extra(layer, base, start);
     }
     ++(is_rmw ? stats_.rmws : stats_.remote_writes);
   }
@@ -300,7 +300,7 @@ Picos MemSystem::write_at(int core, LineId line, Picos issue, bool is_rmw) {
         inv += fault_->link_extra(
             static_cast<int>(topo::Machine::entry_layer(
                 machine_.comm_entry_fast(core, si))),
-            inv);
+            inv, start);
         rfo += inv;
         ++invalidated;
         util::bit_clear(sharer, s);

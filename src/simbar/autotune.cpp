@@ -11,13 +11,14 @@ namespace armbar::simbar {
 
 namespace {
 
-SimRunConfig tune_cfg(int threads, int iterations) {
+SimRunConfig tune_cfg(int threads, int iterations, const fault::Plan* fault) {
   SimRunConfig cfg;
   cfg.threads = threads;
   cfg.iterations = iterations;
   // Clamp: iterations == 1 leaves no room for discarded episodes, and a
   // negative warmup would silently poison the mean (the pre-fix bug).
   cfg.warmup = std::max(0, std::min(4, iterations - 1));
+  if (fault != nullptr && fault->active()) cfg.fault = fault;
   return cfg;
 }
 
@@ -82,7 +83,8 @@ TuneResult autotune(const topo::Machine& machine, int threads,
     throw std::invalid_argument("autotune: iterations must be >= 1, got " +
                                 std::to_string(options.iterations));
 
-  const SimRunConfig cfg = tune_cfg(threads, options.iterations);
+  const SimRunConfig cfg =
+      tune_cfg(threads, options.iterations, options.fault);
   const auto grid = default_tune_candidates(machine);
 
   TuneResult result;

@@ -126,6 +126,11 @@ SimResult measure_barrier(const topo::Machine& machine,
   engine.reserve(static_cast<std::size_t>(cfg.threads),
                  static_cast<std::size_t>(cfg.threads) * 8);
   if (cfg.time_budget_ps > 0) engine.set_time_budget(cfg.time_budget_ps);
+  if (cfg.wall_deadline_ms > 0.0)
+    engine.set_wall_deadline(
+        std::chrono::steady_clock::now() +
+        std::chrono::microseconds(
+            static_cast<std::int64_t>(cfg.wall_deadline_ms * 1000.0)));
   sim::MemSystem mem(engine, machine);
   // Policy selection happens HERE, once per run: attaching (or not) a
   // tracer and a fault plan fixes MemSystem::path_mode(), and every costed

@@ -216,14 +216,24 @@ JobSpec parse_job_line(const std::string& line) {
       spec.fault.noise.period_us = want_number();
     else if (key == "noise_duration_us")
       spec.fault.noise.duration_us = want_number();
+    else if (key == "burst_interval_us")
+      spec.fault.burst.interval_us = want_number();
+    else if (key == "burst_duration_us")
+      spec.fault.burst.duration_us = want_number();
     else if (key == "straggler_fraction")
       spec.fault.straggler.fraction = want_number();
     else if (key == "straggler_slowdown")
       spec.fault.straggler.slowdown = want_number();
+    else if (key == "straggler_dwell_us")
+      spec.fault.straggler.dwell_us = want_number();
     else if (key == "link_min_layer")
       spec.fault.link.min_layer = require_int(key, want_number(), 0, 64);
     else if (key == "link_factor")
       spec.fault.link.factor = want_number();
+    else if (key == "link_flap_interval_us")
+      spec.fault.link.flap_interval_us = want_number();
+    else if (key == "link_flap_duration_us")
+      spec.fault.link.flap_duration_us = want_number();
     else if (key == "fault_seed")
       spec.fault.seed = static_cast<std::uint64_t>(
           require_int(key, want_number(), 0, 1L << 62));
@@ -257,14 +267,24 @@ std::string cache_key(const JobSpec& spec) {
   key += key_num(spec.fault.noise.period_us);
   key += "|nd=";
   key += key_num(spec.fault.noise.duration_us);
+  key += "|bi=";
+  key += key_num(spec.fault.burst.interval_us);
+  key += "|bd=";
+  key += key_num(spec.fault.burst.duration_us);
   key += "|sf=";
   key += key_num(spec.fault.straggler.fraction);
   key += "|ss=";
   key += key_num(spec.fault.straggler.slowdown);
+  key += "|sd=";
+  key += key_num(spec.fault.straggler.dwell_us);
   key += "|ll=";
   key += std::to_string(spec.fault.link.min_layer);
   key += "|lf=";
   key += key_num(spec.fault.link.factor);
+  key += "|fi=";
+  key += key_num(spec.fault.link.flap_interval_us);
+  key += "|fd=";
+  key += key_num(spec.fault.link.flap_duration_us);
   key += "|fs=";
   key += std::to_string(spec.fault.seed);
   return key;

@@ -29,10 +29,16 @@
 #include "armbar/topo/placement.hpp"
 #include "armbar/topo/platforms.hpp"
 #include "armbar/util/backoff.hpp"
+#include "armbar/util/prng.hpp"
 
 namespace armbar::svc {
 
 namespace {
+
+/// Transient-retry pacing, matching the sweep driver's schedule
+/// (docs/SERVICE.md §retries).
+constexpr double kRetryBaseMs = 1.0;
+constexpr double kRetryCapMs = 50.0;
 
 // -- rendering (shared by the daemon and one-shot paths; the
 // byte-identity guarantee is exactly "both paths call these") ------------
@@ -61,6 +67,13 @@ std::string render_error_tail(const std::string& kind,
   return os.str();
 }
 
+std::string oversized_tail(std::size_t max_bytes) {
+  return render_error_tail("parse-error",
+                           "line exceeds max_line_bytes (" +
+                               std::to_string(max_bytes) + " bytes)",
+                           "");
+}
+
 void emit_line(std::ostream& out, std::uint64_t seq, const std::string& tail) {
   out << "{\"job\": " << seq << tail << '\n';
 }
@@ -69,6 +82,9 @@ void emit_line(std::ostream& out, std::uint64_t seq, const std::string& tail) {
 /// becomes an error entry whose kind/message/diagnostics match what
 /// SweepDriver::run_*_isolated reports for the same exception (so the
 /// daemon and the driver-based one-shot path classify identically).
+/// The transient/deadline flags mirror the driver's retry policy:
+/// wall-deadline aborts and unclassified exceptions are host state and
+/// may be retried, deterministic verdicts never are.
 template <typename Fn>
 bool classify_into(CachedResult& out, Fn&& fn) {
   try {
@@ -76,6 +92,8 @@ bool classify_into(CachedResult& out, Fn&& fn) {
     return true;
   } catch (const sim::DeadlockError& e) {
     out.failed = true;
+    out.transient = sim::DeadlockError::transient(e.kind());
+    out.deadline = e.kind() == sim::DeadlockError::Kind::kWallDeadline;
     out.tail = render_error_tail(sim::DeadlockError::kind_name(e.kind()),
                                  e.what(), sim::describe(e));
   } catch (const std::invalid_argument& e) {
@@ -86,9 +104,11 @@ bool classify_into(CachedResult& out, Fn&& fn) {
     out.tail = render_error_tail("invalid-argument", e.what(), "");
   } catch (const std::exception& e) {
     out.failed = true;
+    out.transient = true;
     out.tail = render_error_tail("error", e.what(), "");
   } catch (...) {
     out.failed = true;
+    out.transient = true;
     out.tail = render_error_tail("error", "unknown exception", "");
   }
   return false;
@@ -141,9 +161,11 @@ class MachineRegistry {
 };
 
 /// Compute one cell end to end (resolve, simulate, render).  Never
-/// throws: failures become error entries via classify_into.
+/// throws: failures become error entries via classify_into.  A nonzero
+/// @p deadline_ms arms the engine's wall-clock watchdog for this run.
 std::shared_ptr<CachedResult> compute_cell(const JobSpec& spec,
-                                           MachineRegistry& registry) {
+                                           MachineRegistry& registry,
+                                           double deadline_ms) {
   auto entry = std::make_shared<CachedResult>();
   classify_into(*entry, [&] {
     const topo::Machine& machine = registry.get(spec.machine);
@@ -155,6 +177,7 @@ std::shared_ptr<CachedResult> compute_cell(const JobSpec& spec,
                          : fault::Plan();
     simbar::SimRunConfig cfg = base_cfg;
     if (plan.active()) cfg.fault = &plan;
+    cfg.wall_deadline_ms = deadline_ms;
     sim::Tracer tracer(0);  // exact counters, no event log — as the
                             // driver's metrics mode defaults
     const simbar::SimResult result =
@@ -163,6 +186,66 @@ std::shared_ptr<CachedResult> compute_cell(const JobSpec& spec,
     entry->tail = render_result_tail(spec, result);
   });
   return entry;
+}
+
+/// Pause before retrying @p seq after @p failed_attempt: exponential
+/// backoff with full jitter, seeded per (job, attempt) like the sweep
+/// driver's retry_pause so the schedule is reproducible.
+void retry_pause(std::uint64_t seq, int failed_attempt) {
+  util::Xoshiro256 rng(0x9e3779b97f4a7c15ull ^
+                       (seq * 0x100000001b3ull +
+                        static_cast<std::uint64_t>(failed_attempt)));
+  const double ms = util::backoff_full_jitter_ms(
+      failed_attempt, kRetryBaseMs, kRetryCapMs, rng.uniform01());
+  if (ms > 0.0)
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(static_cast<std::int64_t>(ms * 1000.0)));
+}
+
+/// Bounded line reader.  Reads up to the next '\n' or EOF; characters
+/// beyond @p max_bytes are swallowed (the stream stays line-synced) and
+/// the line is reported kOversized with only the prefix kept — enough to
+/// tell a comment from a job.  EOF with no characters read is kEof; EOF
+/// mid-line yields the partial line exactly once, like std::getline.
+enum class LineStatus { kEof, kLine, kOversized };
+
+LineStatus read_job_line(std::istream& in, std::string& line,
+                         std::size_t max_bytes) {
+  line.clear();
+  std::streambuf* sb = in.rdbuf();
+  if (sb == nullptr || !in.good()) return LineStatus::kEof;
+  bool any = false;
+  bool oversized = false;
+  for (;;) {
+    const int ch = sb->sbumpc();
+    if (ch == std::char_traits<char>::eof()) {
+      in.setstate(std::ios::eofbit);
+      if (!any) return LineStatus::kEof;
+      return oversized ? LineStatus::kOversized : LineStatus::kLine;
+    }
+    any = true;
+    if (ch == '\n')
+      return oversized ? LineStatus::kOversized : LineStatus::kLine;
+    if (line.size() < max_bytes)
+      line.push_back(static_cast<char>(ch));
+    else
+      oversized = true;
+  }
+}
+
+/// Skip the non-job stream lines the service contract allows: blank
+/// lines and '#' comments.
+bool is_job_line(const std::string& line) {
+  const auto first = line.find_first_not_of(" \t\r");
+  return first != std::string::npos && line[first] != '#';
+}
+
+/// An oversized line whose kept prefix opens a comment is still a
+/// comment (skipped); anything else oversized becomes a parse-error
+/// record — never a silent drop.
+bool is_comment_prefix(const std::string& line) {
+  const auto first = line.find_first_not_of(" \t\r");
+  return first != std::string::npos && line[first] == '#';
 }
 
 }  // namespace
@@ -184,10 +267,26 @@ struct SweepService::Impl {
     std::shared_ptr<const CachedResult> entry;
   };
 
+  using Ring = SpscRing<std::unique_ptr<Request>>;
+
+  /// The ring is behind shared_ptr so a superseded worker (which still
+  /// holds a reference from its spawn) can be abandoned without racing
+  /// the replacement ring installed for its successor.
   struct Worker {
-    explicit Worker(std::size_t ring_capacity) : ring(ring_capacity) {}
-    SpscRing<std::unique_ptr<Request>> ring;
+    explicit Worker(std::size_t ring_capacity)
+        : ring(std::make_shared<Ring>(ring_capacity)) {}
+    std::shared_ptr<Ring> ring;
     std::thread thread;
+    /// Bumped (under pub_mu) each time the worker is superseded; the
+    /// thread's captured epoch going stale tells it to discard its work
+    /// and exit, and gates publication so a zombie never double-emits.
+    std::atomic<std::uint64_t> epoch{0};
+    /// Set by the thread itself (under pub_mu, epoch-checked) when an
+    /// exception escapes a job: the supervisor joins and respawns it.
+    std::atomic<bool> dead{false};
+    /// steady_clock ns when the current job started; 0 = idle.  Only
+    /// maintained when supervision is on.
+    std::atomic<std::int64_t> busy_since_ns{0};
   };
 
   explicit Impl(ServiceOptions o)
@@ -196,7 +295,21 @@ struct SweepService::Impl {
                      ? o.workers
                      : static_cast<int>(std::max(
                            1u, std::thread::hardware_concurrency()))),
+        supervised(o.heartbeat_ms > 0.0 ||
+                   static_cast<bool>(o.chaos.before_job)),
         cache(o.cache_shards) {
+    if (opts.max_attempts < 1)
+      throw std::invalid_argument("ServiceOptions: max_attempts must be >= 1");
+    if (opts.max_requeues < 0)
+      throw std::invalid_argument("ServiceOptions: max_requeues must be >= 0");
+    if (!(opts.job_deadline_ms >= 0.0))
+      throw std::invalid_argument(
+          "ServiceOptions: job_deadline_ms must be >= 0");
+    if (!(opts.heartbeat_ms >= 0.0))
+      throw std::invalid_argument("ServiceOptions: heartbeat_ms must be >= 0");
+    if (opts.max_line_bytes < 16)
+      throw std::invalid_argument(
+          "ServiceOptions: max_line_bytes must be >= 16");
     std::size_t window = 1;
     const std::size_t want =
         static_cast<std::size_t>(nworkers) * std::max<std::size_t>(
@@ -208,25 +321,42 @@ struct SweepService::Impl {
     for (int w = 0; w < nworkers; ++w)
       workers.push_back(std::make_unique<Worker>(opts.ring_capacity));
     for (int w = 0; w < nworkers; ++w)
-      workers[static_cast<std::size_t>(w)]->thread =
-          std::thread([this, w] { worker_loop(*workers[
-              static_cast<std::size_t>(w)]); });
+      start_worker(*workers[static_cast<std::size_t>(w)]);
   }
 
   ~Impl() {
     stop.store(true, std::memory_order_release);
     for (auto& w : workers)
       if (w->thread.joinable()) w->thread.join();
+    for (std::thread& t : zombies)
+      if (t.joinable()) t.join();
   }
 
-  void worker_loop(Worker& self) {
+  static std::int64_t now_ns() {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
+  }
+
+  void start_worker(Worker& w) {
+    auto ring = w.ring;
+    const std::uint64_t my_epoch = w.epoch.load(std::memory_order_relaxed);
+    w.thread =
+        std::thread([this, &w, ring, my_epoch] { worker_loop(w, *ring,
+                                                             my_epoch); });
+  }
+
+  void worker_loop(Worker& self, Ring& ring, std::uint64_t my_epoch) {
     // Worker-private pointer cache in front of the shared registry.
     std::unordered_map<std::string, const topo::Machine*> local_machines;
     int idle = 0;
     for (;;) {
       std::unique_ptr<Request> req;
-      while (!self.ring.try_pop(req)) {
+      while (!ring.try_pop(req)) {
         if (stop.load(std::memory_order_acquire)) return;
+        if (supervised &&
+            self.epoch.load(std::memory_order_acquire) != my_epoch)
+          return;  // superseded while idle: a fresh worker owns the name
         // Spin briefly, then yield, then sleep: a daemon waiting for the
         // next job batch must not burn a core.
         if (idle < 64) {
@@ -240,13 +370,33 @@ struct SweepService::Impl {
         }
       }
       idle = 0;
-      process(*req, local_machines);
+      if (supervised) {
+        if (self.epoch.load(std::memory_order_acquire) != my_epoch)
+          return;  // superseded: this request was already re-queued
+        self.busy_since_ns.store(now_ns(), std::memory_order_release);
+      }
+      try {
+        if (opts.chaos.before_job) opts.chaos.before_job(req->seq);
+        process(*req, local_machines, self, my_epoch);
+      } catch (...) {
+        // An escaped exception (in practice: a chaos-hook kill) ends this
+        // worker.  Mark it dead — epoch-checked under pub_mu so a zombie
+        // that crashes late cannot condemn its already-running successor.
+        std::lock_guard<std::mutex> lk(pub_mu);
+        if (self.epoch.load(std::memory_order_relaxed) == my_epoch)
+          self.dead.store(true, std::memory_order_release);
+        return;
+      }
+      if (supervised &&
+          self.epoch.load(std::memory_order_acquire) == my_epoch)
+        self.busy_since_ns.store(0, std::memory_order_release);
     }
   }
 
   void process(const Request& req,
                std::unordered_map<std::string, const topo::Machine*>&
-                   local_machines) {
+                   local_machines,
+               Worker& self, std::uint64_t my_epoch) {
     std::shared_ptr<const CachedResult> entry;
     try {
       const JobSpec spec = parse_job_line(req.line);
@@ -265,8 +415,23 @@ struct SweepService::Impl {
             // Leave resolution (and the error entry) to compute_cell.
           }
         }
-        auto computed = compute_cell(spec, registry);
-        if (opts.use_cache) cache.insert(key, computed);
+        std::shared_ptr<CachedResult> computed;
+        for (int attempt = 1;; ++attempt) {
+          computed = compute_cell(spec, registry, opts.job_deadline_ms);
+          if (!(computed->failed && computed->transient) ||
+              attempt >= opts.max_attempts)
+            break;
+          retries.fetch_add(1, std::memory_order_relaxed);
+          retry_pause(req.seq, attempt);
+        }
+        if (computed->failed && computed->deadline)
+          deadline_errors.fetch_add(1, std::memory_order_relaxed);
+        // Transient verdicts are host state, not cell state: caching one
+        // would replay it for every later occurrence of the cell and
+        // break byte-identity with the one-shot path, which recomputes
+        // each occurrence.
+        if (opts.use_cache && !(computed->failed && computed->transient))
+          cache.insert(key, computed);
         entry = std::move(computed);
       }
     } catch (const std::exception& e) {
@@ -277,18 +442,44 @@ struct SweepService::Impl {
       err->tail = render_error_tail("parse-error", e.what(), "");
       entry = std::move(err);
     }
-    Slot& slot = slots[req.seq & (slots.size() - 1)];
-    slot.entry = std::move(entry);
-    slot.ready.store(true, std::memory_order_release);
+    publish(req.seq, std::move(entry), self, my_epoch);
+  }
+
+  void publish(std::uint64_t seq, std::shared_ptr<const CachedResult> entry,
+               Worker& self, std::uint64_t my_epoch) {
+    Slot& slot = slots[seq & (slots.size() - 1)];
+    if (supervised) {
+      // Epoch-guarded: a superseded worker's late result is discarded —
+      // the supervisor already re-queued (or re-reported) this seq.
+      std::lock_guard<std::mutex> lk(pub_mu);
+      if (self.epoch.load(std::memory_order_relaxed) != my_epoch) return;
+      slot.entry = std::move(entry);
+      slot.ready.store(true, std::memory_order_release);
+    } else {
+      slot.entry = std::move(entry);
+      slot.ready.store(true, std::memory_order_release);
+    }
   }
 
   ServiceOptions opts;
   int nworkers;
+  /// Supervision (epoch guards, busy tracking, pub_mu on publish) is paid
+  /// only when stall detection or chaos hooks are requested; the default
+  /// configuration keeps the original lock-free publish path.
+  bool supervised;
   ResultCache cache;
   MachineRegistry registry;
   std::vector<Slot> slots;
   std::vector<std::unique_ptr<Worker>> workers;
+  /// Serializes publication against supersession when supervised.
+  std::mutex pub_mu;
+  /// Threads of superseded-but-alive (stalled) workers; joined at
+  /// destruction.  Touched only by the intake thread and the destructor.
+  std::vector<std::thread> zombies;
   std::atomic<bool> stop{false};
+  std::atomic<bool> stop_requested{false};
+  std::atomic<std::uint64_t> retries{0};
+  std::atomic<std::uint64_t> deadline_errors{0};
 };
 
 SweepService::SweepService(ServiceOptions opts)
@@ -302,33 +493,64 @@ const ResultCache& SweepService::cache() const noexcept {
   return impl_->cache;
 }
 
-namespace {
-
-/// Skip the non-job stream lines the service contract allows: blank
-/// lines and '#' comments.
-bool is_job_line(const std::string& line) {
-  const auto first = line.find_first_not_of(" \t\r");
-  return first != std::string::npos && line[first] != '#';
+void SweepService::request_stop() noexcept {
+  impl_->stop_requested.store(true, std::memory_order_release);
 }
-
-}  // namespace
 
 ServiceStats SweepService::serve(std::istream& in, std::ostream& out) {
   Impl& impl = *impl_;
+  impl.stop_requested.store(false, std::memory_order_relaxed);
   const auto t0 = std::chrono::steady_clock::now();
   const std::uint64_t hits0 = impl.cache.hits();
   const std::uint64_t misses0 = impl.cache.misses();
+  const std::uint64_t retries0 = impl.retries.load(std::memory_order_relaxed);
+  const std::uint64_t deadline0 =
+      impl.deadline_errors.load(std::memory_order_relaxed);
   const std::size_t window = impl.slots.size();
+  const std::size_t mask = window - 1;
+  const bool supervised = impl.supervised;
+  const auto uworkers = static_cast<std::size_t>(impl.nworkers);
 
   std::uint64_t submitted = 0;
   std::uint64_t emitted = 0;
   std::uint64_t failed = 0;
+  ServiceStats stats;
   std::vector<obs::MetricsReport> reports;
+
+  // Supervision bookkeeping (intake-thread-private; sized only when on).
+  // outstanding[w]: seqs handed to worker w, not yet published.
+  // worker_of/line_of/requeue_count: per reorder-window slot, valid while
+  // its seq is in flight; worker_of -1 marks a directly-published seq.
+  std::vector<std::deque<std::uint64_t>> outstanding(
+      supervised ? uworkers : 0);
+  std::vector<int> worker_of(supervised ? window : 0, -1);
+  std::vector<int> requeue_count(supervised ? window : 0, 0);
+  std::vector<std::string> line_of(supervised ? window : 0);
+  std::deque<std::uint64_t> requeue_q;  // orphans awaiting a new worker
+  std::size_t rr = 0;                   // round-robin cursor for re-queues
+
+  // Intake-side publication for records that never reach a worker
+  // (shed, oversized, worker-lost).  The slot is free: callers run only
+  // after the backpressure check admits seq into the window.
+  const auto publish_direct = [&](std::uint64_t seq,
+                                  std::shared_ptr<const CachedResult> e) {
+    Impl::Slot& slot = impl.slots[seq & mask];
+    slot.entry = std::move(e);
+    slot.ready.store(true, std::memory_order_release);
+  };
+
+  const auto error_entry = [](const std::string& kind,
+                              const std::string& message) {
+    auto e = std::make_shared<CachedResult>();
+    e->failed = true;
+    e->tail = render_error_tail(kind, message, "");
+    return e;
+  };
 
   // Emit every completed result whose turn has come (in-order drain).
   const auto drain_ready = [&] {
     while (emitted < submitted) {
-      Impl::Slot& slot = impl.slots[emitted & (window - 1)];
+      Impl::Slot& slot = impl.slots[emitted & mask];
       if (!slot.ready.load(std::memory_order_acquire)) return;
       emit_line(out, emitted, slot.entry->tail);
       if (slot.entry->failed)
@@ -337,46 +559,197 @@ ServiceStats SweepService::serve(std::istream& in, std::ostream& out) {
         reports.push_back(slot.entry->report);
       slot.entry.reset();
       slot.ready.store(false, std::memory_order_relaxed);
+      if (supervised) {
+        const std::size_t idx = emitted & mask;
+        const int w = worker_of[idx];
+        if (w >= 0) {
+          // Re-queues break per-worker FIFO order, so find-erase rather
+          // than popping the front.
+          auto& dq = outstanding[static_cast<std::size_t>(w)];
+          const auto it = std::find(dq.begin(), dq.end(), emitted);
+          if (it != dq.end()) dq.erase(it);
+          worker_of[idx] = -1;
+        }
+      }
       ++emitted;
     }
   };
 
+  // Replace every dead or stalled worker: bump its epoch (under pub_mu,
+  // so its late publishes are discarded), recycle the thread, install a
+  // fresh ring, respawn, and move its unfinished seqs to the re-queue.
+  const auto supervise = [&] {
+    if (!supervised) return;
+    const std::int64_t now = Impl::now_ns();
+    for (std::size_t w = 0; w < uworkers; ++w) {
+      Impl::Worker& wk = *impl.workers[w];
+      const bool dead = wk.dead.load(std::memory_order_acquire);
+      bool stalled = false;
+      if (!dead && impl.opts.heartbeat_ms > 0.0) {
+        const std::int64_t busy =
+            wk.busy_since_ns.load(std::memory_order_acquire);
+        stalled = busy != 0 &&
+                  static_cast<double>(now - busy) >
+                      impl.opts.heartbeat_ms * 1e6;
+      }
+      if (!dead && !stalled) continue;
+      ++stats.respawns;
+      {
+        std::lock_guard<std::mutex> lk(impl.pub_mu);
+        wk.epoch.fetch_add(1, std::memory_order_relaxed);
+      }
+      // A dead worker's thread has returned (or is about to); a stalled
+      // one is still running — park it with the zombies and let it exit
+      // on its own when it notices the stale epoch.
+      if (wk.dead.load(std::memory_order_acquire))
+        wk.thread.join();
+      else
+        impl.zombies.push_back(std::move(wk.thread));
+      wk.dead.store(false, std::memory_order_relaxed);
+      wk.busy_since_ns.store(0, std::memory_order_relaxed);
+      wk.ring = std::make_shared<Impl::Ring>(impl.opts.ring_capacity);
+      impl.start_worker(wk);
+      for (const std::uint64_t seq : outstanding[w]) {
+        const std::size_t idx = seq & mask;
+        if (impl.slots[idx].ready.load(std::memory_order_acquire)) {
+          worker_of[idx] = -1;  // published before supersession: done
+          continue;
+        }
+        requeue_q.push_back(seq);
+      }
+      outstanding[w].clear();
+    }
+  };
+
+  // Hand orphaned seqs to live workers (round-robin); past the re-queue
+  // budget they become worker-lost records.  Leaves seqs queued when no
+  // ring has space — the caller's tick loop retries after draining.
+  const auto pump_requeues = [&] {
+    while (!requeue_q.empty()) {
+      const std::uint64_t seq = requeue_q.front();
+      const std::size_t idx = seq & mask;
+      if (requeue_count[idx] >= impl.opts.max_requeues) {
+        worker_of[idx] = -1;
+        publish_direct(
+            seq, error_entry("worker-lost",
+                             "job lost its worker " +
+                                 std::to_string(requeue_count[idx] + 1) +
+                                 " times; re-queue budget exhausted"));
+        ++stats.worker_lost;
+        requeue_q.pop_front();
+        continue;
+      }
+      auto req = std::make_unique<Impl::Request>();
+      req->seq = seq;
+      req->line = line_of[idx];
+      bool pushed = false;
+      for (std::size_t k = 0; k < uworkers; ++k) {
+        const std::size_t cand = (rr + k) % uworkers;
+        Impl::Worker& cw = *impl.workers[cand];
+        if (cw.dead.load(std::memory_order_acquire)) continue;
+        if (!cw.ring->try_push(std::move(req))) continue;
+        ++requeue_count[idx];
+        ++stats.requeued;
+        worker_of[idx] = static_cast<int>(cand);
+        outstanding[cand].push_back(seq);
+        rr = cand + 1;
+        pushed = true;
+        break;
+      }
+      if (!pushed) return;  // every live ring is full; retry next tick
+      requeue_q.pop_front();
+    }
+  };
+
+  const auto tick = [&] {
+    drain_ready();
+    supervise();
+    pump_requeues();
+  };
+
   util::SpinWait waiter;
   std::string line;
-  while (std::getline(in, line)) {
+  for (;;) {
+    if (impl.stop_requested.load(std::memory_order_acquire)) break;
+    const LineStatus st =
+        read_job_line(in, line, impl.opts.max_line_bytes);
+    if (st == LineStatus::kEof) break;
+    if (st == LineStatus::kOversized) {
+      if (is_comment_prefix(line)) continue;
+      while (submitted - emitted >= window) {
+        tick();
+        waiter.step();
+      }
+      publish_direct(submitted, [&] {
+        auto e = std::make_shared<CachedResult>();
+        e->failed = true;
+        e->tail = oversized_tail(impl.opts.max_line_bytes);
+        return e;
+      }());
+      ++submitted;
+      drain_ready();
+      continue;
+    }
     if (!is_job_line(line)) continue;
     // Backpressure: never have more than one reorder window in flight.
     while (submitted - emitted >= window) {
-      drain_ready();
+      tick();
       waiter.step();
+    }
+    // Load shedding: above max_inflight, answer immediately with a shed
+    // record instead of queueing (nothing is ever silently dropped).
+    if (impl.opts.max_inflight > 0 &&
+        submitted - emitted >= impl.opts.max_inflight) {
+      publish_direct(
+          submitted,
+          error_entry("shed", "intake over capacity: " +
+                                  std::to_string(submitted - emitted) +
+                                  " jobs in flight (max_inflight " +
+                                  std::to_string(impl.opts.max_inflight) +
+                                  ")"));
+      ++stats.shed;
+      ++submitted;
+      drain_ready();
+      continue;
     }
     auto req = std::make_unique<Impl::Request>();
     req->seq = submitted;
     req->line = std::move(line);
-    auto& ring =
-        impl.workers[submitted % static_cast<std::uint64_t>(impl.nworkers)]
-            ->ring;
-    while (!ring.try_push(std::move(req))) {
-      drain_ready();
+    const std::size_t target = submitted % uworkers;
+    const std::size_t idx = submitted & mask;
+    if (supervised) line_of[idx] = req->line;
+    // Re-fetch the ring each attempt: supervise() may have respawned the
+    // target with a fresh one.
+    while (!impl.workers[target]->ring->try_push(std::move(req))) {
+      tick();
       waiter.step();
+    }
+    if (supervised) {
+      worker_of[idx] = static_cast<int>(target);
+      requeue_count[idx] = 0;
+      outstanding[target].push_back(submitted);
     }
     waiter.reset();
     ++submitted;
-    drain_ready();
+    tick();
   }
+  // Graceful drain: intake is closed; finish everything in flight and
+  // flush the reorder window before the summary.
   while (emitted < submitted) {
-    drain_ready();
+    tick();
     waiter.step();
   }
 
   const obs::SweepSummary summary = obs::aggregate(reports);
   out << obs::to_json(summary) << '\n';
 
-  ServiceStats stats;
   stats.jobs = submitted;
   stats.failed = failed;
   stats.cache_hits = impl.cache.hits() - hits0;
   stats.cache_misses = impl.cache.misses() - misses0;
+  stats.retries = impl.retries.load(std::memory_order_relaxed) - retries0;
+  stats.deadline_errors =
+      impl.deadline_errors.load(std::memory_order_relaxed) - deadline0;
   stats.wall_s = std::chrono::duration<double>(
                      std::chrono::steady_clock::now() - t0)
                      .count();
@@ -402,7 +775,18 @@ ServiceStats SweepService::run_oneshot(std::istream& in, std::ostream& out,
   std::vector<simbar::SweepJob> jobs;
 
   std::string line;
-  while (std::getline(in, line)) {
+  for (;;) {
+    const LineStatus st =
+        read_job_line(in, line, ServiceOptions::kDefaultMaxLineBytes);
+    if (st == LineStatus::kEof) break;
+    if (st == LineStatus::kOversized) {
+      if (is_comment_prefix(line)) continue;
+      LineSlot slot;
+      slot.failed = true;
+      slot.tail = oversized_tail(ServiceOptions::kDefaultMaxLineBytes);
+      lines.push_back(std::move(slot));
+      continue;
+    }
     if (!is_job_line(line)) continue;
     LineSlot slot;
     JobSpec spec;

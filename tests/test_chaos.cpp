@@ -1,0 +1,324 @@
+// Seeded chaos harness for the sweep service (docs/SERVICE.md
+// §robustness).  ChaosHooks kill or stall workers at seeded points while
+// jobs stream through; the tests pin the three invariants that make the
+// robustness envelope trustworthy:
+//
+//  1. No deadlock: serve() always returns (the ctest hard timeout is the
+//     enforcement backstop; every loop below terminates or fails).
+//  2. Exactly-one-record accounting: every submitted job line yields
+//     exactly one result-or-error line, crash or no crash.
+//  3. Surviving-job byte identity: a job that survives chaos (is not
+//     shed / worker-lost) emits bytes identical to the one-shot batch
+//     path, for any worker count.
+//
+// Every run is seeded (std::mt19937 over the job sequence); CI's
+// chaos-smoke job executes this binary repeatedly under ASan.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "armbar/svc/service.hpp"
+
+namespace {
+
+using namespace armbar;
+
+std::string oneshot_output(const std::string& jobs) {
+  std::istringstream in(jobs);
+  std::ostringstream out;
+  svc::SweepService::run_oneshot(in, out, /*workers=*/1);
+  return out.str();
+}
+
+std::string daemon_output(const std::string& jobs,
+                          const svc::ServiceOptions& opts,
+                          svc::ServiceStats* stats = nullptr) {
+  std::istringstream in(jobs);
+  std::ostringstream out;
+  svc::SweepService service(opts);
+  const svc::ServiceStats s = service.serve(in, out);
+  if (stats != nullptr) *stats = s;
+  return out.str();
+}
+
+/// @p n distinct small cells (plus a bad-machine line and a parse error
+/// when @p with_errors — error records must obey the same accounting).
+std::string chaos_workload(int n, bool with_errors = true) {
+  const char* algos[] = {"dis", "sense", "mcs", "cmb"};
+  std::string jobs = "# chaos workload\n\n";
+  for (int i = 0; i < n; ++i) {
+    jobs += std::string("{\"machine\": \"kunpeng920\", \"algo\": \"") +
+            algos[i % 4] + "\", \"threads\": " + std::to_string(4 + (i % 3) * 4) +
+            ", \"iterations\": " + std::to_string(4 + i % 3) + "}\n";
+    if (with_errors && i == n / 2) {
+      jobs += "{\"machine\": \"no-such-machine\"}\n";
+      jobs += "this is not json\n";
+    }
+  }
+  return jobs;
+}
+
+int count_job_lines(const std::string& jobs) {
+  int n = 0;
+  for (std::size_t pos = 0; (pos = jobs.find('\n', pos)) != std::string::npos;
+       ++pos)
+    ++n;
+  return n;
+}
+
+std::vector<std::string> job_lines(const std::string& output) {
+  std::vector<std::string> lines;
+  std::istringstream is(output);
+  std::string line;
+  while (std::getline(is, line))
+    if (line.rfind("{\"job\": ", 0) == 0) lines.push_back(line);
+  return lines;
+}
+
+/// Sequence number of a result line ("{"job": N, ...").
+std::uint64_t seq_of(const std::string& line) {
+  return std::stoull(line.substr(8));
+}
+
+/// Invariant 2: exactly one line per job 0..n-1, in order.
+void expect_exactly_one_record_each(const std::string& output, int n_jobs) {
+  const auto lines = job_lines(output);
+  ASSERT_EQ(lines.size(), static_cast<std::size_t>(n_jobs));
+  for (int i = 0; i < n_jobs; ++i)
+    EXPECT_EQ(seq_of(lines[static_cast<std::size_t>(i)]),
+              static_cast<std::uint64_t>(i));
+}
+
+/// Per-seq chaos schedule shared with the hook: first delivery of a
+/// marked seq crashes (throw) or stalls (sleep) its worker.
+struct ChaosPlan {
+  std::vector<char> crash;  // indexed by seq
+  std::vector<char> stall;
+  std::vector<std::unique_ptr<std::atomic<int>>> deliveries;
+  std::chrono::milliseconds stall_for{0};
+
+  explicit ChaosPlan(std::size_t n) : crash(n, 0), stall(n, 0) {
+    deliveries.reserve(n);
+    for (std::size_t i = 0; i < n; ++i)
+      deliveries.push_back(std::make_unique<std::atomic<int>>(0));
+  }
+
+  std::function<void(std::uint64_t)> hook() {
+    return [this](std::uint64_t seq) {
+      if (seq >= crash.size()) return;
+      const bool first =
+          deliveries[static_cast<std::size_t>(seq)]->fetch_add(1) == 0;
+      if (!first) return;
+      if (crash[static_cast<std::size_t>(seq)])
+        throw std::runtime_error("chaos: injected worker crash");
+      if (stall[static_cast<std::size_t>(seq)])
+        std::this_thread::sleep_for(stall_for);
+    };
+  }
+};
+
+// -- crash recovery ---------------------------------------------------------
+
+TEST(ChaosService, SeededCrashesRecoverToOneshotBytes) {
+  const std::string jobs = chaos_workload(14);
+  const int n_jobs = count_job_lines(jobs) - 2;  // comment + blank skipped
+  const std::string reference = oneshot_output(jobs);
+
+  for (const std::uint32_t seed : {11u, 22u, 33u}) {
+    for (const int workers : {1, 4}) {
+      ChaosPlan plan(static_cast<std::size_t>(n_jobs));
+      std::mt19937 rng(seed);
+      int crashes = 0;
+      for (char& c : plan.crash)
+        if (rng() % 4 == 0) {
+          c = 1;
+          ++crashes;
+        }
+      plan.crash[0] = 1;  // at least one crash per run
+      crashes = std::max(crashes, 1);
+
+      svc::ServiceOptions opts;
+      opts.workers = workers;
+      // Every crash of a worker re-queues ALL jobs in its ring, so an
+      // innocent job can be re-queued once per crash event; the budget
+      // must cover the worst case (every seq crashing once).
+      opts.max_requeues = 2 * n_jobs;
+      opts.chaos.before_job = plan.hook();
+      svc::ServiceStats stats;
+      const std::string output = daemon_output(jobs, opts, &stats);
+
+      // Every crash hits the FIRST delivery only, so every job survives
+      // its re-queue and the whole stream (records + summary) must be
+      // byte-identical to the one-shot reference.
+      EXPECT_EQ(output, reference)
+          << "seed " << seed << " workers " << workers;
+      expect_exactly_one_record_each(output, n_jobs);
+      EXPECT_GE(stats.respawns, static_cast<std::uint64_t>(crashes))
+          << "each crashed delivery must tear down a worker";
+      EXPECT_GE(stats.requeued, static_cast<std::uint64_t>(crashes));
+      EXPECT_EQ(stats.worker_lost, 0u);
+    }
+  }
+}
+
+TEST(ChaosService, PersistentCrasherBecomesWorkerLost) {
+  const std::string jobs =
+      "{\"machine\": \"kunpeng920\", \"algo\": \"dis\", \"threads\": 8, "
+      "\"iterations\": 4}\n";
+  svc::ServiceOptions opts;
+  opts.workers = 2;
+  opts.max_requeues = 2;
+  opts.chaos.before_job = [](std::uint64_t) {
+    throw std::runtime_error("chaos: always crashes");
+  };
+
+  std::istringstream in(jobs);
+  std::ostringstream out;
+  svc::SweepService service(opts);
+  const auto stats = service.serve(in, out);
+
+  const auto lines = job_lines(out.str());
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"kind\": \"worker-lost\""), std::string::npos)
+      << lines[0];
+  EXPECT_EQ(stats.worker_lost, 1u);
+  EXPECT_EQ(stats.failed, 1u);
+  // Initial delivery + max_requeues re-deliveries, each killing a worker.
+  EXPECT_EQ(stats.respawns, 3u);
+  EXPECT_EQ(stats.requeued, 2u);
+
+  // Survivors of a crashed pool: a clean batch on a fresh 2-worker
+  // service still matches the one-shot path bit for bit.
+  const std::string clean = chaos_workload(6, /*with_errors=*/false);
+  svc::ServiceOptions clean_opts;
+  clean_opts.workers = 2;
+  EXPECT_EQ(daemon_output(clean, clean_opts), oneshot_output(clean));
+}
+
+// -- stall supervision ------------------------------------------------------
+
+TEST(ChaosService, StalledWorkerSupersededAndJobRecovered) {
+  const std::string jobs = chaos_workload(8, /*with_errors=*/false);
+  const int n_jobs = count_job_lines(jobs) - 2;
+  const std::string reference = oneshot_output(jobs);
+
+  ChaosPlan plan(static_cast<std::size_t>(n_jobs));
+  plan.stall[2] = 1;
+  plan.stall_for = std::chrono::milliseconds(150);
+
+  svc::ServiceOptions opts;
+  opts.workers = 2;
+  opts.heartbeat_ms = 25.0;
+  opts.max_requeues = 4;
+  opts.chaos.before_job = plan.hook();
+  svc::ServiceStats stats;
+  const std::string output = daemon_output(jobs, opts, &stats);
+
+  // The stalled worker is superseded; its epoch-guarded late publish is
+  // discarded and the successor's result is the one emitted — bytes
+  // identical to the one-shot path.
+  EXPECT_EQ(output, reference);
+  expect_exactly_one_record_each(output, n_jobs);
+  EXPECT_GE(stats.respawns, 1u);
+  EXPECT_GE(stats.requeued, 1u);
+  EXPECT_EQ(stats.worker_lost, 0u);
+}
+
+// -- deadlines --------------------------------------------------------------
+
+TEST(ChaosService, DeadlineAbortsRunawayJobWithStructuredRecord) {
+  // 64 threads x 200 iterations is far past the engine's first wall-clock
+  // check; a 1us deadline cannot be met.
+  const std::string jobs =
+      "{\"machine\": \"kunpeng920\", \"algo\": \"dis\", \"threads\": 64, "
+      "\"iterations\": 200}\n";
+  svc::ServiceOptions opts;
+  opts.workers = 1;
+  opts.job_deadline_ms = 0.001;
+  opts.max_attempts = 2;  // deadline is transient: one retry, then report
+
+  std::istringstream in(jobs);
+  std::ostringstream out;
+  svc::SweepService service(opts);
+  const auto stats = service.serve(in, out);
+
+  const auto lines = job_lines(out.str());
+  ASSERT_EQ(lines.size(), 1u);
+  EXPECT_NE(lines[0].find("\"kind\": \"deadline\""), std::string::npos)
+      << lines[0];
+  EXPECT_EQ(stats.deadline_errors, 1u);
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.failed, 1u);
+}
+
+// -- load shedding ----------------------------------------------------------
+
+TEST(ChaosService, OverloadShedsExplicitlyNeverSilently) {
+  // Workers sleep 5ms per job so intake outruns them instantly; with
+  // max_inflight 2 the surplus must surface as explicit shed records.
+  const int n_jobs = 12;
+  const std::string jobs = chaos_workload(n_jobs, /*with_errors=*/false);
+
+  svc::ServiceOptions opts;
+  opts.workers = 2;
+  opts.max_inflight = 2;
+  opts.chaos.before_job = [](std::uint64_t) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  };
+  svc::ServiceStats stats;
+  const std::string output = daemon_output(jobs, opts, &stats);
+
+  expect_exactly_one_record_each(output, n_jobs);
+  EXPECT_GT(stats.shed, 0u);
+  std::uint64_t shed_lines = 0;
+  for (const std::string& line : job_lines(output))
+    if (line.find("\"kind\": \"shed\"") != std::string::npos) ++shed_lines;
+  EXPECT_EQ(shed_lines, stats.shed);
+  EXPECT_EQ(stats.jobs, static_cast<std::uint64_t>(n_jobs));
+}
+
+// -- the seeded smoke sweep (what CI's chaos-smoke loops) -------------------
+
+TEST(ChaosService, TwentySeededRunsKeepAllInvariants) {
+  const std::string jobs = chaos_workload(12);
+  const int n_jobs = count_job_lines(jobs) - 2;
+  const std::string reference = oneshot_output(jobs);
+
+  for (std::uint32_t seed = 1; seed <= 20; ++seed) {
+    ChaosPlan plan(static_cast<std::size_t>(n_jobs));
+    plan.stall_for = std::chrono::milliseconds(30);
+    std::mt19937 rng(seed);
+    for (std::size_t i = 0; i < plan.crash.size(); ++i) {
+      const auto dice = rng() % 8;
+      if (dice == 0) plan.crash[i] = 1;       // ~12.5% crash
+      else if (dice == 1) plan.stall[i] = 1;  // ~12.5% stall
+    }
+
+    svc::ServiceOptions opts;
+    opts.workers = 1 + static_cast<int>(seed % 4);
+    opts.heartbeat_ms = 10.0;
+    opts.max_requeues = 2 * n_jobs;  // covers one re-queue per chaos event
+    opts.chaos.before_job = plan.hook();
+    svc::ServiceStats stats;
+    const std::string output = daemon_output(jobs, opts, &stats);
+
+    // All chaos is first-delivery-only, so every job survives: the full
+    // stream must replay the one-shot bytes despite crashes and stalls.
+    EXPECT_EQ(output, reference)
+        << "seed " << seed << " workers " << opts.workers;
+    expect_exactly_one_record_each(output, n_jobs);
+    EXPECT_EQ(stats.worker_lost, 0u) << "seed " << seed;
+    EXPECT_EQ(stats.jobs, static_cast<std::uint64_t>(n_jobs));
+  }
+}
+
+}  // namespace

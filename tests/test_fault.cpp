@@ -7,6 +7,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -230,6 +231,105 @@ TEST(FaultSim, DegradedLinksCostMore) {
   cfg.fault = &plan;
   const auto degraded = simbar::measure_barrier(machine, dis_factory(), cfg);
   EXPECT_GT(degraded.mean_overhead_ns, base.mean_overhead_ns);
+}
+
+// ---------------------------------------------------------------------------
+// Knob non-inertness (mutation tests)
+// ---------------------------------------------------------------------------
+// Each fault knob must visibly perturb a simulated run — an injection
+// model that silently does nothing would pass every determinism test
+// while testing nothing.  The golden checksum folds the episode
+// timestamps and coherence counters into one value; a knob is live iff
+// it moves the checksum, and Plan::neutral() must not.
+
+std::uint64_t golden_checksum(const simbar::SimResult& r) {
+  std::uint64_t h = 1469598103934665603ull;  // FNV-1a over the run's facts
+  const auto mix = [&h](std::uint64_t v) {
+    h = (h ^ v) * 1099511628211ull;
+  };
+  for (const double ns : r.per_episode_ns) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof ns);
+    std::memcpy(&bits, &ns, sizeof bits);
+    mix(bits);
+  }
+  mix(r.events_processed);
+  mix(r.stats.remote_reads);
+  mix(r.stats.rmws);
+  mix(r.stats.invalidations);
+  return h;
+}
+
+/// 40 episodes so window-scheduled faults (bursts, flaps, dwell toggles)
+/// land inside the simulated span with room to spare.
+simbar::SimRunConfig mutation_cfg() {
+  simbar::SimRunConfig cfg;
+  cfg.threads = 16;
+  cfg.iterations = 40;
+  cfg.warmup = 2;
+  return cfg;
+}
+
+std::uint64_t run_checksum(const Plan* plan) {
+  const auto machine = topo::kunpeng920();
+  simbar::SimRunConfig cfg = mutation_cfg();
+  if (plan != nullptr) cfg.fault = plan;
+  return golden_checksum(simbar::measure_barrier(machine, dis_factory(), cfg));
+}
+
+TEST(FaultMutation, NeutralPlanKeepsGoldenChecksum) {
+  const auto machine = topo::kunpeng920();
+  const Plan neutral =
+      Plan::neutral(machine.num_cores(), machine.num_layers());
+  ASSERT_TRUE(neutral.active());
+  EXPECT_EQ(run_checksum(nullptr), run_checksum(&neutral));
+}
+
+TEST(FaultMutation, BurstKnobChangesGoldenChecksum) {
+  const auto machine = topo::kunpeng920();
+  FaultSpec spec;
+  spec.burst.interval_us = 3.0;
+  spec.burst.duration_us = 1.0;
+  const Plan plan(spec, machine.num_cores(), machine.num_layers());
+  ASSERT_TRUE(plan.bursty());
+  EXPECT_NE(run_checksum(nullptr), run_checksum(&plan));
+}
+
+TEST(FaultMutation, DwellKnobChangesChecksumAndDiffersFromStatic) {
+  const auto machine = topo::kunpeng920();
+  FaultSpec fixed = straggler_spec(0.25, 3.0);
+  FaultSpec markov = fixed;
+  markov.straggler.dwell_us = 2.0;
+  const Plan static_plan(fixed, machine.num_cores(), machine.num_layers());
+  const Plan dwell_plan(markov, machine.num_cores(), machine.num_layers());
+  ASSERT_FALSE(static_plan.time_varying_stragglers());
+  ASSERT_TRUE(dwell_plan.time_varying_stragglers());
+  const std::uint64_t base = run_checksum(nullptr);
+  const std::uint64_t with_dwell = run_checksum(&dwell_plan);
+  EXPECT_NE(base, with_dwell);
+  // Same fraction/slowdown/seed: only the dwell knob separates the two
+  // plans, so differing checksums prove the Markov schedule is consulted.
+  EXPECT_NE(run_checksum(&static_plan), with_dwell);
+}
+
+TEST(FaultMutation, LinkFlapKnobChangesChecksumAndGatesInTime) {
+  const auto machine = topo::kunpeng920();
+  FaultSpec steady;
+  steady.link.min_layer = 0;
+  steady.link.factor = 2.0;
+  FaultSpec flappy = steady;
+  flappy.link.flap_interval_us = 2.0;
+  flappy.link.flap_duration_us = 1.0;
+  const Plan steady_plan(steady, machine.num_cores(), machine.num_layers());
+  const Plan flap_plan(flappy, machine.num_cores(), machine.num_layers());
+  ASSERT_FALSE(steady_plan.flapping_links());
+  ASSERT_TRUE(flap_plan.flapping_links());
+  const std::uint64_t base = run_checksum(nullptr);
+  const std::uint64_t with_flaps = run_checksum(&flap_plan);
+  EXPECT_NE(base, with_flaps);
+  // The flap windows must gate the surcharge: a link that is degraded
+  // only ~33% of the time cannot replay the always-degraded schedule.
+  EXPECT_NE(run_checksum(&steady_plan), with_flaps);
 }
 
 // ---------------------------------------------------------------------------

@@ -176,7 +176,7 @@ TEST(CacheKey, EverySimulationInputMisses) {
   const svc::JobSpec base;
   // Each mutation flips exactly one simulation input; every one must
   // produce a distinct key (a collision would serve wrong results).
-  std::vector<svc::JobSpec> variants(9, base);
+  std::vector<svc::JobSpec> variants(14, base);
   variants[0].machine = "thunderx2";
   variants[1].algo = "mcs";
   variants[2].threads = 32;
@@ -186,9 +186,28 @@ TEST(CacheKey, EverySimulationInputMisses) {
   variants[6].fault.noise.period_us = 100.0;
   variants[7].fault.straggler.fraction = 0.25;
   variants[8].fault.seed = 43;
+  variants[9].fault.burst.interval_us = 200.0;
+  variants[10].fault.burst.duration_us = 6.0;
+  variants[11].fault.straggler.dwell_us = 80.0;
+  variants[12].fault.link.flap_interval_us = 300.0;
+  variants[13].fault.link.flap_duration_us = 40.0;
   const std::string base_key = svc::cache_key(base);
   for (std::size_t i = 0; i < variants.size(); ++i)
     EXPECT_NE(svc::cache_key(variants[i]), base_key) << "variant " << i;
+}
+
+TEST(JobParse, CorrelatedFaultFields) {
+  const auto spec = svc::parse_job_line(
+      R"({"burst_interval_us": 150, "burst_duration_us": 6,)"
+      R"( "straggler_fraction": 0.1, "straggler_slowdown": 2,)"
+      R"( "straggler_dwell_us": 40, "link_factor": 1.5,)"
+      R"( "link_flap_interval_us": 200, "link_flap_duration_us": 30})");
+  EXPECT_TRUE(spec.fault.any());
+  EXPECT_DOUBLE_EQ(spec.fault.burst.interval_us, 150.0);
+  EXPECT_DOUBLE_EQ(spec.fault.burst.duration_us, 6.0);
+  EXPECT_DOUBLE_EQ(spec.fault.straggler.dwell_us, 40.0);
+  EXPECT_DOUBLE_EQ(spec.fault.link.flap_interval_us, 200.0);
+  EXPECT_DOUBLE_EQ(spec.fault.link.flap_duration_us, 30.0);
 }
 
 TEST(CacheKey, ExplicitWarmupEqualsDerivedWarmup) {
@@ -344,6 +363,104 @@ TEST(ServiceIdentity, EmptyStream) {
     EXPECT_EQ(daemon, oneshot_output("", 1));
     EXPECT_NE(daemon.find("\"runs\": 0"), std::string::npos);  // summary only
   }
+}
+
+// -- intake hardening (bounded lines, EOF mid-line) -------------------------
+
+TEST(ServiceIntake, EofMidLineStillYieldsOneRecord) {
+  // No trailing newline: the partial final line must still produce
+  // exactly one result record on both paths, and they must agree.
+  const std::string jobs =
+      "{\"machine\": \"kunpeng920\", \"algo\": \"dis\", \"threads\": 8, "
+      "\"iterations\": 4}\n"
+      "{\"machine\": \"kunpeng920\", \"algo\": \"sense\", \"threads\": 8, "
+      "\"iterations\": 4}";  // <-- EOF here
+  const std::string reference = oneshot_output(jobs, 1);
+  std::size_t job_lines = 0, pos = 0;
+  while ((pos = reference.find("{\"job\": ", pos)) != std::string::npos) {
+    ++job_lines;
+    pos += 8;
+  }
+  EXPECT_EQ(job_lines, 2u);
+  svc::ServiceOptions opts;
+  opts.workers = 2;
+  EXPECT_EQ(daemon_output(jobs, opts), reference);
+}
+
+TEST(ServiceIntake, OversizedLineBecomesParseErrorNotAHang) {
+  // A line past max_line_bytes must surface as a bounded parse-error
+  // record (the tail is discarded, never buffered) and the stream must
+  // keep going: the next job still runs.
+  svc::ServiceOptions opts;
+  opts.workers = 2;
+  opts.max_line_bytes = 128;  // the legitimate job line below fits
+  const std::string big(1024, 'x');
+  const std::string jobs =
+      "{\"pad\": \"" + big + "\"}\n" +
+      "{\"machine\": \"kunpeng920\", \"algo\": \"dis\", \"threads\": 8, "
+      "\"iterations\": 4}\n";
+  svc::SweepService service(opts);
+  std::istringstream in(jobs);
+  std::ostringstream out;
+  const auto stats = service.serve(in, out);
+  EXPECT_EQ(stats.jobs, 2u);
+  EXPECT_EQ(stats.failed, 1u);
+  const std::string text = out.str();
+  EXPECT_NE(text.find("\"kind\": \"parse-error\""), std::string::npos);
+  EXPECT_NE(text.find("max_line_bytes"), std::string::npos);
+  EXPECT_NE(text.find("\"barrier\": \"DIS\""), std::string::npos)
+      << "the job after the oversized line must still run";
+}
+
+TEST(ServiceIntake, OversizedCommentIsSkippedSilently) {
+  svc::ServiceOptions opts;
+  opts.workers = 1;
+  opts.max_line_bytes = 128;
+  const std::string jobs =
+      "# " + std::string(512, 'c') + "\n" +
+      "{\"machine\": \"kunpeng920\", \"algo\": \"dis\", \"threads\": 4, "
+      "\"iterations\": 3}\n";
+  svc::SweepService service(opts);
+  std::istringstream in(jobs);
+  std::ostringstream out;
+  const auto stats = service.serve(in, out);
+  EXPECT_EQ(stats.jobs, 1u) << "an oversized comment is not a job";
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST(ServiceIntake, OneshotBoundsLinesToo) {
+  // run_oneshot uses the default 64 KiB bound; a 128 KiB line must become
+  // a parse-error record rather than an unbounded buffer.
+  const std::string jobs =
+      "{\"pad\": \"" + std::string(128 * 1024, 'y') + "\"}\n";
+  const std::string reference = oneshot_output(jobs, 1);
+  EXPECT_NE(reference.find("\"kind\": \"parse-error\""), std::string::npos);
+  EXPECT_NE(reference.find("max_line_bytes"), std::string::npos);
+  // And the daemon agrees byte-for-byte at the default bound.
+  svc::ServiceOptions opts;
+  opts.workers = 2;
+  EXPECT_EQ(daemon_output(jobs, opts), reference);
+}
+
+TEST(ServiceOptionsValidation, RejectsNonsense) {
+  const auto bad = [](svc::ServiceOptions opts) {
+    EXPECT_THROW(svc::SweepService s(opts), std::invalid_argument);
+  };
+  svc::ServiceOptions o1;
+  o1.max_attempts = 0;
+  bad(o1);
+  svc::ServiceOptions o2;
+  o2.max_requeues = -1;
+  bad(o2);
+  svc::ServiceOptions o3;
+  o3.job_deadline_ms = -1.0;
+  bad(o3);
+  svc::ServiceOptions o4;
+  o4.heartbeat_ms = -0.5;
+  bad(o4);
+  svc::ServiceOptions o5;
+  o5.max_line_bytes = 8;
+  bad(o5);
 }
 
 TEST(ServiceStatsCheck, AccountingMatchesStream) {
